@@ -1,0 +1,210 @@
+//! Cone-of-influence (COI) analysis.
+//!
+//! A standard front-end reduction of every verification platform,
+//! including the paper's: only the latches and memories whose values can
+//! reach a property matter for its truth. [`cone_of_influence`] computes
+//! that set by a fixpoint over the structural dependency graph:
+//!
+//! * a property depends on the nodes in its combinational fan-in;
+//! * a latch in the set pulls in the fan-in of its next-state function;
+//! * a memory read-data input in the set pulls in the whole memory module
+//!   (its read/write ports' address, enable, and data cones) — memory is
+//!   treated monolithically, matching how EMM models it per-module.
+//!
+//! The result is expressed as kept-masks, directly usable as a sound
+//! static abstraction (see `emm-bmc`'s `AbstractionSpec`): unlike
+//! proof-based abstraction, COI never needs a refutation and never
+//! over-abstracts, so it is the natural first pass before PBA sharpens it.
+
+use crate::aig::{Bit, Node};
+use crate::design::{Design, InputKind};
+
+/// Latches and memories a set of properties can observe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cone {
+    /// `true` for latches inside the cone.
+    pub latches: Vec<bool>,
+    /// `true` for memories inside the cone.
+    pub memories: Vec<bool>,
+    /// `true` for free inputs inside the cone (reporting only).
+    pub free_inputs: Vec<bool>,
+}
+
+impl Cone {
+    /// Number of latches in the cone.
+    pub fn num_latches(&self) -> usize {
+        self.latches.iter().filter(|&&k| k).count()
+    }
+
+    /// Number of memories in the cone.
+    pub fn num_memories(&self) -> usize {
+        self.memories.iter().filter(|&&k| k).count()
+    }
+}
+
+/// Computes the cone of influence of the given properties (by index).
+/// Environment constraints are always included: they restrict every
+/// behavior, so dropping their cone would be unsound.
+///
+/// # Panics
+///
+/// Panics if a property index is out of range.
+pub fn cone_of_influence(design: &Design, properties: &[usize]) -> Cone {
+    let mut node_seen = vec![false; design.aig.num_nodes()];
+    let mut latch_in = vec![false; design.num_latches()];
+    let mut mem_in = vec![false; design.memories().len()];
+    let mut stack: Vec<Bit> = Vec::new();
+
+    for &p in properties {
+        stack.push(design.properties()[p].bad);
+    }
+    for &c in design.constraints() {
+        stack.push(c);
+    }
+
+    while let Some(bit) = stack.pop() {
+        let id = bit.node();
+        if node_seen[id.index()] {
+            continue;
+        }
+        node_seen[id.index()] = true;
+        match design.aig.node(id) {
+            Node::Const => {}
+            Node::And(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            Node::Input(i) => match design.input_kind(i as usize) {
+                InputKind::Free => {}
+                InputKind::Latch(l) => {
+                    let li = l.0 as usize;
+                    if !latch_in[li] {
+                        latch_in[li] = true;
+                        stack.push(
+                            design.latches()[li].next.expect("well-formed design"),
+                        );
+                    }
+                }
+                InputKind::ReadData(m, _, _) => {
+                    let mi = m.0 as usize;
+                    if !mem_in[mi] {
+                        mem_in[mi] = true;
+                        // The whole module joins the cone: every port's
+                        // address/enable/data cones.
+                        let mem = design.memory(m);
+                        for rp in &mem.read_ports {
+                            stack.extend(rp.addr.bits().iter().copied());
+                            stack.push(rp.en);
+                        }
+                        for wp in &mem.write_ports {
+                            stack.extend(wp.addr.bits().iter().copied());
+                            stack.push(wp.en);
+                            stack.extend(wp.data.bits().iter().copied());
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    let mut free_in = vec![false; design.free_inputs().len()];
+    for (pos, &idx) in design.free_inputs().iter().enumerate() {
+        let bit = design.input_bit(idx as usize);
+        free_in[pos] = node_seen[bit.node().index()];
+    }
+    Cone { latches: latch_in, memories: mem_in, free_inputs: free_in }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{Design, LatchInit, MemInit};
+
+    /// Two independent counters and a memory only one property observes.
+    fn split_design() -> Design {
+        let mut d = Design::new();
+        let a = d.new_latch_word("a", 3, LatchInit::Zero);
+        let na = d.aig.inc(&a);
+        d.set_next_word(&a, &na);
+        let b = d.new_latch_word("b", 4, LatchInit::Zero);
+        let nb = d.aig.inc(&b);
+        d.set_next_word(&b, &nb);
+        let mem = d.add_memory("m", 2, 2, MemInit::Zero);
+        let addr = d.new_input_word("addr", 2);
+        let rd = d.add_read_port(mem, addr, crate::Aig::TRUE);
+        let we = d.new_input("we");
+        let waddr = d.new_input_word("waddr", 2);
+        let wdata = d.new_input_word("wdata", 2);
+        d.add_write_port(mem, waddr, we, wdata);
+        let bad_a = d.aig.eq_const(&a, 5);
+        d.add_property("on_a", bad_a);
+        let bad_b = d.aig.eq_const(&b, 9);
+        d.add_property("on_b", bad_b);
+        let bad_m = d.aig.redor(&rd);
+        d.add_property("on_mem", bad_m);
+        d.check().expect("valid");
+        d
+    }
+
+    #[test]
+    fn property_on_counter_a_sees_only_a() {
+        let d = split_design();
+        let cone = cone_of_influence(&d, &[0]);
+        assert_eq!(cone.num_latches(), 3, "only counter a");
+        assert!(cone.latches[..3].iter().all(|&k| k));
+        assert!(cone.latches[3..].iter().all(|&k| !k));
+        assert_eq!(cone.num_memories(), 0);
+    }
+
+    #[test]
+    fn property_on_memory_pulls_in_module_and_inputs() {
+        let d = split_design();
+        let cone = cone_of_influence(&d, &[2]);
+        assert_eq!(cone.num_latches(), 0, "no latch feeds the memory ports");
+        assert_eq!(cone.num_memories(), 1);
+        // All free inputs feed the memory module (read addr + write port).
+        assert!(cone.free_inputs.iter().all(|&k| k));
+    }
+
+    #[test]
+    fn union_of_properties_unions_cones() {
+        let d = split_design();
+        let cone = cone_of_influence(&d, &[0, 1]);
+        assert_eq!(cone.num_latches(), 7, "both counters");
+        assert_eq!(cone.num_memories(), 0);
+    }
+
+    #[test]
+    fn latch_chain_closure() {
+        // l0 <- l1 <- l2: a property on l0 must pull in the whole chain.
+        let mut d = Design::new();
+        let (_, l0) = d.new_latch("l0", LatchInit::Zero);
+        let (_, l1) = d.new_latch("l1", LatchInit::Zero);
+        let (_, l2) = d.new_latch("l2", LatchInit::Zero);
+        let i = d.new_input("i");
+        d.set_next(l0, l1);
+        d.set_next(l1, l2);
+        d.set_next(l2, i);
+        d.add_property("p", l0);
+        d.check().expect("valid");
+        let cone = cone_of_influence(&d, &[0]);
+        assert_eq!(cone.num_latches(), 3);
+        assert!(cone.free_inputs[0], "the driving input is in the cone");
+    }
+
+    #[test]
+    fn constraints_always_included() {
+        let mut d = Design::new();
+        let (_, l) = d.new_latch("l", LatchInit::Zero);
+        let lc = l;
+        d.set_next(l, lc);
+        let (_, other) = d.new_latch("other", LatchInit::Zero);
+        let oc = other;
+        d.set_next(other, oc);
+        d.add_constraint(other); // environment pins `other` high
+        d.add_property("p", l);
+        d.check().expect("valid");
+        let cone = cone_of_influence(&d, &[0]);
+        assert_eq!(cone.num_latches(), 2, "constraint cone must be kept");
+    }
+}

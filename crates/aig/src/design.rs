@@ -1,0 +1,541 @@
+//! Sequential designs: latches, primary inputs, embedded memories,
+//! properties, and constraints over an [`Aig`].
+//!
+//! A [`Design`] is the verification model of Section 2.3 of the paper: a
+//! *Main module* of latches and gates interacting with one or more *memory
+//! modules* exclusively through interface signals — per write port
+//! `(Addr, WD, WE)` and per read port `(Addr, RD, RE)`.
+//!
+//! Read-data (`RD`) buses are *pseudo-inputs*: AIG input nodes whose values
+//! the environment supplies. Who supplies them depends on the client:
+//!
+//! * the [simulator](crate::sim) computes them from a concrete memory array;
+//! * the EMM engine (crate `emm-core`) constrains them with forwarding
+//!   clauses at every BMC unrolling depth;
+//! * the explicit-modeling baseline replaces them with decoder/mux logic
+//!   over `2^AW × DW` freshly created latches.
+
+use std::collections::HashMap;
+
+use crate::aig::{Aig, Bit};
+use crate::word::Word;
+
+/// Identifies a latch within a design.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LatchId(pub u32);
+
+/// Identifies a memory module within a design.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MemoryId(pub u32);
+
+/// Identifies a safety property within a design.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PropertyId(pub u32);
+
+/// Initial value of a latch bit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LatchInit {
+    /// Starts at 0.
+    Zero,
+    /// Starts at 1.
+    One,
+    /// Arbitrary initial value (free in the initial state).
+    Free,
+}
+
+/// Initial contents of a memory module.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemInit {
+    /// Every word starts at zero (the industry case studies).
+    Zero,
+    /// Arbitrary initial contents — the quicksort case study; requires the
+    /// paper's eq. (6) constraints for sound induction proofs.
+    Arbitrary,
+}
+
+/// A state-holding element.
+#[derive(Clone, Debug)]
+pub struct Latch {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// The latch output edge (an AIG input node).
+    pub output: Bit,
+    /// Next-state function; set via [`Design::set_next`].
+    pub next: Option<Bit>,
+    /// Initial value.
+    pub init: LatchInit,
+}
+
+/// One read port of a memory: combinational read, enabled by `en`.
+#[derive(Clone, Debug)]
+pub struct ReadPort {
+    /// Address bus (`AW` bits).
+    pub addr: Word,
+    /// Read enable.
+    pub en: Bit,
+    /// Read data bus (`DW` pseudo-input bits).
+    pub data: Word,
+}
+
+/// One write port of a memory: the write commits at the end of the cycle and
+/// is visible to reads from the *next* cycle on (Section 2.3).
+#[derive(Clone, Debug)]
+pub struct WritePort {
+    /// Address bus (`AW` bits).
+    pub addr: Word,
+    /// Write enable.
+    pub en: Bit,
+    /// Write data bus (`DW` bits).
+    pub data: Word,
+}
+
+/// An embedded memory module with multiple read and write ports.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    /// Human-readable name.
+    pub name: String,
+    /// Address width `AW` (capacity is `2^AW` words).
+    pub addr_width: usize,
+    /// Data width `DW`.
+    pub data_width: usize,
+    /// Initial contents.
+    pub init: MemInit,
+    /// Read ports.
+    pub read_ports: Vec<ReadPort>,
+    /// Write ports.
+    pub write_ports: Vec<WritePort>,
+}
+
+impl Memory {
+    /// Number of state bits this memory would contribute to an explicit
+    /// model: `2^AW * DW`.
+    pub fn state_bits(&self) -> usize {
+        (1usize << self.addr_width) * self.data_width
+    }
+}
+
+/// A safety property: `bad` must never hold in any reachable state.
+///
+/// Reachability properties (the industry case studies' "find a witness")
+/// are the same object: a witness is a path making `bad` true.
+#[derive(Clone, Debug)]
+pub struct Property {
+    /// Human-readable name.
+    pub name: String,
+    /// The violation condition.
+    pub bad: Bit,
+}
+
+/// How an AIG input node is driven.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InputKind {
+    /// A free primary input.
+    Free,
+    /// The output of a latch.
+    Latch(LatchId),
+    /// One bit of a memory read-data bus: `(memory, read port, bit)`.
+    ReadData(MemoryId, u32, u32),
+}
+
+/// A sequential design over an [`Aig`].
+#[derive(Clone, Debug, Default)]
+pub struct Design {
+    /// The combinational core.
+    pub aig: Aig,
+    /// Kind of every AIG input, indexed by input index.
+    input_kinds: Vec<InputKind>,
+    /// Edge of every AIG input, indexed by input index.
+    input_bits: Vec<Bit>,
+    /// Dense indices of the free primary inputs (into `input_kinds`).
+    free_inputs: Vec<u32>,
+    latches: Vec<Latch>,
+    memories: Vec<Memory>,
+    properties: Vec<Property>,
+    constraints: Vec<Bit>,
+    names: HashMap<String, Bit>,
+}
+
+impl Design {
+    /// Creates an empty design.
+    pub fn new() -> Design {
+        Design::default()
+    }
+
+    // ---------------------------------------------------------------
+    // Construction
+    // ---------------------------------------------------------------
+
+    /// Creates a free primary input bit.
+    pub fn new_input(&mut self, name: &str) -> Bit {
+        let bit = self.aig.new_input();
+        self.free_inputs.push(self.input_kinds.len() as u32);
+        self.input_kinds.push(InputKind::Free);
+        self.input_bits.push(bit);
+        self.names.insert(name.to_string(), bit);
+        bit
+    }
+
+    /// Creates a word of free primary inputs.
+    pub fn new_input_word(&mut self, name: &str, width: usize) -> Word {
+        Word((0..width).map(|i| self.new_input(&format!("{name}[{i}]"))).collect())
+    }
+
+    /// Creates a latch; its next-state function must be assigned later with
+    /// [`Design::set_next`].
+    pub fn new_latch(&mut self, name: &str, init: LatchInit) -> (LatchId, Bit) {
+        let output = self.aig.new_input();
+        let id = LatchId(self.latches.len() as u32);
+        self.input_kinds.push(InputKind::Latch(id));
+        self.input_bits.push(output);
+        self.latches.push(Latch { name: name.to_string(), output, next: None, init });
+        self.names.insert(name.to_string(), output);
+        (id, output)
+    }
+
+    /// Creates a word of latches with a shared init pattern.
+    pub fn new_latch_word(&mut self, name: &str, width: usize, init: LatchInit) -> Word {
+        Word((0..width).map(|i| self.new_latch(&format!("{name}[{i}]"), init).1).collect())
+    }
+
+    /// Creates a word of latches initialized to the constant `value`.
+    pub fn new_latch_word_init(&mut self, name: &str, width: usize, value: u64) -> Word {
+        Word(
+            (0..width)
+                .map(|i| {
+                    let init =
+                        if (value >> i) & 1 == 1 { LatchInit::One } else { LatchInit::Zero };
+                    self.new_latch(&format!("{name}[{i}]"), init).1
+                })
+                .collect(),
+        )
+    }
+
+    /// Assigns the next-state function of the latch whose output is `output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is not a latch output or is inverted.
+    pub fn set_next(&mut self, output: Bit, next: Bit) {
+        assert!(!output.is_inverted(), "latch outputs are non-inverted edges");
+        let id = match self.input_kind_of(output) {
+            Some(InputKind::Latch(id)) => id,
+            other => panic!("set_next on non-latch bit ({other:?})"),
+        };
+        self.latches[id.0 as usize].next = Some(next);
+    }
+
+    /// Assigns next-state functions for a whole latch word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ or any bit is not a latch output.
+    pub fn set_next_word(&mut self, outputs: &Word, next: &Word) {
+        assert_eq!(outputs.width(), next.width());
+        for (&o, &n) in outputs.0.iter().zip(&next.0) {
+            self.set_next(o, n);
+        }
+    }
+
+    /// Adds a memory module; ports are added with
+    /// [`Design::add_read_port`] / [`Design::add_write_port`].
+    pub fn add_memory(
+        &mut self,
+        name: &str,
+        addr_width: usize,
+        data_width: usize,
+        init: MemInit,
+    ) -> MemoryId {
+        let id = MemoryId(self.memories.len() as u32);
+        self.memories.push(Memory {
+            name: name.to_string(),
+            addr_width,
+            data_width,
+            init,
+            read_ports: Vec::new(),
+            write_ports: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a read port to `mem` and returns its read-data word (fresh
+    /// pseudo-inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` does not match the memory's address width.
+    pub fn add_read_port(&mut self, mem: MemoryId, addr: Word, en: Bit) -> Word {
+        let (aw, dw) = {
+            let m = &self.memories[mem.0 as usize];
+            (m.addr_width, m.data_width)
+        };
+        assert_eq!(addr.width(), aw, "address width mismatch on {}", self.memory(mem).name);
+        let port = self.memories[mem.0 as usize].read_ports.len() as u32;
+        let data = Word(
+            (0..dw)
+                .map(|i| {
+                    let bit = self.aig.new_input();
+                    self.input_kinds.push(InputKind::ReadData(mem, port, i as u32));
+                    self.input_bits.push(bit);
+                    bit
+                })
+                .collect(),
+        );
+        self.memories[mem.0 as usize].read_ports.push(ReadPort {
+            addr,
+            en,
+            data: data.clone(),
+        });
+        data
+    }
+
+    /// Adds a write port to `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr`/`data` widths do not match the memory.
+    pub fn add_write_port(&mut self, mem: MemoryId, addr: Word, en: Bit, data: Word) {
+        let m = &self.memories[mem.0 as usize];
+        assert_eq!(addr.width(), m.addr_width, "address width mismatch on {}", m.name);
+        assert_eq!(data.width(), m.data_width, "data width mismatch on {}", m.name);
+        self.memories[mem.0 as usize].write_ports.push(WritePort { addr, en, data });
+    }
+
+    /// Declares a safety property: `bad` must never hold.
+    pub fn add_property(&mut self, name: &str, bad: Bit) -> PropertyId {
+        let id = PropertyId(self.properties.len() as u32);
+        self.properties.push(Property { name: name.to_string(), bad });
+        id
+    }
+
+    /// Adds an environment constraint: `lit` is assumed true in every cycle.
+    pub fn add_constraint(&mut self, lit: Bit) {
+        self.constraints.push(lit);
+    }
+
+    // ---------------------------------------------------------------
+    // Accessors
+    // ---------------------------------------------------------------
+
+    /// The latches of the design.
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    /// The memory modules.
+    pub fn memories(&self) -> &[Memory] {
+        &self.memories
+    }
+
+    /// A memory module by id.
+    pub fn memory(&self, id: MemoryId) -> &Memory {
+        &self.memories[id.0 as usize]
+    }
+
+    /// The safety properties.
+    pub fn properties(&self) -> &[Property] {
+        &self.properties
+    }
+
+    /// A property by id.
+    pub fn property(&self, id: PropertyId) -> &Property {
+        &self.properties[id.0 as usize]
+    }
+
+    /// The environment constraints.
+    pub fn constraints(&self) -> &[Bit] {
+        &self.constraints
+    }
+
+    /// Kind of the input node behind `bit` (ignores inversion), or `None`
+    /// if `bit` is not an input node.
+    pub fn input_kind_of(&self, bit: Bit) -> Option<InputKind> {
+        self.aig.input_index(bit).map(|i| self.input_kinds[i])
+    }
+
+    /// The (non-inverted) edge of input `index`.
+    pub fn input_bit(&self, index: usize) -> Bit {
+        self.input_bits[index]
+    }
+
+    /// Kind of input `index`.
+    pub fn input_kind(&self, index: usize) -> InputKind {
+        self.input_kinds[index]
+    }
+
+    /// Number of AIG inputs of any kind.
+    pub fn num_inputs(&self) -> usize {
+        self.input_kinds.len()
+    }
+
+    /// Dense indices of the free primary inputs.
+    pub fn free_inputs(&self) -> &[u32] {
+        &self.free_inputs
+    }
+
+    /// Number of latches (the paper's "FF" counts exclude memory registers,
+    /// as does this).
+    pub fn num_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Number of 2-input AND gates.
+    pub fn num_gates(&self) -> usize {
+        self.aig.num_ands()
+    }
+
+    /// Looks up a named bit (inputs and latch outputs register their names).
+    pub fn named(&self, name: &str) -> Option<Bit> {
+        self.names.get(name).copied()
+    }
+
+    /// Validates structural invariants; call after construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated invariant:
+    /// a latch without a next-state function, or a memory read/write port
+    /// with mismatched widths.
+    pub fn check(&self) -> Result<(), String> {
+        for (i, latch) in self.latches.iter().enumerate() {
+            if latch.next.is_none() {
+                return Err(format!("latch #{i} ({}) has no next-state function", latch.name));
+            }
+        }
+        for mem in &self.memories {
+            for (p, rp) in mem.read_ports.iter().enumerate() {
+                if rp.addr.width() != mem.addr_width || rp.data.width() != mem.data_width {
+                    return Err(format!("memory {} read port {p} width mismatch", mem.name));
+                }
+            }
+            for (p, wp) in mem.write_ports.iter().enumerate() {
+                if wp.addr.width() != mem.addr_width || wp.data.width() != mem.data_width {
+                    return Err(format!("memory {} write port {p} width mismatch", mem.name));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Summary statistics in the paper's reporting style.
+    pub fn stats(&self) -> DesignStats {
+        DesignStats {
+            latches: self.num_latches(),
+            free_inputs: self.free_inputs.len(),
+            gates: self.num_gates(),
+            memories: self.memories.len(),
+            memory_state_bits: self.memories.iter().map(Memory::state_bits).sum(),
+            properties: self.properties.len(),
+        }
+    }
+}
+
+/// Size summary of a design (cf. the paper's "200 latches, 56 inputs, ~9K
+/// 2-input gates" reporting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DesignStats {
+    /// Latches, excluding memory registers.
+    pub latches: usize,
+    /// Free primary inputs.
+    pub free_inputs: usize,
+    /// 2-input AND gates.
+    pub gates: usize,
+    /// Memory modules.
+    pub memories: usize,
+    /// Total memory bits if modeled explicitly.
+    pub memory_state_bits: usize,
+    /// Safety properties.
+    pub properties: usize,
+}
+
+impl std::fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} latches, {} inputs, {} 2-input gates, {} memories ({} bits), {} properties",
+            self.latches,
+            self.free_inputs,
+            self.gates,
+            self.memories,
+            self.memory_state_bits,
+            self.properties
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_counter_design() {
+        let mut d = Design::new();
+        let count = d.new_latch_word("count", 4, LatchInit::Zero);
+        let next = d.aig.inc(&count);
+        d.set_next_word(&count, &next);
+        let bad = d.aig.eq_const(&count, 9);
+        d.add_property("count_ne_9", bad);
+        assert!(d.check().is_ok());
+        assert_eq!(d.num_latches(), 4);
+        assert_eq!(d.properties().len(), 1);
+    }
+
+    #[test]
+    fn memory_ports_and_kinds() {
+        let mut d = Design::new();
+        let mem = d.add_memory("m", 3, 8, MemInit::Zero);
+        let addr = d.new_input_word("addr", 3);
+        let en = d.new_input("re");
+        let data = d.add_read_port(mem, addr.clone(), en);
+        assert_eq!(data.width(), 8);
+        match d.input_kind_of(data.bit(0)) {
+            Some(InputKind::ReadData(m, 0, 0)) => assert_eq!(m, mem),
+            other => panic!("unexpected kind {other:?}"),
+        }
+        let wd = d.new_input_word("wd", 8);
+        let we = d.new_input("we");
+        d.add_write_port(mem, addr, we, wd);
+        assert!(d.check().is_ok());
+        assert_eq!(d.memory(mem).state_bits(), 8 * 8);
+        assert_eq!(d.memory(mem).read_ports.len(), 1);
+        assert_eq!(d.memory(mem).write_ports.len(), 1);
+    }
+
+    #[test]
+    fn check_rejects_unassigned_latch() {
+        let mut d = Design::new();
+        d.new_latch("dangling", LatchInit::Zero);
+        assert!(d.check().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "address width mismatch")]
+    fn read_port_width_mismatch_panics() {
+        let mut d = Design::new();
+        let mem = d.add_memory("m", 4, 8, MemInit::Zero);
+        let addr = d.new_input_word("addr", 3);
+        let en = d.new_input("re");
+        d.add_read_port(mem, addr, en);
+    }
+
+    #[test]
+    fn stats_display() {
+        let mut d = Design::new();
+        let l = d.new_latch_word("l", 2, LatchInit::Zero);
+        d.set_next_word(&l, &l.clone());
+        d.add_memory("m", 10, 8, MemInit::Zero);
+        let s = d.stats();
+        assert_eq!(s.latches, 2);
+        assert_eq!(s.memory_state_bits, 1024 * 8);
+        let text = s.to_string();
+        assert!(text.contains("2 latches"));
+        assert!(text.contains("1 memories"));
+    }
+
+    #[test]
+    fn named_lookup() {
+        let mut d = Design::new();
+        let a = d.new_input("go");
+        assert_eq!(d.named("go"), Some(a));
+        assert_eq!(d.named("missing"), None);
+    }
+}

@@ -1,0 +1,338 @@
+//! Word-level (bit-vector) operations over the AIG.
+//!
+//! A [`Word`] is a little-endian vector of [`Bit`]s. The operations here are
+//! the vocabulary the case-study designs are written in: arithmetic,
+//! comparisons, muxes, shifts — everything lowered immediately to AND gates.
+
+use crate::aig::{Aig, Bit};
+
+/// A little-endian bit vector over an [`Aig`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Word(pub Vec<Bit>);
+
+impl Word {
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The bits, least significant first.
+    pub fn bits(&self) -> &[Bit] {
+        &self.0
+    }
+
+    /// Single bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: usize) -> Bit {
+        self.0[i]
+    }
+
+    /// Wraps a single bit as a 1-wide word.
+    pub fn from_bit(bit: Bit) -> Word {
+        Word(vec![bit])
+    }
+}
+
+impl From<Vec<Bit>> for Word {
+    fn from(bits: Vec<Bit>) -> Word {
+        Word(bits)
+    }
+}
+
+impl Aig {
+    /// A constant word of `width` bits holding `value` (truncated).
+    pub fn const_word(&mut self, value: u64, width: usize) -> Word {
+        Word((0..width).map(|i| Aig::constant(width > i && (value >> i) & 1 == 1)).collect())
+    }
+
+    /// A word of fresh inputs.
+    pub fn input_word(&mut self, width: usize) -> Word {
+        Word((0..width).map(|_| self.new_input()).collect())
+    }
+
+    /// Bitwise AND. Panics if widths differ.
+    pub fn word_and(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width());
+        Word(a.0.iter().zip(&b.0).map(|(&x, &y)| self.and(x, y)).collect())
+    }
+
+    /// Bitwise OR. Panics if widths differ.
+    pub fn word_or(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width());
+        Word(a.0.iter().zip(&b.0).map(|(&x, &y)| self.or(x, y)).collect())
+    }
+
+    /// Bitwise XOR. Panics if widths differ.
+    pub fn word_xor(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width());
+        Word(a.0.iter().zip(&b.0).map(|(&x, &y)| self.xor(x, y)).collect())
+    }
+
+    /// Bitwise NOT.
+    pub fn word_not(&mut self, a: &Word) -> Word {
+        Word(a.0.iter().map(|&x| !x).collect())
+    }
+
+    /// Ripple-carry addition (wrapping). Panics if widths differ.
+    pub fn add(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width());
+        let mut carry = Aig::FALSE;
+        let mut out = Vec::with_capacity(a.width());
+        for (&x, &y) in a.0.iter().zip(&b.0) {
+            let xy = self.xor(x, y);
+            out.push(self.xor(xy, carry));
+            let c1 = self.and(x, y);
+            let c2 = self.and(xy, carry);
+            carry = self.or(c1, c2);
+        }
+        Word(out)
+    }
+
+    /// Wrapping subtraction `a - b`.
+    pub fn sub(&mut self, a: &Word, b: &Word) -> Word {
+        // a - b = a + !b + 1
+        let nb = self.word_not(b);
+        let mut carry = Aig::TRUE;
+        let mut out = Vec::with_capacity(a.width());
+        assert_eq!(a.width(), b.width());
+        for (&x, &y) in a.0.iter().zip(&nb.0) {
+            let xy = self.xor(x, y);
+            out.push(self.xor(xy, carry));
+            let c1 = self.and(x, y);
+            let c2 = self.and(xy, carry);
+            carry = self.or(c1, c2);
+        }
+        Word(out)
+    }
+
+    /// Increment by one (wrapping).
+    pub fn inc(&mut self, a: &Word) -> Word {
+        let one = self.const_word(1, a.width());
+        self.add(a, &one)
+    }
+
+    /// Decrement by one (wrapping).
+    pub fn dec(&mut self, a: &Word) -> Word {
+        let one = self.const_word(1, a.width());
+        self.sub(a, &one)
+    }
+
+    /// Equality over words. Panics if widths differ.
+    pub fn eq_word(&mut self, a: &Word, b: &Word) -> Bit {
+        assert_eq!(a.width(), b.width());
+        let bits: Vec<Bit> = a.0.iter().zip(&b.0).map(|(&x, &y)| self.xnor(x, y)).collect();
+        self.and_many(&bits)
+    }
+
+    /// Unsigned less-than `a < b`.
+    pub fn ult(&mut self, a: &Word, b: &Word) -> Bit {
+        assert_eq!(a.width(), b.width());
+        // Iterate from LSB: lt = (!x & y) | (x==y) & lt_prev
+        let mut lt = Aig::FALSE;
+        for (&x, &y) in a.0.iter().zip(&b.0) {
+            let strict = self.and(!x, y);
+            let eq = self.xnor(x, y);
+            let keep = self.and(eq, lt);
+            lt = self.or(strict, keep);
+        }
+        lt
+    }
+
+    /// Unsigned less-or-equal `a <= b`.
+    pub fn ule(&mut self, a: &Word, b: &Word) -> Bit {
+        let gt = self.ult(b, a);
+        !gt
+    }
+
+    /// Unsigned greater-than `a > b`.
+    pub fn ugt(&mut self, a: &Word, b: &Word) -> Bit {
+        self.ult(b, a)
+    }
+
+    /// Word-level multiplexer `if sel { t } else { e }`. Panics if widths differ.
+    pub fn mux_word(&mut self, sel: Bit, t: &Word, e: &Word) -> Word {
+        assert_eq!(t.width(), e.width());
+        Word(t.0.iter().zip(&e.0).map(|(&x, &y)| self.mux(sel, x, y)).collect())
+    }
+
+    /// Equality against a constant.
+    pub fn eq_const(&mut self, a: &Word, value: u64) -> Bit {
+        let c = self.const_word(value, a.width());
+        self.eq_word(a, &c)
+    }
+
+    /// Zero-extends or truncates to `width`.
+    pub fn resize(&mut self, a: &Word, width: usize) -> Word {
+        let mut bits = a.0.clone();
+        bits.resize(width, Aig::FALSE);
+        bits.truncate(width);
+        Word(bits)
+    }
+
+    /// Logical shift left by a constant amount.
+    pub fn shl_const(&mut self, a: &Word, amount: usize) -> Word {
+        let w = a.width();
+        let mut bits = vec![Aig::FALSE; amount.min(w)];
+        bits.extend_from_slice(&a.0[..w - amount.min(w)]);
+        Word(bits)
+    }
+
+    /// Logical shift right by a constant amount.
+    pub fn shr_const(&mut self, a: &Word, amount: usize) -> Word {
+        let w = a.width();
+        let mut bits: Vec<Bit> = a.0[amount.min(w)..].to_vec();
+        bits.resize(w, Aig::FALSE);
+        Word(bits)
+    }
+
+    /// Reduction OR over all bits of a word.
+    pub fn redor(&mut self, a: &Word) -> Bit {
+        self.or_many(&a.0)
+    }
+
+    /// Reduction AND over all bits of a word.
+    pub fn redand(&mut self, a: &Word) -> Bit {
+        self.and_many(&a.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::eval_combinational;
+
+    /// Evaluates a word under concrete input values.
+    fn eval_word(g: &Aig, w: &Word, inputs: &[bool]) -> u64 {
+        let values = eval_combinational(g, inputs);
+        w.0.iter()
+            .enumerate()
+            .map(|(i, &b)| (b.apply(values[b.node().index()]) as u64) << i)
+            .sum()
+    }
+
+    fn check_binop(
+        op: impl Fn(&mut Aig, &Word, &Word) -> Word,
+        reference: impl Fn(u64, u64) -> u64,
+        width: usize,
+    ) {
+        let mut g = Aig::new();
+        let a = g.input_word(width);
+        let b = g.input_word(width);
+        let out = op(&mut g, &a, &b);
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        for (x, y) in [(0u64, 0u64), (1, 1), (3, 5), (7, 7), (6, 1), (5, 2), (7, 1), (2, 7)] {
+            let (x, y) = (x & mask, y & mask);
+            let mut inputs = Vec::new();
+            for i in 0..width {
+                inputs.push((x >> i) & 1 == 1);
+            }
+            for i in 0..width {
+                inputs.push((y >> i) & 1 == 1);
+            }
+            assert_eq!(
+                eval_word(&g, &out, &inputs),
+                reference(x, y) & mask,
+                "op({x},{y}) width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_matches_reference() {
+        check_binop(|g, a, b| g.add(a, b), |x, y| x.wrapping_add(y), 3);
+        check_binop(|g, a, b| g.add(a, b), |x, y| x.wrapping_add(y), 8);
+    }
+
+    #[test]
+    fn sub_matches_reference() {
+        check_binop(|g, a, b| g.sub(a, b), |x, y| x.wrapping_sub(y), 3);
+        check_binop(|g, a, b| g.sub(a, b), |x, y| x.wrapping_sub(y), 8);
+    }
+
+    #[test]
+    fn bitwise_match_reference() {
+        check_binop(|g, a, b| g.word_and(a, b), |x, y| x & y, 4);
+        check_binop(|g, a, b| g.word_or(a, b), |x, y| x | y, 4);
+        check_binop(|g, a, b| g.word_xor(a, b), |x, y| x ^ y, 4);
+    }
+
+    #[test]
+    fn comparisons_match_reference() {
+        check_binop(
+            |g, a, b| {
+                let c = g.ult(a, b);
+                Word::from_bit(c)
+            },
+            |x, y| (x < y) as u64,
+            3,
+        );
+        check_binop(
+            |g, a, b| {
+                let c = g.ule(a, b);
+                Word::from_bit(c)
+            },
+            |x, y| (x <= y) as u64,
+            3,
+        );
+        check_binop(
+            |g, a, b| {
+                let c = g.eq_word(a, b);
+                Word::from_bit(c)
+            },
+            |x, y| (x == y) as u64,
+            3,
+        );
+    }
+
+    #[test]
+    fn const_word_roundtrip() {
+        let mut g = Aig::new();
+        let w = g.const_word(0b1011, 6);
+        assert_eq!(eval_word(&g, &w, &[]), 0b1011);
+        let w2 = g.const_word(0xFF, 4);
+        assert_eq!(eval_word(&g, &w2, &[]), 0xF, "truncation");
+    }
+
+    #[test]
+    fn shifts_match_reference() {
+        let mut g = Aig::new();
+        let a = g.input_word(6);
+        let l = g.shl_const(&a, 2);
+        let r = g.shr_const(&a, 3);
+        let x = 0b101101u64;
+        let inputs: Vec<bool> = (0..6).map(|i| (x >> i) & 1 == 1).collect();
+        assert_eq!(eval_word(&g, &l, &inputs), (x << 2) & 0b111111);
+        assert_eq!(eval_word(&g, &r, &inputs), x >> 3);
+    }
+
+    #[test]
+    fn inc_dec() {
+        let mut g = Aig::new();
+        let a = g.input_word(3);
+        let i = g.inc(&a);
+        let d = g.dec(&a);
+        for x in 0..8u64 {
+            let inputs: Vec<bool> = (0..3).map(|k| (x >> k) & 1 == 1).collect();
+            assert_eq!(eval_word(&g, &i, &inputs), (x + 1) & 7);
+            assert_eq!(eval_word(&g, &d, &inputs), x.wrapping_sub(1) & 7);
+        }
+    }
+
+    #[test]
+    fn mux_word_selects() {
+        let mut g = Aig::new();
+        let s = g.new_input();
+        let a = g.input_word(4);
+        let b = g.input_word(4);
+        let m = g.mux_word(s, &a, &b);
+        let mut inputs = vec![true];
+        inputs.extend((0..4).map(|i| (0b1010u64 >> i) & 1 == 1));
+        inputs.extend((0..4).map(|i| (0b0101u64 >> i) & 1 == 1));
+        assert_eq!(eval_word(&g, &m, &inputs), 0b1010);
+        inputs[0] = false;
+        assert_eq!(eval_word(&g, &m, &inputs), 0b0101);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests: word-level AIG operators agree with `u64` arithmetic.
+
+use emm_aig::sim::eval_combinational;
+use emm_aig::{Aig, Word};
+use proptest::prelude::*;
+
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn to_inputs(values: &[(u64, usize)]) -> Vec<bool> {
+    let mut out = Vec::new();
+    for &(v, w) in values {
+        for i in 0..w {
+            out.push((v >> i) & 1 == 1);
+        }
+    }
+    out
+}
+
+fn eval_word(g: &Aig, w: &Word, inputs: &[bool]) -> u64 {
+    let values = eval_combinational(g, inputs);
+    w.bits()
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (b.apply(values[b.node().index()]) as u64) << i)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_sub_roundtrip(x in any::<u64>(), y in any::<u64>(), width in 1usize..16) {
+        let (x, y) = (x & mask(width), y & mask(width));
+        let mut g = Aig::new();
+        let a = g.input_word(width);
+        let b = g.input_word(width);
+        let sum = g.add(&a, &b);
+        let back = g.sub(&sum, &b);
+        let inputs = to_inputs(&[(x, width), (y, width)]);
+        prop_assert_eq!(eval_word(&g, &sum, &inputs), x.wrapping_add(y) & mask(width));
+        prop_assert_eq!(eval_word(&g, &back, &inputs), x, "(x+y)-y == x");
+    }
+
+    #[test]
+    fn comparisons_total_order(x in any::<u64>(), y in any::<u64>(), width in 1usize..12) {
+        let (x, y) = (x & mask(width), y & mask(width));
+        let mut g = Aig::new();
+        let a = g.input_word(width);
+        let b = g.input_word(width);
+        let lt = g.ult(&a, &b);
+        let le = g.ule(&a, &b);
+        let gt = g.ugt(&a, &b);
+        let eq = g.eq_word(&a, &b);
+        let inputs = to_inputs(&[(x, width), (y, width)]);
+        let values = eval_combinational(&g, &inputs);
+        let read = |bit: emm_aig::Bit| bit.apply(values[bit.node().index()]);
+        prop_assert_eq!(read(lt), x < y);
+        prop_assert_eq!(read(le), x <= y);
+        prop_assert_eq!(read(gt), x > y);
+        prop_assert_eq!(read(eq), x == y);
+        // Exactly one of lt/eq/gt holds.
+        prop_assert_eq!(read(lt) as u32 + read(eq) as u32 + read(gt) as u32, 1);
+    }
+
+    #[test]
+    fn bitwise_and_demorgan(x in any::<u64>(), y in any::<u64>(), width in 1usize..16) {
+        let (x, y) = (x & mask(width), y & mask(width));
+        let mut g = Aig::new();
+        let a = g.input_word(width);
+        let b = g.input_word(width);
+        let and = g.word_and(&a, &b);
+        let or = g.word_or(&a, &b);
+        let xor = g.word_xor(&a, &b);
+        // De Morgan: !(a & b) == !a | !b
+        let na = g.word_not(&a);
+        let nb = g.word_not(&b);
+        let nand = g.word_not(&and);
+        let demorgan = g.word_or(&na, &nb);
+        let inputs = to_inputs(&[(x, width), (y, width)]);
+        prop_assert_eq!(eval_word(&g, &and, &inputs), x & y);
+        prop_assert_eq!(eval_word(&g, &or, &inputs), x | y);
+        prop_assert_eq!(eval_word(&g, &xor, &inputs), x ^ y);
+        prop_assert_eq!(eval_word(&g, &nand, &inputs), eval_word(&g, &demorgan, &inputs));
+    }
+
+    #[test]
+    fn mux_and_resize(x in any::<u64>(), y in any::<u64>(), sel in any::<bool>(),
+                      width in 1usize..12) {
+        let (x, y) = (x & mask(width), y & mask(width));
+        let mut g = Aig::new();
+        let s = g.new_input();
+        let a = g.input_word(width);
+        let b = g.input_word(width);
+        let m = g.mux_word(s, &a, &b);
+        let wide = g.resize(&m, width + 4);
+        let narrow = g.resize(&m, 1);
+        let mut inputs = vec![sel];
+        inputs.extend(to_inputs(&[(x, width), (y, width)]));
+        let expect = if sel { x } else { y };
+        prop_assert_eq!(eval_word(&g, &m, &inputs), expect);
+        prop_assert_eq!(eval_word(&g, &wide, &inputs), expect, "zero extension");
+        prop_assert_eq!(eval_word(&g, &narrow, &inputs), expect & 1, "truncation");
+    }
+
+    #[test]
+    fn structural_hashing_is_idempotent(x in any::<u64>(), width in 1usize..10) {
+        let x = x & mask(width);
+        let mut g = Aig::new();
+        let a = g.input_word(width);
+        let b = g.input_word(width);
+        let first = g.add(&a, &b);
+        let gates_after_first = g.num_ands();
+        let second = g.add(&a, &b);
+        prop_assert_eq!(g.num_ands(), gates_after_first, "no new gates for a repeat build");
+        prop_assert_eq!(&first, &second);
+        let _ = x;
+    }
+
+    #[test]
+    fn redor_redand(x in any::<u64>(), width in 1usize..16) {
+        let x = x & mask(width);
+        let mut g = Aig::new();
+        let a = g.input_word(width);
+        let ro = g.redor(&a);
+        let ra = g.redand(&a);
+        let inputs = to_inputs(&[(x, width)]);
+        let values = eval_combinational(&g, &inputs);
+        prop_assert_eq!(ro.apply(values[ro.node().index()]), x != 0);
+        prop_assert_eq!(ra.apply(values[ra.node().index()]), x == mask(width));
+    }
+}

@@ -1,0 +1,501 @@
+//! A reduced ordered binary decision diagram (ROBDD) package.
+//!
+//! Hash-consed nodes, an ITE-based operation core with memoization,
+//! existential quantification, relational products with early quantification
+//! over the conjunction, and variable renaming — the operations a symbolic
+//! model checker needs.
+//!
+//! Variables are identified by their *level*: smaller levels are closer to
+//! the root. The ordering is fixed at manager creation time by however the
+//! caller assigns levels.
+
+use std::collections::HashMap;
+
+/// A BDD node reference.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Ref(u32);
+
+impl Ref {
+    /// The constant false.
+    pub const FALSE: Ref = Ref(0);
+    /// The constant true.
+    pub const TRUE: Ref = Ref(1);
+
+    /// Is this a terminal node?
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 < 2
+    }
+}
+
+const TERMINAL_LEVEL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    level: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+/// The BDD manager: owns the node table and operation caches.
+#[derive(Debug, Default)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, Ref, Ref), Ref>,
+    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    exists_cache: HashMap<(Ref, u64), Ref>,
+    relprod_cache: HashMap<(Ref, Ref, u64), Ref>,
+    rename_cache: HashMap<(Ref, u64), Ref>,
+    /// Cache generation counters keyed into the u64 cache tags.
+    exists_gen: u64,
+    rename_gen: u64,
+}
+
+impl Bdd {
+    /// Creates an empty manager.
+    pub fn new() -> Bdd {
+        Bdd {
+            nodes: vec![
+                Node { level: TERMINAL_LEVEL, lo: Ref::FALSE, hi: Ref::FALSE },
+                Node { level: TERMINAL_LEVEL, lo: Ref::TRUE, hi: Ref::TRUE },
+            ],
+            ..Bdd::default()
+        }
+    }
+
+    /// Number of live nodes (terminals included).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The variable at `level` as a BDD.
+    pub fn var(&mut self, level: u32) -> Ref {
+        self.mk(level, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// The negated variable at `level`.
+    pub fn nvar(&mut self, level: u32) -> Ref {
+        self.mk(level, Ref::TRUE, Ref::FALSE)
+    }
+
+    /// Level of the root variable (`None` for terminals).
+    pub fn level(&self, f: Ref) -> Option<u32> {
+        (!f.is_const()).then(|| self.nodes[f.0 as usize].level)
+    }
+
+    fn mk(&mut self, level: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&r) = self.unique.get(&(level, lo, hi)) {
+            return r;
+        }
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(Node { level, lo, hi });
+        self.unique.insert((level, lo, hi), r);
+        r
+    }
+
+    #[inline]
+    fn node(&self, f: Ref) -> Node {
+        self.nodes[f.0 as usize]
+    }
+
+    /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)` — the universal
+    /// connective all binary operations reduce to.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        // Terminal cases.
+        if f == Ref::TRUE {
+            return g;
+        }
+        if f == Ref::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == Ref::TRUE && h == Ref::FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = [f, g, h]
+            .iter()
+            .filter_map(|&x| self.level(x))
+            .min()
+            .expect("at least one non-terminal");
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    #[inline]
+    fn cofactors(&self, f: Ref, level: u32) -> (Ref, Ref) {
+        if f.is_const() {
+            return (f, f);
+        }
+        let n = self.node(f);
+        if n.level == level {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, Ref::TRUE, g)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        self.ite(f, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Equivalence.
+    pub fn xnor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Existential quantification of every level for which `quantified`
+    /// returns true. `generation` tags the cache; bump it when the
+    /// predicate changes.
+    pub fn exists(&mut self, f: Ref, quantified: &dyn Fn(u32) -> bool) -> Ref {
+        self.exists_gen += 1;
+        let gen = self.exists_gen;
+        self.exists_rec(f, quantified, gen)
+    }
+
+    fn exists_rec(&mut self, f: Ref, q: &dyn Fn(u32) -> bool, gen: u64) -> Ref {
+        if f.is_const() {
+            return f;
+        }
+        if let Some(&r) = self.exists_cache.get(&(f, gen)) {
+            return r;
+        }
+        let n = self.node(f);
+        let lo = self.exists_rec(n.lo, q, gen);
+        let hi = self.exists_rec(n.hi, q, gen);
+        let r = if q(n.level) {
+            self.or(lo, hi)
+        } else {
+            self.mk(n.level, lo, hi)
+        };
+        self.exists_cache.insert((f, gen), r);
+        r
+    }
+
+    /// Relational product `∃q. f ∧ g` with quantification interleaved into
+    /// the conjunction — the workhorse of image computation.
+    pub fn rel_prod(&mut self, f: Ref, g: Ref, quantified: &dyn Fn(u32) -> bool) -> Ref {
+        self.exists_gen += 1;
+        let gen = self.exists_gen;
+        self.rel_prod_rec(f, g, quantified, gen)
+    }
+
+    fn rel_prod_rec(&mut self, f: Ref, g: Ref, q: &dyn Fn(u32) -> bool, gen: u64) -> Ref {
+        if f == Ref::FALSE || g == Ref::FALSE {
+            return Ref::FALSE;
+        }
+        if f == Ref::TRUE && g == Ref::TRUE {
+            return Ref::TRUE;
+        }
+        let key = (f.min(g), f.max(g), gen);
+        if let Some(&r) = self.relprod_cache.get(&key) {
+            return r;
+        }
+        let top = [f, g]
+            .iter()
+            .filter_map(|&x| self.level(x))
+            .min()
+            .expect("non-terminal present");
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let lo = self.rel_prod_rec(f0, g0, q, gen);
+        let r = if q(top) {
+            if lo == Ref::TRUE {
+                Ref::TRUE
+            } else {
+                let hi = self.rel_prod_rec(f1, g1, q, gen);
+                self.or(lo, hi)
+            }
+        } else {
+            let hi = self.rel_prod_rec(f1, g1, q, gen);
+            self.mk(top, lo, hi)
+        };
+        self.relprod_cache.insert(key, r);
+        r
+    }
+
+    /// Renames variables: every level `l` becomes `map(l)`.
+    ///
+    /// The mapping must be monotone on the levels occurring in `f`
+    /// (order-preserving), which holds for the interleaved current/next
+    /// variable scheme the model checker uses.
+    pub fn rename(&mut self, f: Ref, map: &dyn Fn(u32) -> u32) -> Ref {
+        self.rename_gen += 1;
+        let gen = self.rename_gen;
+        self.rename_rec(f, map, gen)
+    }
+
+    fn rename_rec(&mut self, f: Ref, map: &dyn Fn(u32) -> u32, gen: u64) -> Ref {
+        if f.is_const() {
+            return f;
+        }
+        if let Some(&r) = self.rename_cache.get(&(f, gen)) {
+            return r;
+        }
+        let n = self.node(f);
+        let lo = self.rename_rec(n.lo, map, gen);
+        let hi = self.rename_rec(n.hi, map, gen);
+        let r = self.ite_on_var(map(n.level), lo, hi);
+        self.rename_cache.insert((f, gen), r);
+        r
+    }
+
+    /// `ite(var(level), hi, lo)` built safely even if children's levels are
+    /// not below `level` (used by rename).
+    fn ite_on_var(&mut self, level: u32, lo: Ref, hi: Ref) -> Ref {
+        let v = self.var(level);
+        self.ite(v, hi, lo)
+    }
+
+    /// Evaluates `f` under a total assignment (`assignment(level)`).
+    pub fn eval(&self, f: Ref, assignment: &dyn Fn(u32) -> bool) -> bool {
+        let mut cur = f;
+        loop {
+            if cur == Ref::TRUE {
+                return true;
+            }
+            if cur == Ref::FALSE {
+                return false;
+            }
+            let n = self.node(cur);
+            cur = if assignment(n.level) { n.hi } else { n.lo };
+        }
+    }
+
+    /// Number of satisfying assignments over `num_vars` variables
+    /// (levels `0..num_vars`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` mentions a level `>= num_vars`.
+    pub fn sat_count(&self, f: Ref, num_vars: u32) -> f64 {
+        let mut memo: HashMap<Ref, f64> = HashMap::new();
+        // Counts are computed relative to the variables strictly below the
+        // node's level; scale by the variables above the root.
+        let root_level = self.level(f).unwrap_or(num_vars);
+        assert!(root_level <= num_vars, "level outside the declared variable range");
+        let below = self.sat_count_rec(f, num_vars, &mut memo);
+        below * 2f64.powi(root_level as i32)
+    }
+
+    /// Satisfying assignments of `f` over the variables `level(f)..num_vars`.
+    fn sat_count_rec(&self, f: Ref, num_vars: u32, memo: &mut HashMap<Ref, f64>) -> f64 {
+        if f == Ref::FALSE {
+            return 0.0;
+        }
+        if f == Ref::TRUE {
+            return 1.0;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let n = self.node(f);
+        assert!(n.level < num_vars, "level outside the declared variable range");
+        let child_count = |bdd: &Bdd, child: Ref, memo: &mut HashMap<Ref, f64>| -> f64 {
+            let child_level = bdd.level(child).unwrap_or(num_vars);
+            let gap = child_level - n.level - 1;
+            bdd.sat_count_rec(child, num_vars, memo) * 2f64.powi(gap as i32)
+        };
+        let lo = child_count(self, n.lo, memo);
+        let hi = child_count(self, n.hi, memo);
+        let c = lo + hi;
+        memo.insert(f, c);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluates a function described by a truth table over `n` vars.
+    fn build_from_table(bdd: &mut Bdd, n: u32, table: &[bool]) -> Ref {
+        assert_eq!(table.len(), 1 << n);
+        let mut f = Ref::FALSE;
+        for (row, &value) in table.iter().enumerate() {
+            if !value {
+                continue;
+            }
+            let mut cube = Ref::TRUE;
+            for v in 0..n {
+                let lit = if (row >> v) & 1 == 1 {
+                    bdd.var(v)
+                } else {
+                    bdd.nvar(v)
+                };
+                cube = bdd.and(cube, lit);
+            }
+            f = bdd.or(f, cube);
+        }
+        f
+    }
+
+    fn check_table(bdd: &Bdd, f: Ref, n: u32, table: &[bool]) {
+        for (row, &value) in table.iter().enumerate() {
+            let got = bdd.eval(f, &|l| (row >> l) & 1 == 1);
+            assert_eq!(got, value, "row {row:b}");
+        }
+    }
+
+    #[test]
+    fn basic_operations() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let and = b.and(x, y);
+        let or = b.or(x, y);
+        let xor = b.xor(x, y);
+        for (vx, vy) in [(false, false), (false, true), (true, false), (true, true)] {
+            let assign = |l: u32| if l == 0 { vx } else { vy };
+            assert_eq!(b.eval(and, &assign), vx && vy);
+            assert_eq!(b.eval(or, &assign), vx || vy);
+            assert_eq!(b.eval(xor, &assign), vx ^ vy);
+        }
+    }
+
+    #[test]
+    fn canonical_forms() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        // x & y == y & x, double negation cancels.
+        let a1 = b.and(x, y);
+        let a2 = b.and(y, x);
+        assert_eq!(a1, a2);
+        let n = b.not(a1);
+        let nn = b.not(n);
+        assert_eq!(nn, a1);
+        // x | !x == true
+        let nx = b.not(x);
+        assert_eq!(b.or(x, nx), Ref::TRUE);
+    }
+
+    #[test]
+    fn exists_quantifies() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.and(x, y);
+        // ∃x. x∧y == y
+        let e = b.exists(f, &|l| l == 0);
+        assert_eq!(e, y);
+        // ∃x,y. x∧y == true
+        let e2 = b.exists(f, &|_| true);
+        assert_eq!(e2, Ref::TRUE);
+    }
+
+    #[test]
+    fn rel_prod_equals_exists_of_and() {
+        let mut b = Bdd::new();
+        // f = x0 ≡ x2, g = x1 ∨ x2. Quantify x2.
+        let x0 = b.var(0);
+        let x1 = b.var(1);
+        let x2 = b.var(2);
+        let f = b.xnor(x0, x2);
+        let g = b.or(x1, x2);
+        let conj = b.and(f, g);
+        let expect = b.exists(conj, &|l| l == 2);
+        let got = b.rel_prod(f, g, &|l| l == 2);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn rename_shifts_levels() {
+        let mut b = Bdd::new();
+        let x0 = b.var(0);
+        let x2 = b.var(2);
+        let f = b.and(x0, x2);
+        // Map 0->1, 2->3.
+        let g = b.rename(f, &|l| l + 1);
+        let x1 = b.var(1);
+        let x3 = b.var(3);
+        let expect = b.and(x1, x3);
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn random_tables_roundtrip() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let n = rng.random_range(1..=4u32);
+            let table: Vec<bool> = (0..(1usize << n)).map(|_| rng.random_bool(0.5)).collect();
+            let mut b = Bdd::new();
+            let f = build_from_table(&mut b, n, &table);
+            check_table(&b, f, n, &table);
+            // Negation inverts the table.
+            let nf = b.not(f);
+            let ntable: Vec<bool> = table.iter().map(|&v| !v).collect();
+            check_table(&b, nf, n, &ntable);
+        }
+    }
+
+    #[test]
+    fn random_binary_ops_match_tables() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let n = rng.random_range(1..=4u32);
+            let ta: Vec<bool> = (0..(1usize << n)).map(|_| rng.random_bool(0.5)).collect();
+            let tb: Vec<bool> = (0..(1usize << n)).map(|_| rng.random_bool(0.5)).collect();
+            let mut b = Bdd::new();
+            let fa = build_from_table(&mut b, n, &ta);
+            let fb = build_from_table(&mut b, n, &tb);
+            let and = b.and(fa, fb);
+            let or = b.or(fa, fb);
+            let xor = b.xor(fa, fb);
+            for row in 0..(1usize << n) {
+                let assign = |l: u32| (row >> l) & 1 == 1;
+                assert_eq!(b.eval(and, &assign), ta[row] && tb[row]);
+                assert_eq!(b.eval(or, &assign), ta[row] || tb[row]);
+                assert_eq!(b.eval(xor, &assign), ta[row] ^ tb[row]);
+            }
+        }
+    }
+
+    #[test]
+    fn sat_count_simple() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.or(x, y);
+        assert_eq!(b.sat_count(f, 2), 3.0);
+        let g = b.and(x, y);
+        assert_eq!(b.sat_count(g, 2), 1.0);
+        assert_eq!(b.sat_count(Ref::TRUE, 3), 8.0);
+        assert_eq!(b.sat_count(Ref::FALSE, 3), 0.0);
+    }
+}

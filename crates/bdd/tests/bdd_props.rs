@@ -1,0 +1,139 @@
+//! Property tests for the BDD package: operations agree with semantic
+//! evaluation, quantification laws hold, and reachability is idempotent.
+
+use emm_bdd::{Bdd, Ref};
+use proptest::prelude::*;
+
+/// A random boolean expression over up to `n` variables, as an AST.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr(vars: u32, depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = (0..vars).prop_map(Expr::Var);
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(bdd: &mut Bdd, e: &Expr) -> Ref {
+    match e {
+        Expr::Var(v) => bdd.var(*v),
+        Expr::Not(a) => {
+            let fa = build(bdd, a);
+            bdd.not(fa)
+        }
+        Expr::And(a, b) => {
+            let fa = build(bdd, a);
+            let fb = build(bdd, b);
+            bdd.and(fa, fb)
+        }
+        Expr::Or(a, b) => {
+            let fa = build(bdd, a);
+            let fb = build(bdd, b);
+            bdd.or(fa, fb)
+        }
+        Expr::Xor(a, b) => {
+            let fa = build(bdd, a);
+            let fb = build(bdd, b);
+            bdd.xor(fa, fb)
+        }
+    }
+}
+
+fn eval(e: &Expr, assign: u32) -> bool {
+    match e {
+        Expr::Var(v) => (assign >> v) & 1 == 1,
+        Expr::Not(a) => !eval(a, assign),
+        Expr::And(a, b) => eval(a, assign) && eval(b, assign),
+        Expr::Or(a, b) => eval(a, assign) || eval(b, assign),
+        Expr::Xor(a, b) => eval(a, assign) ^ eval(b, assign),
+    }
+}
+
+const VARS: u32 = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any expression's BDD evaluates like the expression itself.
+    #[test]
+    fn bdd_matches_semantic_evaluation(e in arb_expr(VARS, 5)) {
+        let mut bdd = Bdd::new();
+        let f = build(&mut bdd, &e);
+        for assign in 0..(1u32 << VARS) {
+            prop_assert_eq!(
+                bdd.eval(f, &|l| (assign >> l) & 1 == 1),
+                eval(&e, assign),
+                "assignment {:b}", assign
+            );
+        }
+    }
+
+    /// Canonicity: semantically equal expressions share one node.
+    #[test]
+    fn bdd_is_canonical(e in arb_expr(VARS, 4)) {
+        let mut bdd = Bdd::new();
+        let f = build(&mut bdd, &e);
+        // Rebuild via double negation and De Morgan-ized AND/OR: must be
+        // the identical Ref.
+        let nf = bdd.not(f);
+        let nnf = bdd.not(nf);
+        prop_assert_eq!(f, nnf);
+        // f XOR f == FALSE, f XNOR f == TRUE.
+        prop_assert_eq!(bdd.xor(f, f), Ref::FALSE);
+        prop_assert_eq!(bdd.xnor(f, f), Ref::TRUE);
+    }
+
+    /// ∃x.f computed by the engine equals cofactor disjunction, and
+    /// rel_prod(f, g) equals exists(and(f, g)).
+    #[test]
+    fn quantification_laws(a in arb_expr(VARS, 4), b in arb_expr(VARS, 4),
+                           qvar in 0..VARS) {
+        let mut bdd = Bdd::new();
+        let f = build(&mut bdd, &a);
+        let g = build(&mut bdd, &b);
+        let conj = bdd.and(f, g);
+        let expect = bdd.exists(conj, &|l| l == qvar);
+        let got = bdd.rel_prod(f, g, &|l| l == qvar);
+        prop_assert_eq!(got, expect, "rel_prod == exists∘and");
+        // Semantic check of exists.
+        for assign in 0..(1u32 << VARS) {
+            let hi = assign | (1 << qvar);
+            let lo = assign & !(1 << qvar);
+            let sem = (eval(&a, hi) && eval(&b, hi)) || (eval(&a, lo) && eval(&b, lo));
+            prop_assert_eq!(bdd.eval(expect, &|l| (assign >> l) & 1 == 1), sem);
+        }
+    }
+
+    /// sat_count agrees with brute-force counting.
+    #[test]
+    fn sat_count_matches_enumeration(e in arb_expr(VARS, 4)) {
+        let mut bdd = Bdd::new();
+        let f = build(&mut bdd, &e);
+        let expect = (0..(1u32 << VARS)).filter(|&a| eval(&e, a)).count() as f64;
+        prop_assert_eq!(bdd.sat_count(f, VARS), expect);
+    }
+
+    /// Renaming by a constant shift is reversible.
+    #[test]
+    fn rename_shift_roundtrip(e in arb_expr(VARS, 4)) {
+        let mut bdd = Bdd::new();
+        let f = build(&mut bdd, &e);
+        let shifted = bdd.rename(f, &|l| l + 3);
+        let back = bdd.rename(shifted, &|l| l - 3);
+        prop_assert_eq!(back, f);
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmark: EMM constraint generation throughput
+//! (the `EMM_Constraints` procedure invoked after every unrolling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emm_core::{EmmEncoder, EmmOptions, MemoryFrameLits, MemoryShape, PortLits};
+use emm_sat::{CnfSink, CountingSink};
+
+fn fresh_frame(sink: &mut dyn CnfSink, shape: &MemoryShape) -> MemoryFrameLits {
+    let mut port = |sink: &mut dyn CnfSink| PortLits {
+        addr: (0..shape.addr_width).map(|_| sink.new_var().positive()).collect(),
+        en: sink.new_var().positive(),
+        data: (0..shape.data_width).map(|_| sink.new_var().positive()).collect(),
+    };
+    MemoryFrameLits {
+        reads: (0..shape.read_ports).map(|_| port(sink)).collect(),
+        writes: (0..shape.write_ports).map(|_| port(sink)).collect(),
+    }
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emm_encoding");
+    for (label, m, n, r, w) in [
+        ("array_10x32_1r1w", 10usize, 32usize, 1usize, 1usize),
+        ("table_12x32_3r1w", 12, 32, 3, 1),
+        ("wide_8x64_2r2w", 8, 64, 2, 2),
+    ] {
+        let shape = MemoryShape {
+            addr_width: m,
+            data_width: n,
+            read_ports: r,
+            write_ports: w,
+            arbitrary_init: true,
+        };
+        group.bench_with_input(BenchmarkId::new("unroll_32_frames", label), &shape, |b, s| {
+            b.iter(|| {
+                let mut enc = EmmEncoder::new(std::slice::from_ref(s), EmmOptions::default());
+                let mut sink = CountingSink::new();
+                for _ in 0..32 {
+                    let frame = fresh_frame(&mut sink, s);
+                    enc.add_frame(&mut sink, &[frame]);
+                }
+                std::hint::black_box(enc.stats())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

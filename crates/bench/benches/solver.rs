@@ -1,0 +1,71 @@
+//! Criterion benchmark: raw CDCL solver performance on standard hard
+//! instances, tracking the backend the whole stack stands on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emm_sat::{Lit, SolveResult, Solver};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+    let mut s = Solver::new();
+    let p: Vec<Vec<Lit>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var().positive()).collect())
+        .collect();
+    for row in &p {
+        s.add_clause(row);
+    }
+    for h in 0..holes {
+        for i in 0..pigeons {
+            for j in i + 1..pigeons {
+                s.add_clause(&[!p[i][h], !p[j][h]]);
+            }
+        }
+    }
+    s
+}
+
+fn random_3sat(n_vars: usize, ratio: f64, seed: u64) -> Solver {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = Solver::new();
+    let vars: Vec<Lit> = (0..n_vars).map(|_| s.new_var().positive()).collect();
+    let n_clauses = (n_vars as f64 * ratio) as usize;
+    for _ in 0..n_clauses {
+        let clause: Vec<Lit> = (0..3)
+            .map(|_| {
+                let v = vars[rng.random_range(0..n_vars)];
+                if rng.random_bool(0.5) {
+                    v
+                } else {
+                    !v
+                }
+            })
+            .collect();
+        s.add_clause(&clause);
+    }
+    s
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdcl");
+    group.sample_size(10);
+    for n in [7usize, 8] {
+        group.bench_with_input(BenchmarkId::new("pigeonhole", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = pigeonhole(n + 1, n);
+                assert_eq!(s.solve(), SolveResult::Unsat);
+            });
+        });
+    }
+    for n in [120usize, 160] {
+        group.bench_with_input(BenchmarkId::new("random3sat_at_4.2", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = random_3sat(n, 4.2, 0x5EED + n as u64);
+                std::hint::black_box(s.solve());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

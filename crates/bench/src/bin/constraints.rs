@@ -1,0 +1,102 @@
+//! Regenerates the **Section 4.1 constraint-size law** (the paper's
+//! analytic result): the EMM constraints added at analysis depth `k` for a
+//! memory with `R` read and `W` write ports, address width `m` and data
+//! width `n` total `((4m + 2n + 1)·k·W + 2n + 1)·R` clauses and `3·k·W·R`
+//! gates — quadratic accumulated growth, versus the `2^m · n` latches (and
+//! associated mux/decoder gates) of the explicit model.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p emm-bench --bin constraints -- [--depth K]
+//! ```
+
+use emm_bench::Table;
+use emm_core::{EmmEncoder, EmmOptions, MemoryFrameLits, MemoryShape, PortLits};
+use emm_sat::{CnfSink, CountingSink};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn fresh_frame(sink: &mut dyn CnfSink, shape: &MemoryShape) -> MemoryFrameLits {
+    let port = |sink: &mut dyn CnfSink| PortLits {
+        addr: (0..shape.addr_width).map(|_| sink.new_var().positive()).collect(),
+        en: sink.new_var().positive(),
+        data: (0..shape.data_width).map(|_| sink.new_var().positive()).collect(),
+    };
+    MemoryFrameLits {
+        reads: (0..shape.read_ports).map(|_| port(sink)).collect(),
+        writes: (0..shape.write_ports).map(|_| port(sink)).collect(),
+    }
+}
+
+fn main() {
+    let max_depth: usize = arg_value("--depth").and_then(|v| v.parse().ok()).unwrap_or(24);
+
+    // The paper's three memory shapes.
+    let shapes = [
+        ("quicksort array (m=10,n=32,1R1W)", 10usize, 32usize, 1usize, 1usize),
+        ("image filter buffer (m=10,n=8,1R1W)", 10, 8, 1, 1),
+        ("lookup table (m=12,n=32,3R1W)", 12, 32, 3, 1),
+    ];
+
+    for (label, m, n, r, w) in shapes {
+        let shape = MemoryShape {
+            addr_width: m,
+            data_width: n,
+            read_ports: r,
+            write_ports: w,
+            arbitrary_init: true,
+        };
+        let mut encoder = EmmEncoder::new(
+            &[shape],
+            EmmOptions { skip_init_consistency: true, ..EmmOptions::default() },
+        );
+        let mut sink = CountingSink::new();
+        let mut table = Table::new(&[
+            "k",
+            "clauses (measured)",
+            "clauses (formula)",
+            "gates (measured)",
+            "gates (formula)",
+            "cumulative clauses",
+        ]);
+        let mut mismatches = 0;
+        for k in 0..max_depth {
+            let frame = fresh_frame(&mut sink, &shape);
+            encoder.add_frame(&mut sink, &[frame]);
+            let inc = encoder.per_frame_stats(0)[k];
+            let formula_clauses = shape.clauses_at_depth(k);
+            let formula_gates = shape.gates_at_depth(k);
+            if inc.clauses != formula_clauses || inc.gates != formula_gates {
+                mismatches += 1;
+            }
+            if k % 4 == 0 || k == max_depth - 1 {
+                table.row(&[
+                    k.to_string(),
+                    inc.clauses.to_string(),
+                    formula_clauses.to_string(),
+                    inc.gates.to_string(),
+                    formula_gates.to_string(),
+                    encoder.stats().clauses.to_string(),
+                ]);
+            }
+        }
+        let explicit_bits = (1usize << m) * n;
+        println!("{label}");
+        println!(
+            "explicit-model cost for comparison: {} latches ({} per read-port mux leaf)",
+            explicit_bits,
+            1usize << m
+        );
+        println!("{}", table.render());
+        println!(
+            "formula check: {} mismatches across {max_depth} depths ({})",
+            mismatches,
+            if mismatches == 0 { "exact" } else { "FAILED" },
+        );
+        println!();
+    }
+}

@@ -1,0 +1,125 @@
+//! # emm-bench — the paper's experiment harness
+//!
+//! Binaries that regenerate each table / case study of *"Verification of
+//! Embedded Memory Systems using Efficient Memory Modeling"* (DATE 2005),
+//! plus Criterion micro-benchmarks. See `EXPERIMENTS.md` at the repository
+//! root for the paper-vs-measured record.
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — quicksort, EMM vs Explicit induction proofs |
+//! | `table2` | Table 2 — quicksort P2 with proof-based abstraction |
+//! | `industry1` | Industry Design I case study (witnesses + induction) |
+//! | `industry2` | Industry Design II case study (invariant workflow) |
+//! | `constraints` | Section 4.1 constraint-size law |
+//!
+//! Run them with `cargo run --release -p emm-bench --bin <name> [-- args]`.
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+/// Formats a duration like the paper's tables (seconds, one decimal).
+pub fn secs(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64())
+}
+
+/// Formats an outcome cell: time when finished, `>limit` on timeout.
+pub fn time_or_timeout(d: Duration, finished: bool, limit: Duration) -> String {
+    if finished {
+        secs(d)
+    } else {
+        format!(">{}", limit.as_secs())
+    }
+}
+
+/// Rough live-heap estimate (resident set, MiB) read from /proc, for the
+/// tables' memory columns. Returns `None` off Linux.
+pub fn resident_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: f64 = rest.trim().trim_end_matches(" kB").trim().parse().ok()?;
+            return Some(kb / 1024.0);
+        }
+    }
+    None
+}
+
+/// Simple fixed-width table printer for the harness binaries.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:>w$} |"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["N", "Prop", "Sec"]);
+        t.row(&["3".into(), "P1".into(), "64".into()]);
+        t.row(&["4".into(), "P2".into(), "453".into()]);
+        let s = t.render();
+        assert!(s.contains("| N | Prop | Sec |"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn timeout_formatting() {
+        assert_eq!(
+            time_or_timeout(Duration::from_secs(5), true, Duration::from_secs(60)),
+            "5.0"
+        );
+        assert_eq!(
+            time_or_timeout(Duration::from_secs(61), false, Duration::from_secs(60)),
+            ">60"
+        );
+    }
+}

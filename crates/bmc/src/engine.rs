@@ -1,0 +1,565 @@
+//! The BMC engine: algorithms BMC-1, BMC-2 and BMC-3 of the paper.
+//!
+//! One [`BmcEngine`] instance owns two incremental SAT contexts over the
+//! same design:
+//!
+//! * an **anchored** context whose frame 0 is the initial state — used for
+//!   counterexample checks (`SAT(I ∧ ¬P_i ∧ C_i)`, Fig. 3 line 9) and the
+//!   forward termination check (`SAT(I ∧ LFP_i ∧ C_i)`, line 6);
+//! * a **floating** context whose frame 0 is unconstrained — used for the
+//!   backward termination check (`SAT(LFP_i ∧ ¬P_i ∧ CP_i ∧ C_i)`, line 7).
+//!   In this context *every* memory is treated as arbitrary-initialized
+//!   (whatever its declared reset value), because an induction window may
+//!   start in any reachable state; this is where the paper's precise
+//!   arbitrary-initial-state modeling (Section 4.2) is load-bearing.
+//!
+//! The engine configurations map to the paper's algorithms:
+//!
+//! | Paper | Configuration |
+//! |---|---|
+//! | BMC-1 (Fig. 1) | a design without memories (e.g. after [`emm_core::explicit_model`]), `proofs: true` |
+//! | BMC-2 (Fig. 2) | memories + EMM, `proofs: false` |
+//! | BMC-3 (Fig. 3) | memories + EMM, `proofs: true`, optionally PBA |
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use emm_aig::{Design, Trace};
+use emm_core::{EmmEncoder, EmmOptions, MemoryShape, SelectorGranularity};
+use emm_sat::{Budget, Lit, SolveResult, Solver, SolverConfig};
+
+use crate::lfp::LfpBuilder;
+use crate::unroll::{UnrollConfig, Unroller};
+
+/// Engine options.
+#[derive(Clone, Debug)]
+pub struct BmcOptions {
+    /// EMM encoder options (selector granularity, encoding, eq. (6)).
+    pub emm: EmmOptions,
+    /// Run the induction-style termination checks (BMC-1/BMC-3). When
+    /// `false` the engine is the falsification-only BMC-2 of Fig. 2.
+    pub proofs: bool,
+    /// Per-SAT-call resource budget.
+    pub solve_budget: Budget,
+    /// Overall wall-clock limit for a `check` call.
+    pub wall_limit: Option<Duration>,
+    /// Validate counterexample traces by re-simulation before returning
+    /// them (on by default; a failure indicates an engine bug).
+    pub validate_traces: bool,
+    /// Freeze an abstraction: latches/memories outside the kept sets are
+    /// removed from the model (the paper's *reduced model*).
+    pub abstraction: Option<AbstractionSpec>,
+    /// Enable proof-based-abstraction reason discovery: per-latch and
+    /// per-memory selectors are created and every UNSAT counterexample
+    /// check reports which of them the refutation used.
+    pub pba_discovery: bool,
+}
+
+impl Default for BmcOptions {
+    fn default() -> Self {
+        BmcOptions {
+            emm: EmmOptions::default(),
+            proofs: false,
+            solve_budget: Budget::unlimited(),
+            wall_limit: None,
+            validate_traces: true,
+            abstraction: None,
+            pba_discovery: false,
+        }
+    }
+}
+
+/// A frozen abstraction (from PBA discovery or elsewhere).
+#[derive(Clone, Debug)]
+pub struct AbstractionSpec {
+    /// Latches to keep (`len == design.num_latches()`).
+    pub kept_latches: Vec<bool>,
+    /// Memory modules to keep (`len == design.memories().len()`).
+    pub kept_memories: Vec<bool>,
+}
+
+impl AbstractionSpec {
+    /// An abstraction keeping everything (identity).
+    pub fn keep_all(design: &Design) -> AbstractionSpec {
+        AbstractionSpec {
+            kept_latches: vec![true; design.num_latches()],
+            kept_memories: vec![true; design.memories().len()],
+        }
+    }
+
+    /// An abstraction keeping exactly a cone of influence (see
+    /// [`emm_aig::coi::cone_of_influence`]). COI is a *sound* static
+    /// abstraction — everything outside the cone provably cannot affect
+    /// the property — so, unlike PBA output, it requires no refinement.
+    pub fn from_cone(cone: &emm_aig::coi::Cone) -> AbstractionSpec {
+        AbstractionSpec {
+            kept_latches: cone.latches.clone(),
+            kept_memories: cone.memories.clone(),
+        }
+    }
+
+    /// Intersection with another abstraction (keep only what both keep).
+    pub fn intersect(&self, other: &AbstractionSpec) -> AbstractionSpec {
+        AbstractionSpec {
+            kept_latches: self
+                .kept_latches
+                .iter()
+                .zip(&other.kept_latches)
+                .map(|(&a, &b)| a && b)
+                .collect(),
+            kept_memories: self
+                .kept_memories
+                .iter()
+                .zip(&other.kept_memories)
+                .map(|(&a, &b)| a && b)
+                .collect(),
+        }
+    }
+
+    /// Number of kept latches (the paper's reduced-model "FF" count).
+    pub fn num_kept_latches(&self) -> usize {
+        self.kept_latches.iter().filter(|&&k| k).count()
+    }
+
+    /// Number of kept memories.
+    pub fn num_kept_memories(&self) -> usize {
+        self.kept_memories.iter().filter(|&&k| k).count()
+    }
+}
+
+/// How a proof was obtained.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProofKind {
+    /// Forward termination: `I ∧ LFP_i` unsatisfiable (reachability
+    /// diameter reached) — "forward induction proof" in the paper's tables.
+    ForwardDiameter,
+    /// Backward termination: `LFP_i ∧ ¬P_i ∧ CP_i` unsatisfiable
+    /// (k-induction step) — "backward induction".
+    BackwardInduction,
+}
+
+/// Outcome of a bounded check.
+#[derive(Clone, Debug)]
+pub enum BmcVerdict {
+    /// The property holds in all reachable states.
+    Proof {
+        /// Which termination criterion concluded.
+        kind: ProofKind,
+        /// Depth at which the criterion held (the proof diameter `D`).
+        depth: usize,
+    },
+    /// A real counterexample (witness) of the given trace.
+    Counterexample(Trace),
+    /// No counterexample up to the bound; nothing proved.
+    BoundReached,
+    /// A resource budget was exhausted.
+    Timeout,
+}
+
+impl BmcVerdict {
+    /// `true` for [`BmcVerdict::Proof`].
+    pub fn is_proof(&self) -> bool {
+        matches!(self, BmcVerdict::Proof { .. })
+    }
+
+    /// `true` for [`BmcVerdict::Counterexample`].
+    pub fn is_counterexample(&self) -> bool {
+        matches!(self, BmcVerdict::Counterexample(_))
+    }
+}
+
+/// Result of [`BmcEngine::check`].
+#[derive(Clone, Debug)]
+pub struct BmcRun {
+    /// The verdict.
+    pub verdict: BmcVerdict,
+    /// Last depth fully processed.
+    pub depth_reached: usize,
+    /// Wall-clock time spent in this call.
+    pub elapsed: Duration,
+    /// Latch reasons accumulated by PBA discovery (latch indices).
+    pub latch_reasons: Vec<usize>,
+    /// Memory reasons accumulated by PBA discovery (memory indices).
+    pub memory_reasons: Vec<usize>,
+}
+
+/// Engine errors.
+#[derive(Debug)]
+pub enum BmcError {
+    /// A counterexample failed re-simulation — an internal soundness bug.
+    SpuriousTrace(String),
+}
+
+impl std::fmt::Display for BmcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BmcError::SpuriousTrace(msg) => write!(f, "spurious counterexample trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BmcError {}
+
+/// One SAT context (solver + unroller + EMM + LFP).
+struct Ctx<'d> {
+    solver: Solver,
+    unroller: Unroller<'d>,
+    emm: EmmEncoder,
+    /// Maps design memory index -> EMM encoder index (kept memories only).
+    emm_index: Vec<Option<usize>>,
+    lfp: Option<LfpBuilder>,
+}
+
+impl std::fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("frames", &self.unroller.num_frames()).finish()
+    }
+}
+
+/// The incremental BMC engine. See the [module docs](self) for the mapping
+/// to the paper's algorithms.
+#[derive(Debug)]
+pub struct BmcEngine<'d> {
+    design: &'d Design,
+    options: BmcOptions,
+    anchored: Ctx<'d>,
+    floating: Option<Ctx<'d>>,
+}
+
+impl<'d> BmcEngine<'d> {
+    /// Creates an engine for `design`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design is malformed or an abstraction mask has the
+    /// wrong length.
+    pub fn new(design: &'d Design, options: BmcOptions) -> BmcEngine<'d> {
+        let mut options = options;
+        if options.pba_discovery
+            && matches!(options.emm.selectors, SelectorGranularity::None)
+        {
+            options.emm.selectors = SelectorGranularity::PerMemory;
+        }
+        if let Some(a) = &options.abstraction {
+            assert_eq!(a.kept_latches.len(), design.num_latches());
+            assert_eq!(a.kept_memories.len(), design.memories().len());
+        }
+        let anchored = Self::make_ctx(design, &options, true);
+        let floating = options.proofs.then(|| Self::make_ctx(design, &options, false));
+        BmcEngine { design, options, anchored, floating }
+    }
+
+    fn make_ctx<'a>(design: &'a Design, options: &BmcOptions, anchored: bool) -> Ctx<'a> {
+        let mut solver = Solver::with_config(SolverConfig::default());
+        let kept_latches = options.abstraction.as_ref().map(|a| a.kept_latches.clone());
+        let unroller = Unroller::new(
+            design,
+            &mut solver,
+            UnrollConfig {
+                initial_state: anchored,
+                latch_selectors: options.pba_discovery && anchored,
+                kept_latches: kept_latches.clone(),
+            },
+        );
+        // EMM shapes for kept memories. The floating context treats every
+        // memory as arbitrary-init: an induction window may start anywhere.
+        let mut shapes = Vec::new();
+        let mut emm_index = Vec::new();
+        for (mi, m) in design.memories().iter().enumerate() {
+            let kept = options
+                .abstraction
+                .as_ref()
+                .map(|a| a.kept_memories[mi])
+                .unwrap_or(true);
+            if kept {
+                emm_index.push(Some(shapes.len()));
+                shapes.push(MemoryShape {
+                    addr_width: m.addr_width,
+                    data_width: m.data_width,
+                    read_ports: m.read_ports.len(),
+                    write_ports: m.write_ports.len(),
+                    arbitrary_init: !anchored
+                        || matches!(m.init, emm_aig::MemInit::Arbitrary),
+                });
+            } else {
+                emm_index.push(None);
+            }
+        }
+        let emm = EmmEncoder::new(&shapes, options.emm);
+        let lfp = options.proofs.then(|| {
+            LfpBuilder::new(&mut solver, design.num_latches(), kept_latches.as_deref())
+        });
+        Ctx { solver, unroller, emm, emm_index, lfp }
+    }
+
+    /// The design under verification.
+    pub fn design(&self) -> &'d Design {
+        self.design
+    }
+
+    /// Cumulative EMM constraint statistics of the anchored context.
+    pub fn emm_stats(&self) -> emm_core::EmmStats {
+        self.anchored.emm.stats()
+    }
+
+    /// Frames currently unrolled in the anchored context.
+    pub fn depth(&self) -> usize {
+        self.anchored.unroller.num_frames()
+    }
+
+    /// Extends every context to include frame `k`.
+    fn ensure_depth(&mut self, k: usize) {
+        for ctx in std::iter::once(&mut self.anchored).chain(self.floating.as_mut()) {
+            while ctx.unroller.num_frames() <= k {
+                let frame = ctx.unroller.extend(&mut ctx.solver);
+                // EMM constraints for kept memories.
+                let mut frames = Vec::new();
+                for (mi, slot) in ctx.emm_index.clone().iter().enumerate() {
+                    if slot.is_some() {
+                        frames.push(ctx.unroller.memory_frame_lits(frame, mi));
+                    }
+                }
+                ctx.emm.add_frame(&mut ctx.solver, &frames);
+                if let Some(lfp) = &mut ctx.lfp {
+                    let lits = ctx.unroller.latch_lits(frame);
+                    lfp.add_frame(&mut ctx.solver, &lits);
+                }
+            }
+        }
+    }
+
+    /// Base assumptions activating selectors (EMM memory/port selectors and
+    /// PBA latch selectors) in a context.
+    fn base_assumptions(ctx: &Ctx<'_>) -> Vec<Lit> {
+        let mut a = ctx.emm.all_active_assumptions();
+        a.extend_from_slice(ctx.unroller.latch_selectors());
+        a
+    }
+
+    /// Checks property `prop` up to `max_depth` (inclusive), following the
+    /// loop structure of Fig. 1/Fig. 3.
+    ///
+    /// # Errors
+    ///
+    /// [`BmcError::SpuriousTrace`] if a counterexample fails re-simulation
+    /// (an internal bug, surfaced rather than silently returned).
+    pub fn check(&mut self, prop: usize, max_depth: usize) -> Result<BmcRun, BmcError> {
+        let started = Instant::now();
+        let deadline = self.options.wall_limit.map(|d| started + d);
+        let bad_bit = self.design.properties()[prop].bad;
+        let mut latch_reasons: HashSet<usize> = HashSet::new();
+        let mut memory_reasons: HashSet<usize> = HashSet::new();
+
+        let finish = |verdict: BmcVerdict, depth: usize, lr: &HashSet<usize>, mr: &HashSet<usize>| {
+            let mut lrv: Vec<usize> = lr.iter().copied().collect();
+            lrv.sort_unstable();
+            let mut mrv: Vec<usize> = mr.iter().copied().collect();
+            mrv.sort_unstable();
+            Ok(BmcRun {
+                verdict,
+                depth_reached: depth,
+                elapsed: started.elapsed(),
+                latch_reasons: lrv,
+                memory_reasons: mrv,
+            })
+        };
+
+        for i in 0..=max_depth {
+            if let Some(dl) = deadline {
+                if Instant::now() >= dl {
+                    return finish(BmcVerdict::Timeout, i, &latch_reasons, &memory_reasons);
+                }
+            }
+            self.ensure_depth(i);
+            self.apply_budget(deadline);
+
+            if self.options.proofs {
+                // Forward termination: SAT(I ∧ LFP_i ∧ C_i).
+                let mut assumptions = Self::base_assumptions(&self.anchored);
+                assumptions
+                    .push(self.anchored.lfp.as_ref().expect("proofs on").activation());
+                match self.anchored.solver.solve_with(&assumptions) {
+                    SolveResult::Unsat => {
+                        return finish(
+                            BmcVerdict::Proof { kind: ProofKind::ForwardDiameter, depth: i },
+                            i,
+                            &latch_reasons,
+                            &memory_reasons,
+                        );
+                    }
+                    SolveResult::Unknown => {
+                        return finish(BmcVerdict::Timeout, i, &latch_reasons, &memory_reasons)
+                    }
+                    SolveResult::Sat => {}
+                }
+                // Backward termination: SAT(LFP_i ∧ ¬P_i ∧ CP_i ∧ C_i).
+                let floating = self.floating.as_mut().expect("proofs on");
+                let mut assumptions = Self::base_assumptions(floating);
+                assumptions.push(floating.lfp.as_ref().expect("proofs on").activation());
+                for j in 0..i {
+                    let bad_j = floating.unroller.lit(j, bad_bit);
+                    assumptions.push(!bad_j);
+                }
+                assumptions.push(floating.unroller.lit(i, bad_bit));
+                match floating.solver.solve_with(&assumptions) {
+                    SolveResult::Unsat => {
+                        return finish(
+                            BmcVerdict::Proof { kind: ProofKind::BackwardInduction, depth: i },
+                            i,
+                            &latch_reasons,
+                            &memory_reasons,
+                        );
+                    }
+                    SolveResult::Unknown => {
+                        return finish(BmcVerdict::Timeout, i, &latch_reasons, &memory_reasons)
+                    }
+                    SolveResult::Sat => {}
+                }
+            }
+
+            // Counterexample check: SAT(I ∧ ¬P_i ∧ C_i).
+            let mut assumptions = Self::base_assumptions(&self.anchored);
+            assumptions.push(self.anchored.unroller.lit(i, bad_bit));
+            match self.anchored.solver.solve_with(&assumptions) {
+                SolveResult::Sat => {
+                    let trace = self.extract_trace(prop, i);
+                    if self.options.validate_traces && self.options.abstraction.is_none() {
+                        trace
+                            .validate(self.design)
+                            .map_err(BmcError::SpuriousTrace)?;
+                    }
+                    return finish(
+                        BmcVerdict::Counterexample(trace),
+                        i,
+                        &latch_reasons,
+                        &memory_reasons,
+                    );
+                }
+                SolveResult::Unknown => {
+                    return finish(BmcVerdict::Timeout, i, &latch_reasons, &memory_reasons)
+                }
+                SolveResult::Unsat => {
+                    if self.options.pba_discovery {
+                        self.collect_reasons(&mut latch_reasons, &mut memory_reasons);
+                    }
+                }
+            }
+        }
+        finish(BmcVerdict::BoundReached, max_depth, &latch_reasons, &memory_reasons)
+    }
+
+    /// Latch/memory reasons from the failed assumptions of the most recent
+    /// UNSAT answer of the anchored solver (`Get_Latch_Reasons(U_Core)`).
+    fn collect_reasons(&mut self, latches: &mut HashSet<usize>, memories: &mut HashSet<usize>) {
+        let failed: HashSet<Lit> =
+            self.anchored.solver.failed_assumptions().iter().copied().collect();
+        for (li, &sel) in self.anchored.unroller.latch_selectors().iter().enumerate() {
+            if failed.contains(&sel) {
+                latches.insert(li);
+            }
+        }
+        for (enc_idx, _port, sel) in self.anchored.emm.selectors() {
+            if failed.contains(&sel) {
+                // Map encoder index back to design memory index.
+                if let Some(mi) = self
+                    .anchored
+                    .emm_index
+                    .iter()
+                    .position(|s| *s == Some(enc_idx))
+                {
+                    memories.insert(mi);
+                }
+            }
+        }
+    }
+
+    fn apply_budget(&mut self, deadline: Option<Instant>) {
+        let mut budget = self.options.solve_budget.clone();
+        if let Some(dl) = deadline {
+            budget.deadline = Some(match budget.deadline {
+                None => dl,
+                Some(b) => b.min(dl),
+            });
+        }
+        self.anchored.solver.set_budget(budget.clone());
+        if let Some(f) = &mut self.floating {
+            f.solver.set_budget(budget);
+        }
+    }
+
+    /// Builds a [`Trace`] from the anchored solver's model at depth `i`.
+    fn extract_trace(&self, prop: usize, depth: usize) -> Trace {
+        let ctx = &self.anchored;
+        let solver = &ctx.solver;
+        let design = self.design;
+        let model = |l: Lit| solver.model_value(l).unwrap_or(false);
+
+        let initial_latches: Vec<bool> =
+            ctx.unroller.latch_lits(0).iter().map(|&l| model(l)).collect();
+
+        let mut frames = Vec::with_capacity(depth + 1);
+        let mut disabled_reads = Vec::with_capacity(depth + 1);
+        for k in 0..=depth {
+            let inputs: Vec<bool> = design
+                .free_inputs()
+                .iter()
+                .map(|&idx| {
+                    let bit = design.input_bit(idx as usize);
+                    model(ctx.unroller.lit(k, bit))
+                })
+                .collect();
+            frames.push(inputs);
+            // Disabled-read values per memory/port.
+            let mut per_mem = Vec::with_capacity(design.memories().len());
+            for m in design.memories() {
+                let mut per_port = Vec::with_capacity(m.read_ports.len());
+                for rp in &m.read_ports {
+                    let en = model(ctx.unroller.lit(k, rp.en));
+                    let value = if en {
+                        0
+                    } else {
+                        rp.data
+                            .bits()
+                            .iter()
+                            .enumerate()
+                            .map(|(b, &bit)| (model(ctx.unroller.lit(k, bit)) as u64) << b)
+                            .sum()
+                    };
+                    per_port.push(value);
+                }
+                per_mem.push(per_port);
+            }
+            disabled_reads.push(per_mem);
+        }
+
+        // Memory seeds from the EMM initial reads: any access whose N
+        // condition held read the initial contents at its address.
+        let mut memory_seeds: Vec<Vec<(u64, u64)>> = vec![Vec::new(); design.memories().len()];
+        for (mi, slot) in ctx.emm_index.iter().enumerate() {
+            let Some(enc_idx) = slot else { continue };
+            for ir in ctx.emm.init_reads(*enc_idx) {
+                if model(ir.n) {
+                    let addr: u64 = ir
+                        .addr
+                        .iter()
+                        .enumerate()
+                        .map(|(b, &l)| (model(l) as u64) << b)
+                        .sum();
+                    let value: u64 = ir
+                        .v
+                        .iter()
+                        .enumerate()
+                        .map(|(b, &l)| (model(l) as u64) << b)
+                        .sum();
+                    memory_seeds[mi].push((addr, value));
+                }
+            }
+        }
+        for seeds in &mut memory_seeds {
+            seeds.sort_unstable();
+            seeds.dedup();
+        }
+
+        Trace { initial_latches, frames, memory_seeds, disabled_reads, property: prop }
+    }
+}

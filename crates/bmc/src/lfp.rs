@@ -1,0 +1,187 @@
+//! Loop-free-path (`LFP`) constraints for the induction-style termination
+//! checks of SAT-based BMC ([19] in the paper; lines 5–7 of Fig. 1 and 6–8
+//! of Fig. 3).
+//!
+//! `LFP_i` states that the latch states at frames `0..=i` are pairwise
+//! distinct. The constraints are cumulative across depths, so they are added
+//! permanently to the solver but *activated* by a single shared assumption
+//! literal — counterexample checks on the same solver simply do not assume
+//! it.
+//!
+//! With an abstraction in force, only the *kept* latches constitute state;
+//! freed latches are pseudo-primary inputs and must not count toward state
+//! distinctness (otherwise no two frames would ever be provably equal).
+
+use emm_sat::{Lit, Solver};
+
+/// Incremental builder of pairwise-distinct-state constraints.
+#[derive(Debug)]
+pub struct LfpBuilder {
+    /// Shared activation literal: assume it to enforce `LFP`.
+    activation: Lit,
+    /// Latch literals per recorded frame (already filtered to kept latches).
+    frames: Vec<Vec<Lit>>,
+    /// Positions (into the unfiltered latch vector) that participate.
+    kept_positions: Vec<usize>,
+    /// Total pair constraints added (for reporting).
+    pairs: usize,
+}
+
+impl LfpBuilder {
+    /// Creates a builder over `num_latches` latches, restricted to
+    /// `kept_latches` when given.
+    pub fn new(solver: &mut Solver, num_latches: usize, kept_latches: Option<&[bool]>) -> Self {
+        let kept_positions = match kept_latches {
+            None => (0..num_latches).collect(),
+            Some(mask) => {
+                assert_eq!(mask.len(), num_latches);
+                mask.iter().enumerate().filter(|(_, &k)| k).map(|(i, _)| i).collect()
+            }
+        };
+        LfpBuilder {
+            activation: solver.new_var().positive(),
+            frames: Vec::new(),
+            kept_positions,
+            pairs: 0,
+        }
+    }
+
+    /// The literal whose assumption activates all pair constraints.
+    pub fn activation(&self) -> Lit {
+        self.activation
+    }
+
+    /// Number of pairwise constraints emitted so far.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs
+    }
+
+    /// Registers frame `k`'s latch literals (the full, unfiltered vector)
+    /// and adds distinctness constraints against every earlier frame.
+    pub fn add_frame(&mut self, solver: &mut Solver, latch_lits: &[Lit]) {
+        let state: Vec<Lit> = self.kept_positions.iter().map(|&i| latch_lits[i]).collect();
+        for j in 0..self.frames.len() {
+            self.add_pair(solver, j, &state);
+        }
+        self.frames.push(state);
+    }
+
+    /// States at `frames[j]` and `state` must differ in some kept latch.
+    fn add_pair(&mut self, solver: &mut Solver, j: usize, state: &[Lit]) {
+        self.pairs += 1;
+        let old = self.frames[j].clone();
+        let mut any_diff: Vec<Lit> = Vec::with_capacity(state.len() + 1);
+        any_diff.push(!self.activation);
+        for (&a, &b) in old.iter().zip(state) {
+            if a == b {
+                // Identical literals can never differ; contribute nothing.
+                continue;
+            }
+            if a == !b {
+                // Provably different: the pair constraint is trivially met.
+                return;
+            }
+            let x = solver.new_var().positive();
+            // x -> (a != b)
+            solver.add_clause(&[!x, a, b]);
+            solver.add_clause(&[!x, !a, !b]);
+            any_diff.push(x);
+        }
+        // If no latch can differ, the clause degenerates to !activation:
+        // assuming activation then gives immediate UNSAT, which is exactly
+        // the right semantics (two frames are provably equal).
+        solver.add_clause(&any_diff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unroll::{UnrollConfig, Unroller};
+    use emm_aig::{Design, LatchInit};
+    use emm_sat::SolveResult;
+
+    /// A modulo-`m` counter design over `width` bits.
+    fn mod_counter(width: usize, modulo: u64) -> Design {
+        let mut d = Design::new();
+        let count = d.new_latch_word("count", width, LatchInit::Zero);
+        let inc = d.aig.inc(&count);
+        let wrap = d.aig.eq_const(&count, modulo - 1);
+        let zero = d.aig.const_word(0, width);
+        let next = d.aig.mux_word(wrap, &zero, &inc);
+        d.set_next_word(&count, &next);
+        d.add_property("dummy", emm_aig::Aig::FALSE);
+        d.check().expect("valid");
+        d
+    }
+
+    /// The forward termination check I ∧ LFP_i becomes UNSAT exactly when
+    /// the path length exceeds the number of distinct reachable states.
+    #[test]
+    fn forward_diameter_of_mod_counter() {
+        let modulo = 5u64;
+        let d = mod_counter(3, modulo);
+        let mut s = Solver::new();
+        let mut u = Unroller::new(&d, &mut s, UnrollConfig {
+            initial_state: true,
+            ..UnrollConfig::default()
+        });
+        let mut lfp = LfpBuilder::new(&mut s, d.num_latches(), None);
+        // A mod-5 counter has 5 distinct states: paths with 5 transitions
+        // (6 states) must revisit.
+        for k in 0..8usize {
+            u.extend(&mut s);
+            lfp.add_frame(&mut s, &u.latch_lits(k));
+            let result = s.solve_with(&[lfp.activation()]);
+            let expect = if (k as u64) < modulo { SolveResult::Sat } else { SolveResult::Unsat };
+            assert_eq!(result, expect, "depth {k}");
+        }
+    }
+
+    /// Without the activation assumption the pair constraints are inert.
+    #[test]
+    fn inactive_lfp_does_not_constrain() {
+        let d = mod_counter(3, 2);
+        let mut s = Solver::new();
+        let mut u = Unroller::new(&d, &mut s, UnrollConfig {
+            initial_state: true,
+            ..UnrollConfig::default()
+        });
+        let mut lfp = LfpBuilder::new(&mut s, d.num_latches(), None);
+        for k in 0..6 {
+            u.extend(&mut s);
+            lfp.add_frame(&mut s, &u.latch_lits(k));
+        }
+        assert_eq!(s.solve(), SolveResult::Sat, "plain model stays satisfiable");
+        assert_eq!(s.solve_with(&[lfp.activation()]), SolveResult::Unsat);
+    }
+
+    /// Restricting state to a kept subset changes the effective diameter.
+    #[test]
+    fn kept_mask_shrinks_state() {
+        // Two independent counters; keep only the 1-bit one.
+        let mut d = Design::new();
+        let small = d.new_latch_word("small", 1, LatchInit::Zero);
+        let ns = d.aig.word_not(&small);
+        d.set_next_word(&small, &ns);
+        let big = d.new_latch_word("big", 3, LatchInit::Zero);
+        let nb = d.aig.inc(&big);
+        d.set_next_word(&big, &nb);
+        d.add_property("dummy", emm_aig::Aig::FALSE);
+        d.check().expect("valid");
+
+        let mut s = Solver::new();
+        let mut u = Unroller::new(&d, &mut s, UnrollConfig {
+            initial_state: true,
+            ..UnrollConfig::default()
+        });
+        let kept = vec![true, false, false, false]; // only the toggle bit
+        let mut lfp = LfpBuilder::new(&mut s, d.num_latches(), Some(&kept));
+        for k in 0..4 {
+            u.extend(&mut s);
+            lfp.add_frame(&mut s, &u.latch_lits(k));
+        }
+        // The toggle alone has 2 states; 3 frames must repeat.
+        assert_eq!(s.solve_with(&[lfp.activation()]), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,261 @@
+//! Proof-based abstraction driver (Sections 2.2 and 4.3 of the paper).
+//!
+//! [`discover`] runs the falsification loop of BMC with per-latch and
+//! per-memory selectors, accumulating *latch reasons* `LR_i` from every
+//! refutation. Following ref. [10], it stops when the reason set has been
+//! stable for a configured number of depths and returns an
+//! [`AbstractionSpec`] naming the latches and memory modules the proofs
+//! actually used; everything else can be freed in a *reduced model*.
+//!
+//! [`iterative_abstraction`] repeats discovery on progressively more
+//! abstract models until the kept set reaches a fixpoint — the paper's
+//! iterative abstraction, which is what lets the quicksort array module be
+//! dropped entirely when checking the stack-only property P2 (Table 2).
+
+use std::time::Duration;
+
+use emm_aig::Design;
+use emm_core::EmmOptions;
+use emm_sat::Budget;
+
+use crate::engine::{AbstractionSpec, BmcEngine, BmcOptions, BmcVerdict};
+
+/// PBA discovery configuration.
+#[derive(Clone, Debug)]
+pub struct PbaConfig {
+    /// Depths the reason set must remain unchanged before stopping (the
+    /// paper uses 10 for Table 2).
+    pub stability_depth: usize,
+    /// Hard depth bound for discovery.
+    pub max_depth: usize,
+    /// EMM options (selector granularity is forced on internally).
+    pub emm: EmmOptions,
+    /// Per-SAT-call budget.
+    pub solve_budget: Budget,
+    /// Wall-clock limit per discovery run.
+    pub wall_limit: Option<Duration>,
+}
+
+impl Default for PbaConfig {
+    fn default() -> Self {
+        PbaConfig {
+            stability_depth: 10,
+            max_depth: 100,
+            emm: EmmOptions::default(),
+            solve_budget: Budget::unlimited(),
+            wall_limit: None,
+        }
+    }
+}
+
+/// Outcome of a discovery run.
+#[derive(Clone, Debug)]
+pub struct PbaDiscovery {
+    /// The abstraction found (kept latches/memories).
+    pub abstraction: AbstractionSpec,
+    /// Depth at which the reason set became stable, if it did.
+    pub stable_at: Option<usize>,
+    /// Depth reached by the run.
+    pub depth_reached: usize,
+    /// `true` when discovery was cut short by a counterexample (the
+    /// property fails; abstraction is moot).
+    pub found_counterexample: bool,
+    /// Wall time of the discovery run.
+    pub elapsed: Duration,
+}
+
+/// Runs PBA reason discovery for `prop`, stopping at reason-set stability.
+///
+/// Discovery runs depth by depth so the stability criterion can be applied
+/// between depths; each depth is one engine `check` call bounded to that
+/// depth (the engine is incremental, so no work is repeated).
+///
+/// # Errors
+///
+/// Propagates [`crate::BmcError`] from the engine (spurious traces).
+pub fn discover(
+    design: &Design,
+    prop: usize,
+    config: &PbaConfig,
+) -> Result<PbaDiscovery, crate::BmcError> {
+    discover_within(design, prop, config, None)
+}
+
+/// Like [`discover`], but starting from a prior abstraction: only kept
+/// latches/memories are modeled, so the reason set can only shrink.
+pub fn discover_within(
+    design: &Design,
+    prop: usize,
+    config: &PbaConfig,
+    within: Option<&AbstractionSpec>,
+) -> Result<PbaDiscovery, crate::BmcError> {
+    let started = std::time::Instant::now();
+    let mut engine = BmcEngine::new(
+        design,
+        BmcOptions {
+            emm: config.emm,
+            proofs: false,
+            solve_budget: config.solve_budget.clone(),
+            wall_limit: config.wall_limit,
+            validate_traces: false,
+            abstraction: within.cloned(),
+            pba_discovery: true,
+        },
+    );
+    let mut last_reasons: (Vec<usize>, Vec<usize>) = (Vec::new(), Vec::new());
+    let mut stable_for = 0usize;
+    let mut stable_at = None;
+    let mut found_ce = false;
+    let mut depth_reached = 0;
+    for depth in 0..=config.max_depth {
+        let run = engine.check(prop, depth)?;
+        depth_reached = depth;
+        match run.verdict {
+            BmcVerdict::Counterexample(_) => {
+                found_ce = true;
+                break;
+            }
+            BmcVerdict::Timeout => break,
+            _ => {}
+        }
+        let reasons = (run.latch_reasons.clone(), run.memory_reasons.clone());
+        if depth > 0 && reasons == last_reasons {
+            stable_for += 1;
+            if stable_for >= config.stability_depth {
+                stable_at = Some(depth);
+                last_reasons = reasons;
+                break;
+            }
+        } else {
+            stable_for = 0;
+        }
+        last_reasons = reasons;
+    }
+    let mut kept_latches = vec![false; design.num_latches()];
+    for &l in &last_reasons.0 {
+        kept_latches[l] = true;
+    }
+    let mut kept_memories = vec![false; design.memories().len()];
+    for &m in &last_reasons.1 {
+        kept_memories[m] = true;
+    }
+    // Never keep less than the prior abstraction allowed.
+    if let Some(w) = within {
+        for (k, &was) in kept_latches.iter_mut().zip(&w.kept_latches) {
+            *k = *k && was;
+        }
+        for (k, &was) in kept_memories.iter_mut().zip(&w.kept_memories) {
+            *k = *k && was;
+        }
+    }
+    Ok(PbaDiscovery {
+        abstraction: AbstractionSpec { kept_latches, kept_memories },
+        stable_at,
+        depth_reached,
+        found_counterexample: found_ce,
+        elapsed: started.elapsed(),
+    })
+}
+
+/// Iterative abstraction (ref. [10]): repeat discovery on progressively
+/// more abstract models until the kept sets stop shrinking or `max_iters`
+/// runs have been performed.
+///
+/// # Errors
+///
+/// Propagates engine errors from any iteration.
+pub fn iterative_abstraction(
+    design: &Design,
+    prop: usize,
+    config: &PbaConfig,
+    max_iters: usize,
+) -> Result<PbaDiscovery, crate::BmcError> {
+    let mut current = discover(design, prop, config)?;
+    if current.found_counterexample {
+        return Ok(current);
+    }
+    for _ in 1..max_iters {
+        let next = discover_within(design, prop, config, Some(&current.abstraction))?;
+        if next.found_counterexample
+            || next.abstraction.num_kept_latches() >= current.abstraction.num_kept_latches()
+        {
+            break;
+        }
+        current = next;
+    }
+    Ok(current)
+}
+
+/// Outcome of the discover-then-prove loop.
+#[derive(Clone, Debug)]
+pub struct AbstractProof {
+    /// The abstraction that supported the proof.
+    pub abstraction: AbstractionSpec,
+    /// The proof obtained on the reduced model.
+    pub verdict: crate::BmcVerdict,
+    /// Discovery/refinement rounds taken.
+    pub rounds: usize,
+}
+
+/// Discovers an abstraction, attempts the proof on the reduced model, and
+/// refines when the reduced model produces a counterexample deeper than the
+/// discovery depth — the outer loop the paper's methodology implies: PBA
+/// "preserves the correctness of a property **up to a certain analysis
+/// depth**", so a proof attempt beyond that depth may require more reasons.
+///
+/// Returns early with the counterexample if one is found on the *concrete*
+/// model during discovery (the property simply fails).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn discover_and_prove(
+    design: &Design,
+    prop: usize,
+    config: &PbaConfig,
+    proof_depth: usize,
+    max_rounds: usize,
+) -> Result<AbstractProof, crate::BmcError> {
+    let mut config = config.clone();
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let disc = discover(design, prop, &config)?;
+        if disc.found_counterexample {
+            // Re-run concretely to hand back a real, validated trace.
+            let mut engine = BmcEngine::new(
+                design,
+                BmcOptions { emm: config.emm, ..BmcOptions::default() },
+            );
+            let run = engine.check(prop, disc.depth_reached)?;
+            return Ok(AbstractProof { abstraction: disc.abstraction, verdict: run.verdict, rounds });
+        }
+        let mut engine = BmcEngine::new(
+            design,
+            BmcOptions {
+                proofs: true,
+                emm: config.emm,
+                solve_budget: config.solve_budget.clone(),
+                wall_limit: config.wall_limit,
+                validate_traces: false,
+                abstraction: Some(disc.abstraction.clone()),
+                pba_discovery: false,
+            },
+        );
+        let run = engine.check(prop, proof_depth)?;
+        match run.verdict {
+            crate::BmcVerdict::Counterexample(ref trace)
+                if rounds < max_rounds && trace.depth() > disc.depth_reached =>
+            {
+                // The abstraction was too aggressive for depths beyond the
+                // discovery window: extend discovery past the CE depth.
+                config.stability_depth += config.stability_depth.max(4);
+                config.max_depth = config.max_depth.max(trace.depth() + config.stability_depth);
+                continue;
+            }
+            verdict => {
+                return Ok(AbstractProof { abstraction: disc.abstraction, verdict, rounds })
+            }
+        }
+    }
+}

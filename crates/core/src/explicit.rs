@@ -1,0 +1,325 @@
+//! Explicit memory modeling — the paper's comparison baseline.
+//!
+//! [`explicit_model`] rewrites a design with embedded memories into a plain
+//! sequential design in which every memory word is a bank of latches:
+//!
+//! * `2^AW × DW` latches per memory (zero- or free-initialized according to
+//!   [`MemInit`]);
+//! * per write port, an address decoder gating each word's next-state mux
+//!   (higher-numbered ports take priority within a cycle, mirroring the EMM
+//!   chain order — irrelevant under the paper's no-data-race assumption);
+//! * per read port, a full read multiplexer; when `RE` is inactive the read
+//!   data falls back to fresh free inputs, preserving the "unconstrained
+//!   when not enabled" semantics the EMM model has.
+//!
+//! This is the model the paper's Tables 1–2 call *Explicit Modeling*: it is
+//! semantically equivalent to EMM (tests in this crate and `emm-bmc` check
+//! agreement), but its size explodes with address width, which is exactly
+//! the effect the experiments demonstrate.
+
+use std::collections::HashMap;
+
+use emm_aig::{Aig, Bit, Design, InputKind, LatchInit, MemInit, Node, Word};
+
+/// Maps latches of the original design to latches of the explicit model.
+///
+/// Original latches appear first and in order in the rewritten design, so
+/// the mapping is the identity on `0..original.num_latches()`; the memory
+/// cell latches follow. [`ExplicitMap`] also locates each memory word's
+/// latch bank for trace translation.
+#[derive(Clone, Debug)]
+pub struct ExplicitMap {
+    /// Latch count of the original design (prefix of the new latch space).
+    pub original_latches: usize,
+    /// For each memory: index of its first cell latch; cells are laid out
+    /// address-major (`addr * data_width + bit`).
+    pub memory_base: Vec<usize>,
+}
+
+impl ExplicitMap {
+    /// Latch index of `bit` of the word at `addr` of memory `mem`.
+    pub fn cell_latch(&self, design: &Design, mem: usize, addr: u64, bit: usize) -> usize {
+        let dw = design.memories()[mem].data_width;
+        self.memory_base[mem] + addr as usize * dw + bit
+    }
+}
+
+/// Expands every memory of `design` into latches; returns the rewritten
+/// design and the latch mapping.
+///
+/// The rewritten design has **no** memory modules: BMC on it is the paper's
+/// BMC-1 over an ordinary netlist. Free inputs of the original design keep
+/// their order (new fallback inputs for disabled reads are appended after).
+///
+/// # Panics
+///
+/// Panics if `design.check()` fails.
+pub fn explicit_model(design: &Design) -> (Design, ExplicitMap) {
+    design.check().expect("input design must be well-formed");
+    let mut out = Design::new();
+
+    // 1. Recreate free inputs first (stable order for trace replay).
+    //    `free_map[old_input_index] = new bit`.
+    let mut input_map: HashMap<usize, Bit> = HashMap::new();
+    for (pos, &idx) in design.free_inputs().iter().enumerate() {
+        let bit = out.new_input(&format!("in{pos}"));
+        input_map.insert(idx as usize, bit);
+    }
+
+    // 2. Recreate the original latches in order.
+    let mut latch_out: Vec<Bit> = Vec::with_capacity(design.num_latches());
+    for l in design.latches() {
+        let (_, bit) = out.new_latch(&l.name, l.init);
+        latch_out.push(bit);
+    }
+
+    // 3. Create the memory cell latches.
+    let mut memory_base = Vec::with_capacity(design.memories().len());
+    let mut cells: Vec<Vec<Word>> = Vec::new(); // per memory, per address
+    for m in design.memories() {
+        memory_base.push(out.num_latches());
+        let init = match m.init {
+            MemInit::Zero => LatchInit::Zero,
+            MemInit::Arbitrary => LatchInit::Free,
+        };
+        let words = (0..(1usize << m.addr_width))
+            .map(|a| out.new_latch_word(&format!("{}[{a}]", m.name), m.data_width, init))
+            .collect();
+        cells.push(words);
+    }
+
+    // 4. Walk the original AIG in topological order, mapping every node.
+    let mut node_map: Vec<Bit> = vec![Aig::FALSE; design.aig.num_nodes()];
+    let map_bit = |node_map: &[Bit], b: Bit| -> Bit {
+        let base = node_map[b.node().index()];
+        if b.is_inverted() {
+            !base
+        } else {
+            base
+        }
+    };
+    for (id, node) in design.aig.iter() {
+        let new_bit = match node {
+            Node::Const => Aig::FALSE,
+            Node::Input(i) => match design.input_kind(i as usize) {
+                InputKind::Free => input_map[&(i as usize)],
+                InputKind::Latch(l) => latch_out[l.0 as usize],
+                InputKind::ReadData(mem, port, bit) => {
+                    let m = design.memory(mem);
+                    let rp = &m.read_ports[port as usize];
+                    // Address/enable cones are below this node: already mapped.
+                    let addr: Vec<Bit> =
+                        rp.addr.bits().iter().map(|&a| map_bit(&node_map, a)).collect();
+                    let en = map_bit(&node_map, rp.en);
+                    // Read mux: OR over addresses of (addr == a) & cell bit.
+                    let mut hit = Aig::FALSE;
+                    for (a, word) in cells[mem.0 as usize].iter().enumerate() {
+                        let dec = decode(&mut out.aig, &addr, a as u64);
+                        let sel = out.aig.and(dec, word.bit(bit as usize));
+                        hit = out.aig.or(hit, sel);
+                    }
+                    // Disabled reads fall back to a fresh free input.
+                    let fallback =
+                        out.new_input(&format!("{}_r{port}_b{bit}_x", m.name));
+                    out.aig.mux(en, hit, fallback)
+                }
+            },
+            Node::And(a, b) => {
+                let x = map_bit(&node_map, a);
+                let y = map_bit(&node_map, b);
+                out.aig.and(x, y)
+            }
+        };
+        node_map[id.index()] = new_bit;
+    }
+
+    // 5. Next-state for original latches.
+    for (l, &bit) in design.latches().iter().zip(&latch_out) {
+        let next = map_bit(&node_map, l.next.expect("checked design"));
+        out.set_next(bit, next);
+    }
+
+    // 6. Next-state for memory cells: write decoders, later ports override.
+    for (mi, m) in design.memories().iter().enumerate() {
+        let writes: Vec<(Vec<Bit>, Bit, Vec<Bit>)> = m
+            .write_ports
+            .iter()
+            .map(|wp| {
+                (
+                    wp.addr.bits().iter().map(|&b| map_bit(&node_map, b)).collect(),
+                    map_bit(&node_map, wp.en),
+                    wp.data.bits().iter().map(|&b| map_bit(&node_map, b)).collect(),
+                )
+            })
+            .collect();
+        for (a, word) in cells[mi].iter().enumerate() {
+            let mut next: Vec<Bit> = word.bits().to_vec();
+            for (addr, en, data) in &writes {
+                let dec = decode(&mut out.aig, addr, a as u64);
+                let strike = out.aig.and(dec, *en);
+                for (b, n) in next.iter_mut().enumerate() {
+                    *n = out.aig.mux(strike, data[b], *n);
+                }
+            }
+            for (b, &bit) in word.bits().iter().enumerate() {
+                out.set_next(bit, next[b]);
+            }
+        }
+    }
+
+    // 7. Properties and constraints.
+    for p in design.properties() {
+        let bad = map_bit(&node_map, p.bad);
+        out.add_property(&p.name, bad);
+    }
+    for &c in design.constraints() {
+        let mapped = map_bit(&node_map, c);
+        out.add_constraint(mapped);
+    }
+
+    out.check().expect("rewritten design is well-formed");
+    let map = ExplicitMap { original_latches: design.num_latches(), memory_base };
+    (out, map)
+}
+
+/// `addr == value` decoder over mapped address bits.
+fn decode(aig: &mut Aig, addr: &[Bit], value: u64) -> Bit {
+    let mut acc = Aig::TRUE;
+    for (i, &b) in addr.iter().enumerate() {
+        let want = (value >> i) & 1 == 1;
+        let lit = if want { b } else { !b };
+        acc = aig.and(acc, lit);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emm_aig::{Design, MemInit, Simulator};
+
+    /// A little memory design: one write port, one read port, streaming.
+    fn small_mem_design(init: MemInit) -> Design {
+        let mut d = Design::new();
+        let mem = d.add_memory("m", 2, 3, init);
+        let waddr = d.new_input_word("waddr", 2);
+        let wdata = d.new_input_word("wdata", 3);
+        let we = d.new_input("we");
+        d.add_write_port(mem, waddr, we, wdata);
+        let raddr = d.new_input_word("raddr", 2);
+        let re = d.new_input("re");
+        let rd = d.add_read_port(mem, raddr, re);
+        let bad = d.aig.eq_const(&rd, 5);
+        d.add_property("rd_ne_5", bad);
+        d.check().expect("valid");
+        d
+    }
+
+    #[test]
+    fn explicit_model_shape() {
+        let d = small_mem_design(MemInit::Zero);
+        let (e, map) = explicit_model(&d);
+        assert_eq!(e.memories().len(), 0, "memories expanded away");
+        assert_eq!(e.num_latches(), 4 * 3, "2^2 words x 3 bits");
+        assert_eq!(map.original_latches, 0);
+        assert_eq!(map.memory_base, vec![0]);
+        // Free inputs: original 2+3+1+2+1 = 9 first, then 3 fallbacks.
+        assert_eq!(e.free_inputs().len(), 9 + 3);
+    }
+
+    /// Randomized co-simulation: the explicit model and the memory-aware
+    /// simulator must agree cycle by cycle on every property value.
+    #[test]
+    fn explicit_model_cosimulates() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let d = small_mem_design(MemInit::Zero);
+        let (e, _) = explicit_model(&d);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sim_orig = Simulator::new(&d);
+        let mut sim_expl = Simulator::new(&e);
+        for cycle in 0..200 {
+            let orig_inputs: Vec<bool> =
+                (0..d.free_inputs().len()).map(|_| rng.random_bool(0.5)).collect();
+            // Explicit model: original inputs first, fallbacks after. Force
+            // fallbacks to 0 to match the simulator's disabled_read_value.
+            let mut expl_inputs = orig_inputs.clone();
+            expl_inputs.resize(e.free_inputs().len(), false);
+            let r1 = sim_orig.step(&orig_inputs);
+            let r2 = sim_expl.step(&expl_inputs);
+            assert_eq!(r1.property_bad, r2.property_bad, "divergence at cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn explicit_model_write_read_roundtrip() {
+        let d = small_mem_design(MemInit::Zero);
+        let (e, map) = explicit_model(&d);
+        let mut sim = Simulator::new(&e);
+        // Write 5 to address 3 (inputs: waddr=3, wdata=5, we=1, raddr, re=0).
+        let mut inputs = vec![false; e.free_inputs().len()];
+        inputs[0] = true;
+        inputs[1] = true; // waddr = 3
+        inputs[2] = true;
+        inputs[4] = true; // wdata = 5
+        inputs[5] = true; // we
+        sim.step(&inputs);
+        // The cell latches now hold 5.
+        let got: u64 = (0..3)
+            .map(|b| (sim.latch(map.cell_latch(&d, 0, 3, b)) as u64) << b)
+            .sum();
+        assert_eq!(got, 5);
+        // Read it back: raddr=3, re=1, we=0 -> property (rd == 5) fires.
+        let mut inputs2 = vec![false; e.free_inputs().len()];
+        inputs2[6] = true;
+        inputs2[7] = true; // raddr = 3
+        inputs2[8] = true; // re
+        let report = sim.step(&inputs2);
+        assert!(report.property_bad[0], "read must return 5");
+    }
+
+    #[test]
+    fn arbitrary_init_becomes_free_latches() {
+        let d = small_mem_design(MemInit::Arbitrary);
+        let (e, map) = explicit_model(&d);
+        let l = map.cell_latch(&d, 0, 0, 0);
+        assert!(matches!(e.latches()[l].init, LatchInit::Free));
+        let dzero = small_mem_design(MemInit::Zero);
+        let (ez, mapz) = explicit_model(&dzero);
+        let lz = mapz.cell_latch(&dzero, 0, 0, 0);
+        assert!(matches!(ez.latches()[lz].init, LatchInit::Zero));
+    }
+
+    /// Multi-port: within-cycle priority must match EMM (higher port wins).
+    #[test]
+    fn multiport_same_cycle_priority() {
+        let mut d = Design::new();
+        let mem = d.add_memory("m", 2, 4, MemInit::Zero);
+        let addr = d.new_input_word("addr", 2);
+        let d0 = d.new_input_word("d0", 4);
+        let d1 = d.new_input_word("d1", 4);
+        let we = d.new_input("we");
+        d.add_write_port(mem, addr.clone(), we, d0);
+        d.add_write_port(mem, addr.clone(), we, d1);
+        let re = d.new_input("re");
+        let rd = d.add_read_port(mem, addr, re);
+        let bad = d.aig.eq_const(&rd, 0);
+        d.add_property("p", bad);
+        d.check().expect("valid");
+        let (e, map) = explicit_model(&d);
+        let mut sim = Simulator::new(&e);
+        // Both ports write addr 1 in the same cycle: d0=3, d1=9, port 1 wins.
+        let mut inputs = vec![false; e.free_inputs().len()];
+        inputs[0] = true; // addr = 1
+        inputs[2] = true; // d0 bit 0
+        inputs[3] = true; // d0 bit 1 -> d0 = 3
+        inputs[6] = true; // d1 bit 0
+        inputs[9] = true; // d1 bit 3 -> d1 = 9
+        inputs[10] = true; // we
+        sim.step(&inputs);
+        let got: u64 = (0..4)
+            .map(|b| (sim.latch(map.cell_latch(&d, 0, 1, b)) as u64) << b)
+            .sum();
+        assert_eq!(got, 9, "port 1 (later) wins the race, matching EMM order");
+    }
+}

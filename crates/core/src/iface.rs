@@ -1,0 +1,104 @@
+//! Per-frame memory interface literals — the handshake between the BMC
+//! unroller and the EMM constraint generator.
+//!
+//! When the unroller instantiates frame `k` of a design, it knows which SAT
+//! literal carries each memory interface signal (`Addr`, `WD`, `WE`, `RD`,
+//! `RE`, per port) at that frame. It packages them into a
+//! [`MemoryFrameLits`] and hands them to the
+//! [`EmmEncoder`](crate::emm::EmmEncoder), which owns the cross-frame
+//! bookkeeping.
+
+use emm_sat::Lit;
+
+/// Literals of one port's signals at one frame.
+#[derive(Clone, Debug)]
+pub struct PortLits {
+    /// Address bus literals, LSB first (`AW` of them).
+    pub addr: Vec<Lit>,
+    /// Enable literal (`WE` for write ports, `RE` for read ports).
+    pub en: Lit,
+    /// Data bus literals, LSB first (`DW` of them): `WD` for write ports,
+    /// `RD` for read ports.
+    pub data: Vec<Lit>,
+}
+
+/// Literals of one memory's full interface at one frame.
+#[derive(Clone, Debug)]
+pub struct MemoryFrameLits {
+    /// Read ports in design order.
+    pub reads: Vec<PortLits>,
+    /// Write ports in design order.
+    pub writes: Vec<PortLits>,
+}
+
+/// Static shape of one memory, as the encoder needs it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryShape {
+    /// Address width `m` in the paper's formulas.
+    pub addr_width: usize,
+    /// Data width `n` in the paper's formulas.
+    pub data_width: usize,
+    /// Number of read ports `R`.
+    pub read_ports: usize,
+    /// Number of write ports `W`.
+    pub write_ports: usize,
+    /// Whether the initial contents are arbitrary (quicksort) or zero
+    /// (the industry designs).
+    pub arbitrary_init: bool,
+}
+
+impl MemoryShape {
+    /// Paper Section 4.1: clauses added for all `R` read ports when frame
+    /// `k` is processed — `((4m + 2n + 1)·k·W + 2n + 1)·R`.
+    pub fn clauses_at_depth(&self, k: usize) -> usize {
+        let m = self.addr_width;
+        let n = self.data_width;
+        let w = self.write_ports;
+        ((4 * m + 2 * n + 1) * k * w + 2 * n + 1) * self.read_ports
+    }
+
+    /// Paper Section 4.1: gates added at frame `k` — `3·k·W·R`.
+    pub fn gates_at_depth(&self, k: usize) -> usize {
+        3 * k * self.write_ports * self.read_ports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms_match_paper_single_port() {
+        // Single memory, single read/write port (Section 3): at depth k the
+        // hybrid representation adds (4m + 2n + 1)k + 2n + 1 clauses and 3k
+        // gates.
+        let shape = MemoryShape {
+            addr_width: 10,
+            data_width: 32,
+            read_ports: 1,
+            write_ports: 1,
+            arbitrary_init: false,
+        };
+        let (m, n) = (10usize, 32usize);
+        for k in 0..20 {
+            assert_eq!(shape.clauses_at_depth(k), (4 * m + 2 * n + 1) * k + 2 * n + 1);
+            assert_eq!(shape.gates_at_depth(k), 3 * k);
+        }
+    }
+
+    #[test]
+    fn closed_forms_scale_with_ports() {
+        let shape = MemoryShape {
+            addr_width: 12,
+            data_width: 32,
+            read_ports: 3,
+            write_ports: 1,
+            arbitrary_init: false,
+        };
+        let single = MemoryShape { read_ports: 1, ..shape };
+        for k in 0..10 {
+            assert_eq!(shape.clauses_at_depth(k), 3 * single.clauses_at_depth(k));
+            assert_eq!(shape.gates_at_depth(k), 3 * single.gates_at_depth(k));
+        }
+    }
+}

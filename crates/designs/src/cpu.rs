@@ -1,0 +1,493 @@
+//! A tiny accumulator CPU over two embedded memories — the "software
+//! programs" workload family of the paper, one step up from quicksort.
+//!
+//! Harvard layout: an instruction memory and a data memory, both embedded.
+//! The CPU fetches, decodes and executes one instruction per cycle
+//! (memory reads are combinational, stores land at end of cycle).
+//!
+//! Two verification modes:
+//!
+//! * [`TinyCpu::any_program`] — the instruction memory has **arbitrary
+//!   initial contents** and no write port: the design represents the CPU
+//!   running *every possible program at once*. Control-safety properties
+//!   (halt stickiness) must hold for all of them, and soundness leans on
+//!   eq. (6): re-fetching the same address must yield the same
+//!   instruction, or "the program" would not be a program.
+//! * [`TinyCpu::with_program`] — a loader FSM first writes a concrete
+//!   program into the instruction memory (exercising write-to-read
+//!   forwarding on instruction fetches), then runs it; the design carries
+//!   a property comparing the accumulator at `HALT` against an expected
+//!   value, which [`emulate`] computes. Proving it is an end-to-end
+//!   program-correctness proof in the style of the quicksort case study.
+
+use emm_aig::{Aig, Bit, Design, LatchInit, MemInit, MemoryId, PropertyId, Word};
+
+/// Instruction opcodes (3 bits).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// No operation.
+    Nop = 0,
+    /// `acc <- imm`.
+    Ldi = 1,
+    /// `acc <- dmem[addr]`.
+    Load = 2,
+    /// `dmem[addr] <- acc`.
+    Store = 3,
+    /// `acc <- acc + dmem[addr]` (wrapping).
+    Add = 4,
+    /// `pc <- addr`.
+    Jmp = 5,
+    /// `pc <- addr` when `acc != 0`.
+    Jnz = 6,
+    /// Stop; the CPU stays halted forever.
+    Halt = 7,
+}
+
+/// One instruction: opcode plus an operand (immediate or address).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Instr {
+    /// The opcode.
+    pub op: Op,
+    /// Immediate / address operand (truncated to the relevant width).
+    pub arg: u64,
+}
+
+impl Instr {
+    /// Encodes to the instruction-memory word: `op` in the low 3 bits,
+    /// the operand above.
+    pub fn encode(self) -> u64 {
+        (self.op as u64) | (self.arg << 3)
+    }
+
+    /// Decodes from an instruction-memory word.
+    pub fn decode(word: u64) -> Instr {
+        let op = match word & 7 {
+            0 => Op::Nop,
+            1 => Op::Ldi,
+            2 => Op::Load,
+            3 => Op::Store,
+            4 => Op::Add,
+            5 => Op::Jmp,
+            6 => Op::Jnz,
+            _ => Op::Halt,
+        };
+        Instr { op, arg: word >> 3 }
+    }
+}
+
+/// CPU configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuConfig {
+    /// Instruction-memory address width.
+    pub imem_addr_width: usize,
+    /// Data-memory address width.
+    pub dmem_addr_width: usize,
+    /// Accumulator / data width.
+    pub data_width: usize,
+}
+
+impl CpuConfig {
+    /// A small configuration for tests.
+    pub fn small() -> CpuConfig {
+        CpuConfig { imem_addr_width: 4, dmem_addr_width: 3, data_width: 8 }
+    }
+
+    /// Instruction word width: 3 opcode bits + max(operand widths).
+    pub fn instr_width(&self) -> usize {
+        3 + self
+            .imem_addr_width
+            .max(self.dmem_addr_width)
+            .max(self.data_width)
+    }
+}
+
+/// Result of software emulation (the reference semantics).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EmulationResult {
+    /// Accumulator at halt.
+    pub acc: u64,
+    /// Cycles executed (including the halt instruction).
+    pub cycles: usize,
+    /// Final data memory (sparse).
+    pub dmem: std::collections::HashMap<u64, u64>,
+    /// Whether the program halted within the step budget.
+    pub halted: bool,
+}
+
+/// Runs a program on the reference ISA semantics.
+///
+/// `initial_dmem[a]` gives initial data-memory contents (unset = 0).
+pub fn emulate(
+    config: &CpuConfig,
+    program: &[Instr],
+    initial_dmem: &[(u64, u64)],
+    max_cycles: usize,
+) -> EmulationResult {
+    let data_mask = mask(config.data_width);
+    let dmask = mask(config.dmem_addr_width);
+    let imask = mask(config.imem_addr_width);
+    let mut dmem: std::collections::HashMap<u64, u64> =
+        initial_dmem.iter().map(|&(a, v)| (a & dmask, v & data_mask)).collect();
+    let mut pc: u64 = 0;
+    let mut acc: u64 = 0;
+    for cycle in 0..max_cycles {
+        let instr = program.get(pc as usize).copied().unwrap_or(Instr { op: Op::Nop, arg: 0 });
+        let mut next_pc = (pc + 1) & imask;
+        match instr.op {
+            Op::Nop => {}
+            Op::Ldi => acc = instr.arg & data_mask,
+            Op::Load => acc = *dmem.get(&(instr.arg & dmask)).unwrap_or(&0),
+            Op::Store => {
+                dmem.insert(instr.arg & dmask, acc);
+            }
+            Op::Add => {
+                let v = *dmem.get(&(instr.arg & dmask)).unwrap_or(&0);
+                acc = (acc + v) & data_mask;
+            }
+            Op::Jmp => next_pc = instr.arg & imask,
+            Op::Jnz => {
+                if acc != 0 {
+                    next_pc = instr.arg & imask;
+                }
+            }
+            Op::Halt => {
+                return EmulationResult { acc, cycles: cycle + 1, dmem, halted: true };
+            }
+        }
+        pc = next_pc;
+    }
+    EmulationResult { acc, cycles: max_cycles, dmem, halted: false }
+}
+
+/// The built CPU design plus handles.
+#[derive(Debug)]
+pub struct TinyCpu {
+    /// The verification model.
+    pub design: Design,
+    /// Configuration used.
+    pub config: CpuConfig,
+    /// Instruction memory.
+    pub imem: MemoryId,
+    /// Data memory.
+    pub dmem: MemoryId,
+    /// Property: once halted, the CPU never un-halts.
+    pub halt_sticky: PropertyId,
+    /// Property comparing `acc` at halt against the expected value
+    /// (only in [`TinyCpu::with_program`] mode).
+    pub result_correct: Option<PropertyId>,
+    /// The halted flag bit.
+    pub halted: Bit,
+    /// The accumulator word.
+    pub acc: Word,
+    /// The program counter word.
+    pub pc: Word,
+    /// Cycles the loader occupies before execution starts (0 in
+    /// any-program mode).
+    pub load_cycles: usize,
+}
+
+impl TinyCpu {
+    /// Builds the CPU over an arbitrary (unconstrained) program.
+    pub fn any_program(config: CpuConfig) -> TinyCpu {
+        Self::build(config, None, 0)
+    }
+
+    /// Builds the CPU with a loader that writes `program` into the
+    /// instruction memory and then executes it; `expected_acc` is asserted
+    /// at halt via the `result_correct` property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not fit the instruction memory.
+    pub fn with_program(config: CpuConfig, program: &[Instr], expected_acc: u64) -> TinyCpu {
+        assert!(program.len() <= 1 << config.imem_addr_width, "program too large");
+        assert!(!program.is_empty());
+        Self::build(config, Some(program), expected_acc)
+    }
+
+    fn build(config: CpuConfig, program: Option<&[Instr]>, expected_acc: u64) -> TinyCpu {
+        let iaw = config.imem_addr_width;
+        let daw = config.dmem_addr_width;
+        let dw = config.data_width;
+        let iw = config.instr_width();
+        let mut d = Design::new();
+        // In any-program mode the instruction memory itself is the symbolic
+        // program: arbitrary initial contents, no writes.
+        let imem_init =
+            if program.is_some() { MemInit::Zero } else { MemInit::Arbitrary };
+        let imem = d.add_memory("imem", iaw, iw, imem_init);
+        let dmem = d.add_memory("dmem", daw, dw, MemInit::Zero);
+
+        // Loader phase (concrete-program mode): a counter walks the program
+        // image; `loading` is 1 until the image is fully written.
+        let (loading, load_cycles) = match program {
+            None => (Aig::FALSE, 0usize),
+            Some(prog) => {
+                let len = prog.len();
+                let cnt = d.new_latch_word("load_cnt", iaw + 1, LatchInit::Zero);
+                let g = &mut d.aig;
+                let done = g.eq_const(&cnt, len as u64);
+                let inc = g.inc(&cnt);
+                let next = g.mux_word(done, &cnt, &inc);
+                d.set_next_word(&cnt, &next);
+                // Instruction image as a mux chain over the counter.
+                let g = &mut d.aig;
+                let mut image = g.const_word(0, iw);
+                for (a, ins) in prog.iter().enumerate() {
+                    let here = g.eq_const(&cnt, a as u64);
+                    let value = g.const_word(ins.encode(), iw);
+                    image = g.mux_word(here, &value, &image);
+                }
+                let waddr = g.resize(&cnt, iaw);
+                d.add_write_port(imem, waddr, !done, image);
+                (!done, len)
+            }
+        };
+
+        // Architectural state.
+        let pc = d.new_latch_word("pc", iaw, LatchInit::Zero);
+        let acc = d.new_latch_word("acc", dw, LatchInit::Zero);
+        let (_, halted) = d.new_latch("halted", LatchInit::Zero);
+
+        // Fetch (suppressed while loading or halted).
+        let g = &mut d.aig;
+        let running = g.and(!loading, !halted);
+        let instr = d.add_read_port(imem, pc.clone(), running);
+        let g = &mut d.aig;
+        let opcode = Word::from(instr.bits()[..3].to_vec());
+        let operand = Word::from(instr.bits()[3..].to_vec());
+        let arg_d = g.resize(&operand, dw);
+        let arg_da = g.resize(&operand, daw);
+        let arg_ia = g.resize(&operand, iaw);
+        let is = |g: &mut Aig, op: Op| -> Bit {
+            let raw = g.eq_const(&opcode, op as u64);
+            g.and(raw, running)
+        };
+        let op_ldi = is(g, Op::Ldi);
+        let op_load = is(g, Op::Load);
+        let op_store = is(g, Op::Store);
+        let op_add = is(g, Op::Add);
+        let op_jmp = is(g, Op::Jmp);
+        let op_jnz = is(g, Op::Jnz);
+        let op_halt = is(g, Op::Halt);
+
+        // Data memory ports.
+        let g = &mut d.aig;
+        let dmem_read = g.or(op_load, op_add);
+        let data = d.add_read_port(dmem, arg_da.clone(), dmem_read);
+        d.add_write_port(dmem, arg_da, op_store, acc.clone());
+
+        // Accumulator update.
+        let g = &mut d.aig;
+        let sum = g.add(&acc, &data);
+        let mut acc_next = acc.clone();
+        acc_next = g.mux_word(op_ldi, &arg_d, &acc_next);
+        acc_next = g.mux_word(op_load, &data, &acc_next);
+        acc_next = g.mux_word(op_add, &sum, &acc_next);
+        d.set_next_word(&acc, &acc_next);
+
+        // PC update.
+        let g = &mut d.aig;
+        let pc_inc = g.inc(&pc);
+        let acc_nz = g.redor(&acc);
+        let take_jnz = g.and(op_jnz, acc_nz);
+        let mut pc_next = g.mux_word(running, &pc_inc, &pc);
+        pc_next = g.mux_word(op_jmp, &arg_ia, &pc_next);
+        pc_next = g.mux_word(take_jnz, &arg_ia, &pc_next);
+        pc_next = g.mux_word(op_halt, &pc, &pc_next);
+        d.set_next_word(&pc, &pc_next);
+
+        // Halt latch.
+        let g = &mut d.aig;
+        let halted_next = g.or(halted, op_halt);
+        d.set_next(halted, halted_next);
+
+        // Halt is sticky: a previously-halted CPU never resumes.
+        let (_, was_halted) = d.new_latch("was_halted", LatchInit::Zero);
+        d.set_next(was_halted, halted);
+        let g = &mut d.aig;
+        let resume = g.and(was_halted, !halted);
+        let halt_sticky = d.add_property("halt_sticky", resume);
+
+        // Concrete-program result check.
+        let result_correct = program.map(|_| {
+            let g = &mut d.aig;
+            let expect = g.const_word(expected_acc, dw);
+            let ok = g.eq_word(&acc, &expect);
+            let bad = g.and(halted, !ok);
+            d.add_property("result_correct", bad)
+        });
+
+        d.check().expect("cpu design is well-formed");
+        TinyCpu {
+            design: d,
+            config,
+            imem,
+            dmem,
+            halt_sticky,
+            result_correct,
+            halted,
+            acc,
+            pc,
+            load_cycles,
+        }
+    }
+}
+
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emm_aig::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Sum of dmem[0..3] into acc, then halt.
+    fn sum_program() -> Vec<Instr> {
+        vec![
+            Instr { op: Op::Ldi, arg: 0 },
+            Instr { op: Op::Add, arg: 0 },
+            Instr { op: Op::Add, arg: 1 },
+            Instr { op: Op::Add, arg: 2 },
+            Instr { op: Op::Store, arg: 7 },
+            Instr { op: Op::Halt, arg: 0 },
+        ]
+    }
+
+    #[test]
+    fn instr_encode_decode_roundtrip() {
+        for op in [Op::Nop, Op::Ldi, Op::Load, Op::Store, Op::Add, Op::Jmp, Op::Jnz, Op::Halt] {
+            for arg in [0u64, 1, 7, 200] {
+                let i = Instr { op, arg };
+                assert_eq!(Instr::decode(i.encode()), i);
+            }
+        }
+    }
+
+    #[test]
+    fn emulator_runs_sum_program() {
+        let config = CpuConfig::small();
+        let result =
+            emulate(&config, &sum_program(), &[(0, 5), (1, 9), (2, 1)], 100);
+        assert!(result.halted);
+        assert_eq!(result.acc, 15);
+        assert_eq!(result.dmem.get(&7), Some(&15));
+    }
+
+    /// The hardware CPU and the emulator agree on random straight-line
+    /// programs (no backward jumps, so everything terminates).
+    #[test]
+    fn hardware_matches_emulator_on_random_programs() {
+        let config = CpuConfig::small();
+        let mut rng = StdRng::seed_from_u64(0xC9);
+        for round in 0..40 {
+            let len = rng.random_range(2..10usize);
+            let mut program: Vec<Instr> = (0..len - 1)
+                .map(|i| {
+                    let op = match rng.random_range(0..6) {
+                        0 => Op::Nop,
+                        1 => Op::Ldi,
+                        2 => Op::Load,
+                        3 => Op::Store,
+                        4 => Op::Add,
+                        // Forward jump only: keeps programs terminating.
+                        _ => Op::Jmp,
+                    };
+                    let arg = match op {
+                        Op::Jmp => rng.random_range(i as u64 + 1..len as u64),
+                        Op::Ldi => rng.random_range(0..256),
+                        _ => rng.random_range(0..8),
+                    };
+                    Instr { op, arg }
+                })
+                .collect();
+            program.push(Instr { op: Op::Halt, arg: 0 });
+            let expected = emulate(&config, &program, &[], 200);
+            assert!(expected.halted, "round {round}: straight-line must halt");
+
+            let cpu = TinyCpu::with_program(config, &program, expected.acc);
+            let mut sim = Simulator::new(&cpu.design);
+            let budget = cpu.load_cycles + 200;
+            let mut fired_result = false;
+            for _ in 0..budget {
+                let report = sim.step(&[]);
+                assert!(!report.property_bad[cpu.halt_sticky.0 as usize]);
+                fired_result |=
+                    report.property_bad[cpu.result_correct.expect("concrete").0 as usize];
+                if sim.value(cpu.halted) {
+                    break;
+                }
+            }
+            assert!(sim.value(cpu.halted), "round {round}: CPU must halt");
+            assert!(!fired_result, "round {round}: result property must hold");
+            assert_eq!(
+                sim.state_value(&cpu.acc),
+                expected.acc,
+                "round {round}: acc mismatch for {program:?}"
+            );
+            // Stores visible in data memory.
+            for (&a, &v) in &expected.dmem {
+                assert_eq!(sim.read_memory(cpu.dmem, a), v, "round {round} dmem[{a}]");
+            }
+        }
+    }
+
+    #[test]
+    fn loops_execute_correctly() {
+        // Count down from 3: LDI 3; STORE 0; LDI 1; STORE 1;
+        // loop: LOAD 0; ADD 2 (0) ... simpler: acc-based loop with JNZ.
+        // acc = 3; loop: acc = acc + dmem[1] (which holds 255 = -1); JNZ loop; HALT
+        let config = CpuConfig::small();
+        let program = vec![
+            Instr { op: Op::Ldi, arg: 255 },
+            Instr { op: Op::Store, arg: 1 }, // dmem[1] = -1
+            Instr { op: Op::Ldi, arg: 3 },
+            Instr { op: Op::Add, arg: 1 }, // acc += -1
+            Instr { op: Op::Jnz, arg: 3 },
+            Instr { op: Op::Halt, arg: 0 },
+        ];
+        let expected = emulate(&config, &program, &[], 100);
+        assert!(expected.halted);
+        assert_eq!(expected.acc, 0);
+        let cpu = TinyCpu::with_program(config, &program, expected.acc);
+        let mut sim = Simulator::new(&cpu.design);
+        for _ in 0..cpu.load_cycles + 50 {
+            sim.step(&[]);
+            if sim.value(cpu.halted) {
+                break;
+            }
+        }
+        assert!(sim.value(cpu.halted));
+        assert_eq!(sim.state_value(&cpu.acc), 0);
+    }
+
+    #[test]
+    fn any_program_mode_halt_sticky_in_simulation() {
+        let config = CpuConfig::small();
+        let cpu = TinyCpu::any_program(config);
+        let mut rng = StdRng::seed_from_u64(0xAA);
+        // Seed a random program image and check stickiness dynamically.
+        for _ in 0..10 {
+            let mut sim = Simulator::new(&cpu.design);
+            for a in 0..(1u64 << config.imem_addr_width) {
+                sim.seed_memory(cpu.imem, a, rng.random_range(0..(1 << config.instr_width())));
+            }
+            let mut seen_halt = false;
+            for _ in 0..100 {
+                let report = sim.step(&[]);
+                assert!(!report.property_bad[cpu.halt_sticky.0 as usize]);
+                seen_halt |= sim.value(cpu.halted);
+                if seen_halt {
+                    assert!(sim.value(cpu.halted), "must stay halted");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Industry Design I surrogate: a streaming low-pass image filter
+//! (Section 5, "Case Study on Industry Design I").
+//!
+//! The paper's design is proprietary: a low-pass image filter with 756
+//! latches, two memories (`AW=10, DW=8`, one read and one write port each,
+//! zero-initialized) and 216 reachability properties, of which 206 have
+//! witnesses (max depth 51) and 10 are proved by induction.
+//!
+//! This surrogate preserves the verification-relevant structure:
+//!
+//! * a pixel pipeline computing a 2-D low-pass kernel
+//!   `out = (cur + west + north + north_west) / 4` over a streamed image,
+//! * **two line-buffer memories** of the paper's exact shape — one holding
+//!   the previous row of raw pixels, one holding the previous row of
+//!   filtered output (both `AW=10, DW=8`, 1R/1W, zero-init),
+//! * a bank of `reachable_properties` witness targets whose depths are
+//!   spread up to a configurable maximum (default 51, the paper's number),
+//! * `unreachable_properties` invariant properties that hold in all
+//!   reachable states and are provable by induction.
+
+use emm_aig::{Design, LatchInit, MemInit, MemoryId, Word};
+
+/// Configuration of the filter surrogate.
+#[derive(Clone, Copy, Debug)]
+pub struct ImageFilterConfig {
+    /// Line length (also line-buffer address space usage); paper-scale 1024.
+    pub line_length: usize,
+    /// Line-buffer address width (paper: 10).
+    pub addr_width: usize,
+    /// Pixel width (paper: 8).
+    pub data_width: usize,
+    /// Number of reachability properties with witnesses (paper: 206).
+    pub reachable_properties: usize,
+    /// Number of unreachable, induction-provable properties (paper: 10).
+    pub unreachable_properties: usize,
+    /// Maximum witness depth to spread the reachable properties over
+    /// (paper: 51).
+    pub max_witness_depth: usize,
+}
+
+impl ImageFilterConfig {
+    /// The paper-shaped configuration: 216 properties, depths up to 51,
+    /// two `AW=10, DW=8` memories.
+    pub fn paper() -> ImageFilterConfig {
+        ImageFilterConfig {
+            line_length: 1024,
+            addr_width: 10,
+            data_width: 8,
+            reachable_properties: 206,
+            unreachable_properties: 10,
+            max_witness_depth: 51,
+        }
+    }
+
+    /// A scaled-down configuration for fast tests.
+    pub fn small() -> ImageFilterConfig {
+        ImageFilterConfig {
+            line_length: 8,
+            addr_width: 3,
+            data_width: 4,
+            reachable_properties: 12,
+            unreachable_properties: 4,
+            max_witness_depth: 14,
+        }
+    }
+}
+
+/// The built filter design plus handles.
+#[derive(Debug)]
+pub struct ImageFilter {
+    /// The verification model.
+    pub design: Design,
+    /// Configuration used.
+    pub config: ImageFilterConfig,
+    /// Raw-pixel line buffer.
+    pub raw_line: MemoryId,
+    /// Filtered-pixel line buffer.
+    pub filtered_line: MemoryId,
+    /// Property indices with witnesses (in design property order).
+    pub reachable: Vec<usize>,
+    /// Property indices provable by induction.
+    pub unreachable: Vec<usize>,
+}
+
+impl ImageFilter {
+    /// Builds the design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_length` exceeds the address space.
+    pub fn new(config: ImageFilterConfig) -> ImageFilter {
+        assert!(config.line_length <= 1 << config.addr_width);
+        assert!(config.line_length >= 4, "need a non-degenerate line");
+        let aw = config.addr_width;
+        let dw = config.data_width;
+        let mut d = Design::new();
+        let raw_line = d.add_memory("raw_line", aw, dw, MemInit::Zero);
+        let filtered_line = d.add_memory("filtered_line", aw, dw, MemInit::Zero);
+
+        // Streamed pixel input and a valid strobe.
+        let pixel_in = d.new_input_word("pixel_in", dw);
+        let in_valid = d.new_input("in_valid");
+
+        // Column/row counters advance on valid pixels.
+        let col = d.new_latch_word("col", aw, LatchInit::Zero);
+        let row = d.new_latch_word("row", 8, LatchInit::Zero);
+        let g = &mut d.aig;
+        let col_last = g.eq_const(&col, config.line_length as u64 - 1);
+        let col_inc = g.inc(&col);
+        let zero_col = g.const_word(0, aw);
+        let col_wrapped = g.mux_word(col_last, &zero_col, &col_inc);
+        let col_next = g.mux_word(in_valid, &col_wrapped, &col);
+        d.set_next_word(&col, &col_next);
+        let g = &mut d.aig;
+        let row_inc = g.inc(&row);
+        let advance_row = g.and(in_valid, col_last);
+        let row_next = g.mux_word(advance_row, &row_inc, &row);
+        d.set_next_word(&row, &row_next);
+
+        // West pixel: previous valid pixel in this row (0 at col 0).
+        let west = d.new_latch_word("west", dw, LatchInit::Zero);
+        let g = &mut d.aig;
+        let zero_px = g.const_word(0, dw);
+        let west_data = g.mux_word(col_last, &zero_px, &pixel_in);
+        let west_next = g.mux_word(in_valid, &west_data, &west);
+        d.set_next_word(&west, &west_next);
+
+        // North pixel: same column, previous row — read from the raw line
+        // buffer before overwriting it with the current pixel.
+        let north = d.add_read_port(raw_line, col.clone(), in_valid);
+        d.add_write_port(raw_line, col.clone(), in_valid, pixel_in.clone());
+
+        // North-west: registered copy of last cycle's north read.
+        let north_west = d.new_latch_word("north_west", dw, LatchInit::Zero);
+        let g = &mut d.aig;
+        let nw_data = g.mux_word(col_last, &zero_px, &north);
+        let nw_next = g.mux_word(in_valid, &nw_data, &north_west);
+        d.set_next_word(&north_west, &nw_next);
+
+        // Low-pass kernel: (cur + west + north + north_west) / 4, computed
+        // at full precision then truncated.
+        let g = &mut d.aig;
+        let wide = dw + 2;
+        let cur_w = g.resize(&pixel_in, wide);
+        let west_w = g.resize(&west, wide);
+        let north_w = g.resize(&north, wide);
+        let nw_w = g.resize(&north_west, wide);
+        let s1 = g.add(&cur_w, &west_w);
+        let s2 = g.add(&north_w, &nw_w);
+        let total = g.add(&s1, &s2);
+        let avg_wide = g.shr_const(&total, 2);
+        let filtered = g.resize(&avg_wide, dw);
+
+        // Output register and filtered-line buffer (write current, read the
+        // previous row's filtered value for a vertical gradient signal).
+        let out_reg = d.new_latch_word("out", dw, LatchInit::Zero);
+        let g = &mut d.aig;
+        let out_next = g.mux_word(in_valid, &filtered, &out_reg);
+        d.set_next_word(&out_reg, &out_next);
+        let prev_filtered = d.add_read_port(filtered_line, col.clone(), in_valid);
+        d.add_write_port(filtered_line, col.clone(), in_valid, Word::from(filtered.bits().to_vec()));
+        let g = &mut d.aig;
+        let gradient = g.sub(&filtered, &prev_filtered);
+        let gradient_reg = d.new_latch_word("gradient", dw, LatchInit::Zero);
+        let g = &mut d.aig;
+        let grad_next = g.mux_word(in_valid, &gradient, &gradient_reg);
+        d.set_next_word(&gradient_reg, &grad_next);
+
+        // Pixels-processed counter for depth-targeted properties.
+        let seen = d.new_latch_word("seen", 8, LatchInit::Zero);
+        let g = &mut d.aig;
+        let seen_cap = g.eq_const(&seen, 255);
+        let seen_inc = g.inc(&seen);
+        let advance_seen = g.and(in_valid, !seen_cap);
+        let seen_next = g.mux_word(advance_seen, &seen_inc, &seen);
+        d.set_next_word(&seen, &seen_next);
+
+        // A legal 3-phase controller (0 -> 1 -> 2 -> 0): state 3 is
+        // unreachable, and provably so by induction.
+        let phase = d.new_latch_word("phase", 2, LatchInit::Zero);
+        let g = &mut d.aig;
+        let ph0 = g.eq_const(&phase, 0);
+        let ph1 = g.eq_const(&phase, 1);
+        let one = g.const_word(1, 2);
+        let two = g.const_word(2, 2);
+        let zero2 = g.const_word(0, 2);
+        let next_phase_sel = g.mux_word(ph1, &two, &zero2);
+        let phase_next = g.mux_word(ph0, &one, &next_phase_sel);
+        let phase_adv = g.mux_word(in_valid, &phase_next, &phase);
+        d.set_next_word(&phase, &phase_adv);
+
+        // ---------------- Reachability properties (with witnesses) -------
+        // Property v: "seen == depth(v) and the output's low bits equal a
+        // target pattern". Witness depth is controlled by the `seen` value.
+        let mut reachable = Vec::new();
+        let mut unreachable = Vec::new();
+        for v in 0..config.reachable_properties {
+            let depth = 3 + (v * (config.max_witness_depth.saturating_sub(3)))
+                / config.reachable_properties.max(1);
+            let g = &mut d.aig;
+            let at_depth = g.eq_const(&seen, depth as u64);
+            // A pattern over the two lowest output bits keeps every target
+            // satisfiable regardless of width.
+            let pattern = (v % 4) as u64;
+            let low2 = Word::from(out_reg.bits()[..2.min(dw)].to_vec());
+            let hit = g.eq_const(&low2, pattern & ((1 << low2.width()) - 1));
+            let bad = g.and(at_depth, hit);
+            let id = d.add_property(&format!("reach_{v:03}"), bad);
+            reachable.push(id.0 as usize);
+        }
+        // ---------------- Unreachable, induction-provable properties -----
+        for v in 0..config.unreachable_properties {
+            let g = &mut d.aig;
+            let bad = match v % 4 {
+                // The controller never reaches phase 3 (1-step inductive:
+                // the next-phase function produces only 0, 1 or 2).
+                0 => g.eq_const(&phase, 3),
+                // Distinct members of the same family: phase 3 together
+                // with a particular `seen` bit.
+                1 => {
+                    let p3 = g.eq_const(&phase, 3);
+                    g.and(p3, seen.bit((v / 4) % 8))
+                }
+                // Mutually-exclusive decodes asserted simultaneously:
+                // structurally false, proved at depth 0.
+                2 => {
+                    let p0 = g.eq_const(&phase, 0);
+                    let p1 = g.eq_const(&phase, 1);
+                    g.and(p0, p1)
+                }
+                // A strengthened controller claim: phase==3 with valid.
+                _ => {
+                    let p3 = g.eq_const(&phase, 3);
+                    g.and(p3, in_valid)
+                }
+            };
+            let id = d.add_property(&format!("invariant_{v:02}"), bad);
+            unreachable.push(id.0 as usize);
+        }
+
+        d.check().expect("image filter design is well-formed");
+        ImageFilter { design: d, config, raw_line, filtered_line, reachable, unreachable }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emm_aig::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn paper_shape() {
+        let f = ImageFilter::new(ImageFilterConfig::paper());
+        let stats = f.design.stats();
+        assert_eq!(f.design.properties().len(), 216, "206 + 10 properties");
+        assert_eq!(f.design.memories().len(), 2);
+        for m in f.design.memories() {
+            assert_eq!((m.addr_width, m.data_width), (10, 8));
+            assert_eq!(m.read_ports.len(), 1);
+            assert_eq!(m.write_ports.len(), 1);
+        }
+        assert!(stats.latches >= 40, "got {} latches", stats.latches);
+    }
+
+    /// The filter computes the documented kernel, checked against a
+    /// software model over a random image.
+    #[test]
+    fn kernel_matches_software_model() {
+        let config = ImageFilterConfig::small();
+        let f = ImageFilter::new(config);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sim = Simulator::new(&f.design);
+        let w = config.line_length;
+        let dw = config.data_width;
+        let mask = (1u64 << dw) - 1;
+        let rows = 4;
+        let mut image = vec![vec![0u64; w]; rows];
+        for row in image.iter_mut() {
+            for px in row.iter_mut() {
+                *px = rng.random_range(0..=mask);
+            }
+        }
+        let out_word = f.design.named("out[0]").map(|_| ()).expect("out exists");
+        let _ = out_word;
+        let mut outputs = Vec::new();
+        for r in 0..rows {
+            for c in 0..w {
+                let mut inputs = Vec::new();
+                for b in 0..dw {
+                    inputs.push((image[r][c] >> b) & 1 == 1);
+                }
+                inputs.push(true); // in_valid
+                sim.step(&inputs);
+                // Reconstruct "out" register from the post-step latch
+                // state (node values still show the pre-step outputs).
+                let out: u64 = f
+                    .design
+                    .latches()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.name.starts_with("out["))
+                    .map(|(idx, l)| {
+                        let b: usize = l.name[4..l.name.len() - 1].parse().expect("bit index");
+                        (sim.latch(idx) as u64) << b
+                    })
+                    .sum();
+                // The register holds the filtered value of THIS pixel after
+                // the step (it latched `filtered` computed this cycle).
+                let west = if c == 0 { 0 } else { image[r][c - 1] };
+                let north = if r == 0 { 0 } else { image[r - 1][c] };
+                let nw = if r == 0 || c == 0 { 0 } else { image[r - 1][c - 1] };
+                let expect = ((image[r][c] + west + north + nw) >> 2) & mask;
+                outputs.push((out, expect, r, c));
+            }
+        }
+        for (got, expect, r, c) in outputs {
+            assert_eq!(got, expect, "pixel ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn unreachable_properties_never_fire_in_simulation() {
+        let config = ImageFilterConfig::small();
+        let f = ImageFilter::new(config);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sim = Simulator::new(&f.design);
+        for _ in 0..500 {
+            let mut inputs: Vec<bool> =
+                (0..config.data_width).map(|_| rng.random_bool(0.5)).collect();
+            inputs.push(rng.random_bool(0.8));
+            let report = sim.step(&inputs);
+            for &u in &f.unreachable {
+                assert!(!report.property_bad[u], "invariant property {u} fired");
+            }
+        }
+    }
+
+    #[test]
+    fn reachable_properties_have_witnesses_in_simulation() {
+        // Drive constant-valid random pixels; every reachable property
+        // should fire at least once across enough random runs (each
+        // property needs out%4 == pattern at one specific depth, so a few
+        // attempts suffice with random data).
+        let config = ImageFilterConfig::small();
+        let f = ImageFilter::new(config);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut fired = vec![false; f.design.properties().len()];
+        for _ in 0..400 {
+            let mut sim = Simulator::new(&f.design);
+            for _ in 0..config.max_witness_depth + 2 {
+                let mut inputs: Vec<bool> =
+                    (0..config.data_width).map(|_| rng.random_bool(0.5)).collect();
+                inputs.push(true);
+                let report = sim.step(&inputs);
+                for (i, &b) in report.property_bad.iter().enumerate() {
+                    fired[i] |= b;
+                }
+            }
+        }
+        for &r in &f.reachable {
+            assert!(fired[r], "reachable property {r} never fired in simulation");
+        }
+        for &u in &f.unreachable {
+            assert!(!fired[u], "unreachable property {u} fired");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # emm-designs — case-study designs for the EMM reproduction
+//!
+//! Verification workloads for *"Verification of Embedded Memory Systems
+//! using Efficient Memory Modeling"* (Ganai, Gupta, Ashar — DATE 2005).
+//! Each module builds an [`emm_aig::Design`] plus handles (memory ids,
+//! property indices, named registers) the tests and benchmark harnesses
+//! use.
+//!
+//! ## The paper's case studies
+//!
+//! * [`quicksort`] — quicksort in hardware over an array memory and an
+//!   explicit recursion stack (Tables 1 and 2; properties P1 and P2);
+//! * [`image_filter`] — the Industry Design I surrogate: a streaming
+//!   low-pass filter with two line-buffer memories and a 216-property
+//!   bank (206 witnesses + 10 induction proofs);
+//! * [`industry2`] — the Industry Design II surrogate: a lookup engine
+//!   with a 1-write/3-read memory whose write path can never fire, the
+//!   `G(WE=0 ∨ WD=0)` invariant, and 8 unreachable lookup properties.
+//!
+//! ## Supporting memory-system designs
+//!
+//! * [`fifo`] — a memory-backed FIFO with occupancy and data-integrity
+//!   properties;
+//! * [`lifo`] — a memory-backed LIFO stack with push/pop identity;
+//! * [`regfile`] — a multi-port register file with a shadow-register
+//!   consistency property (multi-port forwarding workload);
+//! * [`memcpy`] — a two-memory DMA engine that copies and then verifies,
+//!   a second workload for arbitrary-initial-state modeling.
+//!
+//! All designs are validated by randomized co-simulation against software
+//! models in their unit tests before any SAT engine touches them.
+
+#![warn(missing_docs)]
+
+pub mod fifo;
+pub mod image_filter;
+pub mod industry2;
+pub mod lifo;
+pub mod memcpy;
+pub mod cpu;
+pub mod quicksort;
+pub mod regfile;
+pub mod util;

@@ -1,0 +1,172 @@
+//! A memory-backed LIFO stack peripheral.
+//!
+//! The third canonical embedded-memory form the paper names ("RAM, stack,
+//! and FIFO", Section 2.3). The checker tracks the most recent pushed value
+//! in a shadow register; a pop immediately following a push must return it.
+
+use emm_aig::{Bit, Design, LatchInit, MemInit, MemoryId, PropertyId, Word};
+
+/// Stack configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LifoConfig {
+    /// Address width: capacity is `2^addr_width` entries.
+    pub addr_width: usize,
+    /// Entry width.
+    pub data_width: usize,
+}
+
+/// The built stack design plus handles.
+#[derive(Debug)]
+pub struct Lifo {
+    /// The verification model.
+    pub design: Design,
+    /// Configuration used.
+    pub config: LifoConfig,
+    /// Backing memory.
+    pub memory: MemoryId,
+    /// Property: a pop directly after a push returns the pushed value.
+    pub push_pop_identity: PropertyId,
+    /// Property: the stack pointer never exceeds the capacity.
+    pub no_overflow: PropertyId,
+    /// Stack pointer word.
+    pub sp: Word,
+    /// Pop-data word.
+    pub pop_data: Word,
+    /// Push request input.
+    pub push_req: Bit,
+    /// Pop request input.
+    pub pop_req: Bit,
+}
+
+impl Lifo {
+    /// Builds the stack.
+    pub fn new(config: LifoConfig) -> Lifo {
+        let aw = config.addr_width;
+        let dw = config.data_width;
+        let capacity = 1u64 << aw;
+        let mut d = Design::new();
+        let memory = d.add_memory("stack_ram", aw, dw, MemInit::Zero);
+
+        let push_req = d.new_input("push");
+        let pop_req = d.new_input("pop");
+        let push_data = d.new_input_word("push_data", dw);
+
+        let sp = d.new_latch_word("sp", aw + 1, LatchInit::Zero);
+        let g = &mut d.aig;
+        let full = g.eq_const(&sp, capacity);
+        let empty = g.eq_const(&sp, 0);
+        // Push wins if both are requested (a design choice, checked below).
+        let do_push = g.and(push_req, !full);
+        let do_pop = {
+            let pop_only = g.and(pop_req, !push_req);
+            g.and(pop_only, !empty)
+        };
+        let sp_low = Word::from(sp.bits()[..aw].to_vec());
+        let sp_dec = g.dec(&sp);
+        let sp_dec_low = Word::from(sp_dec.bits()[..aw].to_vec());
+        d.add_write_port(memory, sp_low, do_push, push_data.clone());
+        let pop_data = d.add_read_port(memory, sp_dec_low, do_pop);
+
+        let g = &mut d.aig;
+        let sp_inc = g.inc(&sp);
+        let sp_up = g.mux_word(do_push, &sp_inc, &sp);
+        let sp_next = g.mux_word(do_pop, &sp_dec, &sp_up);
+        d.set_next_word(&sp, &sp_next);
+
+        // Shadow of the last pushed value and whether it is still on top
+        // (no interposed operation).
+        let (_, fresh) = d.new_latch("fresh_top", LatchInit::Zero);
+        let last_pushed = d.new_latch_word("last_pushed", dw, LatchInit::Zero);
+        let g = &mut d.aig;
+        let any_op = g.or(do_push, do_pop);
+        let fresh_next = {
+            let cleared = g.mux(any_op, emm_aig::Aig::FALSE, fresh);
+            g.mux(do_push, emm_aig::Aig::TRUE, cleared)
+        };
+        d.set_next(fresh, fresh_next);
+        let g = &mut d.aig;
+        let last_next = g.mux_word(do_push, &push_data, &last_pushed);
+        d.set_next_word(&last_pushed, &last_next);
+
+        // Property: pop with a fresh top returns the last pushed value.
+        let g = &mut d.aig;
+        let relevant = g.and(do_pop, fresh);
+        let agrees = g.eq_word(&pop_data, &last_pushed);
+        let bad = g.and(relevant, !agrees);
+        let push_pop_identity = d.add_property("push_pop_identity", bad);
+
+        let g = &mut d.aig;
+        let cap = g.const_word(capacity, aw + 1);
+        let over = g.ult(&cap, &sp);
+        let no_overflow = d.add_property("no_overflow", over);
+
+        d.check().expect("lifo design is well-formed");
+        Lifo {
+            design: d,
+            config,
+            memory,
+            push_pop_identity,
+            no_overflow,
+            sp,
+            pop_data,
+            push_req,
+            pop_req,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emm_aig::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn matches_software_stack() {
+        let config = LifoConfig { addr_width: 3, data_width: 5 };
+        let lifo = Lifo::new(config);
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut sim = Simulator::new(&lifo.design);
+        let mut model: Vec<u64> = Vec::new();
+        let capacity = 1usize << config.addr_width;
+        for cycle in 0..600 {
+            let push = rng.random_bool(0.5);
+            let pop = rng.random_bool(0.5);
+            let data = rng.random_range(0..(1u64 << config.data_width));
+            let mut inputs = vec![push, pop];
+            for b in 0..config.data_width {
+                inputs.push((data >> b) & 1 == 1);
+            }
+            let report = sim.step(&inputs);
+            assert!(!report.property_bad[0], "identity violated at cycle {cycle}");
+            assert!(!report.property_bad[1], "overflow at cycle {cycle}");
+            let did_push = push && model.len() < capacity;
+            let did_pop = pop && !push && !model.is_empty();
+            if did_pop {
+                let expect = model.pop().expect("non-empty");
+                assert_eq!(sim.word_value(&lifo.pop_data), expect, "cycle {cycle}");
+            }
+            if did_push {
+                model.push(data);
+            }
+            assert_eq!(sim.state_value(&lifo.sp), model.len() as u64);
+        }
+    }
+
+    #[test]
+    fn push_then_pop_returns_value() {
+        let config = LifoConfig { addr_width: 2, data_width: 4 };
+        let lifo = Lifo::new(config);
+        let mut sim = Simulator::new(&lifo.design);
+        // push 9
+        let mut inputs = vec![true, false];
+        inputs.extend((0..4).map(|b| (9u64 >> b) & 1 == 1));
+        sim.step(&inputs);
+        // pop
+        let inputs = vec![false, true, false, false, false, false];
+        let report = sim.step(&inputs);
+        assert!(!report.property_bad[0]);
+        assert_eq!(sim.word_value(&lifo.pop_data), 9);
+    }
+}

@@ -1,0 +1,198 @@
+//! A DMA-style memcpy engine between two memories, with a verification
+//! pass — a "software program on embedded memories" workload in the spirit
+//! of the paper's quicksort study, but with two distinct memory modules
+//! talking to each other.
+//!
+//! The engine copies `len` words from the source memory (arbitrary initial
+//! contents) to the destination, then re-reads both and compares. The
+//! comparison can only be proved equal when eq. (6) keeps repeated reads of
+//! the source consistent — a second, structurally different exercise of
+//! arbitrary-initial-state modeling.
+
+use emm_aig::{Aig, Design, LatchInit, MemInit, MemoryId, PropertyId};
+
+/// Memcpy-engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MemcpyConfig {
+    /// Words to copy.
+    pub len: usize,
+    /// Address width of both memories.
+    pub addr_width: usize,
+    /// Data width of both memories.
+    pub data_width: usize,
+}
+
+/// Program-counter states of the engine.
+#[allow(missing_docs)]
+pub mod pc {
+    pub const COPY: u64 = 0;
+    pub const VERIFY_SRC: u64 = 1;
+    pub const VERIFY_DST: u64 = 2;
+    pub const HALT: u64 = 3;
+}
+
+/// The built memcpy design plus handles.
+#[derive(Debug)]
+pub struct Memcpy {
+    /// The verification model.
+    pub design: Design,
+    /// Configuration used.
+    pub config: MemcpyConfig,
+    /// Source memory (arbitrary initial contents).
+    pub src: MemoryId,
+    /// Destination memory (zero-initialized).
+    pub dst: MemoryId,
+    /// Property: after copying, the destination matches the source.
+    pub copy_correct: PropertyId,
+    /// Halt indicator.
+    pub halted: emm_aig::Bit,
+}
+
+impl Memcpy {
+    /// Builds the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or exceeds the address space.
+    pub fn new(config: MemcpyConfig) -> Memcpy {
+        assert!(config.len >= 1 && config.len <= 1 << config.addr_width);
+        let aw = config.addr_width;
+        let dw = config.data_width;
+        let mut d = Design::new();
+        let src = d.add_memory("src", aw, dw, MemInit::Arbitrary);
+        let dst = d.add_memory("dst", aw, dw, MemInit::Zero);
+
+        let pc_w = d.new_latch_word("pc", 2, LatchInit::Zero);
+        let idx = d.new_latch_word("idx", aw, LatchInit::Zero);
+        let hold = d.new_latch_word("hold", dw, LatchInit::Zero);
+        let (_, viol) = d.new_latch("viol", LatchInit::Zero);
+
+        let g = &mut d.aig;
+        let s_copy = g.eq_const(&pc_w, pc::COPY);
+        let s_vsrc = g.eq_const(&pc_w, pc::VERIFY_SRC);
+        let s_vdst = g.eq_const(&pc_w, pc::VERIFY_DST);
+        let s_halt = g.eq_const(&pc_w, pc::HALT);
+        let last = g.eq_const(&idx, config.len as u64 - 1);
+        let idx_inc = g.inc(&idx);
+        let zero_idx = g.const_word(0, aw);
+
+        // Source reads happen in COPY (to move data) and VERIFY_SRC.
+        let src_re = g.or(s_copy, s_vsrc);
+        let src_rd = d.add_read_port(src, idx.clone(), src_re);
+        // Destination write in COPY; destination read in VERIFY_DST.
+        d.add_write_port(dst, idx.clone(), s_copy, src_rd.clone());
+        let dst_rd = d.add_read_port(dst, idx.clone(), s_vdst);
+
+        // Next pc / idx.
+        let g = &mut d.aig;
+        let pc_vs = g.const_word(pc::VERIFY_SRC, 2);
+        let pc_vd = g.const_word(pc::VERIFY_DST, 2);
+        let pc_halt = g.const_word(pc::HALT, 2);
+        let copy_done = g.and(s_copy, last);
+        let vdst_done = g.and(s_vdst, last);
+        let mut next_pc = pc_w.clone();
+        next_pc = g.mux_word(copy_done, &pc_vs, &next_pc);
+        // VERIFY alternates SRC -> DST per index.
+        next_pc = g.mux_word(s_vsrc, &pc_vd, &next_pc);
+        let vdst_next = g.mux_word(vdst_done, &pc_halt, &pc_vs);
+        next_pc = g.mux_word(s_vdst, &vdst_next, &next_pc);
+        let keep_halt = g.mux_word(s_halt, &pc_halt, &next_pc);
+        d.set_next_word(&pc_w, &keep_halt);
+
+        let g = &mut d.aig;
+        let step_idx = {
+            let adv_copy = g.and(s_copy, !last);
+            let adv_vdst = g.and(s_vdst, !last);
+            g.or(adv_copy, adv_vdst)
+        };
+        let mut next_idx = idx.clone();
+        next_idx = g.mux_word(step_idx, &idx_inc, &next_idx);
+        let reset_idx = g.or(copy_done, vdst_done);
+        next_idx = g.mux_word(reset_idx, &zero_idx, &next_idx);
+        d.set_next_word(&idx, &next_idx);
+
+        // hold captures the source word in VERIFY_SRC.
+        let g = &mut d.aig;
+        let next_hold = g.mux_word(s_vsrc, &src_rd, &hold);
+        d.set_next_word(&hold, &next_hold);
+
+        // In VERIFY_DST, compare hold with the destination word.
+        let g = &mut d.aig;
+        let agree = g.eq_word(&hold, &dst_rd);
+        let mismatch = g.and(s_vdst, !agree);
+        let next_viol = g.mux(mismatch, Aig::TRUE, viol);
+        d.set_next(viol, next_viol);
+
+        let copy_correct = d.add_property("copy_correct", viol);
+        d.check().expect("memcpy design is well-formed");
+        Memcpy { design: d, config, src, dst, copy_correct, halted: s_halt }
+    }
+
+    /// Cycle bound: copy (len) + verify (2·len) + slack.
+    pub fn cycle_bound(&self) -> usize {
+        3 * self.config.len + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emm_aig::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn copies_and_verifies_random_contents() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for len in [1usize, 2, 5, 8] {
+            let config = MemcpyConfig { len, addr_width: 3, data_width: 6 };
+            let engine = Memcpy::new(config);
+            for _ in 0..20 {
+                let mut sim = Simulator::new(&engine.design);
+                let data: Vec<u64> =
+                    (0..len).map(|_| rng.random_range(0..64)).collect();
+                for (a, &v) in data.iter().enumerate() {
+                    sim.seed_memory(engine.src, a as u64, v);
+                }
+                let mut viol = false;
+                for _ in 0..engine.cycle_bound() {
+                    let report = sim.step(&[]);
+                    viol |= report.property_bad[0];
+                    if sim.value(engine.halted) {
+                        break;
+                    }
+                }
+                assert!(sim.value(engine.halted), "len={len} must halt");
+                assert!(!viol, "len={len}: copy verified");
+                for (a, &v) in data.iter().enumerate() {
+                    assert_eq!(sim.read_memory(engine.dst, a as u64), v, "len={len} word {a}");
+                }
+            }
+        }
+    }
+
+    /// Injecting a destination corruption mid-run trips the checker.
+    #[test]
+    fn detects_corruption() {
+        let config = MemcpyConfig { len: 4, addr_width: 3, data_width: 6 };
+        let engine = Memcpy::new(config);
+        let mut sim = Simulator::new(&engine.design);
+        for a in 0..4u64 {
+            sim.seed_memory(engine.src, a, a + 10);
+        }
+        // Let the copy phase finish (len cycles), then corrupt dst[2].
+        for _ in 0..4 {
+            sim.step(&[]);
+        }
+        sim.seed_memory(engine.dst, 2, 0x3F);
+        let mut viol = false;
+        for _ in 0..engine.cycle_bound() {
+            let report = sim.step(&[]);
+            viol |= report.property_bad[0];
+            if sim.value(engine.halted) {
+                break;
+            }
+        }
+        assert!(viol, "corruption must be detected");
+    }
+}

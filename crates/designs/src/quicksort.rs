@@ -1,0 +1,576 @@
+//! The quicksort case study (Section 5, Tables 1 and 2).
+//!
+//! The paper implements quicksort in Verilog over two embedded memories:
+//! the data array (`AW=10, DW=32`, 1R/1W) and an explicit recursion stack
+//! (`AW=10, DW=24`, 1R/1W); the array starts with **arbitrary** contents,
+//! which is what makes eq. (6) (precise arbitrary-initial-state modeling)
+//! necessary for the correctness proofs.
+//!
+//! This module reproduces that design as a PC-based microcoded FSM running
+//! iterative quicksort with Lomuto partitioning. With the paper's widths
+//! (`QuickSortConfig::paper(n)`) the stack frame is `2·10 + 4 = 24` bits
+//! wide, matching the paper's `DW=24`.
+//!
+//! Two properties, as in the paper:
+//!
+//! * **P1** — after sorting, the first element cannot exceed the second
+//!   (checked by a verification phase that reads `A[0]` and `A[1]`).
+//!   P1 depends on the array *and* the stack.
+//! * **P2** — control-flow discipline of the recursion stack: every popped
+//!   frame `(lo, hi)` is well-formed (`lo ≤ hi ∧ hi ≤ n-1`). P2 depends
+//!   only on the stack — the fact proof-based abstraction discovers in
+//!   Table 2, dropping the array module entirely.
+
+use emm_aig::{Aig, Bit, Design, LatchInit, MemInit, MemoryId, PropertyId, Word};
+
+use crate::util::{concat, slice, update_bit, update_word};
+
+/// An intentional defect to inject, for exercising the falsification side
+/// of BMC ("finding real bugs", the focus of the paper's predecessor
+/// CAV'04 work). [`Bug::None`] builds the correct design.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Bug {
+    /// The correct algorithm.
+    #[default]
+    None,
+    /// The partition comparison is inverted (`>` instead of `<`): the
+    /// "sorted" array comes out descending, so P1 has real witnesses.
+    InvertedComparison,
+    /// The empty-stack check before popping is dropped: once the stack
+    /// drains, the machine pops never-written garbage frames (visible
+    /// because the stack memory has arbitrary initial contents), which
+    /// violates P2's frame well-formedness — a stack-underflow bug that
+    /// only the stack module can witness.
+    MissingEmptyCheck,
+}
+
+/// Configuration of the quicksort design.
+#[derive(Clone, Copy, Debug)]
+pub struct QuickSortConfig {
+    /// Number of elements to sort (`N` in Table 1).
+    pub n: usize,
+    /// Array address width (`AW`, paper: 10).
+    pub addr_width: usize,
+    /// Array data width (`DW`, paper: 32).
+    pub data_width: usize,
+    /// Injected defect (default: none).
+    pub bug: Bug,
+}
+
+impl QuickSortConfig {
+    /// The paper's configuration for a given `N`: `AW=10`, `DW=32`; the
+    /// stack frame width works out to the paper's 24 bits.
+    pub fn paper(n: usize) -> QuickSortConfig {
+        QuickSortConfig { n, addr_width: 10, data_width: 32, bug: Bug::None }
+    }
+
+    /// A scaled-down configuration for fast tests.
+    pub fn small(n: usize) -> QuickSortConfig {
+        QuickSortConfig { n, addr_width: 3, data_width: 4, bug: Bug::None }
+    }
+
+    /// Stack data width: a frame packs `lo` and `hi` plus 4 spare bits
+    /// (matches the paper's `DW=24` at `AW=10`).
+    pub fn stack_width(&self) -> usize {
+        2 * self.addr_width + 4
+    }
+}
+
+/// Program-counter values of the FSM.
+#[allow(missing_docs)]
+pub mod pc {
+    pub const INIT: u64 = 0;
+    pub const LOOP: u64 = 1;
+    pub const CHECK: u64 = 2;
+    pub const PART: u64 = 3;
+    pub const SWAP_I: u64 = 4;
+    pub const SWAP_J: u64 = 5;
+    pub const PIV1: u64 = 6;
+    pub const PIV2: u64 = 7;
+    pub const PUSH_L: u64 = 8;
+    pub const PUSH_R: u64 = 9;
+    pub const DONE: u64 = 10;
+    pub const CHK: u64 = 11;
+    pub const HALT: u64 = 12;
+}
+
+/// The built quicksort design plus handles for tests and benchmarks.
+#[derive(Debug)]
+pub struct QuickSort {
+    /// The verification model.
+    pub design: Design,
+    /// Configuration it was built with.
+    pub config: QuickSortConfig,
+    /// The data array memory.
+    pub array: MemoryId,
+    /// The recursion stack memory.
+    pub stack: MemoryId,
+    /// Property P1 (sortedness of the first two elements).
+    pub p1: PropertyId,
+    /// Property P2 (popped stack frames are well-formed).
+    pub p2: PropertyId,
+    /// The program counter word (for inspection).
+    pub pc: Word,
+    /// The halt indicator (pc == HALT).
+    pub halted: Bit,
+}
+
+impl QuickSort {
+    /// Builds the design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `n` does not fit the address width.
+    pub fn new(config: QuickSortConfig) -> QuickSort {
+        assert!(config.n >= 2, "need at least two elements to sort");
+        assert!(
+            config.n <= (1usize << config.addr_width),
+            "n must fit the address width"
+        );
+        let iw = config.addr_width;
+        let dw = config.data_width;
+        let sdw = config.stack_width();
+        let mut d = Design::new();
+        let array = d.add_memory("array", iw, dw, MemInit::Arbitrary);
+        // Stack contents are always written before being read, so its
+        // declared initial value never matters; Arbitrary is the honest
+        // choice (P2 is still provable because pops only read pushed data).
+        let stack = d.add_memory("stack", iw, sdw, MemInit::Arbitrary);
+
+        // Registers.
+        let pc_w = d.new_latch_word("pc", 4, LatchInit::Zero);
+        let sp = d.new_latch_word("sp", iw, LatchInit::Zero);
+        let lo = d.new_latch_word("lo", iw, LatchInit::Zero);
+        let hi = d.new_latch_word("hi", iw, LatchInit::Zero);
+        let ivar = d.new_latch_word("i", iw, LatchInit::Zero);
+        let jvar = d.new_latch_word("j", iw, LatchInit::Zero);
+        let pivot = d.new_latch_word("pivot", dw, LatchInit::Zero);
+        let tmp_i = d.new_latch_word("tmp_i", dw, LatchInit::Zero);
+        let tmp_j = d.new_latch_word("tmp_j", dw, LatchInit::Zero);
+        let r0 = d.new_latch_word("r0", dw, LatchInit::Zero);
+        let (_, viol) = d.new_latch("viol", LatchInit::Zero);
+
+        let g = &mut d.aig;
+
+        // State decoders.
+        let at = |g: &mut Aig, v: u64| g.eq_const(&pc_w, v);
+        let s_init = at(g, pc::INIT);
+        let s_loop = at(g, pc::LOOP);
+        let s_check = at(g, pc::CHECK);
+        let s_part = at(g, pc::PART);
+        let s_swap_i = at(g, pc::SWAP_I);
+        let s_swap_j = at(g, pc::SWAP_J);
+        let s_piv1 = at(g, pc::PIV1);
+        let s_piv2 = at(g, pc::PIV2);
+        let s_push_l = at(g, pc::PUSH_L);
+        let s_push_r = at(g, pc::PUSH_R);
+        let s_done = at(g, pc::DONE);
+        let s_chk = at(g, pc::CHK);
+        let s_halt = at(g, pc::HALT);
+
+        // Common conditions.
+        let sp_zero = g.eq_const(&sp, 0);
+        let sp_minus_1 = g.dec(&sp);
+        let sp_plus_1 = g.inc(&sp);
+        let lo_ge_hi = {
+            let lt = g.ult(&lo, &hi);
+            !lt
+        };
+        let j_eq_hi = g.eq_word(&jvar, &hi);
+        let j_plus_1 = g.inc(&jvar);
+        let i_plus_1 = g.inc(&ivar);
+        let i_minus_1 = g.dec(&ivar);
+        let lo_lt_i = g.ult(&lo, &ivar);
+        let i_lt_hi = g.ult(&ivar, &hi);
+
+        // ---------------- Array read port ----------------
+        // Address mux by state: CHECK -> hi, PART -> j, SWAP_I/PIV1 -> i,
+        // DONE -> 0, CHK -> 1.
+        let zero_a = g.const_word(0, iw);
+        let one_a = g.const_word(1, iw);
+        let mut arr_raddr = zero_a.clone();
+        arr_raddr = update_word(g, &arr_raddr, &[
+            (s_check, &hi),
+            (s_part, &jvar),
+            (s_swap_i, &ivar),
+            (s_piv1, &ivar),
+            (s_done, &zero_a),
+            (s_chk, &one_a),
+        ]);
+        let re_states = [s_check, s_part, s_swap_i, s_piv1, s_done, s_chk];
+        let arr_re = g.or_many(&re_states);
+        let arr_rd = d.add_read_port(array, arr_raddr, arr_re);
+
+        // ---------------- Stack read port ----------------
+        let g = &mut d.aig;
+        let pop_active = match config.bug {
+            // Stack-underflow bug: the empty check is missing, so the
+            // machine pops unconditionally in LOOP.
+            Bug::MissingEmptyCheck => s_loop,
+            _ => g.and(s_loop, !sp_zero),
+        };
+        let stk_rd = d.add_read_port(stack, sp_minus_1.clone(), pop_active);
+        let popped_lo = slice(&stk_rd, 0, iw);
+        let popped_hi = slice(&stk_rd, iw, iw);
+
+        // ---------------- Datapath conditions using read data ----------------
+        let g = &mut d.aig;
+        let rd_lt_pivot = match config.bug {
+            Bug::InvertedComparison => g.ugt(&arr_rd, &pivot),
+            _ => g.ult(&arr_rd, &pivot),
+        };
+        let swap_needed = g.and(s_part, !j_eq_hi);
+        let swap_taken = g.and(swap_needed, rd_lt_pivot);
+        let part_advance = g.and(swap_needed, !rd_lt_pivot);
+
+        // ---------------- Array write port ----------------
+        // SWAP_I: A[i] <- tmp_j;  SWAP_J: A[j] <- tmp_i;
+        // PIV1:   A[i] <- pivot;  PIV2:   A[hi] <- tmp_i.
+        let mut arr_waddr = zero_a.clone();
+        arr_waddr = update_word(g, &arr_waddr, &[
+            (s_swap_i, &ivar),
+            (s_swap_j, &jvar),
+            (s_piv1, &ivar),
+            (s_piv2, &hi),
+        ]);
+        let zero_d = g.const_word(0, dw);
+        let mut arr_wdata = zero_d.clone();
+        arr_wdata = update_word(g, &arr_wdata, &[
+            (s_swap_i, &tmp_j),
+            (s_swap_j, &tmp_i),
+            (s_piv1, &pivot),
+            (s_piv2, &tmp_i),
+        ]);
+        let arr_we = g.or_many(&[s_swap_i, s_swap_j, s_piv1, s_piv2]);
+        d.add_write_port(array, arr_waddr, arr_we, arr_wdata);
+
+        // ---------------- Stack write port ----------------
+        // INIT pushes (0, n-1) at address 0; PUSH_L pushes (lo, i-1) when
+        // lo < i; PUSH_R pushes (i+1, hi) when i < hi.
+        let g = &mut d.aig;
+        let n_minus_1 = g.const_word(config.n as u64 - 1, iw);
+        let spare = g.const_word(0, sdw - 2 * iw);
+        let init_frame = {
+            let f = concat(&zero_a, &n_minus_1);
+            concat(&f, &spare)
+        };
+        let left_frame = {
+            let f = concat(&lo, &i_minus_1);
+            concat(&f, &spare)
+        };
+        let right_frame = {
+            let f = concat(&i_plus_1, &hi);
+            concat(&f, &spare)
+        };
+        let push_l_taken = g.and(s_push_l, lo_lt_i);
+        let push_r_taken = g.and(s_push_r, i_lt_hi);
+        let mut stk_waddr = zero_a.clone();
+        stk_waddr = update_word(g, &stk_waddr, &[
+            (s_init, &zero_a),
+            (s_push_l, &sp),
+            (s_push_r, &sp),
+        ]);
+        let zero_s = g.const_word(0, sdw);
+        let mut stk_wdata = zero_s.clone();
+        stk_wdata = update_word(g, &stk_wdata, &[
+            (s_init, &init_frame),
+            (s_push_l, &left_frame),
+            (s_push_r, &right_frame),
+        ]);
+        let stk_we = g.or_many(&[s_init, push_l_taken, push_r_taken]);
+        d.add_write_port(stack, stk_waddr, stk_we, stk_wdata);
+
+        // ---------------- Next-state logic ----------------
+        let g = &mut d.aig;
+        let mkpc = |g: &mut Aig, v: u64| g.const_word(v, 4);
+        let pc_loop = mkpc(g, pc::LOOP);
+        let pc_check = mkpc(g, pc::CHECK);
+        let pc_part = mkpc(g, pc::PART);
+        let pc_swap_i = mkpc(g, pc::SWAP_I);
+        let pc_swap_j = mkpc(g, pc::SWAP_J);
+        let pc_piv1 = mkpc(g, pc::PIV1);
+        let pc_piv2 = mkpc(g, pc::PIV2);
+        let pc_push_l = mkpc(g, pc::PUSH_L);
+        let pc_push_r = mkpc(g, pc::PUSH_R);
+        let pc_done = mkpc(g, pc::DONE);
+        let pc_chk = mkpc(g, pc::CHK);
+        let pc_halt = mkpc(g, pc::HALT);
+
+        let loop_to_done = g.and(s_loop, sp_zero);
+        let check_skip = g.and(s_check, lo_ge_hi);
+        let check_enter = g.and(s_check, !lo_ge_hi);
+        let part_done = g.and(s_part, j_eq_hi);
+
+        let next_pc = update_word(g, &pc_w, &[
+            (s_init, &pc_loop),
+            (loop_to_done, &pc_done),
+            (pop_active, &pc_check),
+            (check_skip, &pc_loop),
+            (check_enter, &pc_part),
+            (part_done, &pc_piv1),
+            (part_advance, &pc_part),
+            (swap_taken, &pc_swap_i),
+            (s_swap_i, &pc_swap_j),
+            (s_swap_j, &pc_part),
+            (s_piv1, &pc_piv2),
+            (s_piv2, &pc_push_l),
+            (s_push_l, &pc_push_r),
+            (s_push_r, &pc_loop),
+            (s_done, &pc_chk),
+            (s_chk, &pc_halt),
+            (s_halt, &pc_halt),
+        ]);
+        d.set_next_word(&pc_w, &next_pc);
+
+        let g = &mut d.aig;
+        let one_sp = g.const_word(1, iw);
+        let next_sp = update_word(g, &sp, &[
+            (s_init, &one_sp),
+            (pop_active, &sp_minus_1),
+            (push_l_taken, &sp_plus_1),
+            (push_r_taken, &sp_plus_1),
+        ]);
+        d.set_next_word(&sp, &next_sp);
+
+        let g = &mut d.aig;
+        let next_lo = update_word(g, &lo, &[(pop_active, &popped_lo)]);
+        d.set_next_word(&lo, &next_lo);
+        let g = &mut d.aig;
+        let next_hi = update_word(g, &hi, &[(pop_active, &popped_hi)]);
+        d.set_next_word(&hi, &next_hi);
+
+        let g = &mut d.aig;
+        let next_i = update_word(g, &ivar, &[(check_enter, &lo), (s_swap_j, &i_plus_1)]);
+        d.set_next_word(&ivar, &next_i);
+        let g = &mut d.aig;
+        let next_j = update_word(g, &jvar, &[
+            (check_enter, &lo),
+            (part_advance, &j_plus_1),
+            (s_swap_j, &j_plus_1),
+        ]);
+        d.set_next_word(&jvar, &next_j);
+
+        let g = &mut d.aig;
+        let next_pivot = update_word(g, &pivot, &[(check_enter, &arr_rd)]);
+        d.set_next_word(&pivot, &next_pivot);
+        let g = &mut d.aig;
+        let capture_tmp_i = g.or(s_swap_i, s_piv1);
+        let next_tmp_i = update_word(g, &tmp_i, &[(capture_tmp_i, &arr_rd)]);
+        d.set_next_word(&tmp_i, &next_tmp_i);
+        let g = &mut d.aig;
+        let next_tmp_j = update_word(g, &tmp_j, &[(swap_taken, &arr_rd)]);
+        d.set_next_word(&tmp_j, &next_tmp_j);
+        let g = &mut d.aig;
+        let next_r0 = update_word(g, &r0, &[(s_done, &arr_rd)]);
+        d.set_next_word(&r0, &next_r0);
+
+        // P1 violation: at CHK, r0 (= A[0]) exceeds the just-read A[1].
+        let g = &mut d.aig;
+        let unsorted = g.ugt(&r0, &arr_rd);
+        let set_viol = g.and(s_chk, unsorted);
+        let next_viol = update_bit(g, viol, &[(set_viol, Aig::TRUE)]);
+        d.set_next(viol, next_viol);
+
+        // ---------------- Properties ----------------
+        let p1 = d.add_property("P1_first_two_sorted", viol);
+        let g = &mut d.aig;
+        let frame_lo_le_hi = g.ule(&popped_lo, &popped_hi);
+        let frame_hi_in_range = g.ule(&popped_hi, &n_minus_1);
+        let frame_ok = g.and(frame_lo_le_hi, frame_hi_in_range);
+        let p2_bad = g.and(pop_active, !frame_ok);
+        let p2 = d.add_property("P2_popped_frames_wellformed", p2_bad);
+
+        d.check().expect("quicksort design is well-formed");
+        QuickSort {
+            design: d,
+            config,
+            array,
+            stack,
+            p1,
+            p2,
+            pc: pc_w,
+            halted: s_halt,
+        }
+    }
+
+    /// A conservative bound on the number of cycles a run can take, used to
+    /// size simulations and BMC depths.
+    pub fn cycle_bound(&self) -> usize {
+        let n = self.config.n;
+        // Each partition of a length-L range costs <= 3L + 7 cycles; the
+        // total partitioned length over all frames is O(n^2) in the worst
+        // case; plus pops of singletons. A generous closed bound:
+        3 * n * n + 12 * n + 10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emm_aig::{MemoryId, Simulator};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Runs the FSM on a concrete array; returns the final array and the
+    /// cycles taken to halt.
+    fn run(qs: &QuickSort, input: &[u64]) -> (Vec<u64>, usize, bool, bool) {
+        let mut sim = Simulator::new(&qs.design);
+        for (a, &v) in input.iter().enumerate() {
+            sim.seed_memory(qs.array, a as u64, v);
+        }
+        let mut p1_fired = false;
+        let mut p2_fired = false;
+        let bound = qs.cycle_bound();
+        let mut cycles = 0;
+        for c in 0..bound {
+            let report = sim.step(&[]);
+            p1_fired |= report.property_bad[0];
+            p2_fired |= report.property_bad[1];
+            if sim.value(qs.halted) {
+                cycles = c;
+                break;
+            }
+        }
+        assert!(sim.value(qs.halted), "must halt within the cycle bound");
+        let out: Vec<u64> =
+            (0..input.len()).map(|a| sim.read_memory(qs.array, a as u64)).collect();
+        (out, cycles, p1_fired, p2_fired)
+    }
+
+    #[test]
+    fn sorts_exhaustive_small_arrays() {
+        let qs = QuickSort::new(QuickSortConfig::small(3));
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                for c in 0..8u64 {
+                    let input = vec![a, b, c];
+                    let (out, _, p1, p2) = run(&qs, &input);
+                    let mut expect = input.clone();
+                    expect.sort_unstable();
+                    assert_eq!(out, expect, "input {input:?}");
+                    assert!(!p1, "P1 must not fire for {input:?}");
+                    assert!(!p2, "P2 must not fire for {input:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_random_arrays_various_sizes() {
+        let mut rng = StdRng::seed_from_u64(0x5042);
+        for n in 2..=6 {
+            let qs = QuickSort::new(QuickSortConfig { n, addr_width: 4, data_width: 8, bug: Default::default() });
+            for _ in 0..40 {
+                let input: Vec<u64> = (0..n).map(|_| rng.random_range(0..256)).collect();
+                let (out, cycles, p1, p2) = run(&qs, &input);
+                let mut expect = input.clone();
+                expect.sort_unstable();
+                assert_eq!(out, expect, "n={n} input {input:?}");
+                assert!(!p1 && !p2);
+                assert!(cycles <= qs.cycle_bound());
+            }
+        }
+    }
+
+    #[test]
+    fn paper_config_shapes() {
+        let qs = QuickSort::new(QuickSortConfig::paper(3));
+        let arr = &qs.design.memories()[qs.array.0 as usize];
+        assert_eq!((arr.addr_width, arr.data_width), (10, 32));
+        let stk = &qs.design.memories()[qs.stack.0 as usize];
+        assert_eq!((stk.addr_width, stk.data_width), (10, 24), "paper's stack DW=24");
+        let stats = qs.design.stats();
+        assert!(
+            (150..400).contains(&stats.latches),
+            "latch count {} should be near the paper's ~200",
+            stats.latches
+        );
+        let _ = MemoryId(0);
+    }
+
+    #[test]
+    fn worst_case_cycles_within_bound() {
+        // Descending arrays are quicksort's bad case with last-element pivot.
+        for n in 2..=7 {
+            let qs = QuickSort::new(QuickSortConfig { n, addr_width: 4, data_width: 8, bug: Default::default() });
+            let input: Vec<u64> = (0..n as u64).rev().collect();
+            let (out, cycles, _, _) = run(&qs, &input);
+            let expect: Vec<u64> = (0..n as u64).collect();
+            assert_eq!(out, expect);
+            assert!(
+                cycles <= qs.cycle_bound(),
+                "n={n}: {cycles} cycles exceeds bound {}",
+                qs.cycle_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_values_sort_correctly() {
+        let qs = QuickSort::new(QuickSortConfig::small(5));
+        for input in [vec![3, 3, 3, 3, 3], vec![1, 2, 1, 2, 1], vec![7, 0, 7, 0, 7]] {
+            let (out, _, p1, p2) = run(&qs, &input);
+            let mut expect = input.clone();
+            expect.sort_unstable();
+            assert_eq!(out, expect, "input {input:?}");
+            assert!(!p1 && !p2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod bug_tests {
+    use super::*;
+    use emm_aig::Simulator;
+
+    /// The inverted comparison sorts descending: P1 fires on inputs where
+    /// the first two sorted-descending elements differ.
+    #[test]
+    fn inverted_comparison_violates_p1_in_simulation() {
+        let qs = QuickSort::new(QuickSortConfig {
+            bug: Bug::InvertedComparison,
+            ..QuickSortConfig::small(3)
+        });
+        let mut sim = Simulator::new(&qs.design);
+        for (a, v) in [(0u64, 1u64), (1, 5), (2, 3)] {
+            sim.seed_memory(qs.array, a, v);
+        }
+        let mut p1 = false;
+        for _ in 0..qs.cycle_bound() {
+            let report = sim.step(&[]);
+            p1 |= report.property_bad[0];
+            if sim.value(qs.halted) {
+                break;
+            }
+        }
+        assert!(p1, "descending output must violate P1");
+    }
+
+    /// The missing empty check pops garbage frames once the stack drains.
+    #[test]
+    fn missing_empty_check_violates_p2_in_simulation() {
+        let qs = QuickSort::new(QuickSortConfig {
+            bug: Bug::MissingEmptyCheck,
+            ..QuickSortConfig::small(3)
+        });
+        let mut sim = Simulator::new(&qs.design);
+        // Seed a malformed frame where the underflowing pop will land
+        // (address wraps to all-ones when sp==0): hi = n (out of range).
+        let iw = qs.config.addr_width;
+        let top = (1u64 << iw) - 1;
+        let malformed = (qs.config.n as u64) << iw; // lo=0, hi=n (> n-1)
+        sim.seed_memory(qs.stack, top, malformed);
+        for (a, v) in [(0u64, 2u64), (1, 1), (2, 3)] {
+            sim.seed_memory(qs.array, a, v);
+        }
+        let mut p2 = false;
+        for _ in 0..3 * qs.cycle_bound() {
+            let report = sim.step(&[]);
+            p2 |= report.property_bad[1];
+            if p2 {
+                break;
+            }
+        }
+        assert!(p2, "underflow pop must violate P2");
+    }
+}

@@ -1,0 +1,182 @@
+//! A multi-port register file with a read-after-write bypass checker.
+//!
+//! Exercises the multi-memory / multi-port EMM machinery (Section 4.1) on
+//! the structure processors actually use: `W` write ports, `R` read ports,
+//! same-cycle reads observing last cycle's writes. A shadow copy of one
+//! watched register is kept in latches; the property compares every read of
+//! the watched address against the shadow — true by construction, so the
+//! design is a tunable proof workload for multi-port forwarding.
+
+use emm_aig::{Aig, Bit, Design, LatchInit, MemInit, MemoryId, PropertyId, Word};
+
+/// Register-file configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RegFileConfig {
+    /// Address width (register count is `2^addr_width`).
+    pub addr_width: usize,
+    /// Register width.
+    pub data_width: usize,
+    /// Read ports (`R`).
+    pub read_ports: usize,
+    /// Write ports (`W`).
+    pub write_ports: usize,
+    /// The register index the shadow checker watches.
+    pub watched: u64,
+}
+
+impl RegFileConfig {
+    /// A 3-read / 1-write file like Industry Design II's memory shape.
+    pub fn r3w1() -> RegFileConfig {
+        RegFileConfig {
+            addr_width: 4,
+            data_width: 8,
+            read_ports: 3,
+            write_ports: 1,
+            watched: 5,
+        }
+    }
+}
+
+/// The built register file plus handles.
+#[derive(Debug)]
+pub struct RegFile {
+    /// The verification model.
+    pub design: Design,
+    /// Configuration used.
+    pub config: RegFileConfig,
+    /// The backing memory.
+    pub memory: MemoryId,
+    /// Property: every enabled read of the watched register returns the
+    /// shadow value.
+    pub shadow_consistency: PropertyId,
+}
+
+impl RegFile {
+    /// Builds the register file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watched` does not fit in `addr_width` bits.
+    pub fn new(config: RegFileConfig) -> RegFile {
+        assert!(config.watched < (1 << config.addr_width) as u64);
+        let aw = config.addr_width;
+        let dw = config.data_width;
+        let mut d = Design::new();
+        let memory = d.add_memory("regs", aw, dw, MemInit::Zero);
+
+        // Shadow of the watched register.
+        let shadow = d.new_latch_word("shadow", dw, LatchInit::Zero);
+
+        // Write ports: external addr/data/en per port, with a no-race
+        // arbiter — port p may write only when no lower-numbered port
+        // targets the same address this cycle.
+        let mut write_hits: Vec<(Bit, Word)> = Vec::new(); // (hits watched, data)
+        let mut prior: Vec<(Word, Bit)> = Vec::new();
+        for p in 0..config.write_ports {
+            let addr = d.new_input_word(&format!("waddr{p}"), aw);
+            let en_req = d.new_input(&format!("we{p}"));
+            let data = d.new_input_word(&format!("wdata{p}"), dw);
+            let g = &mut d.aig;
+            let mut clash = Aig::FALSE;
+            for (pa, pe) in &prior {
+                let same = g.eq_word(pa, &addr);
+                let both = g.and(same, *pe);
+                clash = g.or(clash, both);
+            }
+            let en = g.and(en_req, !clash);
+            prior.push((addr.clone(), en));
+            let watched_hit = {
+                let is_watched = g.eq_const(&addr, config.watched);
+                g.and(en, is_watched)
+            };
+            write_hits.push((watched_hit, data.clone()));
+            d.add_write_port(memory, addr, en, data);
+        }
+
+        // Shadow update mirrors the memory semantics: last write to the
+        // watched address this cycle (no race possible with the arbiter).
+        let g = &mut d.aig;
+        let mut shadow_next = shadow.clone();
+        for (hit, data) in &write_hits {
+            shadow_next = g.mux_word(*hit, data, &shadow_next);
+        }
+        d.set_next_word(&shadow, &shadow_next);
+
+        // Read ports with the consistency check.
+        let mut bad_any = Aig::FALSE;
+        for p in 0..config.read_ports {
+            let addr = d.new_input_word(&format!("raddr{p}"), aw);
+            let en = d.new_input(&format!("re{p}"));
+            let rd = d.add_read_port(memory, addr.clone(), en);
+            let g = &mut d.aig;
+            let is_watched = g.eq_const(&addr, config.watched);
+            let relevant = g.and(en, is_watched);
+            let agrees = g.eq_word(&rd, &shadow);
+            let bad = g.and(relevant, !agrees);
+            bad_any = g.or(bad_any, bad);
+        }
+        let shadow_consistency = d.add_property("shadow_consistency", bad_any);
+
+        d.check().expect("register file design is well-formed");
+        RegFile { design: d, config, memory, shadow_consistency }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emm_aig::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn drive_random(config: RegFileConfig, cycles: usize, seed: u64) {
+        let rf = RegFile::new(config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = Simulator::new(&rf.design);
+        let n_inputs = rf.design.free_inputs().len();
+        for cycle in 0..cycles {
+            let inputs: Vec<bool> = (0..n_inputs).map(|_| rng.random_bool(0.5)).collect();
+            let report = sim.step(&inputs);
+            assert!(
+                !report.property_bad[0],
+                "shadow consistency violated at cycle {cycle}"
+            );
+            assert!(report.write_races.is_empty(), "arbiter must prevent races");
+        }
+    }
+
+    #[test]
+    fn shadow_consistent_r3w1() {
+        drive_random(RegFileConfig::r3w1(), 400, 31);
+    }
+
+    #[test]
+    fn shadow_consistent_r2w2() {
+        drive_random(
+            RegFileConfig {
+                addr_width: 3,
+                data_width: 4,
+                read_ports: 2,
+                write_ports: 2,
+                watched: 3,
+            },
+            400,
+            32,
+        );
+    }
+
+    #[test]
+    fn shadow_consistent_many_ports() {
+        drive_random(
+            RegFileConfig {
+                addr_width: 2,
+                data_width: 3,
+                read_ports: 4,
+                write_ports: 3,
+                watched: 1,
+            },
+            300,
+            33,
+        );
+    }
+}

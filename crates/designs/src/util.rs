@@ -1,0 +1,99 @@
+//! Small construction helpers shared by the case-study designs.
+
+use emm_aig::{Aig, Bit, Word};
+
+/// Priority-free state update: `next = cur` unless exactly one of the
+/// `(cond, value)` pairs is active, in which case that value is taken.
+///
+/// Conditions are expected to be mutually exclusive (FSM states); when they
+/// are not, later entries win.
+pub fn update_word(aig: &mut Aig, cur: &Word, updates: &[(Bit, &Word)]) -> Word {
+    let mut next = cur.clone();
+    for (cond, value) in updates {
+        next = aig.mux_word(*cond, value, &next);
+    }
+    next
+}
+
+/// Bit version of [`update_word`].
+pub fn update_bit(aig: &mut Aig, cur: Bit, updates: &[(Bit, Bit)]) -> Bit {
+    let mut next = cur;
+    for &(cond, value) in updates {
+        next = aig.mux(cond, value, next);
+    }
+    next
+}
+
+/// Concatenates words LSB-first: `lo` occupies the low bits.
+pub fn concat(lo: &Word, hi: &Word) -> Word {
+    let mut bits = lo.bits().to_vec();
+    bits.extend_from_slice(hi.bits());
+    Word::from(bits)
+}
+
+/// Extracts `width` bits starting at `offset`.
+///
+/// # Panics
+///
+/// Panics if the range exceeds the word.
+pub fn slice(word: &Word, offset: usize, width: usize) -> Word {
+    assert!(offset + width <= word.width(), "slice out of range");
+    Word::from(word.bits()[offset..offset + width].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emm_aig::sim::eval_combinational;
+
+    fn eval_word(g: &Aig, w: &Word, inputs: &[bool]) -> u64 {
+        let values = eval_combinational(g, inputs);
+        w.bits()
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b.apply(values[b.node().index()]) as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let mut g = Aig::new();
+        let a = g.input_word(3);
+        let b = g.input_word(5);
+        let cat = concat(&a, &b);
+        assert_eq!(cat.width(), 8);
+        let back_a = slice(&cat, 0, 3);
+        let back_b = slice(&cat, 3, 5);
+        let inputs: Vec<bool> = [true, false, true, false, true, true, false, true]
+            .into_iter()
+            .collect();
+        assert_eq!(eval_word(&g, &back_a, &inputs), eval_word(&g, &a, &inputs));
+        assert_eq!(eval_word(&g, &back_b, &inputs), eval_word(&g, &b, &inputs));
+        assert_eq!(
+            eval_word(&g, &cat, &inputs),
+            eval_word(&g, &a, &inputs) | (eval_word(&g, &b, &inputs) << 3)
+        );
+    }
+
+    #[test]
+    fn update_word_selects_active_state() {
+        let mut g = Aig::new();
+        let cur = g.input_word(4);
+        let s0 = g.new_input();
+        let s1 = g.new_input();
+        let v0 = g.const_word(3, 4);
+        let v1 = g.const_word(9, 4);
+        let next = update_word(&mut g, &cur, &[(s0, &v0), (s1, &v1)]);
+        // cur = 5; no state active -> 5; s0 -> 3; s1 -> 9.
+        let base = [true, false, true, false];
+        let mk = |a: bool, b: bool| {
+            let mut v: Vec<bool> = base.to_vec();
+            v.push(a);
+            v.push(b);
+            v
+        };
+        assert_eq!(eval_word(&g, &next, &mk(false, false)), 5);
+        assert_eq!(eval_word(&g, &next, &mk(true, false)), 3);
+        assert_eq!(eval_word(&g, &next, &mk(false, true)), 9);
+    }
+}

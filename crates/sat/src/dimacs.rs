@@ -1,0 +1,156 @@
+//! Minimal DIMACS CNF reading/writing, used by tests and debugging tools.
+
+use std::fmt::Write as _;
+
+use crate::lit::{Lit, Var};
+
+/// A parsed DIMACS CNF instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Declared (or inferred) variable count.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// Error parsing a DIMACS file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+impl Cnf {
+    /// Parses DIMACS CNF text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDimacsError`] on malformed input (bad tokens, literal
+    /// indices exceeding the header, unterminated clauses are tolerated).
+    pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
+        let mut cnf = Cnf::default();
+        let mut current: Vec<Lit> = Vec::new();
+        let mut declared_vars: Option<usize> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let mut it = rest.split_whitespace();
+                if it.next() != Some("cnf") {
+                    return Err(ParseDimacsError {
+                        line: lineno + 1,
+                        message: "expected 'p cnf <vars> <clauses>'".into(),
+                    });
+                }
+                let vars: usize = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseDimacsError {
+                        line: lineno + 1,
+                        message: "bad variable count".into(),
+                    })?;
+                declared_vars = Some(vars);
+                cnf.num_vars = vars;
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let v: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                    line: lineno + 1,
+                    message: format!("bad literal token {tok:?}"),
+                })?;
+                if v == 0 {
+                    cnf.clauses.push(std::mem::take(&mut current));
+                } else {
+                    let idx = v.unsigned_abs() as usize - 1;
+                    if let Some(dv) = declared_vars {
+                        if idx >= dv {
+                            return Err(ParseDimacsError {
+                                line: lineno + 1,
+                                message: format!("literal {v} exceeds declared {dv} vars"),
+                            });
+                        }
+                    }
+                    cnf.num_vars = cnf.num_vars.max(idx + 1);
+                    current.push(Lit::new(Var::from_index(idx), v > 0));
+                }
+            }
+        }
+        if !current.is_empty() {
+            cnf.clauses.push(current);
+        }
+        Ok(cnf)
+    }
+
+    /// Renders the instance as DIMACS CNF text.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for &l in clause {
+                let v = l.var().index() as i64 + 1;
+                let _ = write!(out, "{} ", if l.is_negative() { -v } else { v });
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Loads the instance into a fresh solver.
+    pub fn to_solver(&self) -> crate::Solver {
+        let mut s = crate::Solver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for clause in &self.clauses {
+            s.add_clause(clause);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = Cnf::parse(text).expect("parse");
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let re = Cnf::parse(&cnf.to_dimacs()).expect("reparse");
+        assert_eq!(re, cnf);
+    }
+
+    #[test]
+    fn parse_rejects_overflow_literal() {
+        assert!(Cnf::parse("p cnf 1 1\n2 0\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Cnf::parse("p cnf 1 1\nxyz 0\n").is_err());
+    }
+
+    #[test]
+    fn to_solver_solves() {
+        let cnf = Cnf::parse("p cnf 2 2\n1 2 0\n-1 0\n").expect("parse");
+        let mut s = cnf.to_solver();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let cnf2 = Cnf::parse("p cnf 1 2\n1 0\n-1 0\n").expect("parse");
+        assert_eq!(cnf2.to_solver().solve(), SolveResult::Unsat);
+    }
+}

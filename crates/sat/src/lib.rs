@@ -1,0 +1,49 @@
+//! # emm-sat — the SAT backend of the EMM verification stack
+//!
+//! A conflict-driven clause-learning (CDCL) SAT solver built as the backend
+//! for SAT-based Bounded Model Checking with Efficient Memory Modeling
+//! (Ganai, Gupta, Ashar — DATE 2005). It stands in for the paper's hybrid
+//! circuit/CNF solver (their ref. [21]) and resolution-based refutation
+//! extractor (their ref. [20]).
+//!
+//! ## Features
+//!
+//! * Incremental solving: add clauses between [`Solver::solve`] calls — the
+//!   pattern BMC uses when unrolling one frame at a time.
+//! * Solving under **assumptions** with [`Solver::failed_assumptions`],
+//!   enabling selector-based *group unsat cores* (how proof-based
+//!   abstraction computes latch reasons).
+//! * **Refutation tracing** ([`SolverConfig::proof_tracing`]): on UNSAT,
+//!   [`Solver::core_clause_ids`] returns the original clauses used in the
+//!   refutation (`SAT_Get_Refutation` in the paper's Fig. 1/Fig. 3).
+//! * Deterministic **budgets** ([`Budget`]) for the paper's timeout-based
+//!   experimental methodology.
+//!
+//! ## Example
+//!
+//! ```
+//! use emm_sat::{Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var().positive();
+//! let b = solver.new_var().positive();
+//! solver.add_clause(&[a, b]);
+//! solver.add_clause(&[!a, b]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.model_value(b), Some(true));
+//! ```
+
+#![warn(missing_docs)]
+
+mod clause;
+pub mod dimacs;
+mod heap;
+mod lit;
+pub mod naive;
+mod sink;
+mod solver;
+
+pub use clause::ClauseId;
+pub use lit::{LBool, Lit, Var};
+pub use sink::{CnfSink, CountingSink, VecSink};
+pub use solver::{Budget, SolveResult, Solver, SolverConfig, SolverStats};

@@ -1,0 +1,153 @@
+//! A deliberately tiny reference solver used as a differential-testing
+//! oracle for the CDCL engine.
+//!
+//! [`NaiveSolver`] enumerates assignments with plain DPLL (unit propagation +
+//! chronological backtracking) and is exponential; keep it to roughly twenty
+//! variables.
+
+use crate::lit::{Lit, Var};
+
+/// Exhaustive DPLL reference solver.
+///
+/// ```
+/// use emm_sat::naive::NaiveSolver;
+/// use emm_sat::{Lit, Var};
+/// let mut s = NaiveSolver::new(2);
+/// let a = Var::from_index(0).positive();
+/// let b = Var::from_index(1).positive();
+/// s.add_clause(&[a, b]);
+/// s.add_clause(&[!a]);
+/// assert_eq!(s.solve(), Some(true));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct NaiveSolver {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    model: Vec<bool>,
+}
+
+impl NaiveSolver {
+    /// Creates a reference solver over `num_vars` variables.
+    pub fn new(num_vars: usize) -> NaiveSolver {
+        NaiveSolver { num_vars, clauses: Vec::new(), model: Vec::new() }
+    }
+
+    /// Adds a clause (no preprocessing).
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// Returns `Some(true)` if satisfiable, `Some(false)` if not, and `None`
+    /// when the problem exceeds the enumeration guard (24 variables).
+    pub fn solve(&mut self) -> Option<bool> {
+        if self.num_vars > 24 {
+            return None;
+        }
+        let mut assign: Vec<Option<bool>> = vec![None; self.num_vars];
+        let sat = self.dpll(&mut assign);
+        if sat {
+            self.model = assign.iter().map(|v| v.unwrap_or(false)).collect();
+        }
+        Some(sat)
+    }
+
+    /// Model value after a satisfiable answer.
+    pub fn model_value(&self, lit: Lit) -> bool {
+        self.model[lit.var().index()] ^ lit.is_negative()
+    }
+
+    fn dpll(&self, assign: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation to fixpoint.
+        let mut forced: Vec<Var> = Vec::new();
+        loop {
+            let mut changed = false;
+            for clause in &self.clauses {
+                let mut unassigned: Option<Lit> = None;
+                let mut n_unassigned = 0;
+                let mut satisfied = false;
+                for &l in clause {
+                    match assign[l.var().index()] {
+                        Some(v) if v != l.is_negative() => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            n_unassigned += 1;
+                            unassigned = Some(l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match n_unassigned {
+                    0 => {
+                        for v in forced {
+                            assign[v.index()] = None;
+                        }
+                        return false;
+                    }
+                    1 => {
+                        let l = unassigned.expect("one unassigned literal");
+                        assign[l.var().index()] = Some(l.is_positive());
+                        forced.push(l.var());
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Branch on the first unassigned variable.
+        match (0..self.num_vars).find(|&v| assign[v].is_none()) {
+            None => true,
+            Some(v) => {
+                for value in [true, false] {
+                    assign[v] = Some(value);
+                    if self.dpll(assign) {
+                        return true;
+                    }
+                    assign[v] = None;
+                }
+                for v in forced {
+                    assign[v.index()] = None;
+                }
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_sat() {
+        let a = Var::from_index(0).positive();
+        let b = Var::from_index(1).positive();
+        let mut s = NaiveSolver::new(2);
+        s.add_clause(&[a, b]);
+        s.add_clause(&[!a, b]);
+        assert_eq!(s.solve(), Some(true));
+        assert!(s.model_value(b));
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let a = Var::from_index(0).positive();
+        let mut s = NaiveSolver::new(1);
+        s.add_clause(&[a]);
+        s.add_clause(&[!a]);
+        assert_eq!(s.solve(), Some(false));
+    }
+
+    #[test]
+    fn refuses_large_problems() {
+        let mut s = NaiveSolver::new(30);
+        assert_eq!(s.solve(), None);
+    }
+}

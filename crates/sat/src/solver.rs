@@ -1,0 +1,1393 @@
+//! The CDCL SAT solver.
+//!
+//! A conflict-driven clause-learning solver in the MiniSat lineage:
+//! two-watched-literal propagation, first-UIP conflict analysis with
+//! recursive clause minimization, VSIDS branching with phase saving, Luby
+//! restarts, and activity/LBD-driven learned-clause reduction.
+//!
+//! Two features are specifically in service of the EMM/BMC stack built on
+//! top (see the `emm-bmc` crate):
+//!
+//! * **Incremental solving under assumptions** with
+//!   [`Solver::failed_assumptions`] — the mechanism behind *group unsat
+//!   cores*, which proof-based abstraction uses to compute latch reasons.
+//! * **Refutation tracing** ([`SolverConfig::proof_tracing`]) — every learned
+//!   clause records its antecedents so that, on UNSAT,
+//!   [`Solver::core_clause_ids`] returns the set of original clauses used in
+//!   the refutation (the paper's `SAT_Get_Refutation`, ref. [20]).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::clause::{ClauseDb, ClauseId, ClauseRef};
+use crate::heap::VarHeap;
+use crate::lit::{LBool, Lit, Var};
+
+/// Tunable solver parameters.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Multiplicative VSIDS decay applied per conflict (0 < d < 1).
+    pub var_decay: f64,
+    /// Multiplicative clause-activity decay applied per conflict.
+    pub clause_decay: f64,
+    /// Conflicts in the first Luby restart interval.
+    pub restart_base: u64,
+    /// Learned clauses kept before the first database reduction.
+    pub first_reduce: u64,
+    /// Additional learned clauses allowed after each reduction.
+    pub reduce_increment: u64,
+    /// Record antecedents of learned clauses so an unsat core of original
+    /// clauses can be extracted after an UNSAT answer.
+    pub proof_tracing: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_base: 100,
+            first_reduce: 4000,
+            reduce_increment: 1500,
+            proof_tracing: false,
+        }
+    }
+}
+
+/// Resource limits for a single [`Solver::solve_with`] call.
+///
+/// When a limit is exceeded the solver returns [`SolveResult::Unknown`],
+/// mirroring the paper's time-limited experimental methodology (Table 1
+/// reports `>3hr` timeouts for explicit memory modeling).
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    /// Maximum conflicts for this call, counted from the start of the
+    /// call (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Wall-clock deadline for this call.
+    pub deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// A budget limited to `n` conflicts (deterministic across runs).
+    pub fn conflicts(n: u64) -> Budget {
+        Budget { max_conflicts: Some(n), deadline: None }
+    }
+
+    /// A wall-clock budget of `d` from now.
+    pub fn wall_clock(d: std::time::Duration) -> Budget {
+        Budget { max_conflicts: None, deadline: Some(Instant::now() + d) }
+    }
+}
+
+/// Outcome of a solve call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::model_value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The budget was exhausted before an answer was reached.
+    Unknown,
+}
+
+/// Aggregate search statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learned clauses currently retained.
+    pub learned_clauses: u64,
+    /// Learned clauses deleted by database reductions.
+    pub deleted_clauses: u64,
+    /// Garbage collections of the clause arena.
+    pub gc_runs: u64,
+    /// Clauses added by the user.
+    pub original_clauses: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// Proof-tracing state: a DAG from derived clause ids to antecedent ids.
+#[derive(Debug, Default)]
+struct Tracer {
+    /// `antecedents[id]` for derived (learned / level-0 unit) ids.
+    antecedents: HashMap<u32, Box<[u32]>>,
+    /// Ids corresponding to user-added clauses.
+    original: Vec<bool>,
+    /// For each var assigned at level 0: the derived id justifying it.
+    unit_id: Vec<u32>,
+    /// Scratch: antecedent ids of the clause currently being learned.
+    current: Vec<u32>,
+    /// Final refutation antecedents (seeds core extraction).
+    final_ids: Vec<u32>,
+}
+
+const NO_ID: u32 = 0;
+
+impl Tracer {
+    fn mark_original(&mut self, id: ClauseId) {
+        let idx = id.0 as usize;
+        if self.original.len() <= idx {
+            self.original.resize(idx + 1, false);
+        }
+        self.original[idx] = true;
+    }
+
+    fn is_original(&self, id: u32) -> bool {
+        self.original.get(id as usize).copied().unwrap_or(false)
+    }
+}
+
+/// The CDCL solver. See the [module documentation](self) for an overview.
+///
+/// ```
+/// use emm_sat::{Solver, SolveResult};
+/// let mut s = Solver::new();
+/// let a = s.new_var().positive();
+/// let b = s.new_var().positive();
+/// s.add_clause(&[a, b]);
+/// s.add_clause(&[!a]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert_eq!(s.model_value(b), Some(true));
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    db: ClauseDb,
+    /// `watches[p.code()]`: clauses that must be inspected when `p` becomes true
+    /// (i.e. clauses in which `!p` is one of the two watched literals).
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<ClauseRef>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarHeap,
+    polarity: Vec<bool>,
+    learnts: Vec<ClauseRef>,
+    /// Permanently unsatisfiable (an empty clause was derived at level 0).
+    ok: bool,
+    /// Analysis scratch.
+    seen: Vec<u8>,
+    analyze_stack: Vec<Lit>,
+    analyze_clear: Vec<Var>,
+    /// Model snapshot from the last SAT answer.
+    model: Vec<LBool>,
+    /// Failed assumptions from the last UNSAT-under-assumptions answer.
+    conflict_set: Vec<Lit>,
+    stats: SolverStats,
+    next_clause_id: u32,
+    tracer: Option<Tracer>,
+    /// Core (original clause ids) from the last UNSAT answer, when tracing.
+    last_core: Option<Vec<ClauseId>>,
+    budget: Budget,
+    reduce_limit: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver with default configuration.
+    pub fn new() -> Solver {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with the given configuration.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        let tracer = config.proof_tracing.then(Tracer::default);
+        let first_reduce = config.first_reduce;
+        Solver {
+            config,
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: VarHeap::new(),
+            polarity: Vec::new(),
+            learnts: Vec::new(),
+            ok: true,
+            seen: Vec::new(),
+            analyze_stack: Vec::new(),
+            analyze_clear: Vec::new(),
+            model: Vec::new(),
+            conflict_set: Vec::new(),
+            stats: SolverStats::default(),
+            next_clause_id: 1,
+            tracer,
+            last_core: None,
+            budget: Budget::unlimited(),
+            reduce_limit: first_reduce,
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::UNDEF);
+        self.level.push(0);
+        self.reason.push(ClauseRef::INVALID);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.seen.push(0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(self.assigns.len());
+        self.order.insert(var, &self.activity);
+        if let Some(tr) = &mut self.tracer {
+            tr.unit_id.push(NO_ID);
+        }
+        var
+    }
+
+    /// Current decision level.
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Current value of a literal.
+    #[inline]
+    fn lit_value(&self, lit: Lit) -> LBool {
+        self.assigns[lit.var().index()].xor_sign(lit.is_negative())
+    }
+
+    /// Adds a clause; returns its tracking id, or `None` if the clause was a
+    /// tautology (and therefore dropped).
+    ///
+    /// Duplicate literals are removed. If the clause is falsified outright at
+    /// decision level zero the solver becomes permanently UNSAT and
+    /// subsequent `solve` calls return [`SolveResult::Unsat`] immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the solver is not at decision level zero (the
+    /// solver always returns to level zero after `solve`).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> Option<ClauseId> {
+        assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        if !self.ok {
+            // Already UNSAT; accept and ignore.
+            return None;
+        }
+        let mut sorted: Vec<Lit> = lits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        // Tautology check: p and !p adjacent after sort.
+        for w in sorted.windows(2) {
+            if w[0].var() == w[1].var() {
+                return None;
+            }
+        }
+        let id = ClauseId(self.next_clause_id);
+        self.next_clause_id += 1;
+        self.stats.original_clauses += 1;
+        if let Some(tr) = &mut self.tracer {
+            tr.mark_original(id);
+        }
+        if sorted.is_empty() {
+            self.ok = false;
+            if let Some(tr) = &mut self.tracer {
+                tr.final_ids = vec![id.0];
+            }
+            return Some(id);
+        }
+        // Reorder so the first two literals are the "best" watches:
+        // true/unassigned literals first, then the highest-level false ones.
+        let rank = |s: &Solver, l: Lit| -> u64 {
+            match s.lit_value(l) {
+                v if v.is_undef() => u64::MAX,
+                v if v.is_true() => u64::MAX - 1,
+                _ => s.level[l.var().index()] as u64,
+            }
+        };
+        sorted.sort_by_key(|&l| std::cmp::Reverse(rank(self, l)));
+        let v0 = self.lit_value(sorted[0]);
+        if sorted.len() == 1 || (v0.is_false()) || (self.lit_value(sorted[1]).is_false() && !v0.is_true()) {
+            // Zero or one watchable literal: the clause is conflicting or unit
+            // at level 0 (all assignments here are level-0 assignments).
+            if v0.is_false() {
+                self.ok = false;
+                if let Some(_tr) = &self.tracer {
+                    let mut ids = vec![id.0];
+                    for &l in &sorted {
+                        ids.push(self.level0_unit_id(l.var()));
+                    }
+                    self.tracer.as_mut().expect("traced").final_ids = ids;
+                }
+                return Some(id);
+            }
+            if v0.is_true() {
+                // Satisfied at level 0; store it anyway when it can still be
+                // a core member? A level-0 satisfied clause can never be in a
+                // refutation driven by later clauses unless its unit was the
+                // propagation source, which is already recorded. Drop it.
+                return Some(id);
+            }
+            // Unit under level-0 assignment.
+            let cref = self.db.alloc(&sorted, false, id);
+            if sorted.len() >= 2 {
+                self.attach(cref);
+            }
+            self.enqueue(sorted[0], cref);
+            if let Some(confl) = self.propagate() {
+                self.record_final_level0(confl);
+                self.ok = false;
+            }
+            return Some(id);
+        }
+        let cref = self.db.alloc(&sorted, false, id);
+        self.attach(cref);
+        Some(id)
+    }
+
+    /// Sets the resource budget for subsequent solve calls.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Returns accumulated statistics.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Solves without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// On [`SolveResult::Unsat`], [`Solver::failed_assumptions`] returns a
+    /// subset of the assumptions sufficient for unsatisfiability; if proof
+    /// tracing is enabled, [`Solver::core_clause_ids`] additionally returns
+    /// the original clauses used by the refutation.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.model.clear();
+        self.conflict_set.clear();
+        self.last_core = None;
+        if !self.ok {
+            if let Some(tr) = &self.tracer {
+                let seeds = tr.final_ids.clone();
+                self.last_core = Some(self.expand_core(&seeds));
+            }
+            return SolveResult::Unsat;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        if let Some(confl) = self.propagate() {
+            self.record_final_level0(confl);
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+
+        let conflicts_at_start = self.stats.conflicts;
+        let mut restart_count = 0u64;
+        let result = loop {
+            let max_conflicts = luby(restart_count) * self.config.restart_base;
+            restart_count += 1;
+            match self.search(max_conflicts, assumptions, conflicts_at_start) {
+                SearchOutcome::Sat => break SolveResult::Sat,
+                SearchOutcome::Unsat => break SolveResult::Unsat,
+                SearchOutcome::Restart => {
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+                SearchOutcome::BudgetExhausted => break SolveResult::Unknown,
+            }
+        };
+        if result == SolveResult::Sat {
+            self.model = self.assigns.clone();
+        }
+        self.cancel_until(0);
+        result
+    }
+
+    /// Value of `lit` in the model of the last [`SolveResult::Sat`] answer.
+    ///
+    /// Returns `None` if no model is available or the variable was created
+    /// after the last solve.
+    pub fn model_value(&self, lit: Lit) -> Option<bool> {
+        self.model
+            .get(lit.var().index())
+            .and_then(|v| v.xor_sign(lit.is_negative()).to_option())
+    }
+
+    /// The subset of assumptions responsible for the last UNSAT answer.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.conflict_set
+    }
+
+    /// Original clause ids used in the last refutation.
+    ///
+    /// Returns `None` unless the last solve returned UNSAT and
+    /// [`SolverConfig::proof_tracing`] is enabled.
+    pub fn core_clause_ids(&self) -> Option<&[ClauseId]> {
+        self.last_core.as_deref()
+    }
+
+    /// Suggested initial phase for `var` when it is next decided.
+    pub fn set_polarity(&mut self, var: Var, positive: bool) {
+        self.polarity[var.index()] = positive;
+    }
+
+    /// Returns `true` if an empty clause has been derived (formula UNSAT
+    /// regardless of assumptions).
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    // ------------------------------------------------------------------
+    // Search internals
+    // ------------------------------------------------------------------
+
+    fn search(
+        &mut self,
+        max_restart_conflicts: u64,
+        assumptions: &[Lit],
+        conflicts_at_start: u64,
+    ) -> SearchOutcome {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                // Conflict.
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.record_final_level0(confl);
+                    self.ok = false;
+                    return SearchOutcome::Unsat;
+                }
+                if self.decision_level() <= assumptions.len() as u32 {
+                    // Conflict among assumption levels: compute failed set.
+                    self.analyze_final_conflict(confl);
+                    return SearchOutcome::Unsat;
+                }
+                let (learnt, backtrack) = self.analyze(confl);
+                self.cancel_until(backtrack);
+                self.learn(learnt);
+                self.decay_activities();
+                if self.stats.learned_clauses > self.reduce_limit {
+                    self.reduce_db();
+                    self.reduce_limit += self.config.reduce_increment;
+                }
+                if let Some(max) = self.budget.max_conflicts {
+                    if self.stats.conflicts - conflicts_at_start >= max {
+                        return SearchOutcome::BudgetExhausted;
+                    }
+                }
+                if self.stats.conflicts % 1024 == 0 {
+                    if let Some(deadline) = self.budget.deadline {
+                        if Instant::now() >= deadline {
+                            return SearchOutcome::BudgetExhausted;
+                        }
+                    }
+                }
+                if conflicts_here >= max_restart_conflicts
+                    && self.decision_level() > assumptions.len() as u32
+                {
+                    return SearchOutcome::Restart;
+                }
+            } else {
+                // No conflict: establish assumptions, then decide.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.lit_value(p) {
+                        v if v.is_true() => {
+                            // Already satisfied: dummy level keeps indices aligned.
+                            self.trail_lim.push(self.trail.len());
+                            continue;
+                        }
+                        v if v.is_false() => {
+                            self.analyze_final_assumption(p);
+                            return SearchOutcome::Unsat;
+                        }
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(p, ClauseRef::INVALID);
+                            continue;
+                        }
+                    }
+                }
+                // Decide.
+                let next = loop {
+                    match self.order.pop_max(&self.activity) {
+                        Some(v) if self.assigns[v.index()].is_undef() => break Some(v),
+                        Some(_) => continue,
+                        None => break None,
+                    }
+                };
+                match next {
+                    None => return SearchOutcome::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::new(v, self.polarity[v.index()]);
+                        self.enqueue(lit, ClauseRef::INVALID);
+                    }
+                }
+            }
+        }
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let lits = self.db.lits(cref);
+        debug_assert!(lits.len() >= 2);
+        let (l0, l1) = (lits[0], lits[1]);
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: ClauseRef) {
+        debug_assert!(self.lit_value(lit).is_undef());
+        let v = lit.var().index();
+        self.assigns[v] = LBool::from_bool(lit.is_positive());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(lit);
+        if self.decision_level() == 0 {
+            if let Some(tr) = &mut self.tracer {
+                if tr.unit_id[v] == NO_ID && reason.is_valid() {
+                    // Derive a unit id justifying this level-0 literal.
+                    let rid = self.db.id(reason);
+                    let rlits: Vec<Lit> = self.db.lits(reason).to_vec();
+                    if rlits.len() == 1 {
+                        tr.unit_id[v] = rid.0;
+                    } else {
+                        let mut ante = Vec::with_capacity(rlits.len());
+                        ante.push(rid.0);
+                        for l in rlits {
+                            if l.var() != lit.var() {
+                                let uid = tr.unit_id[l.var().index()];
+                                debug_assert_ne!(uid, NO_ID, "level-0 reason lit lacks unit id");
+                                ante.push(uid);
+                            }
+                        }
+                        let fresh = self.next_clause_id;
+                        self.next_clause_id += 1;
+                        tr.antecedents.insert(fresh, ante.into_boxed_slice());
+                        tr.unit_id[v] = fresh;
+                    }
+                }
+            }
+        }
+    }
+
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0usize;
+            let mut j = 0usize;
+            let mut watchers = std::mem::take(&mut self.watches[p.code()]);
+            let mut conflict = None;
+            'watchers: while i < watchers.len() {
+                let w = watchers[i];
+                i += 1;
+                if self.lit_value(w.blocker).is_true() {
+                    watchers[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                // Make sure the false literal is position 1.
+                let false_lit = !p;
+                {
+                    let lits = self.db.lits_mut(cref);
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.db.lits(cref)[0];
+                if first != w.blocker && self.lit_value(first).is_true() {
+                    watchers[j] = Watcher { cref, blocker: first };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.db.len(cref);
+                for k in 2..len {
+                    let lk = self.db.lits(cref)[k];
+                    if !self.lit_value(lk).is_false() {
+                        self.db.lits_mut(cref).swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher { cref, blocker: first });
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                watchers[j] = Watcher { cref, blocker: first };
+                j += 1;
+                if self.lit_value(first).is_false() {
+                    // Conflict: copy remaining watchers and bail.
+                    while i < watchers.len() {
+                        watchers[j] = watchers[i];
+                        i += 1;
+                        j += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(cref);
+                } else {
+                    self.enqueue(first, cref);
+                }
+            }
+            watchers.truncate(j);
+            self.watches[p.code()] = watchers;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis; returns the learnt clause (UIP first) and
+    /// the backtrack level.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for UIP
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+        if let Some(tr) = &mut self.tracer {
+            tr.current.clear();
+        }
+        loop {
+            self.bump_clause(confl);
+            if self.tracer.is_some() {
+                let cid = self.db.id(confl).0;
+                self.tracer.as_mut().expect("traced").current.push(cid);
+            }
+            let lits: Vec<Lit> = self.db.lits(confl).to_vec();
+            let start = if p.is_some() { 1 } else { 0 };
+            for &q in &lits[start..] {
+                let v = q.var();
+                if self.seen[v.index()] == 0 {
+                    let lvl = self.level[v.index()];
+                    if lvl == 0 {
+                        // Resolved away by a level-0 unit; record it.
+                        if self.tracer.is_some() {
+                            let uid = self.level0_unit_id(v);
+                            self.tracer.as_mut().expect("traced").current.push(uid);
+                        }
+                        continue;
+                    }
+                    self.seen[v.index()] = 1;
+                    self.bump_var(v);
+                    if lvl >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] != 0 {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            self.seen[lit.var().index()] = 0;
+            path_count -= 1;
+            if path_count == 0 {
+                break;
+            }
+            confl = self.reason[lit.var().index()];
+            debug_assert!(confl.is_valid(), "non-UIP literal must have a reason");
+        }
+        learnt[0] = !p.expect("UIP literal");
+
+        // Mark remaining seen vars for minimization cleanup.
+        self.analyze_clear.clear();
+        for &l in &learnt[1..] {
+            self.seen[l.var().index()] = 1;
+            self.analyze_clear.push(l.var());
+        }
+        // Recursive minimization: drop literals implied by the rest.
+        let mut kept = vec![learnt[0]];
+        for idx in 1..learnt.len() {
+            let l = learnt[idx];
+            if !self.reason[l.var().index()].is_valid() || !self.lit_redundant(l) {
+                kept.push(l);
+            }
+        }
+        for v in self.analyze_clear.drain(..) {
+            self.seen[v.index()] = 0;
+        }
+        let mut learnt = kept;
+
+        // Compute backtrack level: second-highest level in the clause.
+        let backtrack = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, backtrack)
+    }
+
+    /// Returns `true` if `lit` is implied by the other literals of the
+    /// learnt clause (its reason tree bottoms out in seen literals).
+    fn lit_redundant(&mut self, lit: Lit) -> bool {
+        self.analyze_stack.clear();
+        self.analyze_stack.push(lit);
+        let top = self.analyze_clear.len();
+        let mut recorded: Vec<u32> = Vec::new();
+        while let Some(l) = self.analyze_stack.pop() {
+            let cref = self.reason[l.var().index()];
+            debug_assert!(cref.is_valid());
+            if self.tracer.is_some() {
+                recorded.push(self.db.id(cref).0);
+            }
+            let lits: Vec<Lit> = self.db.lits(cref).to_vec();
+            for &q in &lits[1..] {
+                let v = q.var();
+                if self.seen[v.index()] == 0 {
+                    let lvl = self.level[v.index()];
+                    if lvl == 0 {
+                        if self.tracer.is_some() {
+                            let uid = self.level0_unit_id(v);
+                            recorded.push(uid);
+                        }
+                        continue;
+                    }
+                    if self.reason[v.index()].is_valid() {
+                        self.seen[v.index()] = 1;
+                        self.analyze_clear.push(v);
+                        self.analyze_stack.push(q);
+                    } else {
+                        // Hit a decision not in the clause: not redundant.
+                        for v in self.analyze_clear.drain(top..) {
+                            self.seen[v.index()] = 0;
+                        }
+                        return false;
+                    }
+                }
+            }
+        }
+        if let Some(tr) = &mut self.tracer {
+            tr.current.extend(recorded);
+        }
+        true
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        let id = if self.tracer.is_some() {
+            let fresh = self.next_clause_id;
+            self.next_clause_id += 1;
+            let tr = self.tracer.as_mut().expect("traced");
+            let mut ante = std::mem::take(&mut tr.current);
+            ante.sort_unstable();
+            ante.dedup();
+            tr.antecedents.insert(fresh, ante.into_boxed_slice());
+            ClauseId(fresh)
+        } else {
+            ClauseId::UNTRACKED
+        };
+        if learnt.len() == 1 {
+            debug_assert_eq!(self.decision_level(), 0);
+            let cref = self.db.alloc(&learnt, true, id);
+            self.enqueue(learnt[0], cref);
+            return;
+        }
+        let cref = self.db.alloc(&learnt, true, id);
+        let lbd = self.compute_lbd(&learnt);
+        self.db.set_lbd(cref, lbd);
+        self.bump_clause(cref);
+        self.attach(cref);
+        self.learnts.push(cref);
+        self.stats.learned_clauses += 1;
+        self.enqueue(learnt[0], cref);
+    }
+
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target as usize];
+        for idx in (bound..self.trail.len()).rev() {
+            let lit = self.trail[idx];
+            let v = lit.var();
+            self.polarity[v.index()] = lit.is_positive();
+            self.assigns[v.index()] = LBool::UNDEF;
+            self.reason[v.index()] = ClauseRef::INVALID;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        self.activity[var.index()] += self.var_inc;
+        if self.activity[var.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(var, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        if !self.db.is_learnt(cref) {
+            return;
+        }
+        let act = self.db.activity(cref) + self.cla_inc as f32;
+        self.db.set_activity(cref, act);
+        if act > 1e20 {
+            for &c in &self.learnts {
+                let a = self.db.activity(c);
+                self.db.set_activity(c, a * 1e-20);
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.config.var_decay;
+        self.cla_inc /= self.config.clause_decay;
+    }
+
+    /// Removes roughly half of the learned clauses (worst LBD/activity
+    /// first), then compacts the arena when enough space is wasted.
+    fn reduce_db(&mut self) {
+        let mut candidates = std::mem::take(&mut self.learnts);
+        // Worst clauses first: high LBD, then low activity.
+        candidates.sort_by(|&a, &b| {
+            let key = |c: ClauseRef| (std::cmp::Reverse(self.db.lbd(c)), self.db.activity(c).to_bits());
+            key(a).cmp(&key(b))
+        });
+        let keep_from = candidates.len() / 2;
+        let mut kept = Vec::with_capacity(candidates.len() - keep_from + 16);
+        for (i, &cref) in candidates.iter().enumerate() {
+            let locked = self.is_locked(cref);
+            let core_quality = self.db.lbd(cref) <= 3;
+            if i >= keep_from || locked || core_quality {
+                kept.push(cref);
+            } else {
+                self.detach(cref);
+                self.db.delete(cref);
+                self.stats.learned_clauses -= 1;
+                self.stats.deleted_clauses += 1;
+            }
+        }
+        self.learnts = kept;
+        if self.db.wasted() * 3 > self.db.capacity_words() {
+            self.collect_garbage();
+        }
+    }
+
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.db.lits(cref)[0];
+        self.lit_value(first).is_true() && self.reason[first.var().index()] == cref
+    }
+
+    fn detach(&mut self, cref: ClauseRef) {
+        let lits = self.db.lits(cref);
+        let (l0, l1) = (lits[0], lits[1]);
+        self.watches[(!l0).code()].retain(|w| w.cref != cref);
+        self.watches[(!l1).code()].retain(|w| w.cref != cref);
+    }
+
+    fn collect_garbage(&mut self) {
+        self.stats.gc_runs += 1;
+        let mut map: HashMap<ClauseRef, ClauseRef> = HashMap::new();
+        self.db.collect_garbage(|old, new| {
+            map.insert(old, new);
+        });
+        let fix = |map: &HashMap<ClauseRef, ClauseRef>, c: &mut ClauseRef| {
+            if c.is_valid() {
+                *c = *map.get(c).copied().as_ref().unwrap_or(&ClauseRef::INVALID);
+            }
+        };
+        for ws in &mut self.watches {
+            ws.retain_mut(|w| {
+                if let Some(&new) = map.get(&w.cref) {
+                    w.cref = new;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        for r in &mut self.reason {
+            fix(&map, r);
+        }
+        self.learnts.retain_mut(|c| {
+            if let Some(&new) = map.get(c) {
+                *c = new;
+                true
+            } else {
+                false
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Final conflict analysis (assumptions and cores)
+    // ------------------------------------------------------------------
+
+    /// The derived unit id justifying a level-0 assignment of `v`.
+    fn level0_unit_id(&self, v: Var) -> u32 {
+        let tr = self.tracer.as_ref().expect("tracing enabled");
+        let uid = tr.unit_id[v.index()];
+        debug_assert_ne!(uid, NO_ID, "level-0 var without unit id");
+        uid
+    }
+
+    /// Conflict at decision level 0: the formula itself is UNSAT.
+    fn record_final_level0(&mut self, confl: ClauseRef) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let mut ids = vec![self.db.id(confl).0];
+        let lits: Vec<Lit> = self.db.lits(confl).to_vec();
+        for l in lits {
+            ids.push(self.level0_unit_id(l.var()));
+        }
+        let core = self.expand_core(&ids);
+        self.tracer.as_mut().expect("traced").final_ids = ids;
+        self.last_core = Some(core);
+    }
+
+    /// Assumption literal `p` is already false: walk its reason chain.
+    fn analyze_final_assumption(&mut self, p: Lit) {
+        self.conflict_set.clear();
+        self.conflict_set.push(p);
+        let mut core_ids: Vec<u32> = Vec::new();
+        if self.level[p.var().index()] == 0 {
+            if self.tracer.is_some() {
+                core_ids.push(self.level0_unit_id(p.var()));
+                self.last_core = Some(self.expand_core(&core_ids));
+            }
+            // !p holds at level 0: p alone is the failed assumption, and with
+            // tracing the core is the refutation of p.
+            return;
+        }
+        // Walk backwards from !p through reasons.
+        self.analyze_final_walk(vec![!p], &mut core_ids);
+        if self.tracer.is_some() {
+            self.last_core = Some(self.expand_core(&core_ids));
+        }
+    }
+
+    /// Conflict while all decisions are assumptions: failed set from the
+    /// conflicting clause.
+    fn analyze_final_conflict(&mut self, confl: ClauseRef) {
+        self.conflict_set.clear();
+        let mut core_ids: Vec<u32> = Vec::new();
+        if self.tracer.is_some() {
+            core_ids.push(self.db.id(confl).0);
+        }
+        let seeds: Vec<Lit> = self.db.lits(confl).to_vec();
+        self.analyze_final_walk(seeds, &mut core_ids);
+        if self.tracer.is_some() {
+            self.last_core = Some(self.expand_core(&core_ids));
+        }
+    }
+
+    /// Shared reason-graph walk for final conflicts. `seeds` are false
+    /// literals; assumption decisions reached are added (negated) to the
+    /// conflict set, traversed clause ids to `core_ids`.
+    fn analyze_final_walk(&mut self, seeds: Vec<Lit>, core_ids: &mut Vec<u32>) {
+        let mut stack: Vec<Var> = Vec::new();
+        for l in &seeds {
+            let v = l.var();
+            if self.level[v.index()] > 0 && self.seen[v.index()] == 0 {
+                self.seen[v.index()] = 1;
+                stack.push(v);
+            } else if self.level[v.index()] == 0 && self.tracer.is_some() {
+                core_ids.push(self.level0_unit_id(v));
+            }
+        }
+        let mut cleanup = stack.clone();
+        while let Some(v) = stack.pop() {
+            let r = self.reason[v.index()];
+            if !r.is_valid() {
+                // A decision: under assumption solving all decisions at these
+                // levels are assumptions.
+                let val = self.assigns[v.index()];
+                let lit = Lit::new(v, val.is_true());
+                self.conflict_set.push(lit);
+                continue;
+            }
+            if self.tracer.is_some() {
+                core_ids.push(self.db.id(r).0);
+            }
+            let lits: Vec<Lit> = self.db.lits(r).to_vec();
+            for q in lits {
+                let qv = q.var();
+                if qv == v {
+                    continue;
+                }
+                if self.level[qv.index()] == 0 {
+                    if self.tracer.is_some() {
+                        core_ids.push(self.level0_unit_id(qv));
+                    }
+                } else if self.seen[qv.index()] == 0 {
+                    self.seen[qv.index()] = 1;
+                    cleanup.push(qv);
+                    stack.push(qv);
+                }
+            }
+        }
+        for v in cleanup {
+            self.seen[v.index()] = 0;
+        }
+        self.conflict_set.sort_unstable_by_key(|l| l.code());
+        self.conflict_set.dedup();
+    }
+
+    /// Expands derived ids through the antecedent DAG to original clause ids.
+    fn expand_core(&self, seeds: &[u32]) -> Vec<ClauseId> {
+        let tr = self.tracer.as_ref().expect("tracing enabled");
+        let mut visited: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut out: Vec<ClauseId> = Vec::new();
+        let mut stack: Vec<u32> = seeds.to_vec();
+        while let Some(id) = stack.pop() {
+            if id == NO_ID || !visited.insert(id) {
+                continue;
+            }
+            if tr.is_original(id) {
+                out.push(ClauseId(id));
+            } else if let Some(ante) = tr.antecedents.get(&id) {
+                stack.extend(ante.iter().copied());
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+    BudgetExhausted,
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing index i.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| s.new_var().positive()).collect()
+    }
+
+    #[test]
+    fn trivial_sat_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[!v[0]]);
+        s.add_clause(&[!v[1]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(!s.is_ok());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 5);
+        for i in 0..4 {
+            s.add_clause(&[!v[i], v[i + 1]]);
+        }
+        s.add_clause(&[v[0]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for i in 0..5 {
+            assert_eq!(s.model_value(v[i]), Some(true), "v{i}");
+        }
+    }
+
+    #[test]
+    fn model_respects_all_clauses() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        let clauses: Vec<Vec<Lit>> = vec![
+            vec![v[0], v[1], v[2]],
+            vec![!v[0], v[3]],
+            vec![!v[1], !v[3]],
+            vec![!v[2], v[1]],
+            vec![v[2], v[3]],
+        ];
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for c in &clauses {
+            assert!(
+                c.iter().any(|&l| s.model_value(l) == Some(true)),
+                "clause {c:?} not satisfied"
+            );
+        }
+    }
+
+    /// Pigeonhole principle PHP(n+1, n) is unsatisfiable and requires real
+    /// conflict-driven search.
+    fn pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) {
+        let mut p = vec![vec![]; pigeons];
+        for row in p.iter_mut() {
+            *row = (0..holes).map(|_| s.new_var().positive()).collect::<Vec<_>>();
+        }
+        for row in &p {
+            s.add_clause(row);
+        }
+        for h in 0..holes {
+            for i in 0..pigeons {
+                for j in i + 1..pigeons {
+                    s.add_clause(&[!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for n in 2..=6 {
+            let mut s = Solver::new();
+            pigeonhole(&mut s, n + 1, n);
+            assert_eq!(s.solve(), SolveResult::Unsat, "PHP({},{})", n + 1, n);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_enough_holes() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5, 5);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assumptions_and_failed_set() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        // a & b -> false; c free.
+        s.add_clause(&[!v[0], !v[1]]);
+        assert_eq!(s.solve_with(&[v[0], v[1], v[2]]), SolveResult::Unsat);
+        let failed = s.failed_assumptions().to_vec();
+        assert!(failed.contains(&v[0]) || failed.contains(&v[1]));
+        assert!(!failed.contains(&v[2]), "irrelevant assumption in failed set");
+        // Solver remains usable.
+        assert_eq!(s.solve_with(&[v[0], v[2]]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[0]), Some(true));
+        assert_eq!(s.model_value(v[1]), Some(false));
+        let _ = v[3];
+    }
+
+    #[test]
+    fn assumption_false_at_level0() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[!v[0]]);
+        assert_eq!(s.solve_with(&[v[0]]), SolveResult::Unsat);
+        assert_eq!(s.failed_assumptions(), &[v[0]]);
+        assert_eq!(s.solve_with(&[v[1]]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_add_after_solve() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[v[0], v[1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[!v[0]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(v[1]), Some(true));
+        s.add_clause(&[!v[1], v[2]]);
+        s.add_clause(&[!v[2]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_is_dropped() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        assert!(s.add_clause(&[v[0], !v[0]]).is_none());
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn duplicate_literals_deduped() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0], v[0], v[1]]);
+        s.add_clause(&[!v[0]]);
+        s.add_clause(&[!v[1], !v[0]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 9, 8);
+        s.set_budget(Budget::conflicts(10));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_budget(Budget::unlimited());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn core_tracing_pigeonhole() {
+        let mut s = Solver::with_config(SolverConfig {
+            proof_tracing: true,
+            ..SolverConfig::default()
+        });
+        pigeonhole(&mut s, 4, 3);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let core = s.core_clause_ids().expect("tracing enabled").to_vec();
+        assert!(!core.is_empty());
+        // Replay the core alone: it must be UNSAT.
+        let mut s2 = Solver::new();
+        let mut replay: Vec<Vec<Lit>> = Vec::new();
+        {
+            // Rebuild PHP(4,3) clause list in the same order to map ids.
+            let mut probe = Solver::new();
+            let mut id_to_clause: HashMap<u32, Vec<Lit>> = HashMap::new();
+            let mut add = |probe: &mut Solver, lits: Vec<Lit>, map: &mut HashMap<u32, Vec<Lit>>| {
+                if let Some(id) = probe.add_clause(&lits) {
+                    map.insert(id.0, lits);
+                }
+            };
+            let p: Vec<Vec<Lit>> = (0..4)
+                .map(|_| (0..3).map(|_| probe.new_var().positive()).collect())
+                .collect();
+            for row in &p {
+                add(&mut probe, row.clone(), &mut id_to_clause);
+            }
+            for h in 0..3 {
+                for i in 0..4 {
+                    for j in i + 1..4 {
+                        add(&mut probe, vec![!p[i][h], !p[j][h]], &mut id_to_clause);
+                    }
+                }
+            }
+            for _ in 0..12 {
+                s2.new_var();
+            }
+            for cid in &core {
+                replay.push(id_to_clause[&cid.0].clone());
+            }
+        }
+        for c in &replay {
+            s2.add_clause(c);
+        }
+        assert_eq!(s2.solve(), SolveResult::Unsat, "core replay must be UNSAT");
+    }
+
+    #[test]
+    fn core_excludes_irrelevant_clauses() {
+        let mut s = Solver::with_config(SolverConfig {
+            proof_tracing: true,
+            ..SolverConfig::default()
+        });
+        let v = vars(&mut s, 4);
+        let irrelevant = s.add_clause(&[v[2], v[3]]).expect("id");
+        let relevant1 = s.add_clause(&[v[0]]).expect("id");
+        let relevant2 = s.add_clause(&[!v[0], v[1]]).expect("id");
+        let relevant3 = s.add_clause(&[!v[1]]).expect("id");
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let core = s.core_clause_ids().expect("core").to_vec();
+        assert!(core.contains(&relevant1));
+        assert!(core.contains(&relevant2));
+        assert!(core.contains(&relevant3));
+        assert!(!core.contains(&irrelevant));
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn phase_saving_keeps_model_stable() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 6);
+        s.add_clause(&[v[0], v[1]]);
+        s.add_clause(&[v[2], v[3]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let before: Vec<_> = v.iter().map(|&l| s.model_value(l)).collect();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let after: Vec<_> = v.iter().map(|&l| s.model_value(l)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn solver_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Solver>();
+    }
+}

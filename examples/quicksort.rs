@@ -1,0 +1,81 @@
+//! The quicksort case study end to end (Tables 1 and 2 of the paper, at a
+//! test-friendly scale).
+//!
+//! Proves P1 (sortedness) and P2 (stack discipline) by forward induction
+//! with EMM, then uses proof-based abstraction on P2 to discover that the
+//! array memory is irrelevant, and re-proves P2 on the reduced model.
+//!
+//! Run with: `cargo run --release --example quicksort [n] [addr_width] [data_width]`
+
+use emm_verif::bmc::{pba, BmcEngine, BmcOptions, BmcVerdict};
+use emm_verif::designs::quicksort::{QuickSort, QuickSortConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let aw: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let dw: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    let qs = QuickSort::new(QuickSortConfig { n, addr_width: aw, data_width: dw, bug: Default::default() });
+    println!("quicksort n={n}: {}", qs.design.stats());
+    println!(
+        "array: AW={} DW={}  stack: AW={} DW={}",
+        qs.design.memories()[0].addr_width,
+        qs.design.memories()[0].data_width,
+        qs.design.memories()[1].addr_width,
+        qs.design.memories()[1].data_width,
+    );
+
+    // --- BMC-3 forward-induction proofs (Table 1's EMM columns) --------
+    for (name, prop) in [("P1", qs.p1.0 as usize), ("P2", qs.p2.0 as usize)] {
+        let mut engine =
+            BmcEngine::new(&qs.design, BmcOptions { proofs: true, ..BmcOptions::default() });
+        let run = engine.check(prop, qs.cycle_bound())?;
+        match run.verdict {
+            BmcVerdict::Proof { kind, depth } => {
+                println!("{name}: proved by {kind:?} at D={depth} in {:?}", run.elapsed);
+            }
+            other => println!("{name}: unexpected verdict {other:?}"),
+        }
+    }
+
+    // --- PBA on P2 (Table 2): the array module should drop out ---------
+    let config = pba::PbaConfig {
+        stability_depth: 6,
+        max_depth: qs.cycle_bound(),
+        ..pba::PbaConfig::default()
+    };
+    let disc = pba::discover(&qs.design, qs.p2.0 as usize, &config)?;
+    println!(
+        "PBA on P2: kept {} of {} latches, {} of 2 memories (stable at {:?}, {:?})",
+        disc.abstraction.num_kept_latches(),
+        qs.design.num_latches(),
+        disc.abstraction.num_kept_memories(),
+        disc.stable_at,
+        disc.elapsed,
+    );
+    let array_kept = disc.abstraction.kept_memories[qs.array.0 as usize];
+    println!(
+        "array memory {}",
+        if array_kept { "KEPT (unexpected)" } else { "abstracted away, as in Table 2" }
+    );
+
+    // Re-prove P2 on the reduced model.
+    let mut engine = BmcEngine::new(
+        &qs.design,
+        BmcOptions {
+            proofs: true,
+            abstraction: Some(disc.abstraction.clone()),
+            validate_traces: false,
+            ..BmcOptions::default()
+        },
+    );
+    let run = engine.check(qs.p2.0 as usize, qs.cycle_bound())?;
+    match run.verdict {
+        BmcVerdict::Proof { kind, depth } => {
+            println!("P2 on reduced model: proved by {kind:?} at D={depth} in {:?}", run.elapsed);
+        }
+        other => println!("P2 on reduced model: unexpected verdict {other:?}"),
+    }
+    Ok(())
+}
