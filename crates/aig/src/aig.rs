@@ -125,7 +125,11 @@ impl Aig {
 
     /// Creates a graph containing only the constant node.
     pub fn new() -> Aig {
-        Aig { nodes: vec![Node::Const], strash: HashMap::new(), num_inputs: 0 }
+        Aig {
+            nodes: vec![Node::Const],
+            strash: HashMap::new(),
+            num_inputs: 0,
+        }
     }
 
     /// Number of nodes (constant and inputs included).
@@ -135,7 +139,10 @@ impl Aig {
 
     /// Number of AND nodes (the paper's "2-input gates" metric).
     pub fn num_ands(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::And(..))).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::And(..)))
+            .count()
     }
 
     /// Number of inputs created.
@@ -151,7 +158,10 @@ impl Aig {
 
     /// Iterates over `(id, node)` pairs in topological order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Node)> + '_ {
-        self.nodes.iter().enumerate().map(|(i, &n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (NodeId(i as u32), n))
     }
 
     /// Creates a fresh input edge. The input's dense index is

@@ -80,9 +80,7 @@ pub fn cone_of_influence(design: &Design, properties: &[usize]) -> Cone {
                     let li = l.0 as usize;
                     if !latch_in[li] {
                         latch_in[li] = true;
-                        stack.push(
-                            design.latches()[li].next.expect("well-formed design"),
-                        );
+                        stack.push(design.latches()[li].next.expect("well-formed design"));
                     }
                 }
                 InputKind::ReadData(m, _, _) => {
@@ -112,7 +110,11 @@ pub fn cone_of_influence(design: &Design, properties: &[usize]) -> Cone {
         let bit = design.input_bit(idx as usize);
         free_in[pos] = node_seen[bit.node().index()];
     }
-    Cone { latches: latch_in, memories: mem_in, free_inputs: free_in }
+    Cone {
+        latches: latch_in,
+        memories: mem_in,
+        free_inputs: free_in,
+    }
 }
 
 #[cfg(test)]

@@ -177,7 +177,11 @@ impl Design {
 
     /// Creates a word of free primary inputs.
     pub fn new_input_word(&mut self, name: &str, width: usize) -> Word {
-        Word((0..width).map(|i| self.new_input(&format!("{name}[{i}]"))).collect())
+        Word(
+            (0..width)
+                .map(|i| self.new_input(&format!("{name}[{i}]")))
+                .collect(),
+        )
     }
 
     /// Creates a latch; its next-state function must be assigned later with
@@ -187,14 +191,23 @@ impl Design {
         let id = LatchId(self.latches.len() as u32);
         self.input_kinds.push(InputKind::Latch(id));
         self.input_bits.push(output);
-        self.latches.push(Latch { name: name.to_string(), output, next: None, init });
+        self.latches.push(Latch {
+            name: name.to_string(),
+            output,
+            next: None,
+            init,
+        });
         self.names.insert(name.to_string(), output);
         (id, output)
     }
 
     /// Creates a word of latches with a shared init pattern.
     pub fn new_latch_word(&mut self, name: &str, width: usize, init: LatchInit) -> Word {
-        Word((0..width).map(|i| self.new_latch(&format!("{name}[{i}]"), init).1).collect())
+        Word(
+            (0..width)
+                .map(|i| self.new_latch(&format!("{name}[{i}]"), init).1)
+                .collect(),
+        )
     }
 
     /// Creates a word of latches initialized to the constant `value`.
@@ -202,8 +215,11 @@ impl Design {
         Word(
             (0..width)
                 .map(|i| {
-                    let init =
-                        if (value >> i) & 1 == 1 { LatchInit::One } else { LatchInit::Zero };
+                    let init = if (value >> i) & 1 == 1 {
+                        LatchInit::One
+                    } else {
+                        LatchInit::Zero
+                    };
                     self.new_latch(&format!("{name}[{i}]"), init).1
                 })
                 .collect(),
@@ -216,7 +232,10 @@ impl Design {
     ///
     /// Panics if `output` is not a latch output or is inverted.
     pub fn set_next(&mut self, output: Bit, next: Bit) {
-        assert!(!output.is_inverted(), "latch outputs are non-inverted edges");
+        assert!(
+            !output.is_inverted(),
+            "latch outputs are non-inverted edges"
+        );
         let id = match self.input_kind_of(output) {
             Some(InputKind::Latch(id)) => id,
             other => panic!("set_next on non-latch bit ({other:?})"),
@@ -268,13 +287,19 @@ impl Design {
             let m = &self.memories[mem.0 as usize];
             (m.addr_width, m.data_width)
         };
-        assert_eq!(addr.width(), aw, "address width mismatch on {}", self.memory(mem).name);
+        assert_eq!(
+            addr.width(),
+            aw,
+            "address width mismatch on {}",
+            self.memory(mem).name
+        );
         let port = self.memories[mem.0 as usize].read_ports.len() as u32;
         let data = Word(
             (0..dw)
                 .map(|i| {
                     let bit = self.aig.new_input();
-                    self.input_kinds.push(InputKind::ReadData(mem, port, i as u32));
+                    self.input_kinds
+                        .push(InputKind::ReadData(mem, port, i as u32));
                     self.input_bits.push(bit);
                     bit
                 })
@@ -295,15 +320,30 @@ impl Design {
     /// Panics if `addr`/`data` widths do not match the memory.
     pub fn add_write_port(&mut self, mem: MemoryId, addr: Word, en: Bit, data: Word) {
         let m = &self.memories[mem.0 as usize];
-        assert_eq!(addr.width(), m.addr_width, "address width mismatch on {}", m.name);
-        assert_eq!(data.width(), m.data_width, "data width mismatch on {}", m.name);
-        self.memories[mem.0 as usize].write_ports.push(WritePort { addr, en, data });
+        assert_eq!(
+            addr.width(),
+            m.addr_width,
+            "address width mismatch on {}",
+            m.name
+        );
+        assert_eq!(
+            data.width(),
+            m.data_width,
+            "data width mismatch on {}",
+            m.name
+        );
+        self.memories[mem.0 as usize]
+            .write_ports
+            .push(WritePort { addr, en, data });
     }
 
     /// Declares a safety property: `bad` must never hold.
     pub fn add_property(&mut self, name: &str, bad: Bit) -> PropertyId {
         let id = PropertyId(self.properties.len() as u32);
-        self.properties.push(Property { name: name.to_string(), bad });
+        self.properties.push(Property {
+            name: name.to_string(),
+            bad,
+        });
         id
     }
 
@@ -398,7 +438,10 @@ impl Design {
     pub fn check(&self) -> Result<(), String> {
         for (i, latch) in self.latches.iter().enumerate() {
             if latch.next.is_none() {
-                return Err(format!("latch #{i} ({}) has no next-state function", latch.name));
+                return Err(format!(
+                    "latch #{i} ({}) has no next-state function",
+                    latch.name
+                ));
             }
         }
         for mem in &self.memories {

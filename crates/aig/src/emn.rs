@@ -155,7 +155,10 @@ pub fn parse_emn(text: &str) -> Result<Design, ParseEmnError> {
     let mut seen_header = false;
     // Map from file node index to Bit (node 0 = const false).
     let mut nodes: Vec<Bit> = vec![crate::Aig::FALSE];
-    let err = |line: usize, message: &str| ParseEmnError { line, message: message.into() };
+    let err = |line: usize, message: &str| ParseEmnError {
+        line,
+        message: message.into(),
+    };
     let get_lit = |nodes: &[Bit], tok: &str, line: usize| -> Result<Bit, ParseEmnError> {
         let code: usize = tok
             .parse()
@@ -186,10 +189,12 @@ pub fn parse_emn(text: &str) -> Result<Design, ParseEmnError> {
                 if toks.len() != 5 {
                     return Err(err(line_no, "memory needs: name aw dw init"));
                 }
-                let aw: usize =
-                    toks[2].parse().map_err(|_| err(line_no, "bad address width"))?;
-                let dw: usize =
-                    toks[3].parse().map_err(|_| err(line_no, "bad data width"))?;
+                let aw: usize = toks[2]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad address width"))?;
+                let dw: usize = toks[3]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad data width"))?;
                 let init = match toks[4] {
                     "zero" => MemInit::Zero,
                     "arbitrary" => MemInit::Arbitrary,
@@ -199,7 +204,9 @@ pub fn parse_emn(text: &str) -> Result<Design, ParseEmnError> {
             }
             "node" => match toks.get(1) {
                 Some(&"i") => {
-                    let name = toks.get(2).ok_or_else(|| err(line_no, "input needs a name"))?;
+                    let name = toks
+                        .get(2)
+                        .ok_or_else(|| err(line_no, "input needs a name"))?;
                     nodes.push(d.new_input(name));
                 }
                 Some(&"l") => {
@@ -228,8 +235,9 @@ pub fn parse_emn(text: &str) -> Result<Design, ParseEmnError> {
                     if toks.len() < 4 {
                         return Err(err(line_no, "rport needs: mem en addr..."));
                     }
-                    let mi: u32 =
-                        toks[2].parse().map_err(|_| err(line_no, "bad memory index"))?;
+                    let mi: u32 = toks[2]
+                        .parse()
+                        .map_err(|_| err(line_no, "bad memory index"))?;
                     if mi as usize >= d.memories().len() {
                         return Err(err(line_no, "memory index out of range"));
                     }
@@ -261,8 +269,11 @@ pub fn parse_emn(text: &str) -> Result<Design, ParseEmnError> {
                     let m = d.memory(mem);
                     (m.addr_width, m.data_width)
                 };
-                let en =
-                    get_lit(&nodes, toks.get(2).ok_or_else(|| err(line_no, "missing en"))?, line_no)?;
+                let en = get_lit(
+                    &nodes,
+                    toks.get(2).ok_or_else(|| err(line_no, "missing en"))?,
+                    line_no,
+                )?;
                 let sep = toks
                     .iter()
                     .position(|&t| t == ":")
@@ -284,7 +295,9 @@ pub fn parse_emn(text: &str) -> Result<Design, ParseEmnError> {
                 if toks.len() != 3 {
                     return Err(err(line_no, "next needs: latch_index lit"));
                 }
-                let li: usize = toks[1].parse().map_err(|_| err(line_no, "bad latch index"))?;
+                let li: usize = toks[1]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad latch index"))?;
                 let output = d
                     .latches()
                     .get(li)
@@ -310,7 +323,10 @@ pub fn parse_emn(text: &str) -> Result<Design, ParseEmnError> {
             other => return Err(err(line_no, &format!("unknown directive {other:?}"))),
         }
     }
-    d.check().map_err(|m| ParseEmnError { line: 0, message: m })?;
+    d.check().map_err(|m| ParseEmnError {
+        line: 0,
+        message: m,
+    })?;
     Ok(d)
 }
 
@@ -319,7 +335,9 @@ fn lit(b: Bit) -> usize {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect()
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
 }
 
 fn input_name(_design: &Design, index: usize) -> String {
@@ -367,7 +385,11 @@ mod tests {
         assert_eq!(back.memories().len(), d.memories().len());
         assert_eq!(back.properties().len(), d.properties().len());
         assert_eq!(back.constraints().len(), d.constraints().len());
-        assert_eq!(back.aig.num_nodes(), d.aig.num_nodes(), "node-exact roundtrip");
+        assert_eq!(
+            back.aig.num_nodes(),
+            d.aig.num_nodes(),
+            "node-exact roundtrip"
+        );
         assert_eq!(back.num_gates(), d.num_gates());
         // Second roundtrip is a fixpoint.
         assert_eq!(write_emn(&back), text);
@@ -385,8 +407,9 @@ mod tests {
             sim_b.seed_memory(crate::MemoryId(0), a, a + 3);
         }
         for cycle in 0..200 {
-            let inputs: Vec<bool> =
-                (0..d.free_inputs().len()).map(|_| rng.random_bool(0.5)).collect();
+            let inputs: Vec<bool> = (0..d.free_inputs().len())
+                .map(|_| rng.random_bool(0.5))
+                .collect();
             let ra = sim_a.step(&inputs);
             let rb = sim_b.step(&inputs);
             assert_eq!(ra.property_bad, rb.property_bad, "cycle {cycle}");
@@ -401,9 +424,18 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(parse_emn("nonsense").is_err());
         assert!(parse_emn("emn 2\n").is_err());
-        assert!(parse_emn("emn 1\nnode a 2 4\n").is_err(), "future node reference");
-        assert!(parse_emn("emn 1\nnode rport 0 0\n").is_err(), "no such memory");
-        assert!(parse_emn("emn 1\nnode l dangling 0\n").is_err(), "missing next");
+        assert!(
+            parse_emn("emn 1\nnode a 2 4\n").is_err(),
+            "future node reference"
+        );
+        assert!(
+            parse_emn("emn 1\nnode rport 0 0\n").is_err(),
+            "no such memory"
+        );
+        assert!(
+            parse_emn("emn 1\nnode l dangling 0\n").is_err(),
+            "missing next"
+        );
         assert!(parse_emn("emn 1\nwport 0 0 :\n").is_err());
     }
 

@@ -50,8 +50,8 @@ mod word;
 
 pub use aig::{Aig, Bit, Node, NodeId};
 pub use design::{
-    Design, DesignStats, InputKind, Latch, LatchId, LatchInit, MemInit, Memory, MemoryId,
-    Property, PropertyId, ReadPort, WritePort,
+    Design, DesignStats, InputKind, Latch, LatchId, LatchInit, MemInit, Memory, MemoryId, Property,
+    PropertyId, ReadPort, WritePort,
 };
 pub use sim::{SimConfig, Simulator, StepReport, Trace};
 pub use word::Word;

@@ -38,8 +38,7 @@ pub fn format_trace(design: &Design, trace: &Trace) -> String {
     for (mi, seeds) in trace.memory_seeds.iter().enumerate() {
         if !seeds.is_empty() {
             let name = &design.memories()[mi].name;
-            let cells: Vec<String> =
-                seeds.iter().map(|(a, v)| format!("[{a}]={v:#x}")).collect();
+            let cells: Vec<String> = seeds.iter().map(|(a, v)| format!("[{a}]={v:#x}")).collect();
             let _ = writeln!(out, "initial {name}: {}", cells.join(" "));
         }
     }
@@ -63,8 +62,11 @@ pub fn format_trace(design: &Design, trace: &Trace) -> String {
         let regs: Vec<String> = groups
             .iter()
             .map(|(name, bits)| {
-                let value: u64 =
-                    bits.iter().enumerate().map(|(i, &l)| (sim.latch(l) as u64) << i).sum();
+                let value: u64 = bits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &l)| (sim.latch(l) as u64) << i)
+                    .sum();
                 format!("{name}={value:#x}")
             })
             .collect();

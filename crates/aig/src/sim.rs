@@ -43,7 +43,7 @@ pub fn eval_combinational(aig: &Aig, inputs: &[bool]) -> Vec<bool> {
 }
 
 /// Configuration of a [`Simulator`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SimConfig {
     /// Value returned on a read with `RE` inactive (models "unconstrained").
     pub disabled_read_value: u64,
@@ -51,12 +51,6 @@ pub struct SimConfig {
     /// race is recorded in [`StepReport::write_races`] and the
     /// higher-numbered port wins).
     pub panic_on_race: bool,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        SimConfig { disabled_read_value: 0, panic_on_race: false }
-    }
 }
 
 /// What happened during one simulated cycle.
@@ -176,9 +170,7 @@ impl<'a> Simulator<'a> {
             .enumerate()
             .map(|(i, &b)| {
                 let v = match self.design.input_kind_of(b) {
-                    Some(InputKind::Latch(l)) => {
-                        self.latch_state[l.0 as usize] ^ b.is_inverted()
-                    }
+                    Some(InputKind::Latch(l)) => self.latch_state[l.0 as usize] ^ b.is_inverted(),
                     _ => self.value(b),
                 };
                 (v as u64) << i
@@ -372,7 +364,12 @@ impl Trace {
         match last {
             None => Err("empty trace".to_string()),
             Some(report) => {
-                if report.property_bad.get(self.property).copied().unwrap_or(false) {
+                if report
+                    .property_bad
+                    .get(self.property)
+                    .copied()
+                    .unwrap_or(false)
+                {
                     Ok(())
                 } else {
                     Err(format!(

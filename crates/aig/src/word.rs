@@ -45,7 +45,11 @@ impl From<Vec<Bit>> for Word {
 impl Aig {
     /// A constant word of `width` bits holding `value` (truncated).
     pub fn const_word(&mut self, value: u64, width: usize) -> Word {
-        Word((0..width).map(|i| Aig::constant(width > i && (value >> i) & 1 == 1)).collect())
+        Word(
+            (0..width)
+                .map(|i| Aig::constant(width > i && (value >> i) & 1 == 1))
+                .collect(),
+        )
     }
 
     /// A word of fresh inputs.
@@ -56,7 +60,12 @@ impl Aig {
     /// Bitwise AND. Panics if widths differ.
     pub fn word_and(&mut self, a: &Word, b: &Word) -> Word {
         assert_eq!(a.width(), b.width());
-        Word(a.0.iter().zip(&b.0).map(|(&x, &y)| self.and(x, y)).collect())
+        Word(
+            a.0.iter()
+                .zip(&b.0)
+                .map(|(&x, &y)| self.and(x, y))
+                .collect(),
+        )
     }
 
     /// Bitwise OR. Panics if widths differ.
@@ -68,7 +77,12 @@ impl Aig {
     /// Bitwise XOR. Panics if widths differ.
     pub fn word_xor(&mut self, a: &Word, b: &Word) -> Word {
         assert_eq!(a.width(), b.width());
-        Word(a.0.iter().zip(&b.0).map(|(&x, &y)| self.xor(x, y)).collect())
+        Word(
+            a.0.iter()
+                .zip(&b.0)
+                .map(|(&x, &y)| self.xor(x, y))
+                .collect(),
+        )
     }
 
     /// Bitwise NOT.
@@ -123,7 +137,11 @@ impl Aig {
     /// Equality over words. Panics if widths differ.
     pub fn eq_word(&mut self, a: &Word, b: &Word) -> Bit {
         assert_eq!(a.width(), b.width());
-        let bits: Vec<Bit> = a.0.iter().zip(&b.0).map(|(&x, &y)| self.xnor(x, y)).collect();
+        let bits: Vec<Bit> =
+            a.0.iter()
+                .zip(&b.0)
+                .map(|(&x, &y)| self.xnor(x, y))
+                .collect();
         self.and_many(&bits)
     }
 
@@ -155,7 +173,12 @@ impl Aig {
     /// Word-level multiplexer `if sel { t } else { e }`. Panics if widths differ.
     pub fn mux_word(&mut self, sel: Bit, t: &Word, e: &Word) -> Word {
         assert_eq!(t.width(), e.width());
-        Word(t.0.iter().zip(&e.0).map(|(&x, &y)| self.mux(sel, x, y)).collect())
+        Word(
+            t.0.iter()
+                .zip(&e.0)
+                .map(|(&x, &y)| self.mux(sel, x, y))
+                .collect(),
+        )
     }
 
     /// Equality against a constant.
@@ -222,8 +245,21 @@ mod tests {
         let a = g.input_word(width);
         let b = g.input_word(width);
         let out = op(&mut g, &a, &b);
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-        for (x, y) in [(0u64, 0u64), (1, 1), (3, 5), (7, 7), (6, 1), (5, 2), (7, 1), (2, 7)] {
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        for (x, y) in [
+            (0u64, 0u64),
+            (1, 1),
+            (3, 5),
+            (7, 7),
+            (6, 1),
+            (5, 2),
+            (7, 1),
+            (2, 7),
+        ] {
             let (x, y) = (x & mask, y & mask);
             let mut inputs = Vec::new();
             for i in 0..width {

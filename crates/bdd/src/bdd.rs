@@ -56,8 +56,16 @@ impl Bdd {
     pub fn new() -> Bdd {
         Bdd {
             nodes: vec![
-                Node { level: TERMINAL_LEVEL, lo: Ref::FALSE, hi: Ref::FALSE },
-                Node { level: TERMINAL_LEVEL, lo: Ref::TRUE, hi: Ref::TRUE },
+                Node {
+                    level: TERMINAL_LEVEL,
+                    lo: Ref::FALSE,
+                    hi: Ref::FALSE,
+                },
+                Node {
+                    level: TERMINAL_LEVEL,
+                    lo: Ref::TRUE,
+                    hi: Ref::TRUE,
+                },
             ],
             ..Bdd::default()
         }
@@ -304,7 +312,10 @@ impl Bdd {
         // Counts are computed relative to the variables strictly below the
         // node's level; scale by the variables above the root.
         let root_level = self.level(f).unwrap_or(num_vars);
-        assert!(root_level <= num_vars, "level outside the declared variable range");
+        assert!(
+            root_level <= num_vars,
+            "level outside the declared variable range"
+        );
         let below = self.sat_count_rec(f, num_vars, &mut memo);
         below * 2f64.powi(root_level as i32)
     }
@@ -321,7 +332,10 @@ impl Bdd {
             return c;
         }
         let n = self.node(f);
-        assert!(n.level < num_vars, "level outside the declared variable range");
+        assert!(
+            n.level < num_vars,
+            "level outside the declared variable range"
+        );
         let child_count = |bdd: &Bdd, child: Ref, memo: &mut HashMap<Ref, f64>| -> f64 {
             let child_level = bdd.level(child).unwrap_or(num_vars);
             let gap = child_level - n.level - 1;
@@ -361,7 +375,7 @@ mod tests {
         f
     }
 
-    fn check_table(bdd: &Bdd, f: Ref, n: u32, table: &[bool]) {
+    fn check_table(bdd: &Bdd, f: Ref, _n: u32, table: &[bool]) {
         for (row, &value) in table.iter().enumerate() {
             let got = bdd.eval(f, &|l| (row >> l) & 1 == 1);
             assert_eq!(got, value, "row {row:b}");

@@ -45,7 +45,9 @@ pub struct SymbolicOptions {
 
 impl Default for SymbolicOptions {
     fn default() -> Self {
-        SymbolicOptions { node_limit: 2_000_000 }
+        SymbolicOptions {
+            node_limit: 2_000_000,
+        }
     }
 }
 
@@ -140,7 +142,15 @@ impl<'d> SymbolicChecker<'d> {
                 LatchInit::Free => init,
             };
         }
-        Ok(SymbolicChecker { design, bdd, options, num_latches, node_funcs, trans, init })
+        Ok(SymbolicChecker {
+            design,
+            bdd,
+            options,
+            num_latches,
+            node_funcs,
+            trans,
+            init,
+        })
     }
 
     /// Forward image of a set of states.
@@ -148,9 +158,9 @@ impl<'d> SymbolicChecker<'d> {
         let nl = self.num_latches;
         // ∃ current, inputs: states ∧ trans — quantify everything that is
         // not a next-state variable.
-        let img_next = self.bdd.rel_prod(states, self.trans, &move |l| {
-            l >= 2 * nl || l % 2 == 0
-        });
+        let img_next = self
+            .bdd
+            .rel_prod(states, self.trans, &move |l| l >= 2 * nl || l % 2 == 0);
         // Rename next -> current (levels 2i+1 -> 2i, order preserving).
         self.bdd.rename(img_next, &|l| l - 1)
     }
@@ -380,8 +390,7 @@ mod tests {
                 frontier = next_frontier;
             }
 
-            let mut mc =
-                SymbolicChecker::new(&d, SymbolicOptions::default()).expect("build");
+            let mut mc = SymbolicChecker::new(&d, SymbolicOptions::default()).expect("build");
             match (mc.check(0), reach_depth) {
                 (SymbolicVerdict::Reachable { depth }, Some(expect)) => {
                     assert_eq!(depth, expect, "round {round}");

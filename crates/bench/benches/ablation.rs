@@ -18,19 +18,31 @@ fn check(design: &emm_aig::Design, prop: usize, depth: usize, encoding: Forwardi
         design,
         BmcOptions {
             proofs: true,
-            emm: EmmOptions { encoding, ..EmmOptions::default() },
+            emm: EmmOptions {
+                encoding,
+                ..EmmOptions::default()
+            },
             ..BmcOptions::default()
         },
     );
     let run = engine.check(prop, depth).expect("run");
-    assert!(matches!(run.verdict, BmcVerdict::Proof { .. }), "{:?}", run.verdict);
+    assert!(
+        matches!(run.verdict, BmcVerdict::Proof { .. }),
+        "{:?}",
+        run.verdict
+    );
 }
 
 fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("exclusivity_ablation");
     group.sample_size(10);
 
-    let qs = QuickSort::new(QuickSortConfig { n: 3, addr_width: 3, data_width: 3, bug: Default::default() });
+    let qs = QuickSort::new(QuickSortConfig {
+        n: 3,
+        addr_width: 3,
+        data_width: 3,
+        bug: Default::default(),
+    });
     let bound = qs.cycle_bound();
     group.bench_function("quicksort_p1_exclusive", |b| {
         b.iter(|| check(&qs.design, 0, bound, ForwardingEncoding::Exclusive));
@@ -39,7 +51,11 @@ fn bench_ablation(c: &mut Criterion) {
         b.iter(|| check(&qs.design, 0, bound, ForwardingEncoding::Direct));
     });
 
-    let engine = Memcpy::new(MemcpyConfig { len: 3, addr_width: 3, data_width: 4 });
+    let engine = Memcpy::new(MemcpyConfig {
+        len: 3,
+        addr_width: 3,
+        data_width: 4,
+    });
     let bound = engine.cycle_bound();
     group.bench_function("memcpy_exclusive", |b| {
         b.iter(|| check(&engine.design, 0, bound, ForwardingEncoding::Exclusive));

@@ -6,10 +6,14 @@ use emm_core::{EmmEncoder, EmmOptions, MemoryFrameLits, MemoryShape, PortLits};
 use emm_sat::{CnfSink, CountingSink};
 
 fn fresh_frame(sink: &mut dyn CnfSink, shape: &MemoryShape) -> MemoryFrameLits {
-    let mut port = |sink: &mut dyn CnfSink| PortLits {
-        addr: (0..shape.addr_width).map(|_| sink.new_var().positive()).collect(),
+    let port = |sink: &mut dyn CnfSink| PortLits {
+        addr: (0..shape.addr_width)
+            .map(|_| sink.new_var().positive())
+            .collect(),
         en: sink.new_var().positive(),
-        data: (0..shape.data_width).map(|_| sink.new_var().positive()).collect(),
+        data: (0..shape.data_width)
+            .map(|_| sink.new_var().positive())
+            .collect(),
     };
     MemoryFrameLits {
         reads: (0..shape.read_ports).map(|_| port(sink)).collect(),
@@ -31,17 +35,21 @@ fn bench_encoding(c: &mut Criterion) {
             write_ports: w,
             arbitrary_init: true,
         };
-        group.bench_with_input(BenchmarkId::new("unroll_32_frames", label), &shape, |b, s| {
-            b.iter(|| {
-                let mut enc = EmmEncoder::new(std::slice::from_ref(s), EmmOptions::default());
-                let mut sink = CountingSink::new();
-                for _ in 0..32 {
-                    let frame = fresh_frame(&mut sink, s);
-                    enc.add_frame(&mut sink, &[frame]);
-                }
-                std::hint::black_box(enc.stats())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("unroll_32_frames", label),
+            &shape,
+            |b, s| {
+                b.iter(|| {
+                    let mut enc = EmmEncoder::new(std::slice::from_ref(s), EmmOptions::default());
+                    let mut sink = CountingSink::new();
+                    for _ in 0..32 {
+                        let frame = fresh_frame(&mut sink, s);
+                        enc.add_frame(&mut sink, &[frame]);
+                    }
+                    std::hint::black_box(enc.stats())
+                });
+            },
+        );
     }
     group.finish();
 }

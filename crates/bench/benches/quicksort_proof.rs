@@ -8,17 +8,31 @@ use emm_core::explicit_model;
 use emm_designs::quicksort::{QuickSort, QuickSortConfig};
 
 fn prove_p1(design: &emm_aig::Design, bound: usize) {
-    let mut engine =
-        BmcEngine::new(design, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut engine = BmcEngine::new(
+        design,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     let run = engine.check(0, bound).expect("run");
-    assert!(matches!(run.verdict, BmcVerdict::Proof { .. }), "{:?}", run.verdict);
+    assert!(
+        matches!(run.verdict, BmcVerdict::Proof { .. }),
+        "{:?}",
+        run.verdict
+    );
 }
 
 fn bench_quicksort(c: &mut Criterion) {
     let mut group = c.benchmark_group("quicksort_p1_proof");
     group.sample_size(10);
 
-    let qs = QuickSort::new(QuickSortConfig { n: 3, addr_width: 3, data_width: 3, bug: Default::default() });
+    let qs = QuickSort::new(QuickSortConfig {
+        n: 3,
+        addr_width: 3,
+        data_width: 3,
+        bug: Default::default(),
+    });
     let bound = qs.cycle_bound();
     group.bench_function("emm_n3", |b| b.iter(|| prove_p1(&qs.design, bound)));
 

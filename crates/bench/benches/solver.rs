@@ -6,6 +6,7 @@ use emm_sat::{Lit, SolveResult, Solver};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+#[allow(clippy::needless_range_loop)]
 fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
     let mut s = Solver::new();
     let p: Vec<Vec<Lit>> = (0..pigeons)

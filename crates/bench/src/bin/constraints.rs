@@ -17,14 +17,20 @@ use emm_sat::{CnfSink, CountingSink};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn fresh_frame(sink: &mut dyn CnfSink, shape: &MemoryShape) -> MemoryFrameLits {
     let port = |sink: &mut dyn CnfSink| PortLits {
-        addr: (0..shape.addr_width).map(|_| sink.new_var().positive()).collect(),
+        addr: (0..shape.addr_width)
+            .map(|_| sink.new_var().positive())
+            .collect(),
         en: sink.new_var().positive(),
-        data: (0..shape.data_width).map(|_| sink.new_var().positive()).collect(),
+        data: (0..shape.data_width)
+            .map(|_| sink.new_var().positive())
+            .collect(),
     };
     MemoryFrameLits {
         reads: (0..shape.read_ports).map(|_| port(sink)).collect(),
@@ -33,11 +39,19 @@ fn fresh_frame(sink: &mut dyn CnfSink, shape: &MemoryShape) -> MemoryFrameLits {
 }
 
 fn main() {
-    let max_depth: usize = arg_value("--depth").and_then(|v| v.parse().ok()).unwrap_or(24);
+    let max_depth: usize = arg_value("--depth")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
 
     // The paper's three memory shapes.
     let shapes = [
-        ("quicksort array (m=10,n=32,1R1W)", 10usize, 32usize, 1usize, 1usize),
+        (
+            "quicksort array (m=10,n=32,1R1W)",
+            10usize,
+            32usize,
+            1usize,
+            1usize,
+        ),
         ("image filter buffer (m=10,n=8,1R1W)", 10, 8, 1, 1),
         ("lookup table (m=12,n=32,3R1W)", 12, 32, 3, 1),
     ];
@@ -52,7 +66,10 @@ fn main() {
         };
         let mut encoder = EmmEncoder::new(
             &[shape],
-            EmmOptions { skip_init_consistency: true, ..EmmOptions::default() },
+            EmmOptions {
+                skip_init_consistency: true,
+                ..EmmOptions::default()
+            },
         );
         let mut sink = CountingSink::new();
         let mut table = Table::new(&[

@@ -22,7 +22,9 @@ use emm_designs::image_filter::{ImageFilter, ImageFilterConfig};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 struct Outcome {
@@ -46,7 +48,9 @@ fn run_bank(design: &emm_aig::Design, filter: &ImageFilter, budget: Duration) ->
             timed_out = true;
             break;
         }
-        let run = engine.check(p, filter.config.max_witness_depth + 4).expect("run");
+        let run = engine
+            .check(p, filter.config.max_witness_depth + 4)
+            .expect("run");
         if let BmcVerdict::Counterexample(t) = run.verdict {
             witnesses += 1;
             max_depth = max_depth.max(t.depth() - 1);
@@ -56,8 +60,13 @@ fn run_bank(design: &emm_aig::Design, filter: &ImageFilter, budget: Duration) ->
 
     let started = Instant::now();
     let mut proofs = 0;
-    let mut engine =
-        BmcEngine::new(design, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut engine = BmcEngine::new(
+        design,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     for &p in &filter.unreachable {
         let run = engine.check(p, 24).expect("run");
         if run.verdict.is_proof() {
@@ -76,8 +85,11 @@ fn run_bank(design: &emm_aig::Design, filter: &ImageFilter, budget: Duration) ->
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
-    let timeout =
-        Duration::from_secs(arg_value("--timeout").and_then(|v| v.parse().ok()).unwrap_or(120));
+    let timeout = Duration::from_secs(
+        arg_value("--timeout")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120),
+    );
     let config = if paper {
         ImageFilterConfig::paper()
     } else {
@@ -91,10 +103,11 @@ fn main() {
         }
     };
     let filter = ImageFilter::new(config);
-    println!("Industry Design I — image filter: {}", filter.design.stats());
     println!(
-        "paper reference: EMM 206/216 witnesses (max depth 51) in 400 s + 10 proofs <1 s;"
+        "Industry Design I — image filter: {}",
+        filter.design.stats()
     );
+    println!("paper reference: EMM 206/216 witnesses (max depth 51) in 400 s + 10 proofs <1 s;");
     println!("                 Explicit 20540 s for witnesses, 25 s for proofs");
     println!();
 

@@ -23,12 +23,16 @@ use emm_designs::industry2::{Industry2, Industry2Config};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
-    let depth: usize = arg_value("--depth").and_then(|v| v.parse().ok()).unwrap_or(40);
+    let depth: usize = arg_value("--depth")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
     let config = if paper {
         Industry2Config::paper()
     } else {
@@ -91,10 +95,19 @@ fn main() {
     ]);
 
     // Step 3: the invariant by backward induction — EMM vs Explicit.
-    let mut engine = BmcEngine::new(d, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut engine = BmcEngine::new(
+        d,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     let run = engine.check(lookup.invariant, 10).expect("run");
     let cell = match run.verdict {
-        BmcVerdict::Proof { kind: ProofKind::BackwardInduction, depth } => {
+        BmcVerdict::Proof {
+            kind: ProofKind::BackwardInduction,
+            depth,
+        } => {
             format!("backward induction, depth {depth}")
         }
         ref other => format!("{other:?}"),
@@ -120,10 +133,18 @@ fn main() {
         BmcVerdict::Proof { kind, depth } => format!("{kind:?}, depth {depth}"),
         ref other => format!("{other:?}"),
     };
-    table.row(&["G(WE=0 or WD=0), Explicit".into(), cell, secs(run.elapsed), "78 s".into()]);
+    table.row(&[
+        "G(WE=0 or WD=0), Explicit".into(),
+        cell,
+        secs(run.elapsed),
+        "78 s".into(),
+    ]);
 
     // Step 4: invariant as RD constraint + abstracted memory + PBA.
-    let constrained = Industry2::new(Industry2Config { assume_rd_zero: true, ..config });
+    let constrained = Industry2::new(Industry2Config {
+        assume_rd_zero: true,
+        ..config
+    });
     let cd = &constrained.design;
     let started = std::time::Instant::now();
     let pba_config = pba::PbaConfig {

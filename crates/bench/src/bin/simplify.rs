@@ -1,0 +1,274 @@
+//! Measures the simplifying CNF layer (`emm_sat::simplify`) on the
+//! paper's Table 1 / Table 2 quicksort workloads and writes a
+//! machine-readable `BENCH_simplify.json` so later PRs have a perf
+//! trajectory to compare against.
+//!
+//! For every workload the same property is checked twice — once with the
+//! naive seed encoding (`SimplifyConfig::disabled`) and once with the
+//! simplifying sink (default config) — recording solver variable/clause
+//! counts at the deepest checked frame, wall time, and the layer's cache /
+//! sweep / laziness counters.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p emm-bench --bin simplify -- [--aw A] [--dw D] [--max-n N] [--timeout SECS] [--out PATH]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use emm_bench::secs;
+use emm_bmc::{BmcEngine, BmcOptions, BmcVerdict};
+use emm_designs::quicksort::{QuickSort, QuickSortConfig};
+use emm_sat::SimplifyConfig;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+struct RunRecord {
+    benchmark: String,
+    mode: &'static str,
+    verdict: String,
+    depth: usize,
+    seconds: f64,
+    vars: usize,
+    clauses: u64,
+    emm_clauses: usize,
+    cmp_cache_hits: usize,
+    simplify: Option<emm_sat::SimplifyStats>,
+}
+
+fn verdict_name(v: &BmcVerdict) -> String {
+    match v {
+        BmcVerdict::Proof { depth, .. } => format!("proof@{depth}"),
+        BmcVerdict::Counterexample(t) => format!("cex@{}", t.depth()),
+        BmcVerdict::BoundReached => "bound".into(),
+        BmcVerdict::Timeout => "timeout".into(),
+    }
+}
+
+/// The three measured encoder configurations.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// The seed encoding: no sink layer, no comparator cache.
+    Naive,
+    /// The engine default: hashing + folding + lazy emission + cmp cache.
+    Simplified,
+    /// The default plus SAT sweeping.
+    SimplifiedSweep,
+}
+
+impl Mode {
+    const ALL: [Mode; 3] = [Mode::Naive, Mode::Simplified, Mode::SimplifiedSweep];
+
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Naive => "naive",
+            Mode::Simplified => "simplified",
+            Mode::SimplifiedSweep => "simplified_sweep",
+        }
+    }
+}
+
+fn run_one(
+    benchmark: &str,
+    design: &emm_aig::Design,
+    prop: usize,
+    bound: usize,
+    timeout: Duration,
+    mode: Mode,
+) -> RunRecord {
+    let simplify = match mode {
+        Mode::Naive => SimplifyConfig::disabled(),
+        Mode::Simplified => SimplifyConfig::default(),
+        Mode::SimplifiedSweep => SimplifyConfig::sweeping(),
+    };
+    // The naive baseline must be the *seed* encoding: the comparator cache
+    // is part of this PR's optimizations, so it is switched off together
+    // with the sink layer.
+    let emm = emm_core::EmmOptions {
+        comparator_cache: mode != Mode::Naive,
+        ..emm_core::EmmOptions::default()
+    };
+    let mut engine = BmcEngine::new(
+        design,
+        BmcOptions {
+            proofs: true,
+            wall_limit: Some(timeout),
+            simplify,
+            emm,
+            ..BmcOptions::default()
+        },
+    );
+    let started = Instant::now();
+    let run = engine.check(prop, bound).expect("bench run");
+    let elapsed = started.elapsed();
+    let (vars, solver_stats) = engine.solver_stats();
+    let emm = engine.emm_stats();
+    RunRecord {
+        benchmark: benchmark.to_string(),
+        mode: mode.name(),
+        verdict: verdict_name(&run.verdict),
+        depth: run.depth_reached,
+        seconds: elapsed.as_secs_f64(),
+        vars,
+        clauses: solver_stats.original_clauses,
+        emm_clauses: emm.clauses,
+        cmp_cache_hits: emm.cmp_cache_hits,
+        simplify: engine.simplify_stats(),
+    }
+}
+
+fn json_record(r: &RunRecord) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "    {{\"benchmark\": \"{}\", \"mode\": \"{}\", \"verdict\": \"{}\", \
+         \"depth\": {}, \"seconds\": {:.3}, \"vars\": {}, \"clauses\": {}, \
+         \"emm_clauses\": {}, \"cmp_cache_hits\": {}",
+        r.benchmark,
+        r.mode,
+        r.verdict,
+        r.depth,
+        r.seconds,
+        r.vars,
+        r.clauses,
+        r.emm_clauses,
+        r.cmp_cache_hits,
+    )
+    .expect("write");
+    match &r.simplify {
+        None => s.push_str(", \"simplify\": null}"),
+        Some(st) => {
+            write!(
+                s,
+                ", \"simplify\": {{\"gate_queries\": {}, \"folded\": {}, \
+                 \"cache_hits\": {}, \"gates_created\": {}, \"gates_emitted\": {}, \
+                 \"gates_elided\": {}, \"sweep_checks\": {}, \"sweep_merges\": {}, \
+                 \"sweep_refuted\": {}, \"clauses_dropped\": {}, \
+                 \"literals_stripped\": {}}}}}",
+                st.gate_queries,
+                st.folded,
+                st.cache_hits,
+                st.gates_created,
+                st.gates_emitted,
+                st.gates_elided(),
+                st.sweep_checks,
+                st.sweep_merges,
+                st.sweep_refuted,
+                st.clauses_dropped,
+                st.literals_stripped,
+            )
+            .expect("write");
+        }
+    }
+    s
+}
+
+fn main() {
+    let aw: usize = arg_value("--aw").and_then(|v| v.parse().ok()).unwrap_or(6);
+    let dw: usize = arg_value("--dw").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let max_n: usize = arg_value("--max-n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let timeout = Duration::from_secs(
+        arg_value("--timeout")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120),
+    );
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_simplify.json".to_string());
+
+    println!("Simplifying-layer benchmark: quicksort (Table 1 / Table 2 workloads)");
+    println!(
+        "AW={aw} DW={dw}, n=3..={max_n}, timeout {}s per run",
+        timeout.as_secs()
+    );
+    println!();
+
+    let mut records: Vec<RunRecord> = Vec::new();
+    for n in 3..=max_n {
+        let qs = QuickSort::new(QuickSortConfig {
+            n,
+            addr_width: aw,
+            data_width: dw,
+            bug: Default::default(),
+        });
+        // Table 1's workload is the P1/P2 induction proof; Table 2 studies
+        // P2. Benchmarks are labeled accordingly.
+        for (table, label, prop) in [
+            ("table1", "p1", qs.p1.0 as usize),
+            ("table2", "p2", qs.p2.0 as usize),
+        ] {
+            let name = format!("{table}_quicksort_{label}_n{n}");
+            for mode in Mode::ALL {
+                let r = run_one(&name, &qs.design, prop, qs.cycle_bound(), timeout, mode);
+                println!(
+                    "{:>28} {:>16}: {:>10}  {}s  vars={} clauses={}",
+                    r.benchmark,
+                    r.mode,
+                    r.verdict,
+                    secs(Duration::from_secs_f64(r.seconds)),
+                    r.vars,
+                    r.clauses
+                );
+                records.push(r);
+            }
+        }
+    }
+
+    // Per-benchmark reductions vs the naive baseline (mode triples are
+    // adjacent in `records`).
+    let mut summary = String::new();
+    println!();
+    for triple in records.chunks(Mode::ALL.len()) {
+        let [naive, rest @ ..] = triple else { continue };
+        for simp in rest {
+            let clause_red = 100.0 * (1.0 - simp.clauses as f64 / naive.clauses.max(1) as f64);
+            let var_red = 100.0 * (1.0 - simp.vars as f64 / naive.vars.max(1) as f64);
+            let speedup = naive.seconds / simp.seconds.max(1e-9);
+            println!(
+                "{:>28} {:>16}: clauses -{clause_red:.1}%  vars -{var_red:.1}%  speedup {speedup:.2}x",
+                naive.benchmark, simp.mode
+            );
+            if !summary.is_empty() {
+                summary.push_str(",\n");
+            }
+            write!(
+                summary,
+                "    {{\"benchmark\": \"{}\", \"mode\": \"{}\", \
+                 \"clause_reduction_pct\": {clause_red:.2}, \
+                 \"var_reduction_pct\": {var_red:.2}, \"speedup\": {speedup:.3}}}",
+                naive.benchmark, simp.mode
+            )
+            .expect("write");
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"suite\": \"simplify\",\n");
+    writeln!(
+        json,
+        "  \"config\": {{\"aw\": {aw}, \"dw\": {dw}, \"max_n\": {max_n}, \
+         \"timeout_secs\": {}}},",
+        timeout.as_secs()
+    )
+    .expect("write");
+    json.push_str("  \"runs\": [\n");
+    json.push_str(
+        &records
+            .iter()
+            .map(json_record)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    json.push_str("\n  ],\n  \"summary\": [\n");
+    json.push_str(&summary);
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out, json).expect("write BENCH_simplify.json");
+    println!("\nwrote {out}");
+}

@@ -23,7 +23,9 @@ use emm_designs::quicksort::{QuickSort, QuickSortConfig};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() {
@@ -34,28 +36,52 @@ fn main() {
     let dw: usize = arg_value("--dw")
         .and_then(|v| v.parse().ok())
         .unwrap_or(if full { 32 } else { 4 });
-    let timeout =
-        Duration::from_secs(arg_value("--timeout").and_then(|v| v.parse().ok()).unwrap_or(60));
-    let max_n: usize = arg_value("--max-n").and_then(|v| v.parse().ok()).unwrap_or(5);
+    let timeout = Duration::from_secs(
+        arg_value("--timeout")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(60),
+    );
+    let max_n: usize = arg_value("--max-n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
 
     println!("Table 1 — Quick Sort: EMM (BMC-3) vs Explicit Modeling (BMC-1)");
-    println!("array AW={aw} DW={dw}; per-run timeout {}s", timeout.as_secs());
+    println!(
+        "array AW={aw} DW={dw}; per-run timeout {}s",
+        timeout.as_secs()
+    );
     println!("paper reference (AW=10, DW=32, 3h timeout):");
     println!("  N=3: D=27, EMM 64/30 s, Explicit >3h");
     println!("  N=4: D=42, EMM 601/453 s, Explicit >3h");
     println!("  N=5: D=59, EMM 6376/4916 s, Explicit >3h");
     println!();
 
-    let mut table =
-        Table::new(&["N", "Prop", "D", "EMM sec", "EMM MB", "Explicit sec", "Expl MB"]);
+    let mut table = Table::new(&[
+        "N",
+        "Prop",
+        "D",
+        "EMM sec",
+        "EMM MB",
+        "Explicit sec",
+        "Expl MB",
+    ]);
     for n in 3..=max_n {
-        let qs = QuickSort::new(QuickSortConfig { n, addr_width: aw, data_width: dw, bug: Default::default() });
+        let qs = QuickSort::new(QuickSortConfig {
+            n,
+            addr_width: aw,
+            data_width: dw,
+            bug: Default::default(),
+        });
         let (expl, _) = explicit_model(&qs.design);
         for (label, prop) in [("P1", qs.p1.0 as usize), ("P2", qs.p2.0 as usize)] {
             // EMM: BMC-3 forward induction proof.
             let mut engine = BmcEngine::new(
                 &qs.design,
-                BmcOptions { proofs: true, wall_limit: Some(timeout), ..BmcOptions::default() },
+                BmcOptions {
+                    proofs: true,
+                    wall_limit: Some(timeout),
+                    ..BmcOptions::default()
+                },
             );
             let run = engine.check(prop, qs.cycle_bound()).expect("emm run");
             let (diameter, emm_time) = match run.verdict {
@@ -63,12 +89,18 @@ fn main() {
                 BmcVerdict::Timeout => ("-".to_string(), format!(">{}", timeout.as_secs())),
                 other => (format!("{other:?}"), secs(run.elapsed)),
             };
-            let emm_mb = resident_mib().map(|m| format!("{m:.0}")).unwrap_or_default();
+            let emm_mb = resident_mib()
+                .map(|m| format!("{m:.0}"))
+                .unwrap_or_default();
 
             // Explicit: BMC-1 on the expanded model.
             let mut engine = BmcEngine::new(
                 &expl,
-                BmcOptions { proofs: true, wall_limit: Some(timeout), ..BmcOptions::default() },
+                BmcOptions {
+                    proofs: true,
+                    wall_limit: Some(timeout),
+                    ..BmcOptions::default()
+                },
             );
             let run = engine.check(prop, qs.cycle_bound()).expect("explicit run");
             let expl_time = match run.verdict {
@@ -76,7 +108,9 @@ fn main() {
                 BmcVerdict::Timeout => format!(">{}", timeout.as_secs()),
                 other => format!("{other:?}"),
             };
-            let expl_mb = resident_mib().map(|m| format!("{m:.0}")).unwrap_or_default();
+            let expl_mb = resident_mib()
+                .map(|m| format!("{m:.0}"))
+                .unwrap_or_default();
             table.row(&[
                 n.to_string(),
                 label.to_string(),

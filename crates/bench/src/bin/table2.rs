@@ -22,18 +22,28 @@ use emm_designs::quicksort::{QuickSort, QuickSortConfig};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() {
     let aw: usize = arg_value("--aw").and_then(|v| v.parse().ok()).unwrap_or(6);
     let dw: usize = arg_value("--dw").and_then(|v| v.parse().ok()).unwrap_or(4);
-    let timeout =
-        Duration::from_secs(arg_value("--timeout").and_then(|v| v.parse().ok()).unwrap_or(60));
-    let max_n: usize = arg_value("--max-n").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let timeout = Duration::from_secs(
+        arg_value("--timeout")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(60),
+    );
+    let max_n: usize = arg_value("--max-n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
 
     println!("Table 2 — Quick Sort on P2: EMM+PBA vs Explicit+PBA");
-    println!("array AW={aw} DW={dw}; stability depth 10; timeout {}s", timeout.as_secs());
+    println!(
+        "array AW={aw} DW={dw}; stability depth 10; timeout {}s",
+        timeout.as_secs()
+    );
     println!("paper reference (AW=10, DW=32):");
     println!("  N=3: EMM 91(167) FF, PBA 10 s, proof 5 s / Explicit 293(37K) FF, proof 2K s");
     println!("  N=4: EMM 93(167) FF, PBA 38 s, proof 145 s / Explicit 2858(37K) FF, 10K s");
@@ -51,7 +61,12 @@ fn main() {
         "Expl proof sec",
     ]);
     for n in 3..=max_n {
-        let qs = QuickSort::new(QuickSortConfig { n, addr_width: aw, data_width: dw, bug: Default::default() });
+        let qs = QuickSort::new(QuickSortConfig {
+            n,
+            addr_width: aw,
+            data_width: dw,
+            bug: Default::default(),
+        });
         let prop = qs.p2.0 as usize;
         let config = pba::PbaConfig {
             stability_depth: 10,
@@ -109,7 +124,11 @@ fn main() {
         let expl_disc = pba::discover(&expl, prop, &expl_config).expect("explicit discovery");
         let stable = expl_disc.stable_at.is_some();
         let expl_ff = if stable {
-            format!("{}({})", expl_disc.abstraction.num_kept_latches(), expl.num_latches())
+            format!(
+                "{}({})",
+                expl_disc.abstraction.num_kept_latches(),
+                expl.num_latches()
+            )
         } else {
             format!("-({})", expl.num_latches())
         };
@@ -129,7 +148,9 @@ fn main() {
                     ..BmcOptions::default()
                 },
             );
-            let run = engine.check(prop, qs.cycle_bound()).expect("explicit proof");
+            let run = engine
+                .check(prop, qs.cycle_bound())
+                .expect("explicit proof");
             match run.verdict {
                 BmcVerdict::Proof { .. } => secs(run.elapsed),
                 BmcVerdict::Timeout => format!(">{}", timeout.as_secs()),

@@ -12,6 +12,7 @@
 //! | `industry1` | Industry Design I case study (witnesses + induction) |
 //! | `industry2` | Industry Design II case study (invariant workflow) |
 //! | `constraints` | Section 4.1 constraint-size law |
+//! | `simplify` | simplifying-sink ablation on the Table 1/2 workloads; writes `BENCH_simplify.json` |
 //!
 //! Run them with `cargo run --release -p emm-bench --bin <name> [-- args]`.
 
@@ -56,7 +57,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header length).

@@ -20,13 +20,38 @@
 //! | BMC-1 (Fig. 1) | a design without memories (e.g. after [`emm_core::explicit_model`]), `proofs: true` |
 //! | BMC-2 (Fig. 2) | memories + EMM, `proofs: false` |
 //! | BMC-3 (Fig. 3) | memories + EMM, `proofs: true`, optionally PBA |
+//!
+//! ## The simplifying sink pipeline
+//!
+//! By default every context routes its clause traffic through the
+//! simplifying layer of [`emm_sat::simplify`]:
+//!
+//! ```text
+//! Unroller ─┐
+//! LfpBuilder ├──> SimplifySink ──> Solver
+//! EmmEncoder ┘
+//! ```
+//!
+//! The layer interns structurally identical gates across frames, folds
+//! constants, and defers a gate's Tseitin clauses until something actually
+//! references it (a dynamic cone-of-influence reduction at the literal
+//! level); SAT sweeping of simulation-signature-equal cones is available
+//! as an opt-in pass (`SimplifyConfig::sweeping`). Literals
+//! handed to the solver as *assumptions* bypass `add_clause`, so the
+//! engine materializes them first (see `Ctx::assumption`). Disable or
+//! tune the layer through [`BmcOptions::simplify`]; its effect is
+//! observable via [`BmcEngine::simplify_stats`] and
+//! [`BmcEngine::solver_stats`].
 
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use emm_aig::{Design, Trace};
 use emm_core::{EmmEncoder, EmmOptions, MemoryShape, SelectorGranularity};
-use emm_sat::{Budget, Lit, SolveResult, Solver, SolverConfig};
+use emm_sat::{
+    Budget, CnfSink, Lit, Simplifier, SimplifyConfig, SimplifyStats, SolveResult, Solver,
+    SolverConfig,
+};
 
 use crate::lfp::LfpBuilder;
 use crate::unroll::{UnrollConfig, Unroller};
@@ -53,6 +78,10 @@ pub struct BmcOptions {
     /// per-memory selectors are created and every UNSAT counterexample
     /// check reports which of them the refutation used.
     pub pba_discovery: bool,
+    /// Circuit simplification on the unrolled formula (structural hashing,
+    /// SAT sweeping, lazy emission); see [`emm_sat::simplify`]. Enabled by
+    /// default; use [`SimplifyConfig::disabled`] for the naive encoding.
+    pub simplify: SimplifyConfig,
 }
 
 impl Default for BmcOptions {
@@ -65,6 +94,7 @@ impl Default for BmcOptions {
             validate_traces: true,
             abstraction: None,
             pba_discovery: false,
+            simplify: SimplifyConfig::default(),
         }
     }
 }
@@ -200,7 +230,7 @@ impl std::fmt::Display for BmcError {
 
 impl std::error::Error for BmcError {}
 
-/// One SAT context (solver + unroller + EMM + LFP).
+/// One SAT context (solver + unroller + EMM + LFP + simplifier).
 struct Ctx<'d> {
     solver: Solver,
     unroller: Unroller<'d>,
@@ -208,11 +238,31 @@ struct Ctx<'d> {
     /// Maps design memory index -> EMM encoder index (kept memories only).
     emm_index: Vec<Option<usize>>,
     lfp: Option<LfpBuilder>,
+    /// Cross-frame simplification state, when enabled. All clause traffic
+    /// from the unroller / EMM / LFP flows through `simplify.attach(solver)`
+    /// so gates are interned, swept, and lazily emitted.
+    simplify: Option<Simplifier>,
+    /// Per-EMM-slot count of init reads whose address cones have already
+    /// been materialized (so `ensure_depth` only touches new ones).
+    init_reads_materialized: Vec<usize>,
+}
+
+impl Ctx<'_> {
+    /// Prepares `lit` for use as a solve assumption: resolves sweep
+    /// substitutions and emits any still-lazy defining clauses.
+    fn assumption(&mut self, lit: Lit) -> Lit {
+        match &mut self.simplify {
+            Some(simp) => simp.attach(&mut self.solver).materialize(lit),
+            None => lit,
+        }
+    }
 }
 
 impl std::fmt::Debug for Ctx<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Ctx").field("frames", &self.unroller.num_frames()).finish()
+        f.debug_struct("Ctx")
+            .field("frames", &self.unroller.num_frames())
+            .finish()
     }
 }
 
@@ -235,9 +285,7 @@ impl<'d> BmcEngine<'d> {
     /// wrong length.
     pub fn new(design: &'d Design, options: BmcOptions) -> BmcEngine<'d> {
         let mut options = options;
-        if options.pba_discovery
-            && matches!(options.emm.selectors, SelectorGranularity::None)
-        {
+        if options.pba_discovery && matches!(options.emm.selectors, SelectorGranularity::None) {
             options.emm.selectors = SelectorGranularity::PerMemory;
         }
         if let Some(a) = &options.abstraction {
@@ -245,22 +293,36 @@ impl<'d> BmcEngine<'d> {
             assert_eq!(a.kept_memories.len(), design.memories().len());
         }
         let anchored = Self::make_ctx(design, &options, true);
-        let floating = options.proofs.then(|| Self::make_ctx(design, &options, false));
-        BmcEngine { design, options, anchored, floating }
+        let floating = options
+            .proofs
+            .then(|| Self::make_ctx(design, &options, false));
+        BmcEngine {
+            design,
+            options,
+            anchored,
+            floating,
+        }
     }
 
     fn make_ctx<'a>(design: &'a Design, options: &BmcOptions, anchored: bool) -> Ctx<'a> {
         let mut solver = Solver::with_config(SolverConfig::default());
-        let kept_latches = options.abstraction.as_ref().map(|a| a.kept_latches.clone());
-        let unroller = Unroller::new(
-            design,
-            &mut solver,
-            UnrollConfig {
-                initial_state: anchored,
-                latch_selectors: options.pba_discovery && anchored,
-                kept_latches: kept_latches.clone(),
-            },
-        );
+        let mut simplify = options
+            .simplify
+            .enabled
+            .then(|| Simplifier::new(options.simplify));
+        let unroll_config = UnrollConfig {
+            initial_state: anchored,
+            latch_selectors: options.pba_discovery && anchored,
+            kept_latches: options.abstraction.as_ref().map(|a| a.kept_latches.clone()),
+        };
+        let kept_latches = unroll_config.kept_latches.clone();
+        let unroller = match &mut simplify {
+            Some(simp) => {
+                let mut sink = simp.attach(&mut solver);
+                Unroller::new(design, &mut sink, unroll_config)
+            }
+            None => Unroller::new(design, &mut solver, unroll_config),
+        };
         // EMM shapes for kept memories. The floating context treats every
         // memory as arbitrary-init: an induction window may start anywhere.
         let mut shapes = Vec::new();
@@ -278,18 +340,26 @@ impl<'d> BmcEngine<'d> {
                     data_width: m.data_width,
                     read_ports: m.read_ports.len(),
                     write_ports: m.write_ports.len(),
-                    arbitrary_init: !anchored
-                        || matches!(m.init, emm_aig::MemInit::Arbitrary),
+                    arbitrary_init: !anchored || matches!(m.init, emm_aig::MemInit::Arbitrary),
                 });
             } else {
                 emm_index.push(None);
             }
         }
         let emm = EmmEncoder::new(&shapes, options.emm);
-        let lfp = options.proofs.then(|| {
-            LfpBuilder::new(&mut solver, design.num_latches(), kept_latches.as_deref())
-        });
-        Ctx { solver, unroller, emm, emm_index, lfp }
+        let lfp = options
+            .proofs
+            .then(|| LfpBuilder::new(&mut solver, design.num_latches(), kept_latches.as_deref()));
+        let init_reads_materialized = vec![0; shapes.len()];
+        Ctx {
+            solver,
+            unroller,
+            emm,
+            emm_index,
+            lfp,
+            simplify,
+            init_reads_materialized,
+        }
     }
 
     /// The design under verification.
@@ -302,6 +372,20 @@ impl<'d> BmcEngine<'d> {
         self.anchored.emm.stats()
     }
 
+    /// Counters of the anchored context's simplifying layer, when enabled.
+    pub fn simplify_stats(&self) -> Option<SimplifyStats> {
+        self.anchored.simplify.as_ref().map(|s| *s.stats())
+    }
+
+    /// Raw CDCL statistics of the anchored context's solver (variable and
+    /// clause counts reflect what the encoders actually emitted).
+    pub fn solver_stats(&self) -> (usize, emm_sat::SolverStats) {
+        (
+            self.anchored.solver.num_vars(),
+            *self.anchored.solver.stats(),
+        )
+    }
+
     /// Frames currently unrolled in the anchored context.
     pub fn depth(&self) -> usize {
         self.anchored.unroller.num_frames()
@@ -310,21 +394,72 @@ impl<'d> BmcEngine<'d> {
     /// Extends every context to include frame `k`.
     fn ensure_depth(&mut self, k: usize) {
         for ctx in std::iter::once(&mut self.anchored).chain(self.floating.as_mut()) {
-            while ctx.unroller.num_frames() <= k {
-                let frame = ctx.unroller.extend(&mut ctx.solver);
-                // EMM constraints for kept memories.
-                let mut frames = Vec::new();
-                for (mi, slot) in ctx.emm_index.clone().iter().enumerate() {
-                    if slot.is_some() {
-                        frames.push(ctx.unroller.memory_frame_lits(frame, mi));
+            let Ctx {
+                solver,
+                unroller,
+                emm,
+                emm_index,
+                lfp,
+                simplify,
+                init_reads_materialized,
+            } = ctx;
+            while unroller.num_frames() <= k {
+                match simplify {
+                    Some(simp) => {
+                        let mut sink = simp.attach(solver);
+                        Self::extend_one(unroller, emm, emm_index, lfp, &mut sink);
+                        // Trace extraction reads literals that may sit
+                        // outside every emitted clause under lazy emission;
+                        // materialize them so the model constrains them:
+                        // initial-state read addresses (they feed the
+                        // counterexample memory seeds) and every read
+                        // port's enable — including those of memories an
+                        // abstraction dropped, whose EMM constraints were
+                        // never emitted.
+                        for slot in emm_index.iter().flatten() {
+                            let done = &mut init_reads_materialized[*slot];
+                            let reads = emm.init_reads(*slot);
+                            for ir in &reads[*done..] {
+                                for &l in &ir.addr {
+                                    sink.materialize(l);
+                                }
+                            }
+                            *done = reads.len();
+                        }
+                        let frame = unroller.num_frames() - 1;
+                        for m in unroller.design().memories() {
+                            for rp in &m.read_ports {
+                                let en = unroller.lit(frame, rp.en);
+                                sink.materialize(en);
+                            }
+                        }
                     }
-                }
-                ctx.emm.add_frame(&mut ctx.solver, &frames);
-                if let Some(lfp) = &mut ctx.lfp {
-                    let lits = ctx.unroller.latch_lits(frame);
-                    lfp.add_frame(&mut ctx.solver, &lits);
+                    None => Self::extend_one(unroller, emm, emm_index, lfp, solver),
                 }
             }
+        }
+    }
+
+    /// Unrolls one frame and emits its EMM and LFP constraints into `sink`.
+    fn extend_one(
+        unroller: &mut Unroller<'_>,
+        emm: &mut EmmEncoder,
+        emm_index: &[Option<usize>],
+        lfp: &mut Option<LfpBuilder>,
+        sink: &mut dyn CnfSink,
+    ) {
+        let frame = unroller.extend(sink);
+        // EMM constraints for kept memories.
+        let mut frames = Vec::new();
+        for (mi, slot) in emm_index.iter().enumerate() {
+            if slot.is_some() {
+                frames.push(unroller.memory_frame_lits(frame, mi));
+            }
+        }
+        emm.add_frame(sink, &frames);
+        if let Some(lfp) = lfp {
+            let lits = unroller.latch_lits(frame);
+            lfp.add_frame(sink, &lits);
         }
     }
 
@@ -350,19 +485,20 @@ impl<'d> BmcEngine<'d> {
         let mut latch_reasons: HashSet<usize> = HashSet::new();
         let mut memory_reasons: HashSet<usize> = HashSet::new();
 
-        let finish = |verdict: BmcVerdict, depth: usize, lr: &HashSet<usize>, mr: &HashSet<usize>| {
-            let mut lrv: Vec<usize> = lr.iter().copied().collect();
-            lrv.sort_unstable();
-            let mut mrv: Vec<usize> = mr.iter().copied().collect();
-            mrv.sort_unstable();
-            Ok(BmcRun {
-                verdict,
-                depth_reached: depth,
-                elapsed: started.elapsed(),
-                latch_reasons: lrv,
-                memory_reasons: mrv,
-            })
-        };
+        let finish =
+            |verdict: BmcVerdict, depth: usize, lr: &HashSet<usize>, mr: &HashSet<usize>| {
+                let mut lrv: Vec<usize> = lr.iter().copied().collect();
+                lrv.sort_unstable();
+                let mut mrv: Vec<usize> = mr.iter().copied().collect();
+                mrv.sort_unstable();
+                Ok(BmcRun {
+                    verdict,
+                    depth_reached: depth,
+                    elapsed: started.elapsed(),
+                    latch_reasons: lrv,
+                    memory_reasons: mrv,
+                })
+            };
 
         for i in 0..=max_depth {
             if let Some(dl) = deadline {
@@ -376,12 +512,14 @@ impl<'d> BmcEngine<'d> {
             if self.options.proofs {
                 // Forward termination: SAT(I ∧ LFP_i ∧ C_i).
                 let mut assumptions = Self::base_assumptions(&self.anchored);
-                assumptions
-                    .push(self.anchored.lfp.as_ref().expect("proofs on").activation());
+                assumptions.push(self.anchored.lfp.as_ref().expect("proofs on").activation());
                 match self.anchored.solver.solve_with(&assumptions) {
                     SolveResult::Unsat => {
                         return finish(
-                            BmcVerdict::Proof { kind: ProofKind::ForwardDiameter, depth: i },
+                            BmcVerdict::Proof {
+                                kind: ProofKind::ForwardDiameter,
+                                depth: i,
+                            },
                             i,
                             &latch_reasons,
                             &memory_reasons,
@@ -398,13 +536,18 @@ impl<'d> BmcEngine<'d> {
                 assumptions.push(floating.lfp.as_ref().expect("proofs on").activation());
                 for j in 0..i {
                     let bad_j = floating.unroller.lit(j, bad_bit);
-                    assumptions.push(!bad_j);
+                    assumptions.push(floating.assumption(!bad_j));
                 }
-                assumptions.push(floating.unroller.lit(i, bad_bit));
+                let bad_i = floating.unroller.lit(i, bad_bit);
+                let bad_i = floating.assumption(bad_i);
+                assumptions.push(bad_i);
                 match floating.solver.solve_with(&assumptions) {
                     SolveResult::Unsat => {
                         return finish(
-                            BmcVerdict::Proof { kind: ProofKind::BackwardInduction, depth: i },
+                            BmcVerdict::Proof {
+                                kind: ProofKind::BackwardInduction,
+                                depth: i,
+                            },
                             i,
                             &latch_reasons,
                             &memory_reasons,
@@ -418,8 +561,10 @@ impl<'d> BmcEngine<'d> {
             }
 
             // Counterexample check: SAT(I ∧ ¬P_i ∧ C_i).
+            let bad_i = self.anchored.unroller.lit(i, bad_bit);
+            let bad_i = self.anchored.assumption(bad_i);
             let mut assumptions = Self::base_assumptions(&self.anchored);
-            assumptions.push(self.anchored.unroller.lit(i, bad_bit));
+            assumptions.push(bad_i);
             match self.anchored.solver.solve_with(&assumptions) {
                 SolveResult::Sat => {
                     let trace = self.extract_trace(prop, i);
@@ -445,14 +590,24 @@ impl<'d> BmcEngine<'d> {
                 }
             }
         }
-        finish(BmcVerdict::BoundReached, max_depth, &latch_reasons, &memory_reasons)
+        finish(
+            BmcVerdict::BoundReached,
+            max_depth,
+            &latch_reasons,
+            &memory_reasons,
+        )
     }
 
     /// Latch/memory reasons from the failed assumptions of the most recent
     /// UNSAT answer of the anchored solver (`Get_Latch_Reasons(U_Core)`).
     fn collect_reasons(&mut self, latches: &mut HashSet<usize>, memories: &mut HashSet<usize>) {
-        let failed: HashSet<Lit> =
-            self.anchored.solver.failed_assumptions().iter().copied().collect();
+        let failed: HashSet<Lit> = self
+            .anchored
+            .solver
+            .failed_assumptions()
+            .iter()
+            .copied()
+            .collect();
         for (li, &sel) in self.anchored.unroller.latch_selectors().iter().enumerate() {
             if failed.contains(&sel) {
                 latches.insert(li);
@@ -494,8 +649,12 @@ impl<'d> BmcEngine<'d> {
         let design = self.design;
         let model = |l: Lit| solver.model_value(l).unwrap_or(false);
 
-        let initial_latches: Vec<bool> =
-            ctx.unroller.latch_lits(0).iter().map(|&l| model(l)).collect();
+        let initial_latches: Vec<bool> = ctx
+            .unroller
+            .latch_lits(0)
+            .iter()
+            .map(|&l| model(l))
+            .collect();
 
         let mut frames = Vec::with_capacity(depth + 1);
         let mut disabled_reads = Vec::with_capacity(depth + 1);
@@ -545,12 +704,11 @@ impl<'d> BmcEngine<'d> {
                         .enumerate()
                         .map(|(b, &l)| (model(l) as u64) << b)
                         .sum();
-                    let value: u64 = ir
-                        .v
-                        .iter()
-                        .enumerate()
-                        .map(|(b, &l)| (model(l) as u64) << b)
-                        .sum();
+                    let value: u64 =
+                        ir.v.iter()
+                            .enumerate()
+                            .map(|(b, &l)| (model(l) as u64) << b)
+                            .sum();
                     memory_seeds[mi].push((addr, value));
                 }
             }
@@ -560,6 +718,12 @@ impl<'d> BmcEngine<'d> {
             seeds.dedup();
         }
 
-        Trace { initial_latches, frames, memory_seeds, disabled_reads, property: prop }
+        Trace {
+            initial_latches,
+            frames,
+            memory_seeds,
+            disabled_reads,
+            property: prop,
+        }
     }
 }

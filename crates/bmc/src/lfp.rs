@@ -12,7 +12,7 @@
 //! freed latches are pseudo-primary inputs and must not count toward state
 //! distinctness (otherwise no two frames would ever be provably equal).
 
-use emm_sat::{Lit, Solver};
+use emm_sat::{CnfSink, Lit};
 
 /// Incremental builder of pairwise-distinct-state constraints.
 #[derive(Debug)]
@@ -30,16 +30,24 @@ pub struct LfpBuilder {
 impl LfpBuilder {
     /// Creates a builder over `num_latches` latches, restricted to
     /// `kept_latches` when given.
-    pub fn new(solver: &mut Solver, num_latches: usize, kept_latches: Option<&[bool]>) -> Self {
+    pub fn new<S: CnfSink + ?Sized>(
+        sink: &mut S,
+        num_latches: usize,
+        kept_latches: Option<&[bool]>,
+    ) -> Self {
         let kept_positions = match kept_latches {
             None => (0..num_latches).collect(),
             Some(mask) => {
                 assert_eq!(mask.len(), num_latches);
-                mask.iter().enumerate().filter(|(_, &k)| k).map(|(i, _)| i).collect()
+                mask.iter()
+                    .enumerate()
+                    .filter(|(_, &k)| k)
+                    .map(|(i, _)| i)
+                    .collect()
             }
         };
         LfpBuilder {
-            activation: solver.new_var().positive(),
+            activation: sink.new_var().positive(),
             frames: Vec::new(),
             kept_positions,
             pairs: 0,
@@ -58,16 +66,16 @@ impl LfpBuilder {
 
     /// Registers frame `k`'s latch literals (the full, unfiltered vector)
     /// and adds distinctness constraints against every earlier frame.
-    pub fn add_frame(&mut self, solver: &mut Solver, latch_lits: &[Lit]) {
+    pub fn add_frame<S: CnfSink + ?Sized>(&mut self, sink: &mut S, latch_lits: &[Lit]) {
         let state: Vec<Lit> = self.kept_positions.iter().map(|&i| latch_lits[i]).collect();
         for j in 0..self.frames.len() {
-            self.add_pair(solver, j, &state);
+            self.add_pair(sink, j, &state);
         }
         self.frames.push(state);
     }
 
     /// States at `frames[j]` and `state` must differ in some kept latch.
-    fn add_pair(&mut self, solver: &mut Solver, j: usize, state: &[Lit]) {
+    fn add_pair<S: CnfSink + ?Sized>(&mut self, sink: &mut S, j: usize, state: &[Lit]) {
         self.pairs += 1;
         let old = self.frames[j].clone();
         let mut any_diff: Vec<Lit> = Vec::with_capacity(state.len() + 1);
@@ -81,16 +89,16 @@ impl LfpBuilder {
                 // Provably different: the pair constraint is trivially met.
                 return;
             }
-            let x = solver.new_var().positive();
+            let x = sink.new_var().positive();
             // x -> (a != b)
-            solver.add_clause(&[!x, a, b]);
-            solver.add_clause(&[!x, !a, !b]);
+            sink.add_clause(&[!x, a, b]);
+            sink.add_clause(&[!x, !a, !b]);
             any_diff.push(x);
         }
         // If no latch can differ, the clause degenerates to !activation:
         // assuming activation then gives immediate UNSAT, which is exactly
         // the right semantics (two frames are provably equal).
-        solver.add_clause(&any_diff);
+        sink.add_clause(&any_diff);
     }
 }
 
@@ -99,7 +107,7 @@ mod tests {
     use super::*;
     use crate::unroll::{UnrollConfig, Unroller};
     use emm_aig::{Design, LatchInit};
-    use emm_sat::SolveResult;
+    use emm_sat::{SolveResult, Solver};
 
     /// A modulo-`m` counter design over `width` bits.
     fn mod_counter(width: usize, modulo: u64) -> Design {
@@ -122,10 +130,14 @@ mod tests {
         let modulo = 5u64;
         let d = mod_counter(3, modulo);
         let mut s = Solver::new();
-        let mut u = Unroller::new(&d, &mut s, UnrollConfig {
-            initial_state: true,
-            ..UnrollConfig::default()
-        });
+        let mut u = Unroller::new(
+            &d,
+            &mut s,
+            UnrollConfig {
+                initial_state: true,
+                ..UnrollConfig::default()
+            },
+        );
         let mut lfp = LfpBuilder::new(&mut s, d.num_latches(), None);
         // A mod-5 counter has 5 distinct states: paths with 5 transitions
         // (6 states) must revisit.
@@ -133,7 +145,11 @@ mod tests {
             u.extend(&mut s);
             lfp.add_frame(&mut s, &u.latch_lits(k));
             let result = s.solve_with(&[lfp.activation()]);
-            let expect = if (k as u64) < modulo { SolveResult::Sat } else { SolveResult::Unsat };
+            let expect = if (k as u64) < modulo {
+                SolveResult::Sat
+            } else {
+                SolveResult::Unsat
+            };
             assert_eq!(result, expect, "depth {k}");
         }
     }
@@ -143,10 +159,14 @@ mod tests {
     fn inactive_lfp_does_not_constrain() {
         let d = mod_counter(3, 2);
         let mut s = Solver::new();
-        let mut u = Unroller::new(&d, &mut s, UnrollConfig {
-            initial_state: true,
-            ..UnrollConfig::default()
-        });
+        let mut u = Unroller::new(
+            &d,
+            &mut s,
+            UnrollConfig {
+                initial_state: true,
+                ..UnrollConfig::default()
+            },
+        );
         let mut lfp = LfpBuilder::new(&mut s, d.num_latches(), None);
         for k in 0..6 {
             u.extend(&mut s);
@@ -171,10 +191,14 @@ mod tests {
         d.check().expect("valid");
 
         let mut s = Solver::new();
-        let mut u = Unroller::new(&d, &mut s, UnrollConfig {
-            initial_state: true,
-            ..UnrollConfig::default()
-        });
+        let mut u = Unroller::new(
+            &d,
+            &mut s,
+            UnrollConfig {
+                initial_state: true,
+                ..UnrollConfig::default()
+            },
+        );
         let kept = vec![true, false, false, false]; // only the toggle bit
         let mut lfp = LfpBuilder::new(&mut s, d.num_latches(), Some(&kept));
         for k in 0..4 {

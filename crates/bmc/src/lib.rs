@@ -16,6 +16,12 @@
 //! * [`pba`] — stability-based abstraction discovery and iterative
 //!   abstraction (ref. [10]).
 //!
+//! All encoders emit through [`emm_sat::CnfSink`], and the engine threads
+//! a simplifying sink ([`emm_sat::simplify`]) between them and the solver
+//! by default: cross-frame structural hashing, constant folding, and lazy
+//! gate emission, with SAT sweeping as an opt-in pass. See
+//! [`BmcOptions::simplify`](crate::BmcOptions).
+//!
 //! ## Example: proving a counter property
 //!
 //! ```
@@ -45,8 +51,6 @@ mod lfp;
 pub mod pba;
 mod unroll;
 
-pub use engine::{
-    AbstractionSpec, BmcEngine, BmcError, BmcOptions, BmcRun, BmcVerdict, ProofKind,
-};
+pub use engine::{AbstractionSpec, BmcEngine, BmcError, BmcOptions, BmcRun, BmcVerdict, ProofKind};
 pub use lfp::LfpBuilder;
 pub use unroll::{UnrollConfig, Unroller};

@@ -100,6 +100,7 @@ pub fn discover_within(
             validate_traces: false,
             abstraction: within.cloned(),
             pba_discovery: true,
+            ..BmcOptions::default()
         },
     );
     let mut last_reasons: (Vec<usize>, Vec<usize>) = (Vec::new(), Vec::new());
@@ -149,7 +150,10 @@ pub fn discover_within(
         }
     }
     Ok(PbaDiscovery {
-        abstraction: AbstractionSpec { kept_latches, kept_memories },
+        abstraction: AbstractionSpec {
+            kept_latches,
+            kept_memories,
+        },
         stable_at,
         depth_reached,
         found_counterexample: found_ce,
@@ -225,10 +229,17 @@ pub fn discover_and_prove(
             // Re-run concretely to hand back a real, validated trace.
             let mut engine = BmcEngine::new(
                 design,
-                BmcOptions { emm: config.emm, ..BmcOptions::default() },
+                BmcOptions {
+                    emm: config.emm,
+                    ..BmcOptions::default()
+                },
             );
             let run = engine.check(prop, disc.depth_reached)?;
-            return Ok(AbstractProof { abstraction: disc.abstraction, verdict: run.verdict, rounds });
+            return Ok(AbstractProof {
+                abstraction: disc.abstraction,
+                verdict: run.verdict,
+                rounds,
+            });
         }
         let mut engine = BmcEngine::new(
             design,
@@ -240,6 +251,7 @@ pub fn discover_and_prove(
                 validate_traces: false,
                 abstraction: Some(disc.abstraction.clone()),
                 pba_discovery: false,
+                ..BmcOptions::default()
             },
         );
         let run = engine.check(prop, proof_depth)?;
@@ -254,7 +266,11 @@ pub fn discover_and_prove(
                 continue;
             }
             verdict => {
-                return Ok(AbstractProof { abstraction: disc.abstraction, verdict, rounds })
+                return Ok(AbstractProof {
+                    abstraction: disc.abstraction,
+                    verdict,
+                    rounds,
+                })
             }
         }
     }

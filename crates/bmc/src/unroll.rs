@@ -21,7 +21,7 @@
 
 use emm_aig::{Bit, Design, InputKind, LatchInit, Node, Word};
 use emm_core::{MemoryFrameLits, PortLits};
-use emm_sat::{Lit, Solver};
+use emm_sat::{CnfSink, Lit};
 
 /// Unroller configuration.
 #[derive(Clone, Debug, Default)]
@@ -53,23 +53,41 @@ pub struct Unroller<'d> {
 impl<'d> Unroller<'d> {
     /// Creates an unroller; no frames exist yet.
     ///
+    /// `sink` is any [`CnfSink`]: a live [`Solver`](emm_sat::Solver), a
+    /// [`SimplifySink`](emm_sat::SimplifySink) wrapping one, or a counting
+    /// sink for size experiments. The same sink (or at least the same
+    /// underlying variable space) must be used for every later
+    /// [`Unroller::extend`].
+    ///
     /// # Panics
     ///
     /// Panics if the design fails [`Design::check`] or `kept_latches` has
     /// the wrong length.
-    pub fn new(design: &'d Design, solver: &mut Solver, config: UnrollConfig) -> Unroller<'d> {
+    pub fn new<S: CnfSink + ?Sized>(
+        design: &'d Design,
+        sink: &mut S,
+        config: UnrollConfig,
+    ) -> Unroller<'d> {
         design.check().expect("design must be well-formed");
         if let Some(kept) = &config.kept_latches {
             assert_eq!(kept.len(), design.num_latches(), "kept mask length");
         }
-        let cf = solver.new_var().positive();
-        solver.add_clause(&[!cf]);
+        let cf = sink.new_var().positive();
+        sink.add_clause(&[!cf]);
         let latch_sel = if config.latch_selectors {
-            (0..design.num_latches()).map(|_| solver.new_var().positive()).collect()
+            (0..design.num_latches())
+                .map(|_| sink.new_var().positive())
+                .collect()
         } else {
             Vec::new()
         };
-        Unroller { design, config, const_false: cf, frames: Vec::new(), latch_sel }
+        Unroller {
+            design,
+            config,
+            const_false: cf,
+            frames: Vec::new(),
+            latch_sel,
+        }
     }
 
     /// Number of frames unrolled so far.
@@ -109,11 +127,15 @@ impl<'d> Unroller<'d> {
     /// Literals of every latch output at `frame` (for loop-free-path
     /// constraints and trace extraction).
     pub fn latch_lits(&self, frame: usize) -> Vec<Lit> {
-        self.design.latches().iter().map(|l| self.lit(frame, l.output)).collect()
+        self.design
+            .latches()
+            .iter()
+            .map(|l| self.lit(frame, l.output))
+            .collect()
     }
 
     /// Unrolls the next frame, returning its index.
-    pub fn extend(&mut self, solver: &mut Solver) -> usize {
+    pub fn extend<S: CnfSink + ?Sized>(&mut self, sink: &mut S) -> usize {
         let k = self.frames.len();
         let design = self.design;
         let mut map: Vec<Lit> = Vec::with_capacity(design.aig.num_nodes());
@@ -123,7 +145,7 @@ impl<'d> Unroller<'d> {
             let lit = match node {
                 Node::Const => fal,
                 Node::Input(i) => match design.input_kind(i as usize) {
-                    InputKind::Free | InputKind::ReadData(..) => solver.new_var().positive(),
+                    InputKind::Free | InputKind::ReadData(..) => sink.new_var().positive(),
                     InputKind::Latch(l) => {
                         let li = l.0 as usize;
                         let latch = &design.latches()[li];
@@ -135,27 +157,27 @@ impl<'d> Unroller<'d> {
                             .unwrap_or(true);
                         if !kept {
                             // Abstracted: a fresh pseudo-primary input.
-                            solver.new_var().positive()
+                            sink.new_var().positive()
                         } else if self.config.latch_selectors {
                             // Guarded link to init / previous next-state.
-                            let v = solver.new_var().positive();
+                            let v = sink.new_var().positive();
                             let sel = self.latch_sel[li];
                             if k == 0 {
                                 if self.config.initial_state {
                                     match latch.init {
                                         LatchInit::Zero => {
-                                            solver.add_clause(&[!sel, !v]);
+                                            sink.add_clause(&[!sel, !v]);
                                         }
                                         LatchInit::One => {
-                                            solver.add_clause(&[!sel, v]);
+                                            sink.add_clause(&[!sel, v]);
                                         }
                                         LatchInit::Free => {}
                                     }
                                 }
                             } else {
                                 let n = self.lit(k - 1, latch.next.expect("checked"));
-                                solver.add_clause(&[!sel, !v, n]);
-                                solver.add_clause(&[!sel, v, !n]);
+                                sink.add_clause(&[!sel, !v, n]);
+                                sink.add_clause(&[!sel, v, !n]);
                             }
                             v
                         } else if k == 0 {
@@ -163,10 +185,10 @@ impl<'d> Unroller<'d> {
                                 match latch.init {
                                     LatchInit::Zero => fal,
                                     LatchInit::One => tru,
-                                    LatchInit::Free => solver.new_var().positive(),
+                                    LatchInit::Free => sink.new_var().positive(),
                                 }
                             } else {
-                                solver.new_var().positive()
+                                sink.new_var().positive()
                             }
                         } else {
                             // Structural reuse: no new variable or clause.
@@ -177,7 +199,7 @@ impl<'d> Unroller<'d> {
                 Node::And(a, b) => {
                     let x = apply(&map, a);
                     let y = apply(&map, b);
-                    self.encode_and(solver, x, y)
+                    self.encode_and(sink, x, y)
                 }
             };
             debug_assert_eq!(id.index(), map.len());
@@ -187,13 +209,15 @@ impl<'d> Unroller<'d> {
         // Environment constraints hold at every frame.
         for &c in design.constraints() {
             let l = self.lit(k, c);
-            solver.add_clause(&[l]);
+            sink.add_clause(&[l]);
         }
         k
     }
 
-    /// Tseitin AND with literal-level constant folding.
-    fn encode_and(&self, solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+    /// AND gate with literal-level constant folding; the gate itself goes
+    /// through the sink, so a [`SimplifySink`](emm_sat::SimplifySink) can
+    /// additionally intern, sweep, or defer it.
+    fn encode_and<S: CnfSink + ?Sized>(&self, sink: &mut S, a: Lit, b: Lit) -> Lit {
         let tru = !self.const_false;
         let fal = self.const_false;
         if a == fal || b == fal || a == !b {
@@ -205,11 +229,7 @@ impl<'d> Unroller<'d> {
         if b == tru {
             return a;
         }
-        let out = solver.new_var().positive();
-        solver.add_clause(&[!out, a]);
-        solver.add_clause(&[!out, b]);
-        solver.add_clause(&[out, !a, !b]);
-        out
+        sink.add_and_gate(a, b)
     }
 
     /// A literal that is always false in this solver (handy for callers).
@@ -256,7 +276,7 @@ fn apply(map: &[Lit], bit: Bit) -> Lit {
 mod tests {
     use super::*;
     use emm_aig::{Design, LatchInit};
-    use emm_sat::SolveResult;
+    use emm_sat::{SolveResult, Solver};
 
     fn counter(width: usize, bad_at: u64) -> Design {
         let mut d = Design::new();
@@ -273,17 +293,19 @@ mod tests {
     fn unrolled_counter_values_are_forced() {
         let d = counter(4, 9);
         let mut s = Solver::new();
-        let mut u = Unroller::new(&d, &mut s, UnrollConfig {
-            initial_state: true,
-            ..UnrollConfig::default()
-        });
+        let mut u = Unroller::new(
+            &d,
+            &mut s,
+            UnrollConfig {
+                initial_state: true,
+                ..UnrollConfig::default()
+            },
+        );
         for _ in 0..6 {
             u.extend(&mut s);
         }
         assert_eq!(s.solve(), SolveResult::Sat);
-        let count_word = Word::from(
-            d.latches().iter().map(|l| l.output).collect::<Vec<_>>(),
-        );
+        let count_word = Word::from(d.latches().iter().map(|l| l.output).collect::<Vec<_>>());
         for k in 0..6u64 {
             let lits = u.word_lits(k as usize, &count_word);
             let v: u64 = lits
@@ -299,14 +321,22 @@ mod tests {
     fn bad_literal_reachable_exactly_at_depth() {
         let d = counter(4, 5);
         let mut s = Solver::new();
-        let mut u = Unroller::new(&d, &mut s, UnrollConfig {
-            initial_state: true,
-            ..UnrollConfig::default()
-        });
+        let mut u = Unroller::new(
+            &d,
+            &mut s,
+            UnrollConfig {
+                initial_state: true,
+                ..UnrollConfig::default()
+            },
+        );
         for k in 0..8 {
             u.extend(&mut s);
             let bad = u.lit(k, d.properties()[0].bad);
-            let expect = if k == 5 { SolveResult::Sat } else { SolveResult::Unsat };
+            let expect = if k == 5 {
+                SolveResult::Sat
+            } else {
+                SolveResult::Unsat
+            };
             assert_eq!(s.solve_with(&[bad]), expect, "depth {k}");
         }
     }
@@ -315,10 +345,14 @@ mod tests {
     fn floating_window_starts_anywhere() {
         let d = counter(4, 5);
         let mut s = Solver::new();
-        let mut u = Unroller::new(&d, &mut s, UnrollConfig {
-            initial_state: false,
-            ..UnrollConfig::default()
-        });
+        let mut u = Unroller::new(
+            &d,
+            &mut s,
+            UnrollConfig {
+                initial_state: false,
+                ..UnrollConfig::default()
+            },
+        );
         u.extend(&mut s);
         let bad = u.lit(0, d.properties()[0].bad);
         // Unanchored: the bad state is immediately "reachable".
@@ -329,11 +363,15 @@ mod tests {
     fn frozen_abstraction_frees_latches() {
         let d = counter(4, 5);
         let mut s = Solver::new();
-        let mut u = Unroller::new(&d, &mut s, UnrollConfig {
-            initial_state: true,
-            kept_latches: Some(vec![false; 4]),
-            ..UnrollConfig::default()
-        });
+        let mut u = Unroller::new(
+            &d,
+            &mut s,
+            UnrollConfig {
+                initial_state: true,
+                kept_latches: Some(vec![false; 4]),
+                ..UnrollConfig::default()
+            },
+        );
         u.extend(&mut s);
         let bad = u.lit(0, d.properties()[0].bad);
         // All latches freed: counter value is unconstrained even at frame 0.
@@ -344,11 +382,15 @@ mod tests {
     fn latch_selectors_gate_the_transition() {
         let d = counter(4, 5);
         let mut s = Solver::new();
-        let mut u = Unroller::new(&d, &mut s, UnrollConfig {
-            initial_state: true,
-            latch_selectors: true,
-            ..UnrollConfig::default()
-        });
+        let mut u = Unroller::new(
+            &d,
+            &mut s,
+            UnrollConfig {
+                initial_state: true,
+                latch_selectors: true,
+                ..UnrollConfig::default()
+            },
+        );
         u.extend(&mut s);
         let bad = u.lit(0, d.properties()[0].bad);
         let sels: Vec<Lit> = u.latch_selectors().to_vec();
@@ -373,10 +415,14 @@ mod tests {
         d.add_property("p", i);
         d.check().expect("valid");
         let mut s = Solver::new();
-        let mut u = Unroller::new(&d, &mut s, UnrollConfig {
-            initial_state: true,
-            ..UnrollConfig::default()
-        });
+        let mut u = Unroller::new(
+            &d,
+            &mut s,
+            UnrollConfig {
+                initial_state: true,
+                ..UnrollConfig::default()
+            },
+        );
         for k in 0..3 {
             u.extend(&mut s);
             let bad = u.lit(k, d.properties()[0].bad);

@@ -29,7 +29,11 @@ fn counterexample_found_at_exact_depth() {
     let run = engine.check(0, 20).expect("run");
     match run.verdict {
         BmcVerdict::Counterexample(trace) => {
-            assert_eq!(trace.depth(), 8, "count reaches 7 after 7 steps (frames 0..=7)");
+            assert_eq!(
+                trace.depth(),
+                8,
+                "count reaches 7 after 7 steps (frames 0..=7)"
+            );
             trace.validate(&d).expect("trace must replay");
         }
         other => panic!("expected CE, got {other:?}"),
@@ -40,12 +44,20 @@ fn counterexample_found_at_exact_depth() {
 fn unreachable_state_proved_by_forward_diameter() {
     // Counter wraps at 5; 9 is unreachable. Diameter is 5.
     let d = mod_counter(4, 5, 9);
-    let mut engine =
-        BmcEngine::new(&d, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut engine = BmcEngine::new(
+        &d,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     let run = engine.check(0, 30).expect("run");
     match run.verdict {
         BmcVerdict::Proof { kind: _, depth } => {
-            assert!(depth <= 5, "proof depth {depth} should be at most the diameter");
+            assert!(
+                depth <= 5,
+                "proof depth {depth} should be at most the diameter"
+            );
         }
         other => panic!("expected proof, got {other:?}"),
     }
@@ -62,8 +74,13 @@ fn inductive_invariant_proved_backward() {
     let bad = d.aig.xor(a, b);
     d.add_property("lockstep", bad);
     d.check().expect("valid");
-    let mut engine =
-        BmcEngine::new(&d, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut engine = BmcEngine::new(
+        &d,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     let run = engine.check(0, 10).expect("run");
     match run.verdict {
         BmcVerdict::Proof { kind, depth } => {
@@ -163,10 +180,19 @@ fn init_consistency_is_required_for_proofs() {
     d.check().expect("valid");
 
     // With eq. (6): proof.
-    let mut engine =
-        BmcEngine::new(&d, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut engine = BmcEngine::new(
+        &d,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     let run = engine.check(0, 6).expect("run");
-    assert!(run.verdict.is_proof(), "eq. (6) makes the equality provable: {:?}", run.verdict);
+    assert!(
+        run.verdict.is_proof(),
+        "eq. (6) makes the equality provable: {:?}",
+        run.verdict
+    );
 
     // Without eq. (6): the spurious behavior is reachable.
     let mut engine = BmcEngine::new(
@@ -174,7 +200,10 @@ fn init_consistency_is_required_for_proofs() {
         BmcOptions {
             proofs: false,
             validate_traces: false, // the trace is spurious by construction
-            emm: EmmOptions { skip_init_consistency: true, ..EmmOptions::default() },
+            emm: EmmOptions {
+                skip_init_consistency: true,
+                ..EmmOptions::default()
+            },
             ..BmcOptions::default()
         },
     );
@@ -196,7 +225,11 @@ fn random_mem_design(rng: &mut StdRng) -> Design {
     let dw = rng.random_range(1..=3usize);
     let n_read = rng.random_range(1..=2usize);
     let n_write = rng.random_range(1..=2usize);
-    let init = if rng.random_bool(0.5) { MemInit::Zero } else { MemInit::Arbitrary };
+    let init = if rng.random_bool(0.5) {
+        MemInit::Zero
+    } else {
+        MemInit::Arbitrary
+    };
     let mut d = Design::new();
     let mem = d.add_memory("m", aw, dw, init);
     let t = d.new_latch_word("t", 3, LatchInit::Zero);
@@ -261,16 +294,24 @@ fn emm_agrees_with_explicit_model_on_random_designs() {
         match (&emm_run.verdict, &expl_run.verdict) {
             (BmcVerdict::Counterexample(a), BmcVerdict::Counterexample(b)) => {
                 assert_eq!(a.depth(), b.depth(), "round {round}: CE depth mismatch");
-                a.validate(&d).expect("EMM trace replays on the original design");
-                b.validate(&expl).expect("explicit trace replays on the explicit design");
+                a.validate(&d)
+                    .expect("EMM trace replays on the original design");
+                b.validate(&expl)
+                    .expect("explicit trace replays on the explicit design");
                 ce_count += 1;
             }
             (BmcVerdict::BoundReached, BmcVerdict::BoundReached) => agree_bound += 1,
             (x, y) => panic!("round {round}: verdict mismatch: EMM={x:?} explicit={y:?}"),
         }
     }
-    assert!(ce_count >= 10, "want a healthy mix of outcomes, got {ce_count} CEs");
-    assert!(agree_bound >= 1, "want some unreachable rounds, got {agree_bound}");
+    assert!(
+        ce_count >= 10,
+        "want a healthy mix of outcomes, got {ce_count} CEs"
+    );
+    assert!(
+        agree_bound >= 1,
+        "want some unreachable rounds, got {agree_bound}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -324,10 +365,18 @@ fn pba_discovery_drops_irrelevant_state() {
     }
     // ...and the big counter must not be.
     for i in 3..9 {
-        assert!(!kept.kept_latches[i], "big counter bit {} wrongly kept", i - 3);
+        assert!(
+            !kept.kept_latches[i],
+            "big counter bit {} wrongly kept",
+            i - 3
+        );
     }
     // The junk memory is not needed for the refutations.
-    assert_eq!(kept.num_kept_memories(), 0, "memory should be abstracted away");
+    assert_eq!(
+        kept.num_kept_memories(),
+        0,
+        "memory should be abstracted away"
+    );
 
     // The property is still provable on the reduced model.
     let mut engine = BmcEngine::new(
@@ -340,7 +389,11 @@ fn pba_discovery_drops_irrelevant_state() {
         },
     );
     let run = engine.check(0, 20).expect("run");
-    assert!(run.verdict.is_proof(), "reduced-model proof: {:?}", run.verdict);
+    assert!(
+        run.verdict.is_proof(),
+        "reduced-model proof: {:?}",
+        run.verdict
+    );
 }
 
 #[test]
@@ -407,8 +460,13 @@ fn multiport_memory_verified_end_to_end() {
     let bad = d.aig.and(any_bad, re);
     d.add_property("ports_agree", bad);
     d.check().expect("valid");
-    let mut engine =
-        BmcEngine::new(&d, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut engine = BmcEngine::new(
+        &d,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     let run = engine.check(0, 12).expect("run");
     assert!(run.verdict.is_proof(), "{:?}", run.verdict);
 }
@@ -425,5 +483,9 @@ fn wall_limit_yields_timeout() {
         },
     );
     let run = engine.check(0, 300).expect("run");
-    assert!(matches!(run.verdict, BmcVerdict::Timeout), "{:?}", run.verdict);
+    assert!(
+        matches!(run.verdict, BmcVerdict::Timeout),
+        "{:?}",
+        run.verdict
+    );
 }

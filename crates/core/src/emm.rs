@@ -35,6 +35,8 @@
 //! refutation actually used — how EMM combines with proof-based abstraction
 //! (Section 4.3).
 
+use std::collections::HashMap;
+
 use emm_sat::{CnfSink, Lit};
 
 use crate::iface::{MemoryFrameLits, MemoryShape, PortLits};
@@ -64,7 +66,7 @@ pub enum ForwardingEncoding {
 }
 
 /// Encoder options.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct EmmOptions {
     /// Abstraction selector granularity.
     pub selectors: SelectorGranularity,
@@ -74,6 +76,24 @@ pub struct EmmOptions {
     /// memories. Disabling reproduces the paper's remark that correctness of
     /// quicksort's P1/P2 "can not be shown without adding these constraints".
     pub skip_init_consistency: bool,
+    /// Memoize address-equality comparators: when the same pair of address
+    /// literal vectors is compared again (common once BMC unrolling makes
+    /// address cones reuse earlier frames' literals), the cached equality
+    /// literal is returned instead of re-encoding the `4m + 1` clauses of
+    /// Section 3 — this covers both the forwarding comparisons and the
+    /// eq. (6) pairs. On by default.
+    pub comparator_cache: bool,
+}
+
+impl Default for EmmOptions {
+    fn default() -> EmmOptions {
+        EmmOptions {
+            selectors: SelectorGranularity::default(),
+            encoding: ForwardingEncoding::default(),
+            skip_init_consistency: false,
+            comparator_cache: true,
+        }
+    }
 }
 
 /// Size accounting in the paper's reporting categories.
@@ -89,6 +109,9 @@ pub struct EmmStats {
     pub aux_vars: usize,
     /// eq. (6) read-pair constraints emitted.
     pub init_pairs: usize,
+    /// Address comparators answered from the memo cache instead of being
+    /// re-encoded (each hit saves `4m + 1` clauses and `m + 1` variables).
+    pub cmp_cache_hits: usize,
 }
 
 impl EmmStats {
@@ -97,6 +120,63 @@ impl EmmStats {
         self.gates += other.gates;
         self.aux_vars += other.aux_vars;
         self.init_pairs += other.init_pairs;
+        self.cmp_cache_hits += other.cmp_cache_hits;
+    }
+}
+
+/// One memoized comparator: the canonically ordered address pair and its
+/// equality literal.
+type CmpEntry = (Vec<Lit>, Vec<Lit>, Lit);
+
+/// Pairwise memo of already-encoded address comparators, keyed by the
+/// canonically ordered pair of address literal vectors (equality is
+/// symmetric). Shared across memories and frames of one encoder — the
+/// cross-frame reuse is what makes it effective: once unrolling feeds a
+/// port the same address literals as an earlier frame (a stalled latch
+/// word, a constant address, a shared cone), every comparison against it
+/// is free.
+#[derive(Debug, Default)]
+struct CmpCache {
+    enabled: bool,
+    /// Buckets keyed by a hash of the canonically ordered pair; each entry
+    /// stores the full pair for collision-safe comparison. Lookups hash
+    /// and compare slices directly, so cache hits allocate nothing.
+    map: HashMap<u64, Vec<CmpEntry>>,
+}
+
+impl CmpCache {
+    /// Canonical operand order (equality is symmetric).
+    fn ordered<'a>(a: &'a [Lit], b: &'a [Lit]) -> (&'a [Lit], &'a [Lit]) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    fn hash_pair(a: &[Lit], b: &[Lit]) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        a.hash(&mut h);
+        b.hash(&mut h);
+        h.finish()
+    }
+
+    fn get(&self, a: &[Lit], b: &[Lit]) -> Option<Lit> {
+        let (x, y) = Self::ordered(a, b);
+        let bucket = self.map.get(&Self::hash_pair(x, y))?;
+        bucket
+            .iter()
+            .find(|(ka, kb, _)| ka == x && kb == y)
+            .map(|&(_, _, e)| e)
+    }
+
+    fn insert(&mut self, a: &[Lit], b: &[Lit], e: Lit) {
+        let (x, y) = Self::ordered(a, b);
+        self.map
+            .entry(Self::hash_pair(x, y))
+            .or_default()
+            .push((x.to_vec(), y.to_vec(), e));
     }
 }
 
@@ -137,6 +217,8 @@ struct MemState {
 pub struct EmmEncoder {
     options: EmmOptions,
     mems: Vec<MemState>,
+    /// Comparator memo shared by all memories (see [`CmpCache`]).
+    cmp: CmpCache,
 }
 
 impl EmmEncoder {
@@ -147,7 +229,10 @@ impl EmmEncoder {
     /// Panics if any shape has a zero address or data width.
     pub fn new(shapes: &[MemoryShape], options: EmmOptions) -> EmmEncoder {
         for s in shapes {
-            assert!(s.addr_width > 0 && s.data_width > 0, "degenerate memory shape");
+            assert!(
+                s.addr_width > 0 && s.data_width > 0,
+                "degenerate memory shape"
+            );
         }
         EmmEncoder {
             options,
@@ -163,6 +248,10 @@ impl EmmEncoder {
                     per_frame: Vec::new(),
                 })
                 .collect(),
+            cmp: CmpCache {
+                enabled: options.comparator_cache,
+                map: HashMap::new(),
+            },
         }
     }
 
@@ -241,6 +330,7 @@ impl EmmEncoder {
 
     fn add_memory_frame(&mut self, sink: &mut dyn CnfSink, mi: usize, frame: &MemoryFrameLits) {
         let options = self.options;
+        let cmp = &mut self.cmp;
         let mem = &mut self.mems[mi];
         let shape = mem.shape;
         assert_eq!(frame.reads.len(), shape.read_ports, "read port count");
@@ -283,6 +373,7 @@ impl EmmEncoder {
                     &shape,
                     &mem.write_history,
                     &mut mem.init_reads,
+                    cmp,
                     &mut frame_stats,
                     k,
                     r,
@@ -295,6 +386,7 @@ impl EmmEncoder {
                     &shape,
                     &mem.write_history,
                     &mut mem.init_reads,
+                    cmp,
                     &mut frame_stats,
                     k,
                     r,
@@ -318,12 +410,13 @@ impl EmmEncoder {
         shape: &MemoryShape,
         write_history: &[Vec<PortLits>],
         init_reads: &mut Vec<InitRead>,
+        cmp: &mut CmpCache,
         stats: &mut EmmStats,
         k: usize,
         r: usize,
         rp: &PortLits,
         guard: Option<Lit>,
-    ) -> () {
+    ) {
         let n = shape.data_width;
         // Build the chain from PS_{k,k,0,r} = RE downwards.
         let mut ps = rp.en;
@@ -331,7 +424,7 @@ impl EmmEncoder {
         for i in (0..k).rev() {
             for p in (0..shape.write_ports).rev() {
                 let wp = &write_history[i][p];
-                let e = encode_addr_eq(sink, &wp.addr, &rp.addr, stats);
+                let e = encode_addr_eq(sink, cmp, &wp.addr, &rp.addr, stats);
                 let s = sink.add_and_gate(e, wp.en); // s_{i,k,p,r}
                 let s_excl = sink.add_and_gate(s, ps); // S_{i,k,p,r}
                 ps = sink.add_and_gate(!s, ps); // PS_{i,k,p,r}
@@ -345,24 +438,29 @@ impl EmmEncoder {
         // eq. (5): RD equals the selected write's data.
         for &(i, p, s_excl) in &matches {
             let wd = &write_history[i][p].data;
-            for b in 0..n {
-                emit(sink, stats, guard, &[!s_excl, !rp.data[b], wd[b]]);
-                emit(sink, stats, guard, &[!s_excl, rp.data[b], !wd[b]]);
+            for (&rd, &w) in rp.data.iter().zip(wd) {
+                emit(sink, stats, guard, &[!s_excl, !rd, w]);
+                emit(sink, stats, guard, &[!s_excl, rd, !w]);
             }
         }
         // Initial-state term of eq. (5).
         if shape.arbitrary_init {
             let v: Vec<Lit> = (0..n).map(|_| sink.new_var().positive()).collect();
             stats.aux_vars += n;
-            for b in 0..n {
-                emit(sink, stats, guard, &[!n_lit, !rp.data[b], v[b]]);
-                emit(sink, stats, guard, &[!n_lit, rp.data[b], !v[b]]);
+            for (&rd, &vb) in rp.data.iter().zip(&v) {
+                emit(sink, stats, guard, &[!n_lit, !rd, vb]);
+                emit(sink, stats, guard, &[!n_lit, rd, !vb]);
             }
-            let me = InitRead { addr: rp.addr.clone(), n: n_lit, v, port: r };
+            let me = InitRead {
+                addr: rp.addr.clone(),
+                n: n_lit,
+                v,
+                port: r,
+            };
             if !options.skip_init_consistency {
                 for prev in init_reads.iter() {
                     let _ = prev.port; // pairs span all ports, incl. same port
-                    let ea = encode_addr_eq(sink, &prev.addr, &me.addr, stats);
+                    let ea = encode_addr_eq(sink, cmp, &prev.addr, &me.addr, stats);
                     for b in 0..n {
                         emit(
                             sink,
@@ -411,6 +509,7 @@ impl EmmEncoder {
         shape: &MemoryShape,
         write_history: &[Vec<PortLits>],
         init_reads: &mut Vec<InitRead>,
+        cmp: &mut CmpCache,
         stats: &mut EmmStats,
         k: usize,
         r: usize,
@@ -424,7 +523,7 @@ impl EmmEncoder {
         for i in (0..k).rev() {
             for p in (0..shape.write_ports).rev() {
                 let wp = &write_history[i][p];
-                let e = encode_addr_eq(sink, &wp.addr, &rp.addr, stats);
+                let e = encode_addr_eq(sink, cmp, &wp.addr, &rp.addr, stats);
                 let s = sink.add_and_gate(e, wp.en);
                 stats.gates += 1;
                 stats.aux_vars += 1;
@@ -442,15 +541,15 @@ impl EmmEncoder {
         // Forwarding implications: RE ∧ s ∧ ¬later → RD = WD.
         for &(i, p, s, later_here) in &entries {
             let wd = &write_history[i][p].data;
-            for b in 0..n {
+            for (&rd, &w) in rp.data.iter().zip(wd) {
                 let mut c1 = vec![!rp.en, !s];
                 let mut c2 = vec![!rp.en, !s];
                 if let Some(l) = later_here {
                     c1.push(l);
                     c2.push(l);
                 }
-                c1.extend([!rp.data[b], wd[b]]);
-                c2.extend([rp.data[b], !wd[b]]);
+                c1.extend([!rd, w]);
+                c2.extend([rd, !w]);
                 emit(sink, stats, guard, &c1);
                 emit(sink, stats, guard, &c2);
             }
@@ -467,17 +566,32 @@ impl EmmEncoder {
         if shape.arbitrary_init {
             let v: Vec<Lit> = (0..n).map(|_| sink.new_var().positive()).collect();
             stats.aux_vars += n;
-            for b in 0..n {
-                emit(sink, stats, guard, &[!n_lit, !rp.data[b], v[b]]);
-                emit(sink, stats, guard, &[!n_lit, rp.data[b], !v[b]]);
+            for (&rd, &vb) in rp.data.iter().zip(&v) {
+                emit(sink, stats, guard, &[!n_lit, !rd, vb]);
+                emit(sink, stats, guard, &[!n_lit, rd, !vb]);
             }
-            let me = InitRead { addr: rp.addr.clone(), n: n_lit, v, port: r };
+            let me = InitRead {
+                addr: rp.addr.clone(),
+                n: n_lit,
+                v,
+                port: r,
+            };
             if !options.skip_init_consistency {
                 for prev in init_reads.iter() {
-                    let ea = encode_addr_eq(sink, &prev.addr, &me.addr, stats);
+                    let ea = encode_addr_eq(sink, cmp, &prev.addr, &me.addr, stats);
                     for b in 0..n {
-                        emit(sink, stats, guard, &[!ea, !prev.n, !me.n, !prev.v[b], me.v[b]]);
-                        emit(sink, stats, guard, &[!ea, !prev.n, !me.n, prev.v[b], !me.v[b]]);
+                        emit(
+                            sink,
+                            stats,
+                            guard,
+                            &[!ea, !prev.n, !me.n, !prev.v[b], me.v[b]],
+                        );
+                        emit(
+                            sink,
+                            stats,
+                            guard,
+                            &[!ea, !prev.n, !me.n, prev.v[b], !me.v[b]],
+                        );
                     }
                     stats.init_pairs += 1;
                 }
@@ -508,9 +622,23 @@ fn emit(sink: &mut dyn CnfSink, stats: &mut EmmStats, guard: Option<Lit>, lits: 
 }
 
 /// Encodes the paper's address comparison (Section 3): `4m + 1` clauses over
-/// `m + 1` fresh variables; returns the equality literal `E`.
-fn encode_addr_eq(sink: &mut dyn CnfSink, a: &[Lit], b: &[Lit], stats: &mut EmmStats) -> Lit {
+/// `m + 1` fresh variables; returns the equality literal `E`. With the
+/// comparator cache enabled, a pair already encoded (in either operand
+/// order) returns its cached literal and emits nothing.
+fn encode_addr_eq(
+    sink: &mut dyn CnfSink,
+    cmp: &mut CmpCache,
+    a: &[Lit],
+    b: &[Lit],
+    stats: &mut EmmStats,
+) -> Lit {
     debug_assert_eq!(a.len(), b.len());
+    if cmp.enabled {
+        if let Some(e) = cmp.get(a, b) {
+            stats.cmp_cache_hits += 1;
+            return e;
+        }
+    }
     let m = a.len();
     let e_total = sink.new_var().positive();
     stats.aux_vars += 1;
@@ -528,6 +656,9 @@ fn encode_addr_eq(sink: &mut dyn CnfSink, a: &[Lit], b: &[Lit], stats: &mut EmmS
     }
     final_clause.push(e_total);
     emit(sink, stats, None, &final_clause);
+    if cmp.enabled {
+        cmp.insert(a, b, e_total);
+    }
     e_total
 }
 
@@ -559,9 +690,13 @@ mod tests {
     /// forms exactly for arbitrary-init memories.
     #[test]
     fn per_frame_counts_match_paper_formulas() {
-        for (m, n, r_ports, w_ports) in
-            [(10, 32, 1, 1), (10, 24, 1, 1), (12, 32, 3, 1), (4, 8, 2, 2), (3, 5, 2, 3)]
-        {
+        for (m, n, r_ports, w_ports) in [
+            (10, 32, 1, 1),
+            (10, 24, 1, 1),
+            (12, 32, 3, 1),
+            (4, 8, 2, 2),
+            (3, 5, 2, 3),
+        ] {
             let shape = MemoryShape {
                 addr_width: m,
                 data_width: n,
@@ -609,7 +744,10 @@ mod tests {
         };
         let mut enc = EmmEncoder::new(
             &[shape],
-            EmmOptions { skip_init_consistency: true, ..EmmOptions::default() },
+            EmmOptions {
+                skip_init_consistency: true,
+                ..EmmOptions::default()
+            },
         );
         let mut sink = CountingSink::new();
         let mut totals = Vec::new();
@@ -655,8 +793,13 @@ mod tests {
             write_ports: 1,
             arbitrary_init: false,
         };
-        let mut enc =
-            EmmEncoder::new(&[shape], EmmOptions { encoding, ..EmmOptions::default() });
+        let mut enc = EmmEncoder::new(
+            &[shape],
+            EmmOptions {
+                encoding,
+                ..EmmOptions::default()
+            },
+        );
         let mut s = Solver::new();
         let mut frames = Vec::new();
         for _ in 0..3 {
@@ -681,7 +824,11 @@ mod tests {
         fix_word(&mut s, &frames[2].reads[0].addr, 7);
         fix(&mut s, frames[2].reads[0].en, true);
         assert_eq!(s.solve(), SolveResult::Sat);
-        assert_eq!(read_word(&s, &frames[2].reads[0].data), 0xA5, "{encoding:?}");
+        assert_eq!(
+            read_word(&s, &frames[2].reads[0].data),
+            0xA5,
+            "{encoding:?}"
+        );
     }
 
     #[test]
@@ -765,7 +912,10 @@ mod tests {
             };
             let mut enc = EmmEncoder::new(
                 &[shape],
-                EmmOptions { skip_init_consistency: skip, ..EmmOptions::default() },
+                EmmOptions {
+                    skip_init_consistency: skip,
+                    ..EmmOptions::default()
+                },
             );
             let mut s = Solver::new();
             let mut frames = Vec::new();
@@ -933,7 +1083,11 @@ mod tests {
         assert_eq!(s.solve_with(&all), SolveResult::Unsat);
         let failed = s.failed_assumptions().to_vec();
         let port1_sel = enc.selector_for(0, 1).expect("selector");
-        assert_eq!(failed, vec![port1_sel], "only port 1's selector should fail");
+        assert_eq!(
+            failed,
+            vec![port1_sel],
+            "only port 1's selector should fail"
+        );
     }
 
     #[test]
@@ -945,7 +1099,11 @@ mod tests {
                 let a: Vec<Lit> = (0..2).map(|_| Var::positive(s.new_var())).collect();
                 let b: Vec<Lit> = (0..2).map(|_| Var::positive(s.new_var())).collect();
                 let mut stats = EmmStats::default();
-                let e = encode_addr_eq(&mut s, &a, &b, &mut stats);
+                let mut cmp = CmpCache {
+                    enabled: true,
+                    map: HashMap::new(),
+                };
+                let e = encode_addr_eq(&mut s, &mut cmp, &a, &b, &mut stats);
                 assert_eq!(stats.clauses, 4 * 2 + 1);
                 fix_word(&mut s, &a, av);
                 fix_word(&mut s, &b, bv);

@@ -108,8 +108,12 @@ pub fn explicit_model(design: &Design) -> (Design, ExplicitMap) {
                     let m = design.memory(mem);
                     let rp = &m.read_ports[port as usize];
                     // Address/enable cones are below this node: already mapped.
-                    let addr: Vec<Bit> =
-                        rp.addr.bits().iter().map(|&a| map_bit(&node_map, a)).collect();
+                    let addr: Vec<Bit> = rp
+                        .addr
+                        .bits()
+                        .iter()
+                        .map(|&a| map_bit(&node_map, a))
+                        .collect();
                     let en = map_bit(&node_map, rp.en);
                     // Read mux: OR over addresses of (addr == a) & cell bit.
                     let mut hit = Aig::FALSE;
@@ -119,8 +123,7 @@ pub fn explicit_model(design: &Design) -> (Design, ExplicitMap) {
                         hit = out.aig.or(hit, sel);
                     }
                     // Disabled reads fall back to a fresh free input.
-                    let fallback =
-                        out.new_input(&format!("{}_r{port}_b{bit}_x", m.name));
+                    let fallback = out.new_input(&format!("{}_r{port}_b{bit}_x", m.name));
                     out.aig.mux(en, hit, fallback)
                 }
             },
@@ -146,9 +149,17 @@ pub fn explicit_model(design: &Design) -> (Design, ExplicitMap) {
             .iter()
             .map(|wp| {
                 (
-                    wp.addr.bits().iter().map(|&b| map_bit(&node_map, b)).collect(),
+                    wp.addr
+                        .bits()
+                        .iter()
+                        .map(|&b| map_bit(&node_map, b))
+                        .collect(),
                     map_bit(&node_map, wp.en),
-                    wp.data.bits().iter().map(|&b| map_bit(&node_map, b)).collect(),
+                    wp.data
+                        .bits()
+                        .iter()
+                        .map(|&b| map_bit(&node_map, b))
+                        .collect(),
                 )
             })
             .collect();
@@ -178,7 +189,10 @@ pub fn explicit_model(design: &Design) -> (Design, ExplicitMap) {
     }
 
     out.check().expect("rewritten design is well-formed");
-    let map = ExplicitMap { original_latches: design.num_latches(), memory_base };
+    let map = ExplicitMap {
+        original_latches: design.num_latches(),
+        memory_base,
+    };
     (out, map)
 }
 
@@ -239,15 +253,19 @@ mod tests {
         let mut sim_orig = Simulator::new(&d);
         let mut sim_expl = Simulator::new(&e);
         for cycle in 0..200 {
-            let orig_inputs: Vec<bool> =
-                (0..d.free_inputs().len()).map(|_| rng.random_bool(0.5)).collect();
+            let orig_inputs: Vec<bool> = (0..d.free_inputs().len())
+                .map(|_| rng.random_bool(0.5))
+                .collect();
             // Explicit model: original inputs first, fallbacks after. Force
             // fallbacks to 0 to match the simulator's disabled_read_value.
             let mut expl_inputs = orig_inputs.clone();
             expl_inputs.resize(e.free_inputs().len(), false);
             let r1 = sim_orig.step(&orig_inputs);
             let r2 = sim_expl.step(&expl_inputs);
-            assert_eq!(r1.property_bad, r2.property_bad, "divergence at cycle {cycle}");
+            assert_eq!(
+                r1.property_bad, r2.property_bad,
+                "divergence at cycle {cycle}"
+            );
         }
     }
 

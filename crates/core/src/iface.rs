@@ -81,7 +81,10 @@ mod tests {
         };
         let (m, n) = (10usize, 32usize);
         for k in 0..20 {
-            assert_eq!(shape.clauses_at_depth(k), (4 * m + 2 * n + 1) * k + 2 * n + 1);
+            assert_eq!(
+                shape.clauses_at_depth(k),
+                (4 * m + 2 * n + 1) * k + 2 * n + 1
+            );
             assert_eq!(shape.gates_at_depth(k), 3 * k);
         }
     }
@@ -95,7 +98,10 @@ mod tests {
             write_ports: 1,
             arbitrary_init: false,
         };
-        let single = MemoryShape { read_ports: 1, ..shape };
+        let single = MemoryShape {
+            read_ports: 1,
+            ..shape
+        };
         for k in 0..10 {
             assert_eq!(shape.clauses_at_depth(k), 3 * single.clauses_at_depth(k));
             assert_eq!(shape.gates_at_depth(k), 3 * single.gates_at_depth(k));

@@ -28,7 +28,9 @@ pub mod explicit;
 pub mod iface;
 pub mod races;
 
-pub use emm::{EmmEncoder, EmmOptions, EmmStats, ForwardingEncoding, InitRead, SelectorGranularity};
+pub use emm::{
+    EmmEncoder, EmmOptions, EmmStats, ForwardingEncoding, InitRead, SelectorGranularity,
+};
 pub use explicit::{explicit_model, ExplicitMap};
 pub use iface::{MemoryFrameLits, MemoryShape, PortLits};
 pub use races::add_race_checkers;

@@ -9,10 +9,18 @@
 
 use std::collections::HashMap;
 
-use emm_core::{EmmEncoder, EmmOptions, ForwardingEncoding, MemoryFrameLits, MemoryShape, PortLits};
+use emm_core::{
+    EmmEncoder, EmmOptions, ForwardingEncoding, MemoryFrameLits, MemoryShape, PortLits,
+};
 use emm_sat::{CnfSink, Lit, SolveResult, Solver};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// `(frame, port, data lits, expected value, observed address)` of a read.
+type ReadCheck = (usize, usize, Vec<Lit>, Option<u64>, u64);
+
+/// `(frame, port)` identifying one access.
+type AccessKey = (usize, usize);
 
 /// One concrete port action for a frame.
 #[derive(Clone, Copy, Debug)]
@@ -82,11 +90,7 @@ impl RefMemory {
     }
 }
 
-fn run_scenario(
-    rng: &mut StdRng,
-    encoding: ForwardingEncoding,
-    zero_init: bool,
-) {
+fn run_scenario(rng: &mut StdRng, encoding: ForwardingEncoding, zero_init: bool) {
     let aw = rng.random_range(2..=4usize);
     let dw = rng.random_range(1..=5usize);
     let n_read = rng.random_range(1..=3usize);
@@ -99,20 +103,33 @@ fn run_scenario(
         write_ports: n_write,
         arbitrary_init: !zero_init,
     };
-    let mut enc = EmmEncoder::new(&[shape], EmmOptions { encoding, ..EmmOptions::default() });
+    let mut enc = EmmEncoder::new(
+        &[shape],
+        EmmOptions {
+            encoding,
+            ..EmmOptions::default()
+        },
+    );
     let mut solver = Solver::new();
 
-    let mut reference = RefMemory { contents: HashMap::new(), zero_init };
+    let mut reference = RefMemory {
+        contents: HashMap::new(),
+        zero_init,
+    };
     // (frame, port, lits, Option<expected>, observed addr) for checks.
-    let mut read_checks: Vec<(usize, usize, Vec<Lit>, Option<u64>, u64)> = Vec::new();
+    let mut read_checks: Vec<ReadCheck> = Vec::new();
     // For arbitrary init: track per-address consistency of initial reads.
-    let mut first_seen: HashMap<u64, (usize, usize)> = HashMap::new();
-    let mut consistency_pairs: Vec<((usize, usize), (usize, usize), u64)> = Vec::new();
+    let mut first_seen: HashMap<u64, AccessKey> = HashMap::new();
+    let mut consistency_pairs: Vec<(AccessKey, AccessKey, u64)> = Vec::new();
 
     for k in 0..depth {
         let frame = MemoryFrameLits {
-            reads: (0..n_read).map(|_| fresh_port(&mut solver, aw, dw)).collect(),
-            writes: (0..n_write).map(|_| fresh_port(&mut solver, aw, dw)).collect(),
+            reads: (0..n_read)
+                .map(|_| fresh_port(&mut solver, aw, dw))
+                .collect(),
+            writes: (0..n_write)
+                .map(|_| fresh_port(&mut solver, aw, dw))
+                .collect(),
         };
         enc.add_frame(&mut solver, std::slice::from_ref(&frame));
 
@@ -162,7 +179,11 @@ fn run_scenario(
         reference.commit_writes(&writes);
     }
 
-    assert_eq!(solver.solve(), SolveResult::Sat, "pinned traffic must be satisfiable");
+    assert_eq!(
+        solver.solve(),
+        SolveResult::Sat,
+        "pinned traffic must be satisfiable"
+    );
     // Forced reads match the reference.
     let mut values: HashMap<(usize, usize), u64> = HashMap::new();
     for (k, r, lits, expected, addr) in &read_checks {
@@ -240,35 +261,51 @@ fn encodings_are_equivalent() {
         let mut solver = Solver::new();
         let mut enc_a = EmmEncoder::new(
             &[shape],
-            EmmOptions { encoding: ForwardingEncoding::Exclusive, ..EmmOptions::default() },
+            EmmOptions {
+                encoding: ForwardingEncoding::Exclusive,
+                ..EmmOptions::default()
+            },
         );
         let mut enc_b = EmmEncoder::new(
             &[shape],
-            EmmOptions { encoding: ForwardingEncoding::Direct, ..EmmOptions::default() },
+            EmmOptions {
+                encoding: ForwardingEncoding::Direct,
+                ..EmmOptions::default()
+            },
         );
         // Shared write interfaces and read addresses/enables; separate read
         // data variables for the two encodings.
         let mut diffs: Vec<Lit> = Vec::new();
         for _ in 0..depth {
-            let writes: Vec<PortLits> =
-                (0..n_write).map(|_| fresh_port(&mut solver, aw, dw)).collect();
-            let reads_a: Vec<PortLits> =
-                (0..n_read).map(|_| fresh_port(&mut solver, aw, dw)).collect();
+            let writes: Vec<PortLits> = (0..n_write)
+                .map(|_| fresh_port(&mut solver, aw, dw))
+                .collect();
+            let reads_a: Vec<PortLits> = (0..n_read)
+                .map(|_| fresh_port(&mut solver, aw, dw))
+                .collect();
             let reads_b: Vec<PortLits> = reads_a
                 .iter()
                 .map(|p| PortLits {
                     addr: p.addr.clone(),
                     en: p.en,
-                    data: (0..dw).map(|_| CnfSink::new_var(&mut solver).positive()).collect(),
+                    data: (0..dw)
+                        .map(|_| CnfSink::new_var(&mut solver).positive())
+                        .collect(),
                 })
                 .collect();
             enc_a.add_frame(
                 &mut solver,
-                &[MemoryFrameLits { reads: reads_a.clone(), writes: writes.clone() }],
+                &[MemoryFrameLits {
+                    reads: reads_a.clone(),
+                    writes: writes.clone(),
+                }],
             );
             enc_b.add_frame(
                 &mut solver,
-                &[MemoryFrameLits { reads: reads_b.clone(), writes }],
+                &[MemoryFrameLits {
+                    reads: reads_b.clone(),
+                    writes,
+                }],
             );
             for (pa, pb) in reads_a.iter().zip(&reads_b) {
                 for (&la, &lb) in pa.data.iter().zip(&pb.data) {
@@ -289,5 +326,116 @@ fn encodings_are_equivalent() {
             SolveResult::Unsat,
             "the two encodings must force identical enabled read data"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Comparator memoization
+// ---------------------------------------------------------------------
+
+/// Runs `frames` frames of 1R1W traffic where every frame's ports reuse the
+/// *same* address literal vectors (the situation BMC unrolling produces for
+/// stalled or constant address cones) and returns the encoder stats.
+type Traffic = (Solver, emm_core::EmmStats, Vec<(PortLits, PortLits)>);
+
+fn encode_repeated_addr_traffic(cache: bool, frames: usize) -> Traffic {
+    let shape = MemoryShape {
+        addr_width: 4,
+        data_width: 4,
+        read_ports: 1,
+        write_ports: 1,
+        arbitrary_init: false,
+    };
+    let mut enc = EmmEncoder::new(
+        &[shape],
+        EmmOptions {
+            comparator_cache: cache,
+            ..EmmOptions::default()
+        },
+    );
+    let mut s = Solver::new();
+    // One shared address word for the write port and one for the read port,
+    // reused by every frame.
+    let waddr: Vec<Lit> = (0..4)
+        .map(|_| CnfSink::new_var(&mut s).positive())
+        .collect();
+    let raddr: Vec<Lit> = (0..4)
+        .map(|_| CnfSink::new_var(&mut s).positive())
+        .collect();
+    let mut ports = Vec::new();
+    for _ in 0..frames {
+        let rp = PortLits {
+            addr: raddr.clone(),
+            en: CnfSink::new_var(&mut s).positive(),
+            data: (0..4)
+                .map(|_| CnfSink::new_var(&mut s).positive())
+                .collect(),
+        };
+        let wp = PortLits {
+            addr: waddr.clone(),
+            en: CnfSink::new_var(&mut s).positive(),
+            data: (0..4)
+                .map(|_| CnfSink::new_var(&mut s).positive())
+                .collect(),
+        };
+        enc.add_frame(
+            &mut s,
+            &[MemoryFrameLits {
+                reads: vec![rp.clone()],
+                writes: vec![wp.clone()],
+            }],
+        );
+        ports.push((rp, wp));
+    }
+    (s, enc.stats(), ports)
+}
+
+/// Every frame after the first compares the same (write addr, read addr)
+/// literal pair: all but the first comparison must hit the cache, saving
+/// `4m + 1` clauses each.
+#[test]
+fn comparator_cache_hits_on_repeated_address_pairs() {
+    let frames = 6;
+    let (_, cached, _) = encode_repeated_addr_traffic(true, frames);
+    let (_, naive, _) = encode_repeated_addr_traffic(false, frames);
+    assert_eq!(naive.cmp_cache_hits, 0);
+    // Frame k (k >= 1) compares the read address against k write frames,
+    // all with identical literals: 1 miss at frame 1, hits everywhere else.
+    let total_cmps: usize = (0..frames).sum();
+    assert_eq!(
+        cached.cmp_cache_hits,
+        total_cmps - 1,
+        "all but one comparison memoized"
+    );
+    let m = 4;
+    assert_eq!(
+        naive.clauses - cached.clauses,
+        (total_cmps - 1) * (4 * m + 1),
+        "each hit saves the paper's 4m+1 comparator clauses"
+    );
+    assert_eq!(
+        naive.aux_vars - cached.aux_vars,
+        (total_cmps - 1) * (m + 1),
+        "each hit saves m+1 comparator variables"
+    );
+}
+
+/// The memoized encoding forces exactly the same read data as the naive
+/// one on concrete forwarding traffic.
+#[test]
+fn comparator_cache_preserves_forwarding_semantics() {
+    for cache in [false, true] {
+        let (mut s, _, ports) = encode_repeated_addr_traffic(cache, 3);
+        // All frames share addresses: write 0xB at frame 0 to address 6,
+        // read it back at frame 2.
+        fix_word(&mut s, &ports[0].1.addr, 6);
+        fix_word(&mut s, &ports[0].0.addr, 6);
+        for (k, (rp, wp)) in ports.iter().enumerate() {
+            fix(&mut s, rp.en, k == 2);
+            fix(&mut s, wp.en, k == 0);
+            fix_word(&mut s, &wp.data, if k == 0 { 0xB } else { 0 });
+        }
+        assert_eq!(s.solve(), SolveResult::Sat, "cache={cache}");
+        assert_eq!(read_word(&s, &ports[2].0.data), 0xB, "cache={cache}");
     }
 }

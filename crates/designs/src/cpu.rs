@@ -89,7 +89,11 @@ pub struct CpuConfig {
 impl CpuConfig {
     /// A small configuration for tests.
     pub fn small() -> CpuConfig {
-        CpuConfig { imem_addr_width: 4, dmem_addr_width: 3, data_width: 8 }
+        CpuConfig {
+            imem_addr_width: 4,
+            dmem_addr_width: 3,
+            data_width: 8,
+        }
     }
 
     /// Instruction word width: 3 opcode bits + max(operand widths).
@@ -126,12 +130,17 @@ pub fn emulate(
     let data_mask = mask(config.data_width);
     let dmask = mask(config.dmem_addr_width);
     let imask = mask(config.imem_addr_width);
-    let mut dmem: std::collections::HashMap<u64, u64> =
-        initial_dmem.iter().map(|&(a, v)| (a & dmask, v & data_mask)).collect();
+    let mut dmem: std::collections::HashMap<u64, u64> = initial_dmem
+        .iter()
+        .map(|&(a, v)| (a & dmask, v & data_mask))
+        .collect();
     let mut pc: u64 = 0;
     let mut acc: u64 = 0;
     for cycle in 0..max_cycles {
-        let instr = program.get(pc as usize).copied().unwrap_or(Instr { op: Op::Nop, arg: 0 });
+        let instr = program.get(pc as usize).copied().unwrap_or(Instr {
+            op: Op::Nop,
+            arg: 0,
+        });
         let mut next_pc = (pc + 1) & imask;
         match instr.op {
             Op::Nop => {}
@@ -151,12 +160,22 @@ pub fn emulate(
                 }
             }
             Op::Halt => {
-                return EmulationResult { acc, cycles: cycle + 1, dmem, halted: true };
+                return EmulationResult {
+                    acc,
+                    cycles: cycle + 1,
+                    dmem,
+                    halted: true,
+                };
             }
         }
         pc = next_pc;
     }
-    EmulationResult { acc, cycles: max_cycles, dmem, halted: false }
+    EmulationResult {
+        acc,
+        cycles: max_cycles,
+        dmem,
+        halted: false,
+    }
 }
 
 /// The built CPU design plus handles.
@@ -200,7 +219,10 @@ impl TinyCpu {
     ///
     /// Panics if the program does not fit the instruction memory.
     pub fn with_program(config: CpuConfig, program: &[Instr], expected_acc: u64) -> TinyCpu {
-        assert!(program.len() <= 1 << config.imem_addr_width, "program too large");
+        assert!(
+            program.len() <= 1 << config.imem_addr_width,
+            "program too large"
+        );
         assert!(!program.is_empty());
         Self::build(config, Some(program), expected_acc)
     }
@@ -213,8 +235,11 @@ impl TinyCpu {
         let mut d = Design::new();
         // In any-program mode the instruction memory itself is the symbolic
         // program: arbitrary initial contents, no writes.
-        let imem_init =
-            if program.is_some() { MemInit::Zero } else { MemInit::Arbitrary };
+        let imem_init = if program.is_some() {
+            MemInit::Zero
+        } else {
+            MemInit::Arbitrary
+        };
         let imem = d.add_memory("imem", iaw, iw, imem_init);
         let dmem = d.add_memory("dmem", daw, dw, MemInit::Zero);
 
@@ -352,18 +377,45 @@ mod tests {
     /// Sum of dmem[0..3] into acc, then halt.
     fn sum_program() -> Vec<Instr> {
         vec![
-            Instr { op: Op::Ldi, arg: 0 },
-            Instr { op: Op::Add, arg: 0 },
-            Instr { op: Op::Add, arg: 1 },
-            Instr { op: Op::Add, arg: 2 },
-            Instr { op: Op::Store, arg: 7 },
-            Instr { op: Op::Halt, arg: 0 },
+            Instr {
+                op: Op::Ldi,
+                arg: 0,
+            },
+            Instr {
+                op: Op::Add,
+                arg: 0,
+            },
+            Instr {
+                op: Op::Add,
+                arg: 1,
+            },
+            Instr {
+                op: Op::Add,
+                arg: 2,
+            },
+            Instr {
+                op: Op::Store,
+                arg: 7,
+            },
+            Instr {
+                op: Op::Halt,
+                arg: 0,
+            },
         ]
     }
 
     #[test]
     fn instr_encode_decode_roundtrip() {
-        for op in [Op::Nop, Op::Ldi, Op::Load, Op::Store, Op::Add, Op::Jmp, Op::Jnz, Op::Halt] {
+        for op in [
+            Op::Nop,
+            Op::Ldi,
+            Op::Load,
+            Op::Store,
+            Op::Add,
+            Op::Jmp,
+            Op::Jnz,
+            Op::Halt,
+        ] {
             for arg in [0u64, 1, 7, 200] {
                 let i = Instr { op, arg };
                 assert_eq!(Instr::decode(i.encode()), i);
@@ -374,8 +426,7 @@ mod tests {
     #[test]
     fn emulator_runs_sum_program() {
         let config = CpuConfig::small();
-        let result =
-            emulate(&config, &sum_program(), &[(0, 5), (1, 9), (2, 1)], 100);
+        let result = emulate(&config, &sum_program(), &[(0, 5), (1, 9), (2, 1)], 100);
         assert!(result.halted);
         assert_eq!(result.acc, 15);
         assert_eq!(result.dmem.get(&7), Some(&15));
@@ -408,7 +459,10 @@ mod tests {
                     Instr { op, arg }
                 })
                 .collect();
-            program.push(Instr { op: Op::Halt, arg: 0 });
+            program.push(Instr {
+                op: Op::Halt,
+                arg: 0,
+            });
             let expected = emulate(&config, &program, &[], 200);
             assert!(expected.halted, "round {round}: straight-line must halt");
 
@@ -446,12 +500,30 @@ mod tests {
         // acc = 3; loop: acc = acc + dmem[1] (which holds 255 = -1); JNZ loop; HALT
         let config = CpuConfig::small();
         let program = vec![
-            Instr { op: Op::Ldi, arg: 255 },
-            Instr { op: Op::Store, arg: 1 }, // dmem[1] = -1
-            Instr { op: Op::Ldi, arg: 3 },
-            Instr { op: Op::Add, arg: 1 }, // acc += -1
-            Instr { op: Op::Jnz, arg: 3 },
-            Instr { op: Op::Halt, arg: 0 },
+            Instr {
+                op: Op::Ldi,
+                arg: 255,
+            },
+            Instr {
+                op: Op::Store,
+                arg: 1,
+            }, // dmem[1] = -1
+            Instr {
+                op: Op::Ldi,
+                arg: 3,
+            },
+            Instr {
+                op: Op::Add,
+                arg: 1,
+            }, // acc += -1
+            Instr {
+                op: Op::Jnz,
+                arg: 3,
+            },
+            Instr {
+                op: Op::Halt,
+                arg: 0,
+            },
         ];
         let expected = emulate(&config, &program, &[], 100);
         assert!(expected.halted);
@@ -477,7 +549,11 @@ mod tests {
         for _ in 0..10 {
             let mut sim = Simulator::new(&cpu.design);
             for a in 0..(1u64 << config.imem_addr_width) {
-                sim.seed_memory(cpu.imem, a, rng.random_range(0..(1 << config.instr_width())));
+                sim.seed_memory(
+                    cpu.imem,
+                    a,
+                    rng.random_range(0..(1 << config.instr_width())),
+                );
             }
             let mut seen_halt = false;
             for _ in 0..100 {

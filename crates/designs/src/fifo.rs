@@ -148,7 +148,10 @@ mod tests {
     /// Drive random push/pop traffic and mirror it in a software queue.
     #[test]
     fn matches_software_queue() {
-        let config = FifoConfig { addr_width: 3, data_width: 5 };
+        let config = FifoConfig {
+            addr_width: 3,
+            data_width: 5,
+        };
         let fifo = Fifo::new(config);
         let mut rng = StdRng::seed_from_u64(21);
         let mut sim = Simulator::new(&fifo.design);
@@ -164,7 +167,10 @@ mod tests {
             }
             let report = sim.step(&inputs);
             assert!(!report.property_bad[0], "overflow flagged at cycle {cycle}");
-            assert!(!report.property_bad[1], "integrity flagged at cycle {cycle}");
+            assert!(
+                !report.property_bad[1],
+                "integrity flagged at cycle {cycle}"
+            );
             // The hardware evaluates full/empty at the start of the cycle,
             // so a push into a full queue is refused even if a pop drains
             // an entry in the same cycle.
@@ -181,13 +187,20 @@ mod tests {
             if did_push {
                 model.push_back(data);
             }
-            assert_eq!(sim.state_value(&fifo.count), model.len() as u64, "cycle {cycle}");
+            assert_eq!(
+                sim.state_value(&fifo.count),
+                model.len() as u64,
+                "cycle {cycle}"
+            );
         }
     }
 
     #[test]
     fn refuses_push_when_full() {
-        let config = FifoConfig { addr_width: 2, data_width: 4 };
+        let config = FifoConfig {
+            addr_width: 2,
+            data_width: 4,
+        };
         let fifo = Fifo::new(config);
         let mut sim = Simulator::new(&fifo.design);
         // Push 6 times into a 4-deep FIFO.
@@ -199,7 +212,11 @@ mod tests {
             let report = sim.step(&inputs);
             assert!(!report.property_bad[0]);
         }
-        assert_eq!(sim.state_value(&fifo.count), 4, "capacity reached, pushes refused");
+        assert_eq!(
+            sim.state_value(&fifo.count),
+            4,
+            "capacity reached, pushes refused"
+        );
         // Pop everything back: 0, 1, 2, 3.
         for expect in 0..4u64 {
             let inputs = vec![false, true, false, false, false, false];

@@ -158,7 +158,12 @@ impl ImageFilter {
         let out_next = g.mux_word(in_valid, &filtered, &out_reg);
         d.set_next_word(&out_reg, &out_next);
         let prev_filtered = d.add_read_port(filtered_line, col.clone(), in_valid);
-        d.add_write_port(filtered_line, col.clone(), in_valid, Word::from(filtered.bits().to_vec()));
+        d.add_write_port(
+            filtered_line,
+            col.clone(),
+            in_valid,
+            Word::from(filtered.bits().to_vec()),
+        );
         let g = &mut d.aig;
         let gradient = g.sub(&filtered, &prev_filtered);
         let gradient_reg = d.new_latch_word("gradient", dw, LatchInit::Zero);
@@ -195,8 +200,9 @@ impl ImageFilter {
         let mut reachable = Vec::new();
         let mut unreachable = Vec::new();
         for v in 0..config.reachable_properties {
-            let depth = 3 + (v * (config.max_witness_depth.saturating_sub(3)))
-                / config.reachable_properties.max(1);
+            let depth = 3
+                + (v * (config.max_witness_depth.saturating_sub(3)))
+                    / config.reachable_properties.max(1);
             let g = &mut d.aig;
             let at_depth = g.eq_const(&seen, depth as u64);
             // A pattern over the two lowest output bits keeps every target
@@ -239,7 +245,14 @@ impl ImageFilter {
         }
 
         d.check().expect("image filter design is well-formed");
-        ImageFilter { design: d, config, raw_line, filtered_line, reachable, unreachable }
+        ImageFilter {
+            design: d,
+            config,
+            raw_line,
+            filtered_line,
+            reachable,
+            unreachable,
+        }
     }
 }
 
@@ -282,8 +295,7 @@ mod tests {
                 *px = rng.random_range(0..=mask);
             }
         }
-        let out_word = f.design.named("out[0]").map(|_| ()).expect("out exists");
-        let _ = out_word;
+        f.design.named("out[0]").expect("out exists");
         let mut outputs = Vec::new();
         for r in 0..rows {
             for c in 0..w {
@@ -310,7 +322,11 @@ mod tests {
                 // the step (it latched `filtered` computed this cycle).
                 let west = if c == 0 { 0 } else { image[r][c - 1] };
                 let north = if r == 0 { 0 } else { image[r - 1][c] };
-                let nw = if r == 0 || c == 0 { 0 } else { image[r - 1][c - 1] };
+                let nw = if r == 0 || c == 0 {
+                    0
+                } else {
+                    image[r - 1][c - 1]
+                };
                 let expect = ((image[r][c] + west + north + nw) >> 2) & mask;
                 outputs.push((out, expect, r, c));
             }
@@ -327,8 +343,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut sim = Simulator::new(&f.design);
         for _ in 0..500 {
-            let mut inputs: Vec<bool> =
-                (0..config.data_width).map(|_| rng.random_bool(0.5)).collect();
+            let mut inputs: Vec<bool> = (0..config.data_width)
+                .map(|_| rng.random_bool(0.5))
+                .collect();
             inputs.push(rng.random_bool(0.8));
             let report = sim.step(&inputs);
             for &u in &f.unreachable {
@@ -350,9 +367,10 @@ mod tests {
         for _ in 0..400 {
             let mut sim = Simulator::new(&f.design);
             for _ in 0..config.max_witness_depth + 2 {
-                let mut inputs: Vec<bool> =
-                    (0..config.data_width).map(|_| rng.random_bool(0.5)).collect();
-                inputs.push(true);
+                let inputs: Vec<bool> = (0..config.data_width)
+                    .map(|_| rng.random_bool(0.5))
+                    .chain(std::iter::once(true))
+                    .collect();
                 let report = sim.step(&inputs);
                 for (i, &b) in report.property_bad.iter().enumerate() {
                     fired[i] |= b;

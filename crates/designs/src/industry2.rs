@@ -116,8 +116,11 @@ impl Industry2 {
         d.set_next_word(&arm, &arm_next);
         let wd_stage = d.new_latch_word("wd_stage", dw, LatchInit::Zero);
         let g2 = &mut d.aig;
-        let gated: Vec<Bit> =
-            ext_data.bits().iter().map(|&b| g2.and(b, arm.bit(0))).collect();
+        let gated: Vec<Bit> = ext_data
+            .bits()
+            .iter()
+            .map(|&b| g2.and(b, arm.bit(0)))
+            .collect();
         let wd_stage_next = Word::from(gated);
         d.set_next_word(&wd_stage, &wd_stage_next);
         let we_stage = d.new_latch_word("we_stage", 1, LatchInit::Zero);
@@ -177,7 +180,8 @@ impl Industry2 {
         let mut lookups = Vec::new();
         for v in 0..config.properties {
             let g = &mut d.aig;
-            let pattern = (0x5A5A5A5A5A5A5A5Au64 ^ (v as u64).wrapping_mul(0x9E37)) & ((1u64 << dw.min(63)) - 1);
+            let pattern = (0x5A5A5A5A5A5A5A5Au64 ^ (v as u64).wrapping_mul(0x9E37))
+                & ((1u64 << dw.min(63)) - 1);
             let pattern = if pattern == 0 { 1 } else { pattern };
             let hit = g.eq_const(&rds[v % 3], pattern);
             let bad = g.and(armed, hit);
@@ -233,7 +237,10 @@ mod tests {
             assert!(!sim.value(d2.we), "the buggy decode must keep WE low");
             assert!(!report.property_bad[d2.invariant]);
             for &l in &d2.lookups {
-                assert!(!report.property_bad[l], "lookup property fired: memory must stay 0");
+                assert!(
+                    !report.property_bad[l],
+                    "lookup property fired: memory must stay 0"
+                );
             }
         }
     }

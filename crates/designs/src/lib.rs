@@ -32,12 +32,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cpu;
 pub mod fifo;
 pub mod image_filter;
 pub mod industry2;
 pub mod lifo;
 pub mod memcpy;
-pub mod cpu;
 pub mod quicksort;
 pub mod regfile;
 pub mod util;

@@ -124,7 +124,10 @@ mod tests {
 
     #[test]
     fn matches_software_stack() {
-        let config = LifoConfig { addr_width: 3, data_width: 5 };
+        let config = LifoConfig {
+            addr_width: 3,
+            data_width: 5,
+        };
         let lifo = Lifo::new(config);
         let mut rng = StdRng::seed_from_u64(55);
         let mut sim = Simulator::new(&lifo.design);
@@ -139,7 +142,10 @@ mod tests {
                 inputs.push((data >> b) & 1 == 1);
             }
             let report = sim.step(&inputs);
-            assert!(!report.property_bad[0], "identity violated at cycle {cycle}");
+            assert!(
+                !report.property_bad[0],
+                "identity violated at cycle {cycle}"
+            );
             assert!(!report.property_bad[1], "overflow at cycle {cycle}");
             let did_push = push && model.len() < capacity;
             let did_pop = pop && !push && !model.is_empty();
@@ -156,7 +162,10 @@ mod tests {
 
     #[test]
     fn push_then_pop_returns_value() {
-        let config = LifoConfig { addr_width: 2, data_width: 4 };
+        let config = LifoConfig {
+            addr_width: 2,
+            data_width: 4,
+        };
         let lifo = Lifo::new(config);
         let mut sim = Simulator::new(&lifo.design);
         // push 9

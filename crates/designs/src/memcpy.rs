@@ -125,7 +125,14 @@ impl Memcpy {
 
         let copy_correct = d.add_property("copy_correct", viol);
         d.check().expect("memcpy design is well-formed");
-        Memcpy { design: d, config, src, dst, copy_correct, halted: s_halt }
+        Memcpy {
+            design: d,
+            config,
+            src,
+            dst,
+            copy_correct,
+            halted: s_halt,
+        }
     }
 
     /// Cycle bound: copy (len) + verify (2·len) + slack.
@@ -145,12 +152,15 @@ mod tests {
     fn copies_and_verifies_random_contents() {
         let mut rng = StdRng::seed_from_u64(77);
         for len in [1usize, 2, 5, 8] {
-            let config = MemcpyConfig { len, addr_width: 3, data_width: 6 };
+            let config = MemcpyConfig {
+                len,
+                addr_width: 3,
+                data_width: 6,
+            };
             let engine = Memcpy::new(config);
             for _ in 0..20 {
                 let mut sim = Simulator::new(&engine.design);
-                let data: Vec<u64> =
-                    (0..len).map(|_| rng.random_range(0..64)).collect();
+                let data: Vec<u64> = (0..len).map(|_| rng.random_range(0..64)).collect();
                 for (a, &v) in data.iter().enumerate() {
                     sim.seed_memory(engine.src, a as u64, v);
                 }
@@ -165,7 +175,11 @@ mod tests {
                 assert!(sim.value(engine.halted), "len={len} must halt");
                 assert!(!viol, "len={len}: copy verified");
                 for (a, &v) in data.iter().enumerate() {
-                    assert_eq!(sim.read_memory(engine.dst, a as u64), v, "len={len} word {a}");
+                    assert_eq!(
+                        sim.read_memory(engine.dst, a as u64),
+                        v,
+                        "len={len} word {a}"
+                    );
                 }
             }
         }
@@ -174,7 +188,11 @@ mod tests {
     /// Injecting a destination corruption mid-run trips the checker.
     #[test]
     fn detects_corruption() {
-        let config = MemcpyConfig { len: 4, addr_width: 3, data_width: 6 };
+        let config = MemcpyConfig {
+            len: 4,
+            addr_width: 3,
+            data_width: 6,
+        };
         let engine = Memcpy::new(config);
         let mut sim = Simulator::new(&engine.design);
         for a in 0..4u64 {

@@ -61,12 +61,22 @@ impl QuickSortConfig {
     /// The paper's configuration for a given `N`: `AW=10`, `DW=32`; the
     /// stack frame width works out to the paper's 24 bits.
     pub fn paper(n: usize) -> QuickSortConfig {
-        QuickSortConfig { n, addr_width: 10, data_width: 32, bug: Bug::None }
+        QuickSortConfig {
+            n,
+            addr_width: 10,
+            data_width: 32,
+            bug: Bug::None,
+        }
     }
 
     /// A scaled-down configuration for fast tests.
     pub fn small(n: usize) -> QuickSortConfig {
-        QuickSortConfig { n, addr_width: 3, data_width: 4, bug: Bug::None }
+        QuickSortConfig {
+            n,
+            addr_width: 3,
+            data_width: 4,
+            bug: Bug::None,
+        }
     }
 
     /// Stack data width: a frame packs `lo` and `hi` plus 4 spare bits
@@ -189,14 +199,18 @@ impl QuickSort {
         let zero_a = g.const_word(0, iw);
         let one_a = g.const_word(1, iw);
         let mut arr_raddr = zero_a.clone();
-        arr_raddr = update_word(g, &arr_raddr, &[
-            (s_check, &hi),
-            (s_part, &jvar),
-            (s_swap_i, &ivar),
-            (s_piv1, &ivar),
-            (s_done, &zero_a),
-            (s_chk, &one_a),
-        ]);
+        arr_raddr = update_word(
+            g,
+            &arr_raddr,
+            &[
+                (s_check, &hi),
+                (s_part, &jvar),
+                (s_swap_i, &ivar),
+                (s_piv1, &ivar),
+                (s_done, &zero_a),
+                (s_chk, &one_a),
+            ],
+        );
         let re_states = [s_check, s_part, s_swap_i, s_piv1, s_done, s_chk];
         let arr_re = g.or_many(&re_states);
         let arr_rd = d.add_read_port(array, arr_raddr, arr_re);
@@ -227,20 +241,28 @@ impl QuickSort {
         // SWAP_I: A[i] <- tmp_j;  SWAP_J: A[j] <- tmp_i;
         // PIV1:   A[i] <- pivot;  PIV2:   A[hi] <- tmp_i.
         let mut arr_waddr = zero_a.clone();
-        arr_waddr = update_word(g, &arr_waddr, &[
-            (s_swap_i, &ivar),
-            (s_swap_j, &jvar),
-            (s_piv1, &ivar),
-            (s_piv2, &hi),
-        ]);
+        arr_waddr = update_word(
+            g,
+            &arr_waddr,
+            &[
+                (s_swap_i, &ivar),
+                (s_swap_j, &jvar),
+                (s_piv1, &ivar),
+                (s_piv2, &hi),
+            ],
+        );
         let zero_d = g.const_word(0, dw);
         let mut arr_wdata = zero_d.clone();
-        arr_wdata = update_word(g, &arr_wdata, &[
-            (s_swap_i, &tmp_j),
-            (s_swap_j, &tmp_i),
-            (s_piv1, &pivot),
-            (s_piv2, &tmp_i),
-        ]);
+        arr_wdata = update_word(
+            g,
+            &arr_wdata,
+            &[
+                (s_swap_i, &tmp_j),
+                (s_swap_j, &tmp_i),
+                (s_piv1, &pivot),
+                (s_piv2, &tmp_i),
+            ],
+        );
         let arr_we = g.or_many(&[s_swap_i, s_swap_j, s_piv1, s_piv2]);
         d.add_write_port(array, arr_waddr, arr_we, arr_wdata);
 
@@ -265,18 +287,22 @@ impl QuickSort {
         let push_l_taken = g.and(s_push_l, lo_lt_i);
         let push_r_taken = g.and(s_push_r, i_lt_hi);
         let mut stk_waddr = zero_a.clone();
-        stk_waddr = update_word(g, &stk_waddr, &[
-            (s_init, &zero_a),
-            (s_push_l, &sp),
-            (s_push_r, &sp),
-        ]);
+        stk_waddr = update_word(
+            g,
+            &stk_waddr,
+            &[(s_init, &zero_a), (s_push_l, &sp), (s_push_r, &sp)],
+        );
         let zero_s = g.const_word(0, sdw);
         let mut stk_wdata = zero_s.clone();
-        stk_wdata = update_word(g, &stk_wdata, &[
-            (s_init, &init_frame),
-            (s_push_l, &left_frame),
-            (s_push_r, &right_frame),
-        ]);
+        stk_wdata = update_word(
+            g,
+            &stk_wdata,
+            &[
+                (s_init, &init_frame),
+                (s_push_l, &left_frame),
+                (s_push_r, &right_frame),
+            ],
+        );
         let stk_we = g.or_many(&[s_init, push_l_taken, push_r_taken]);
         d.add_write_port(stack, stk_waddr, stk_we, stk_wdata);
 
@@ -301,35 +327,43 @@ impl QuickSort {
         let check_enter = g.and(s_check, !lo_ge_hi);
         let part_done = g.and(s_part, j_eq_hi);
 
-        let next_pc = update_word(g, &pc_w, &[
-            (s_init, &pc_loop),
-            (loop_to_done, &pc_done),
-            (pop_active, &pc_check),
-            (check_skip, &pc_loop),
-            (check_enter, &pc_part),
-            (part_done, &pc_piv1),
-            (part_advance, &pc_part),
-            (swap_taken, &pc_swap_i),
-            (s_swap_i, &pc_swap_j),
-            (s_swap_j, &pc_part),
-            (s_piv1, &pc_piv2),
-            (s_piv2, &pc_push_l),
-            (s_push_l, &pc_push_r),
-            (s_push_r, &pc_loop),
-            (s_done, &pc_chk),
-            (s_chk, &pc_halt),
-            (s_halt, &pc_halt),
-        ]);
+        let next_pc = update_word(
+            g,
+            &pc_w,
+            &[
+                (s_init, &pc_loop),
+                (loop_to_done, &pc_done),
+                (pop_active, &pc_check),
+                (check_skip, &pc_loop),
+                (check_enter, &pc_part),
+                (part_done, &pc_piv1),
+                (part_advance, &pc_part),
+                (swap_taken, &pc_swap_i),
+                (s_swap_i, &pc_swap_j),
+                (s_swap_j, &pc_part),
+                (s_piv1, &pc_piv2),
+                (s_piv2, &pc_push_l),
+                (s_push_l, &pc_push_r),
+                (s_push_r, &pc_loop),
+                (s_done, &pc_chk),
+                (s_chk, &pc_halt),
+                (s_halt, &pc_halt),
+            ],
+        );
         d.set_next_word(&pc_w, &next_pc);
 
         let g = &mut d.aig;
         let one_sp = g.const_word(1, iw);
-        let next_sp = update_word(g, &sp, &[
-            (s_init, &one_sp),
-            (pop_active, &sp_minus_1),
-            (push_l_taken, &sp_plus_1),
-            (push_r_taken, &sp_plus_1),
-        ]);
+        let next_sp = update_word(
+            g,
+            &sp,
+            &[
+                (s_init, &one_sp),
+                (pop_active, &sp_minus_1),
+                (push_l_taken, &sp_plus_1),
+                (push_r_taken, &sp_plus_1),
+            ],
+        );
         d.set_next_word(&sp, &next_sp);
 
         let g = &mut d.aig;
@@ -343,11 +377,15 @@ impl QuickSort {
         let next_i = update_word(g, &ivar, &[(check_enter, &lo), (s_swap_j, &i_plus_1)]);
         d.set_next_word(&ivar, &next_i);
         let g = &mut d.aig;
-        let next_j = update_word(g, &jvar, &[
-            (check_enter, &lo),
-            (part_advance, &j_plus_1),
-            (s_swap_j, &j_plus_1),
-        ]);
+        let next_j = update_word(
+            g,
+            &jvar,
+            &[
+                (check_enter, &lo),
+                (part_advance, &j_plus_1),
+                (s_swap_j, &j_plus_1),
+            ],
+        );
         d.set_next_word(&jvar, &next_j);
 
         let g = &mut d.aig;
@@ -432,8 +470,9 @@ mod tests {
             }
         }
         assert!(sim.value(qs.halted), "must halt within the cycle bound");
-        let out: Vec<u64> =
-            (0..input.len()).map(|a| sim.read_memory(qs.array, a as u64)).collect();
+        let out: Vec<u64> = (0..input.len())
+            .map(|a| sim.read_memory(qs.array, a as u64))
+            .collect();
         (out, cycles, p1_fired, p2_fired)
     }
 
@@ -459,7 +498,12 @@ mod tests {
     fn sorts_random_arrays_various_sizes() {
         let mut rng = StdRng::seed_from_u64(0x5042);
         for n in 2..=6 {
-            let qs = QuickSort::new(QuickSortConfig { n, addr_width: 4, data_width: 8, bug: Default::default() });
+            let qs = QuickSort::new(QuickSortConfig {
+                n,
+                addr_width: 4,
+                data_width: 8,
+                bug: Default::default(),
+            });
             for _ in 0..40 {
                 let input: Vec<u64> = (0..n).map(|_| rng.random_range(0..256)).collect();
                 let (out, cycles, p1, p2) = run(&qs, &input);
@@ -478,7 +522,11 @@ mod tests {
         let arr = &qs.design.memories()[qs.array.0 as usize];
         assert_eq!((arr.addr_width, arr.data_width), (10, 32));
         let stk = &qs.design.memories()[qs.stack.0 as usize];
-        assert_eq!((stk.addr_width, stk.data_width), (10, 24), "paper's stack DW=24");
+        assert_eq!(
+            (stk.addr_width, stk.data_width),
+            (10, 24),
+            "paper's stack DW=24"
+        );
         let stats = qs.design.stats();
         assert!(
             (150..400).contains(&stats.latches),
@@ -492,7 +540,12 @@ mod tests {
     fn worst_case_cycles_within_bound() {
         // Descending arrays are quicksort's bad case with last-element pivot.
         for n in 2..=7 {
-            let qs = QuickSort::new(QuickSortConfig { n, addr_width: 4, data_width: 8, bug: Default::default() });
+            let qs = QuickSort::new(QuickSortConfig {
+                n,
+                addr_width: 4,
+                data_width: 8,
+                bug: Default::default(),
+            });
             let input: Vec<u64> = (0..n as u64).rev().collect();
             let (out, cycles, _, _) = run(&qs, &input);
             let expect: Vec<u64> = (0..n as u64).collect();
@@ -508,7 +561,11 @@ mod tests {
     #[test]
     fn duplicate_values_sort_correctly() {
         let qs = QuickSort::new(QuickSortConfig::small(5));
-        for input in [vec![3, 3, 3, 3, 3], vec![1, 2, 1, 2, 1], vec![7, 0, 7, 0, 7]] {
+        for input in [
+            vec![3, 3, 3, 3, 3],
+            vec![1, 2, 1, 2, 1],
+            vec![7, 0, 7, 0, 7],
+        ] {
             let (out, _, p1, p2) = run(&qs, &input);
             let mut expect = input.clone();
             expect.sort_unstable();

@@ -118,7 +118,12 @@ impl RegFile {
         let shadow_consistency = d.add_property("shadow_consistency", bad_any);
 
         d.check().expect("register file design is well-formed");
-        RegFile { design: d, config, memory, shadow_consistency }
+        RegFile {
+            design: d,
+            config,
+            memory,
+            shadow_consistency,
+        }
     }
 }
 

@@ -24,7 +24,11 @@ pub struct ParseDimacsError {
 
 impl std::fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -54,13 +58,13 @@ impl Cnf {
                         message: "expected 'p cnf <vars> <clauses>'".into(),
                     });
                 }
-                let vars: usize = it
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| ParseDimacsError {
-                        line: lineno + 1,
-                        message: "bad variable count".into(),
-                    })?;
+                let vars: usize =
+                    it.next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| ParseDimacsError {
+                            line: lineno + 1,
+                            message: "bad variable count".into(),
+                        })?;
                 declared_vars = Some(vars);
                 cnf.num_vars = vars;
                 continue;

@@ -18,6 +18,9 @@
 //!   refutation (`SAT_Get_Refutation` in the paper's Fig. 1/Fig. 3).
 //! * Deterministic **budgets** ([`Budget`]) for the paper's timeout-based
 //!   experimental methodology.
+//! * A **simplifying CNF sink** ([`SimplifySink`], module [`simplify`]):
+//!   cross-frame structural hashing, simulation-guided SAT sweeping, and
+//!   lazy gate emission between the BMC encoders and the solver.
 //!
 //! ## Example
 //!
@@ -40,10 +43,12 @@ pub mod dimacs;
 mod heap;
 mod lit;
 pub mod naive;
+pub mod simplify;
 mod sink;
 mod solver;
 
 pub use clause::ClauseId;
 pub use lit::{LBool, Lit, Var};
+pub use simplify::{Simplifier, SimplifyConfig, SimplifySink, SimplifyStats};
 pub use sink::{CnfSink, CountingSink, VecSink};
 pub use solver::{Budget, SolveResult, Solver, SolverConfig, SolverStats};

@@ -29,7 +29,11 @@ pub struct NaiveSolver {
 impl NaiveSolver {
     /// Creates a reference solver over `num_vars` variables.
     pub fn new(num_vars: usize) -> NaiveSolver {
-        NaiveSolver { num_vars, clauses: Vec::new(), model: Vec::new() }
+        NaiveSolver {
+            num_vars,
+            clauses: Vec::new(),
+            model: Vec::new(),
+        }
     }
 
     /// Adds a clause (no preprocessing).

@@ -1,0 +1,749 @@
+//! The simplifying CNF sink: circuit simplification on the unrolled formula.
+//!
+//! BMC with Efficient Memory Modeling keeps the *per-frame* constraint size
+//! small, but the seed encoder still re-Tseitin-encodes structurally
+//! identical logic at every unrolling depth and emits every gate of the
+//! design's combinational core whether or not anything downstream reads it.
+//! This module removes that redundancy with a sink layer between the
+//! encoders and the solver:
+//!
+//! ```text
+//! Unroller ─┐
+//! LfpBuilder ├──> SimplifySink ──> Solver (or any other CnfSink)
+//! EmmEncoder ┘
+//! ```
+//!
+//! [`SimplifySink`] implements [`CnfSink`] and applies three cooperating
+//! optimizations to every [`CnfSink::add_and_gate`] request:
+//!
+//! 1. **Cross-frame structural hashing** — gates are interned in a hash
+//!    table keyed by their (canonically ordered) operand literals, after
+//!    constant and identity folding at the literal level. Because latch
+//!    outputs at frame `k+1` reuse frame `k`'s next-state literals, a cone
+//!    whose inputs stabilize across frames collapses to a single copy, no
+//!    matter how deep the unrolling goes.
+//! 2. **Simulation-guided SAT sweeping** (opt-in,
+//!    [`SimplifyConfig::sweeping`]) — every literal carries a 64-bit
+//!    random-simulation signature (the gate output's value under 64 random
+//!    input patterns). Structurally *different* gates whose signatures
+//!    coincide are candidate equivalences; a bounded incremental SAT call
+//!    ([`CnfSink::prove_equiv`]) verifies the candidate, and on success the
+//!    new gate is merged into the older representative, sharing its whole
+//!    downstream cone. The checks spend solver time during encoding, which
+//!    is why the pass is not on by default.
+//! 3. **Lazy emission** — a gate's Tseitin clauses are withheld until the
+//!    gate's output is referenced by an emitted clause (or explicitly
+//!    [`SimplifySink::materialize`]d for use as an assumption). Logic
+//!    outside every property/constraint/memory cone costs zero clauses,
+//!    giving a dynamic, literal-level cone-of-influence reduction.
+//!
+//! Clause traffic is also filtered through the unit-literal store: clauses
+//! satisfied by a level-0 unit are dropped and false literals are stripped.
+//!
+//! All state lives in a [`Simplifier`], which persists across frames (that
+//! is what makes the hashing *cross-frame*); [`SimplifySink`] is a
+//! short-lived view pairing the state with the underlying sink:
+//!
+//! ```
+//! use emm_sat::{CnfSink, Simplifier, SimplifyConfig, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let mut simp = Simplifier::new(SimplifyConfig::default());
+//! let mut sink = simp.attach(&mut solver);
+//! let a = sink.new_var().positive();
+//! let b = sink.new_var().positive();
+//! let g1 = sink.add_and_gate(a, b);
+//! let g2 = sink.add_and_gate(b, a); // commuted: structurally hashed
+//! assert_eq!(g1, g2);
+//! assert_eq!(simp.stats().cache_hits, 1);
+//! ```
+//!
+//! Soundness: folding and hashing are purely structural rewrites; sweeping
+//! merges only literals the solver itself proved equivalent under the
+//! clauses emitted so far, which stays entailed as the formula grows; lazy
+//! emission withholds only definitions of literals no emitted clause
+//! mentions, and a solver never sees a reference to a withheld definition.
+//! The result is equivalent to the naive encoding over the shared
+//! variables — the differential tests in `emm-bmc` check exactly that.
+
+use std::collections::HashMap;
+
+use crate::clause::ClauseId;
+use crate::lit::{Lit, Var};
+use crate::sink::CnfSink;
+
+/// Tunable knobs of the simplifying sink.
+#[derive(Clone, Copy, Debug)]
+pub struct SimplifyConfig {
+    /// Master switch; when `false` the sink is a transparent passthrough.
+    /// When `true`, literal-level constant/identity folding of gates and
+    /// unit-literal learning are always active — they are the substrate
+    /// the optional passes below build on.
+    pub enabled: bool,
+    /// Intern gates by canonical operand pair.
+    pub structural_hashing: bool,
+    /// Merge signature-equal gates after a bounded SAT equivalence check.
+    /// Off by default: the checks run incremental solver calls during
+    /// encoding, which costs wall-clock time that the extra merges rarely
+    /// win back on solve time — enable it (see [`SimplifyConfig::sweeping`])
+    /// when formula size (memory, clause count) is the binding constraint.
+    pub sat_sweeping: bool,
+    /// Conflict budget per sweeping implication check.
+    pub sweep_conflicts: u64,
+    /// Candidates tried per gate before giving up on a sweep merge.
+    pub max_sweep_candidates: usize,
+    /// Sweep credit pool for the simplifier's lifetime. A successful merge
+    /// costs 1 credit; a refuted or budget-exhausted check costs
+    /// [`SimplifyConfig::SWEEP_MISS_COST`] — refutations force the solver
+    /// to build a complete model, which is expensive on big formulas, so a
+    /// workload where sweeping does not pay burns out quickly while a
+    /// merge-rich one keeps sweeping.
+    pub sweep_credits: u64,
+    /// Signature-bucket size cap (bounds sweeping memory and work).
+    pub max_bucket: usize,
+    /// Withhold gate clauses until the gate output is referenced.
+    pub lazy_emission: bool,
+    /// Drop clauses satisfied by a known unit, strip false literals.
+    pub clause_folding: bool,
+}
+
+impl Default for SimplifyConfig {
+    fn default() -> SimplifyConfig {
+        SimplifyConfig {
+            enabled: true,
+            structural_hashing: true,
+            sat_sweeping: false,
+            sweep_conflicts: 16,
+            max_sweep_candidates: 2,
+            sweep_credits: 1024,
+            max_bucket: 16,
+            lazy_emission: true,
+            clause_folding: true,
+        }
+    }
+}
+
+impl SimplifyConfig {
+    /// Credits consumed by a sweep check that does not merge.
+    pub const SWEEP_MISS_COST: u64 = 32;
+
+    /// A configuration that disables every optimization (passthrough).
+    pub fn disabled() -> SimplifyConfig {
+        SimplifyConfig {
+            enabled: false,
+            ..SimplifyConfig::default()
+        }
+    }
+
+    /// The default passes plus SAT sweeping (maximum formula reduction).
+    pub fn sweeping() -> SimplifyConfig {
+        SimplifyConfig {
+            sat_sweeping: true,
+            ..SimplifyConfig::default()
+        }
+    }
+}
+
+/// Counters describing what the sink saved (and what sweeping cost).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// `add_and_gate` requests received.
+    pub gate_queries: u64,
+    /// Requests answered by constant/identity folding (no gate at all).
+    pub folded: u64,
+    /// Requests answered from the structural-hash table.
+    pub cache_hits: u64,
+    /// Fresh gate variables created.
+    pub gates_created: u64,
+    /// Gates whose Tseitin clauses were actually emitted.
+    pub gates_emitted: u64,
+    /// Sweep equivalence checks attempted.
+    pub sweep_checks: u64,
+    /// Gates merged into an equivalent representative.
+    pub sweep_merges: u64,
+    /// Sweep candidates refuted by a distinguishing model.
+    pub sweep_refuted: u64,
+    /// Sweep checks abandoned on the conflict budget.
+    pub sweep_unknown: u64,
+    /// Clauses received via `add_clause`.
+    pub clauses_in: u64,
+    /// Clauses forwarded to the inner sink (gate encodings excluded).
+    pub clauses_emitted: u64,
+    /// Clauses dropped because a known unit already satisfies them.
+    pub clauses_dropped: u64,
+    /// False literals stripped from forwarded clauses.
+    pub literals_stripped: u64,
+}
+
+impl SimplifyStats {
+    /// Gates created but never emitted: dead logic the lazy pass elided.
+    pub fn gates_elided(&self) -> u64 {
+        self.gates_created - self.gates_emitted
+    }
+}
+
+/// Persistent state of the simplifying layer (see the [module docs](self)).
+///
+/// One `Simplifier` accompanies one solver for the whole BMC run; attach it
+/// to the solver with [`Simplifier::attach`] whenever clauses are emitted.
+#[derive(Debug, Default)]
+pub struct Simplifier {
+    config: SimplifyConfig,
+    /// Structural-hash table: canonical `(a, b)` operand pair -> output.
+    cache: HashMap<(Lit, Lit), Lit>,
+    /// Gates created but not yet emitted: output var -> operands.
+    pending: HashMap<Var, (Lit, Lit)>,
+    /// Sweep substitutions: merged output var -> representative literal.
+    repr: HashMap<Var, Lit>,
+    /// 64-bit random-simulation signature per variable.
+    sig: Vec<u64>,
+    /// Whether `sig[i]` has been assigned (zero is a legitimate value).
+    sig_set: Vec<bool>,
+    /// Emitted (live) gate outputs bucketed by signature.
+    buckets: HashMap<u64, Vec<Lit>>,
+    /// Literals fixed by unit clauses: var -> forced value.
+    units: HashMap<Var, bool>,
+    /// Sweep credits consumed so far (see [`SimplifyConfig::sweep_credits`]).
+    sweep_spent: u64,
+    /// A literal known false, once one exists (for folding results).
+    known_false: Option<Lit>,
+    stats: SimplifyStats,
+}
+
+/// Mixes a variable index into a pseudorandom 64-bit pattern (SplitMix64
+/// finalizer). Signatures must be deterministic so differential runs and
+/// resumed sessions agree.
+fn input_signature(index: usize) -> u64 {
+    let mut z = (index as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Simplifier {
+    /// Creates an empty simplifier.
+    pub fn new(config: SimplifyConfig) -> Simplifier {
+        Simplifier {
+            config,
+            ..Simplifier::default()
+        }
+    }
+
+    /// The configuration this simplifier runs with.
+    pub fn config(&self) -> &SimplifyConfig {
+        &self.config
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &SimplifyStats {
+        &self.stats
+    }
+
+    /// Pairs this state with the sink that receives the simplified output.
+    pub fn attach<'a, S: CnfSink + ?Sized>(&'a mut self, inner: &'a mut S) -> SimplifySink<'a, S> {
+        SimplifySink { simp: self, inner }
+    }
+
+    /// Resolves a literal through the sweep-substitution chains.
+    pub fn resolve(&self, mut lit: Lit) -> Lit {
+        while let Some(&rep) = self.repr.get(&lit.var()) {
+            lit = if lit.is_positive() { rep } else { !rep };
+        }
+        lit
+    }
+
+    /// The signature of `lit` (variable signature, sign-adjusted).
+    fn lit_sig(&mut self, lit: Lit) -> u64 {
+        let s = self.var_sig(lit.var());
+        if lit.is_negative() {
+            !s
+        } else {
+            s
+        }
+    }
+
+    /// The signature of `var`, assigning a random input signature on first
+    /// use (covers variables created directly on the inner sink). A
+    /// computed all-zero signature (deep AND chains, false units) is a
+    /// legitimate value, so assignedness is tracked separately in
+    /// `sig_set` rather than by a sentinel.
+    fn var_sig(&mut self, var: Var) -> u64 {
+        self.grow_sig(var);
+        if !self.sig_set[var.index()] {
+            self.sig[var.index()] = input_signature(var.index());
+            self.sig_set[var.index()] = true;
+        }
+        self.sig[var.index()]
+    }
+
+    fn set_var_sig(&mut self, var: Var, sig: u64) {
+        self.grow_sig(var);
+        self.sig[var.index()] = sig;
+        self.sig_set[var.index()] = true;
+    }
+
+    fn grow_sig(&mut self, var: Var) {
+        if self.sig.len() <= var.index() {
+            self.sig.resize(var.index() + 1, 0);
+            self.sig_set.resize(var.index() + 1, false);
+        }
+    }
+
+    /// The forced value of `lit` under recorded unit clauses, if any.
+    fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.units.get(&lit.var()).map(|&v| v ^ lit.is_negative())
+    }
+
+    /// Records a level-0 unit and aligns the variable's signature with it.
+    fn learn_unit(&mut self, lit: Lit) {
+        let value = lit.is_positive();
+        self.units.insert(lit.var(), value);
+        self.set_var_sig(lit.var(), if value { u64::MAX } else { 0 });
+        if self.known_false.is_none() {
+            self.known_false = Some(!lit);
+        }
+    }
+}
+
+/// A [`CnfSink`] that simplifies gate and clause traffic on its way into
+/// `inner`. Created by [`Simplifier::attach`]; see the [module docs](self).
+#[derive(Debug)]
+pub struct SimplifySink<'a, S: CnfSink + ?Sized> {
+    simp: &'a mut Simplifier,
+    inner: &'a mut S,
+}
+
+impl<S: CnfSink + ?Sized> SimplifySink<'_, S> {
+    /// A literal constrained false in the inner sink (creating one on first
+    /// use), for folding results like `a ∧ ¬a`.
+    fn false_lit(&mut self) -> Lit {
+        if let Some(f) = self.simp.known_false {
+            return f;
+        }
+        let v = self.inner.new_var();
+        self.inner.add_clause(&[v.negative()]);
+        self.simp.learn_unit(v.negative());
+        v.positive()
+    }
+
+    /// Resolves `lit` and emits the Tseitin cones of every still-pending
+    /// gate it (transitively) depends on, returning the final resolved
+    /// literal. Use this before passing an encoder literal to the solver as
+    /// an **assumption** — assumptions bypass `add_clause`, so this is the
+    /// only way their defining clauses are guaranteed to exist.
+    pub fn materialize(&mut self, lit: Lit) -> Lit {
+        let lit = self.simp.resolve(lit);
+        if !self.simp.pending.contains_key(&lit.var()) {
+            return lit;
+        }
+        let mut stack: Vec<Var> = vec![lit.var()];
+        while let Some(&v) = stack.last() {
+            let Some(&(a, b)) = self.simp.pending.get(&v) else {
+                stack.pop();
+                continue;
+            };
+            let a = self.simp.resolve(a);
+            let b = self.simp.resolve(b);
+            let pa = self.simp.pending.contains_key(&a.var());
+            let pb = self.simp.pending.contains_key(&b.var());
+            if pa || pb {
+                if pa {
+                    stack.push(a.var());
+                }
+                if pb {
+                    stack.push(b.var());
+                }
+                continue;
+            }
+            self.simp.pending.remove(&v);
+            self.emit_gate(v.positive(), a, b);
+            stack.pop();
+        }
+        self.simp.resolve(lit)
+    }
+
+    /// Emits `out = a ∧ b` into the inner sink, then offers `out` to the
+    /// sweeping pass (which may record a substitution for future uses).
+    fn emit_gate(&mut self, out: Lit, a: Lit, b: Lit) {
+        self.inner.add_clause(&[!out, a]);
+        self.inner.add_clause(&[!out, b]);
+        self.inner.add_clause(&[out, !a, !b]);
+        self.simp.stats.gates_emitted += 1;
+        let sig = self.simp.lit_sig(a) & self.simp.lit_sig(b);
+        self.simp.set_var_sig(out.var(), sig);
+        // Degenerate signatures are useless as equivalence evidence: long
+        // AND chains drive signatures to all-zeros, so an all-zero bucket
+        // fills with unrelated gates and every membership test costs two
+        // SAT calls. Such gates neither join buckets nor get swept.
+        if sig == 0 || sig == u64::MAX {
+            return;
+        }
+        if self.simp.config.sat_sweeping && self.sweep(out, sig) {
+            return;
+        }
+        // A refuted sweep candidate refines every signature mid-call;
+        // re-read `out`'s so the bucket key matches its stored signature.
+        let sig = self.simp.lit_sig(out);
+        if sig == 0 || sig == u64::MAX {
+            return;
+        }
+        let bucket = self.simp.buckets.entry(sig).or_default();
+        if bucket.len() < self.simp.config.max_bucket {
+            bucket.push(out);
+        }
+    }
+
+    /// Tries to merge `out` into a signature-equal emitted gate; returns
+    /// `true` when a substitution was recorded.
+    fn sweep(&mut self, out: Lit, sig: u64) -> bool {
+        let credits = self.simp.config.sweep_credits;
+        if self.simp.sweep_spent >= credits {
+            return false;
+        }
+        let mut candidates: Vec<Lit> = Vec::new();
+        if let Some(bucket) = self.simp.buckets.get(&sig) {
+            candidates.extend(bucket.iter().copied());
+        }
+        if let Some(bucket) = self.simp.buckets.get(&!sig) {
+            candidates.extend(bucket.iter().map(|&l| !l));
+        }
+        let budget = self.simp.config.sweep_conflicts;
+        let mut tried = 0usize;
+        for cand in candidates {
+            if tried >= self.simp.config.max_sweep_candidates || self.simp.sweep_spent >= credits {
+                break;
+            }
+            let cand = self.simp.resolve(cand);
+            if cand.var() == out.var() {
+                continue;
+            }
+            tried += 1;
+            self.simp.stats.sweep_checks += 1;
+            match self.inner.prove_equiv(out, cand, budget) {
+                Some(true) => {
+                    self.simp.sweep_spent += 1;
+                    self.simp.stats.sweep_merges += 1;
+                    let rep = if out.is_positive() { cand } else { !cand };
+                    self.simp.repr.insert(out.var(), rep);
+                    return true;
+                }
+                Some(false) => {
+                    self.simp.sweep_spent += SimplifyConfig::SWEEP_MISS_COST;
+                    self.simp.stats.sweep_refuted += 1;
+                    // The distinguishing model is a genuine simulation
+                    // pattern; fold it into every signature so this (and
+                    // similar) false candidates separate from now on.
+                    self.refine_signatures();
+                }
+                None => {
+                    self.simp.sweep_spent += SimplifyConfig::SWEEP_MISS_COST;
+                    self.simp.stats.sweep_unknown += 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// Shifts the latest model into every signature and re-buckets the
+    /// sweep candidates under their refined signatures. Each position of a
+    /// signature stays a real simulation pattern (the model satisfies every
+    /// emitted gate clause), so AND-consistency is preserved.
+    fn refine_signatures(&mut self) {
+        for (i, sig) in self.simp.sig.iter_mut().enumerate() {
+            if !self.simp.sig_set[i] {
+                continue;
+            }
+            if let Some(v) = self.inner.model_lit(Var::from_index(i).positive()) {
+                *sig = (*sig << 1) | (v as u64);
+            }
+        }
+        let mut members: Vec<Lit> = self.simp.buckets.drain().flat_map(|(_, v)| v).collect();
+        // HashMap drain order is randomized; sort so candidate order and
+        // max_bucket eviction stay deterministic across runs.
+        members.sort_unstable();
+        for m in members {
+            let s = self.simp.lit_sig(m);
+            if s == 0 || s == u64::MAX {
+                continue;
+            }
+            let bucket = self.simp.buckets.entry(s).or_default();
+            if bucket.len() < self.simp.config.max_bucket {
+                bucket.push(m);
+            }
+        }
+    }
+}
+
+impl<S: CnfSink + ?Sized> CnfSink for SimplifySink<'_, S> {
+    fn new_var(&mut self) -> Var {
+        let v = self.inner.new_var();
+        // Touch the signature so inputs get their random pattern now.
+        let _ = self.simp.var_sig(v);
+        v
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> Option<ClauseId> {
+        if !self.simp.config.enabled {
+            return self.inner.add_clause(lits);
+        }
+        self.simp.stats.clauses_in += 1;
+        // Fold on resolved literals first, materializing only the cones of
+        // clauses that actually survive — a cone referenced solely by
+        // dropped clauses stays pending (the point of lazy emission).
+        let mut resolved: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            let l = self.simp.resolve(l);
+            if self.simp.config.clause_folding {
+                match self.simp.lit_value(l) {
+                    Some(true) => {
+                        self.simp.stats.clauses_dropped += 1;
+                        return None;
+                    }
+                    Some(false) => {
+                        self.simp.stats.literals_stripped += 1;
+                        continue;
+                    }
+                    None => {}
+                }
+            }
+            resolved.push(l);
+        }
+        for l in resolved.iter_mut() {
+            *l = self.materialize(*l);
+        }
+        if resolved.len() == 1 {
+            self.simp.learn_unit(resolved[0]);
+        }
+        self.simp.stats.clauses_emitted += 1;
+        self.inner.add_clause(&resolved)
+    }
+
+    fn add_and_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        if !self.simp.config.enabled {
+            return self.inner.add_and_gate(a, b);
+        }
+        self.simp.stats.gate_queries += 1;
+        let a = self.simp.resolve(a);
+        let b = self.simp.resolve(b);
+        // Constant and identity folding at the literal level.
+        let va = self.simp.lit_value(a);
+        let vb = self.simp.lit_value(b);
+        if va == Some(false) {
+            self.simp.stats.folded += 1;
+            return a;
+        }
+        if vb == Some(false) {
+            self.simp.stats.folded += 1;
+            return b;
+        }
+        if va == Some(true) || a == b {
+            self.simp.stats.folded += 1;
+            return b;
+        }
+        if vb == Some(true) {
+            self.simp.stats.folded += 1;
+            return a;
+        }
+        if a == !b {
+            self.simp.stats.folded += 1;
+            return self.false_lit();
+        }
+        // Canonical operand order makes the table commutative.
+        let key = if a.code() <= b.code() { (a, b) } else { (b, a) };
+        if self.simp.config.structural_hashing {
+            if let Some(&out) = self.simp.cache.get(&key) {
+                self.simp.stats.cache_hits += 1;
+                return self.simp.resolve(out);
+            }
+        }
+        let out = self.inner.new_var().positive();
+        self.simp.stats.gates_created += 1;
+        let sig = self.simp.lit_sig(a) & self.simp.lit_sig(b);
+        self.simp.set_var_sig(out.var(), sig);
+        if self.simp.config.lazy_emission {
+            self.simp.pending.insert(out.var(), (a, b));
+        } else {
+            self.emit_gate(out, a, b);
+        }
+        if self.simp.config.structural_hashing {
+            self.simp.cache.insert(key, out);
+        }
+        out
+    }
+
+    fn prove_equiv(&mut self, a: Lit, b: Lit, max_conflicts: u64) -> Option<bool> {
+        let a = self.materialize(a);
+        let b = self.materialize(b);
+        self.inner.prove_equiv(a, b, max_conflicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SolveResult, Solver};
+
+    fn setup() -> (Solver, Simplifier) {
+        (Solver::new(), Simplifier::new(SimplifyConfig::default()))
+    }
+
+    #[test]
+    fn structural_hashing_is_commutative_and_cross_call() {
+        let (mut s, mut simp) = setup();
+        let mut sink = simp.attach(&mut s);
+        let a = sink.new_var().positive();
+        let b = sink.new_var().positive();
+        let g1 = sink.add_and_gate(a, b);
+        let g2 = sink.add_and_gate(b, a);
+        let g3 = sink.add_and_gate(a, b);
+        assert_eq!(g1, g2);
+        assert_eq!(g1, g3);
+        assert_eq!(simp.stats().cache_hits, 2);
+        assert_eq!(simp.stats().gates_created, 1);
+    }
+
+    #[test]
+    fn folding_rules() {
+        let (mut s, mut simp) = setup();
+        let mut sink = simp.attach(&mut s);
+        let a = sink.new_var().positive();
+        let b = sink.new_var().positive();
+        // Identity and contradiction.
+        assert_eq!(sink.add_and_gate(a, a), a);
+        let f = sink.add_and_gate(a, !a);
+        assert_eq!(sink.add_and_gate(b, !b), f);
+        // Constants learned from unit clauses.
+        sink.add_clause(&[a]); // a is true
+        assert_eq!(sink.add_and_gate(a, b), b);
+        assert_eq!(sink.add_and_gate(b, f), f, "false annihilates");
+        assert_eq!(simp.stats().folded, 5);
+        assert_eq!(simp.stats().gates_created, 0);
+    }
+
+    #[test]
+    fn lazy_emission_defers_until_referenced() {
+        let (mut s, mut simp) = setup();
+        let mut sink = simp.attach(&mut s);
+        let a = sink.new_var().positive();
+        let b = sink.new_var().positive();
+        let c = sink.new_var().positive();
+        let dead = sink.add_and_gate(a, b);
+        let live = sink.add_and_gate(b, c);
+        let before = s.stats().original_clauses;
+        assert_eq!(before, 0, "no gate clauses before a reference");
+        let mut sink = simp.attach(&mut s);
+        sink.add_clause(&[live]);
+        assert_eq!(s.stats().original_clauses, 4, "3 Tseitin + 1 unit");
+        assert_eq!(simp.stats().gates_emitted, 1);
+        assert_eq!(simp.stats().gates_elided(), 1);
+        let _ = dead;
+    }
+
+    #[test]
+    fn materialize_chain_emits_whole_cone() {
+        let (mut s, mut simp) = setup();
+        let mut sink = simp.attach(&mut s);
+        let vars: Vec<Lit> = (0..4).map(|_| sink.new_var().positive()).collect();
+        let g1 = sink.add_and_gate(vars[0], vars[1]);
+        let g2 = sink.add_and_gate(g1, vars[2]);
+        let g3 = sink.add_and_gate(g2, vars[3]);
+        let m = sink.materialize(g3);
+        assert_eq!(m, g3);
+        assert_eq!(simp.stats().gates_emitted, 3);
+        // The materialized literal behaves like the conjunction.
+        for v in &vars {
+            s.add_clause(&[*v]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(g3), Some(true));
+    }
+
+    #[test]
+    fn sweeping_merges_absorbed_gate() {
+        let mut s = Solver::new();
+        let mut simp = Simplifier::new(SimplifyConfig::sweeping());
+        let mut sink = simp.attach(&mut s);
+        let a = sink.new_var().positive();
+        let b = sink.new_var().positive();
+        let x = sink.add_and_gate(a, b);
+        sink.materialize(x);
+        // y = a ∧ (a ∧ b) is absorbed: equivalent to x, but a different
+        // structural key, so only sweeping can find it.
+        let y = sink.add_and_gate(a, x);
+        let my = sink.materialize(y);
+        assert_eq!(my, x, "sweep must substitute the representative");
+        assert_eq!(simp.stats().sweep_merges, 1);
+    }
+
+    #[test]
+    fn disabled_config_is_passthrough() {
+        let mut s = Solver::new();
+        let mut simp = Simplifier::new(SimplifyConfig::disabled());
+        let mut sink = simp.attach(&mut s);
+        let a = sink.new_var().positive();
+        let b = sink.new_var().positive();
+        let g1 = sink.add_and_gate(a, b);
+        let g2 = sink.add_and_gate(b, a);
+        assert_ne!(g1, g2, "no hashing when disabled");
+        assert_eq!(s.stats().original_clauses, 6, "gates emitted eagerly");
+    }
+
+    #[test]
+    fn clause_folding_drops_satisfied_and_strips_false() {
+        let (mut s, mut simp) = setup();
+        let mut sink = simp.attach(&mut s);
+        let a = sink.new_var().positive();
+        let b = sink.new_var().positive();
+        let c = sink.new_var().positive();
+        sink.add_clause(&[a]);
+        sink.add_clause(&[!b]);
+        let emitted_before = simp.stats().clauses_emitted;
+        let mut sink = simp.attach(&mut s);
+        assert!(
+            sink.add_clause(&[a, c]).is_none(),
+            "satisfied clause dropped"
+        );
+        sink.add_clause(&[b, c]); // b stripped -> unit c
+        assert_eq!(simp.stats().clauses_dropped, 1);
+        assert_eq!(simp.stats().literals_stripped, 1);
+        assert_eq!(simp.stats().clauses_emitted, emitted_before + 1);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(c), Some(true));
+    }
+
+    /// Equisatisfiability spot check: a small gate pyramid behaves the same
+    /// with and without the simplifying layer under every input assignment.
+    #[test]
+    fn simplified_pyramid_matches_naive() {
+        for assignment in 0u32..16 {
+            let mut naive = Solver::new();
+            let mut plain = Solver::new();
+            let mut simp = Simplifier::new(SimplifyConfig::default());
+
+            let build = |sink: &mut dyn CnfSink| -> (Vec<Lit>, Lit) {
+                let vars: Vec<Lit> = (0..4).map(|_| sink.new_var().positive()).collect();
+                let l = sink.add_and_gate(vars[0], vars[1]);
+                let r = sink.add_or_gate(vars[2], vars[3]);
+                let top = sink.add_and_gate(l, r);
+                (vars, top)
+            };
+            let (nv, nt) = build(&mut naive);
+            let mut sink = simp.attach(&mut plain);
+            let (sv, st_raw) = build(&mut sink);
+            let st = sink.materialize(st_raw);
+
+            for (i, (&n, &s)) in nv.iter().zip(&sv).enumerate() {
+                let value = (assignment >> i) & 1 == 1;
+                naive.add_clause(&[if value { n } else { !n }]);
+                plain.add_clause(&[if value { s } else { !s }]);
+            }
+            assert_eq!(naive.solve(), SolveResult::Sat);
+            assert_eq!(plain.solve(), SolveResult::Sat);
+            assert_eq!(
+                naive.model_value(nt),
+                plain.model_value(st),
+                "assignment {assignment:04b}"
+            );
+        }
+    }
+}

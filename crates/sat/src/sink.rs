@@ -44,6 +44,25 @@ pub trait CnfSink {
     fn assert_true(&mut self, lit: Lit) {
         self.add_clause(&[lit]);
     }
+
+    /// Attempts to decide whether the formula emitted so far entails
+    /// `a ≡ b`, spending at most `max_conflicts` conflicts per direction.
+    ///
+    /// Returns `Some(true)` when the equivalence is proved, `Some(false)`
+    /// when a distinguishing model exists, and `None` when the sink cannot
+    /// decide (the default: only solver-backed sinks can). This is the
+    /// oracle behind the SAT-sweeping pass of
+    /// [`SimplifySink`](crate::SimplifySink).
+    fn prove_equiv(&mut self, _a: Lit, _b: Lit, _max_conflicts: u64) -> Option<bool> {
+        None
+    }
+
+    /// Value of `lit` in the sink's most recent model, when the sink is
+    /// solver-backed and the last answer was SAT. Lets the sweeping pass
+    /// refine simulation signatures from distinguishing models.
+    fn model_lit(&self, _lit: Lit) -> Option<bool> {
+        None
+    }
 }
 
 impl CnfSink for Solver {
@@ -53,6 +72,14 @@ impl CnfSink for Solver {
 
     fn add_clause(&mut self, lits: &[Lit]) -> Option<ClauseId> {
         Solver::add_clause(self, lits)
+    }
+
+    fn prove_equiv(&mut self, a: Lit, b: Lit, max_conflicts: u64) -> Option<bool> {
+        Solver::prove_equiv(self, a, b, max_conflicts)
+    }
+
+    fn model_lit(&self, lit: Lit) -> Option<bool> {
+        self.model_value(lit)
     }
 }
 
@@ -129,7 +156,10 @@ impl VecSink {
 
     /// Creates a collecting sink that already owns `vars` variables.
     pub fn with_vars(vars: usize) -> VecSink {
-        VecSink { vars, clauses: Vec::new() }
+        VecSink {
+            vars,
+            clauses: Vec::new(),
+        }
     }
 
     /// Number of variables created.

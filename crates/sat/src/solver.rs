@@ -1,9 +1,12 @@
 //! The CDCL SAT solver.
 //!
 //! A conflict-driven clause-learning solver in the MiniSat lineage:
-//! two-watched-literal propagation, first-UIP conflict analysis with
-//! recursive clause minimization, VSIDS branching with phase saving, Luby
-//! restarts, and activity/LBD-driven learned-clause reduction.
+//! two-watched-literal propagation with **blocker literals** (each watcher
+//! caches one other literal of its clause; when the blocker is already true
+//! the clause is satisfied and propagation skips dereferencing it — the
+//! standard MiniSat-lineage cache-miss avoidance), first-UIP conflict
+//! analysis with recursive clause minimization, VSIDS branching with phase
+//! saving, Luby restarts, and activity/LBD-driven learned-clause reduction.
 //!
 //! Two features are specifically in service of the EMM/BMC stack built on
 //! top (see the `emm-bmc` crate):
@@ -76,12 +79,18 @@ impl Budget {
 
     /// A budget limited to `n` conflicts (deterministic across runs).
     pub fn conflicts(n: u64) -> Budget {
-        Budget { max_conflicts: Some(n), deadline: None }
+        Budget {
+            max_conflicts: Some(n),
+            deadline: None,
+        }
     }
 
     /// A wall-clock budget of `d` from now.
     pub fn wall_clock(d: std::time::Duration) -> Budget {
-        Budget { max_conflicts: None, deadline: Some(Instant::now() + d) }
+        Budget {
+            max_conflicts: None,
+            deadline: Some(Instant::now() + d),
+        }
     }
 }
 
@@ -117,6 +126,12 @@ pub struct SolverStats {
     pub original_clauses: u64,
 }
 
+/// One entry of a watch list. `blocker` is a cached literal of the clause
+/// (distinct from the watched one): if it is already true the clause is
+/// satisfied and [`Solver::propagate`] skips loading the clause from the
+/// arena entirely. Blockers may go stale across backtracking — that is
+/// sound, it only costs the shortcut — but must always be a literal of the
+/// clause (`watcher_blockers_stay_within_their_clause` checks this).
 #[derive(Clone, Copy, Debug)]
 struct Watcher {
     cref: ClauseRef,
@@ -337,7 +352,10 @@ impl Solver {
         };
         sorted.sort_by_key(|&l| std::cmp::Reverse(rank(self, l)));
         let v0 = self.lit_value(sorted[0]);
-        if sorted.len() == 1 || (v0.is_false()) || (self.lit_value(sorted[1]).is_false() && !v0.is_true()) {
+        if sorted.len() == 1
+            || (v0.is_false())
+            || (self.lit_value(sorted[1]).is_false() && !v0.is_true())
+        {
             // Zero or one watchable literal: the clause is conflicting or unit
             // at level 0 (all assignments here are level-0 assignments).
             if v0.is_false() {
@@ -459,6 +477,36 @@ impl Solver {
         self.last_core.as_deref()
     }
 
+    /// Attempts to prove that the clauses added so far entail `a ≡ b`,
+    /// spending at most `max_conflicts` conflicts per implication direction.
+    ///
+    /// Returns `Some(true)` when both `a → b` and `b → a` are entailed,
+    /// `Some(false)` when a model separates the two literals, and `None`
+    /// when the conflict budget ran out before an answer. The caller's
+    /// [`Budget`] is saved and restored around the check, and the model /
+    /// failed-assumption state of a previous solve is clobbered like any
+    /// other `solve_with` call — callers (SAT sweeping) run between
+    /// encoding and solving, where that state is dead.
+    pub fn prove_equiv(&mut self, a: Lit, b: Lit, max_conflicts: u64) -> Option<bool> {
+        if a == b {
+            return Some(true);
+        }
+        let saved = self.budget.clone();
+        self.set_budget(Budget::conflicts(max_conflicts));
+        let forward = self.solve_with(&[a, !b]);
+        let result = match forward {
+            SolveResult::Sat => Some(false),
+            SolveResult::Unknown => None,
+            SolveResult::Unsat => match self.solve_with(&[!a, b]) {
+                SolveResult::Sat => Some(false),
+                SolveResult::Unknown => None,
+                SolveResult::Unsat => Some(true),
+            },
+        };
+        self.set_budget(saved);
+        result
+    }
+
     /// Suggested initial phase for `var` when it is next decided.
     pub fn set_polarity(&mut self, var: Var, positive: bool) {
         self.polarity[var.index()] = positive;
@@ -509,7 +557,7 @@ impl Solver {
                         return SearchOutcome::BudgetExhausted;
                     }
                 }
-                if self.stats.conflicts % 1024 == 0 {
+                if self.stats.conflicts.is_multiple_of(1024) {
                     if let Some(deadline) = self.budget.deadline {
                         if Instant::now() >= deadline {
                             return SearchOutcome::BudgetExhausted;
@@ -635,7 +683,10 @@ impl Solver {
                 }
                 let first = self.db.lits(cref)[0];
                 if first != w.blocker && self.lit_value(first).is_true() {
-                    watchers[j] = Watcher { cref, blocker: first };
+                    watchers[j] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
                     j += 1;
                     continue;
                 }
@@ -645,12 +696,18 @@ impl Solver {
                     let lk = self.db.lits(cref)[k];
                     if !self.lit_value(lk).is_false() {
                         self.db.lits_mut(cref).swap(1, k);
-                        self.watches[(!lk).code()].push(Watcher { cref, blocker: first });
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
                         continue 'watchers;
                     }
                 }
                 // No new watch: clause is unit or conflicting.
-                watchers[j] = Watcher { cref, blocker: first };
+                watchers[j] = Watcher {
+                    cref,
+                    blocker: first,
+                };
                 j += 1;
                 if self.lit_value(first).is_false() {
                     // Conflict: copy remaining watchers and bail.
@@ -689,7 +746,9 @@ impl Solver {
             self.bump_clause(confl);
             if self.tracer.is_some() {
                 let cid = self.db.id(confl).0;
-                self.tracer.as_mut().expect("traced").current.push(cid);
+                if let Some(tr) = &mut self.tracer {
+                    tr.current.push(cid);
+                }
             }
             let lits: Vec<Lit> = self.db.lits(confl).to_vec();
             let start = if p.is_some() { 1 } else { 0 };
@@ -701,7 +760,9 @@ impl Solver {
                         // Resolved away by a level-0 unit; record it.
                         if self.tracer.is_some() {
                             let uid = self.level0_unit_id(v);
-                            self.tracer.as_mut().expect("traced").current.push(uid);
+                            if let Some(tr) = &mut self.tracer {
+                                tr.current.push(uid);
+                            }
                         }
                         continue;
                     }
@@ -741,8 +802,7 @@ impl Solver {
         }
         // Recursive minimization: drop literals implied by the rest.
         let mut kept = vec![learnt[0]];
-        for idx in 1..learnt.len() {
-            let l = learnt[idx];
+        for &l in &learnt[1..] {
             if !self.reason[l.var().index()].is_valid() || !self.lit_redundant(l) {
                 kept.push(l);
             }
@@ -814,10 +874,9 @@ impl Solver {
     }
 
     fn learn(&mut self, learnt: Vec<Lit>) {
-        let id = if self.tracer.is_some() {
-            let fresh = self.next_clause_id;
+        let fresh = self.next_clause_id;
+        let id = if let Some(tr) = &mut self.tracer {
             self.next_clause_id += 1;
-            let tr = self.tracer.as_mut().expect("traced");
             let mut ante = std::mem::take(&mut tr.current);
             ante.sort_unstable();
             ante.dedup();
@@ -904,7 +963,12 @@ impl Solver {
         let mut candidates = std::mem::take(&mut self.learnts);
         // Worst clauses first: high LBD, then low activity.
         candidates.sort_by(|&a, &b| {
-            let key = |c: ClauseRef| (std::cmp::Reverse(self.db.lbd(c)), self.db.activity(c).to_bits());
+            let key = |c: ClauseRef| {
+                (
+                    std::cmp::Reverse(self.db.lbd(c)),
+                    self.db.activity(c).to_bits(),
+                )
+            };
             key(a).cmp(&key(b))
         });
         let keep_from = candidates.len() / 2;
@@ -1164,8 +1228,8 @@ mod tests {
         }
         s.add_clause(&[v[0]]);
         assert_eq!(s.solve(), SolveResult::Sat);
-        for i in 0..5 {
-            assert_eq!(s.model_value(v[i]), Some(true), "v{i}");
+        for (i, &l) in v.iter().enumerate() {
+            assert_eq!(s.model_value(l), Some(true), "v{i}");
         }
     }
 
@@ -1194,10 +1258,13 @@ mod tests {
 
     /// Pigeonhole principle PHP(n+1, n) is unsatisfiable and requires real
     /// conflict-driven search.
+    #[allow(clippy::needless_range_loop)]
     fn pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) {
         let mut p = vec![vec![]; pigeons];
         for row in p.iter_mut() {
-            *row = (0..holes).map(|_| s.new_var().positive()).collect::<Vec<_>>();
+            *row = (0..holes)
+                .map(|_| s.new_var().positive())
+                .collect::<Vec<_>>();
         }
         for row in &p {
             s.add_clause(row);
@@ -1236,7 +1303,10 @@ mod tests {
         assert_eq!(s.solve_with(&[v[0], v[1], v[2]]), SolveResult::Unsat);
         let failed = s.failed_assumptions().to_vec();
         assert!(failed.contains(&v[0]) || failed.contains(&v[1]));
-        assert!(!failed.contains(&v[2]), "irrelevant assumption in failed set");
+        assert!(
+            !failed.contains(&v[2]),
+            "irrelevant assumption in failed set"
+        );
         // Solver remains usable.
         assert_eq!(s.solve_with(&[v[0], v[2]]), SolveResult::Sat);
         assert_eq!(s.model_value(v[0]), Some(true));
@@ -1298,6 +1368,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn core_tracing_pigeonhole() {
         let mut s = Solver::with_config(SolverConfig {
             proof_tracing: true,
@@ -1314,7 +1385,7 @@ mod tests {
             // Rebuild PHP(4,3) clause list in the same order to map ids.
             let mut probe = Solver::new();
             let mut id_to_clause: HashMap<u32, Vec<Lit>> = HashMap::new();
-            let mut add = |probe: &mut Solver, lits: Vec<Lit>, map: &mut HashMap<u32, Vec<Lit>>| {
+            let add = |probe: &mut Solver, lits: Vec<Lit>, map: &mut HashMap<u32, Vec<Lit>>| {
                 if let Some(id) = probe.add_clause(&lits) {
                     map.insert(id.0, lits);
                 }
@@ -1389,5 +1460,65 @@ mod tests {
     fn solver_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<Solver>();
+    }
+
+    /// Audits the two-watched-literal invariants after heavy search: every
+    /// watcher references a live clause, watches one of its first two
+    /// literals, and caches a blocker that is a *different* literal of the
+    /// same clause. Learned-clause reduction and arena GC both rewrite the
+    /// watch lists, so drive enough conflicts to trigger them first.
+    #[test]
+    fn watcher_blockers_stay_within_their_clause() {
+        let mut s = Solver::with_config(SolverConfig {
+            first_reduce: 50,
+            reduce_increment: 50,
+            ..SolverConfig::default()
+        });
+        pigeonhole(&mut s, 8, 7);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats.deleted_clauses > 0, "reduction must have run");
+        let mut checked = 0usize;
+        for code in 0..s.watches.len() {
+            let p = Lit::from_code(code);
+            for w in &s.watches[code] {
+                let lits = s.db.lits(w.cref);
+                assert!(
+                    lits[0] == !p || lits[1] == !p,
+                    "watched literal {:?} not in the first two of {:?}",
+                    !p,
+                    lits
+                );
+                assert!(
+                    lits.contains(&w.blocker),
+                    "blocker {:?} is not a literal of {:?}",
+                    w.blocker,
+                    lits
+                );
+                assert_ne!(
+                    w.blocker, !p,
+                    "blocker must differ from the watched literal"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no watchers inspected");
+    }
+
+    /// The blocker fast path must never change answers: solve the same
+    /// instances with propagation exercised through repeated incremental
+    /// calls under assumptions.
+    #[test]
+    fn propagation_answers_stable_across_incremental_calls() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5, 5);
+        let extra: Vec<Lit> = (0..4).map(|_| s.new_var().positive()).collect();
+        s.add_clause(&[extra[0], extra[1]]);
+        s.add_clause(&[!extra[1], extra[2]]);
+        for round in 0..20 {
+            let a = extra[round % 4];
+            let r1 = s.solve_with(&[a]);
+            let r2 = s.solve_with(&[a]);
+            assert_eq!(r1, r2, "round {round}: nondeterministic answer under {a:?}");
+        }
     }
 }

@@ -50,7 +50,10 @@ fn random_cnf_matches_reference() {
         let expected = reference.solve().expect("small instance");
         match got {
             SolveResult::Sat => {
-                assert!(expected, "round {round}: CDCL=SAT, reference=UNSAT\n{cnf:?}");
+                assert!(
+                    expected,
+                    "round {round}: CDCL=SAT, reference=UNSAT\n{cnf:?}"
+                );
                 n_sat += 1;
                 // The model must satisfy every clause.
                 for c in &cnf {
@@ -61,7 +64,10 @@ fn random_cnf_matches_reference() {
                 }
             }
             SolveResult::Unsat => {
-                assert!(!expected, "round {round}: CDCL=UNSAT, reference=SAT\n{cnf:?}");
+                assert!(
+                    !expected,
+                    "round {round}: CDCL=UNSAT, reference=SAT\n{cnf:?}"
+                );
                 n_unsat += 1;
             }
             SolveResult::Unknown => panic!("round {round}: unexpected Unknown"),
@@ -80,7 +86,12 @@ fn random_assumptions_match_reference() {
         let cnf = random_cnf(&mut rng, n_vars, n_clauses, 3);
         let n_assumptions = rng.random_range(0..=n_vars.min(4));
         let assumptions: Vec<Lit> = (0..n_assumptions)
-            .map(|_| Lit::new(Var::from_index(rng.random_range(0..n_vars)), rng.random_bool(0.5)))
+            .map(|_| {
+                Lit::new(
+                    Var::from_index(rng.random_range(0..n_vars)),
+                    rng.random_bool(0.5),
+                )
+            })
             .collect();
 
         let mut cdcl = Solver::new();
@@ -100,17 +111,30 @@ fn random_assumptions_match_reference() {
         let expected = reference.solve().expect("small instance");
         match got {
             SolveResult::Sat => {
-                assert!(expected, "round {round}: CDCL=SAT under {assumptions:?}\n{cnf:?}");
+                assert!(
+                    expected,
+                    "round {round}: CDCL=SAT under {assumptions:?}\n{cnf:?}"
+                );
                 for &a in &assumptions {
-                    assert_eq!(cdcl.model_value(a), Some(true), "assumption {a:?} not honored");
+                    assert_eq!(
+                        cdcl.model_value(a),
+                        Some(true),
+                        "assumption {a:?} not honored"
+                    );
                 }
             }
             SolveResult::Unsat => {
-                assert!(!expected, "round {round}: CDCL=UNSAT under {assumptions:?}\n{cnf:?}");
+                assert!(
+                    !expected,
+                    "round {round}: CDCL=UNSAT under {assumptions:?}\n{cnf:?}"
+                );
                 // The failed assumption set must itself be sufficient.
                 let failed = cdcl.failed_assumptions().to_vec();
                 for f in &failed {
-                    assert!(assumptions.contains(f), "failed lit {f:?} not an assumption");
+                    assert!(
+                        assumptions.contains(f),
+                        "failed lit {f:?} not an assumption"
+                    );
                 }
                 let mut replay = NaiveSolver::new(n_vars);
                 for c in &cnf {
@@ -163,9 +187,16 @@ fn random_unsat_cores_are_sufficient() {
                 }
             }
         }
-        assert_eq!(replay.solve(), Some(false), "core is not sufficient\n{cnf:?}\n{core:?}");
+        assert_eq!(
+            replay.solve(),
+            Some(false),
+            "core is not sufficient\n{cnf:?}\n{core:?}"
+        );
     }
-    assert!(n_checked > 30, "too few UNSAT instances exercised: {n_checked}");
+    assert!(
+        n_checked > 30,
+        "too few UNSAT instances exercised: {n_checked}"
+    );
 }
 
 #[test]
@@ -197,6 +228,7 @@ fn incremental_solving_matches_batch() {
 }
 
 #[test]
+#[allow(clippy::needless_range_loop)]
 fn budget_unknown_then_resolvable() {
     // A hard instance aborted by budget can be finished with more budget.
     let mut s = Solver::new();

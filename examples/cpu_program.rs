@@ -14,13 +14,29 @@ use emm_verif::bmc::{BmcEngine, BmcOptions, BmcVerdict};
 use emm_verif::designs::cpu::{emulate, CpuConfig, Instr, Op, TinyCpu};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = CpuConfig { imem_addr_width: 3, dmem_addr_width: 2, data_width: 4 };
+    let config = CpuConfig {
+        imem_addr_width: 3,
+        dmem_addr_width: 2,
+        data_width: 4,
+    };
     // acc = 5; dmem[1] = acc; acc += dmem[1]  (acc = 10 = 0xA); halt.
     let program = vec![
-        Instr { op: Op::Ldi, arg: 5 },
-        Instr { op: Op::Store, arg: 1 },
-        Instr { op: Op::Add, arg: 1 },
-        Instr { op: Op::Halt, arg: 0 },
+        Instr {
+            op: Op::Ldi,
+            arg: 5,
+        },
+        Instr {
+            op: Op::Store,
+            arg: 1,
+        },
+        Instr {
+            op: Op::Add,
+            arg: 1,
+        },
+        Instr {
+            op: Op::Halt,
+            arg: 0,
+        },
     ];
     let expected = emulate(&config, &program, &[], 100);
     println!(
@@ -34,8 +50,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Prove the result property: whenever the CPU halts, acc == expected.
     let prop = cpu.result_correct.expect("concrete program").0 as usize;
     let bound = cpu.load_cycles + expected.cycles + 24;
-    let mut engine =
-        BmcEngine::new(&cpu.design, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut engine = BmcEngine::new(
+        &cpu.design,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     match engine.check(prop, bound)?.verdict {
         BmcVerdict::Proof { kind, depth } => {
             println!("result_correct proved by {kind:?} at depth {depth}");
@@ -45,8 +66,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Any-program mode: halt is sticky for every program.
     let any = TinyCpu::any_program(config);
-    let mut engine =
-        BmcEngine::new(&any.design, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut engine = BmcEngine::new(
+        &any.design,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     match engine.check(any.halt_sticky.0 as usize, 32)?.verdict {
         BmcVerdict::Proof { kind, depth } => {
             println!("halt_sticky proved over ALL programs by {kind:?} at depth {depth}");

@@ -12,8 +12,11 @@ use emm_verif::designs::image_filter::{ImageFilter, ImageFilterConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let paper = std::env::args().any(|a| a == "--paper");
-    let config =
-        if paper { ImageFilterConfig::paper() } else { ImageFilterConfig::small() };
+    let config = if paper {
+        ImageFilterConfig::paper()
+    } else {
+        ImageFilterConfig::small()
+    };
     let filter = ImageFilter::new(config);
     println!("image filter: {}", filter.design.stats());
 
@@ -43,8 +46,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Induction proofs for the invariant properties (BMC-3).
     let started = std::time::Instant::now();
     let mut proved = 0;
-    let mut engine =
-        BmcEngine::new(&filter.design, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut engine = BmcEngine::new(
+        &filter.design,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     for &p in &filter.unreachable {
         let run = engine.check(p, 24)?;
         match run.verdict {

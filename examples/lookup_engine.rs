@@ -54,8 +54,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- Step 3: the invariant proof by backward induction -------------
-    let mut engine =
-        BmcEngine::new(d, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut engine = BmcEngine::new(
+        d,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     let run = engine.check(engine_design.invariant, 10)?;
     match run.verdict {
         BmcVerdict::Proof { kind, depth } => {
@@ -66,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- Step 4: invariant as RD constraint + abstracted memory --------
-    let constrained = Industry2::new(Industry2Config { assume_rd_zero: true, ..config });
+    let constrained = Industry2::new(Industry2Config {
+        assume_rd_zero: true,
+        ..config
+    });
     let cd = &constrained.design;
     let no_memory = AbstractionSpec {
         kept_latches: vec![true; cd.num_latches()],

@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let aw: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
     let dw: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(6);
 
-    let qs = QuickSort::new(QuickSortConfig { n, addr_width: aw, data_width: dw, bug: Default::default() });
+    let qs = QuickSort::new(QuickSortConfig {
+        n,
+        addr_width: aw,
+        data_width: dw,
+        bug: Default::default(),
+    });
     println!("quicksort n={n}: {}", qs.design.stats());
     println!(
         "array: AW={} DW={}  stack: AW={} DW={}",
@@ -28,52 +33,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- BMC-3 forward-induction proofs (Table 1's EMM columns) --------
     for (name, prop) in [("P1", qs.p1.0 as usize), ("P2", qs.p2.0 as usize)] {
-        let mut engine =
-            BmcEngine::new(&qs.design, BmcOptions { proofs: true, ..BmcOptions::default() });
+        let mut engine = BmcEngine::new(
+            &qs.design,
+            BmcOptions {
+                proofs: true,
+                ..BmcOptions::default()
+            },
+        );
         let run = engine.check(prop, qs.cycle_bound())?;
         match run.verdict {
             BmcVerdict::Proof { kind, depth } => {
-                println!("{name}: proved by {kind:?} at D={depth} in {:?}", run.elapsed);
+                println!(
+                    "{name}: proved by {kind:?} at D={depth} in {:?}",
+                    run.elapsed
+                );
             }
             other => println!("{name}: unexpected verdict {other:?}"),
         }
     }
 
     // --- PBA on P2 (Table 2): the array module should drop out ---------
+    // Stability-based discovery is a heuristic: the stable reason set may
+    // be insufficient for the full-depth proof, so use the refinement loop
+    // (discover, prove, widen on a spurious counterexample) — the same
+    // flow the `table2` harness runs.
     let config = pba::PbaConfig {
-        stability_depth: 6,
+        stability_depth: 10,
         max_depth: qs.cycle_bound(),
         ..pba::PbaConfig::default()
     };
-    let disc = pba::discover(&qs.design, qs.p2.0 as usize, &config)?;
+    let started = std::time::Instant::now();
+    let result =
+        pba::discover_and_prove(&qs.design, qs.p2.0 as usize, &config, qs.cycle_bound(), 4)?;
     println!(
-        "PBA on P2: kept {} of {} latches, {} of 2 memories (stable at {:?}, {:?})",
-        disc.abstraction.num_kept_latches(),
+        "PBA on P2: kept {} of {} latches, {} of 2 memories ({} refinement rounds, {:?})",
+        result.abstraction.num_kept_latches(),
         qs.design.num_latches(),
-        disc.abstraction.num_kept_memories(),
-        disc.stable_at,
-        disc.elapsed,
+        result.abstraction.num_kept_memories(),
+        result.rounds,
+        started.elapsed(),
     );
-    let array_kept = disc.abstraction.kept_memories[qs.array.0 as usize];
+    let array_kept = result.abstraction.kept_memories[qs.array.0 as usize];
     println!(
         "array memory {}",
-        if array_kept { "KEPT (unexpected)" } else { "abstracted away, as in Table 2" }
+        if array_kept {
+            "KEPT (unexpected)"
+        } else {
+            "abstracted away, as in Table 2"
+        }
     );
-
-    // Re-prove P2 on the reduced model.
-    let mut engine = BmcEngine::new(
-        &qs.design,
-        BmcOptions {
-            proofs: true,
-            abstraction: Some(disc.abstraction.clone()),
-            validate_traces: false,
-            ..BmcOptions::default()
-        },
-    );
-    let run = engine.check(qs.p2.0 as usize, qs.cycle_bound())?;
-    match run.verdict {
+    match result.verdict {
         BmcVerdict::Proof { kind, depth } => {
-            println!("P2 on reduced model: proved by {kind:?} at D={depth} in {:?}", run.elapsed);
+            println!("P2 on reduced model: proved by {kind:?} at D={depth}");
         }
         other => println!("P2 on reduced model: unexpected verdict {other:?}"),
     }

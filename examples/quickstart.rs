@@ -74,7 +74,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- Proof by induction (the paper's BMC-3, Fig. 3) ----------------
-    let mut engine = BmcEngine::new(&d, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut engine = BmcEngine::new(
+        &d,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     let run = engine.check(1, 16)?;
     match &run.verdict {
         BmcVerdict::Proof { kind, depth } => {

@@ -12,11 +12,19 @@ use emm_verif::designs::quicksort::{QuickSort, QuickSortConfig};
 fn quicksort_proofs_scale_with_n() {
     let mut diameters = Vec::new();
     for n in [2usize, 3] {
-        let qs = QuickSort::new(QuickSortConfig { n, addr_width: 3, data_width: 3, bug: Default::default() });
+        let qs = QuickSort::new(QuickSortConfig {
+            n,
+            addr_width: 3,
+            data_width: 3,
+            bug: Default::default(),
+        });
         for prop in [qs.p1.0 as usize, qs.p2.0 as usize] {
             let mut engine = BmcEngine::new(
                 &qs.design,
-                BmcOptions { proofs: true, ..BmcOptions::default() },
+                BmcOptions {
+                    proofs: true,
+                    ..BmcOptions::default()
+                },
             );
             let run = engine.check(prop, qs.cycle_bound()).expect("run");
             match run.verdict {
@@ -43,7 +51,12 @@ fn quicksort_p1_holds_only_for_correct_comparison() {
     // check the dual: P1's bad latch is reachable in no run; asserting the
     // *negation* (sortedness observed) must produce a witness, confirming
     // the property machinery is not vacuous.
-    let qs = QuickSort::new(QuickSortConfig { n: 3, addr_width: 3, data_width: 3, bug: Default::default() });
+    let qs = QuickSort::new(QuickSortConfig {
+        n: 3,
+        addr_width: 3,
+        data_width: 3,
+        bug: Default::default(),
+    });
     // Property: the checker reaches HALT (vacuity check: executions finish).
     let mut d = qs.design.clone();
     let halted = qs.halted;
@@ -52,7 +65,9 @@ fn quicksort_p1_holds_only_for_correct_comparison() {
     let run = engine.check(2, qs.cycle_bound()).expect("run");
     match run.verdict {
         BmcVerdict::Counterexample(trace) => {
-            trace.validate(&d).expect("the halt witness must re-simulate");
+            trace
+                .validate(&d)
+                .expect("the halt witness must re-simulate");
         }
         other => panic!("expected a halt witness, got {other:?}"),
     }
@@ -62,7 +77,12 @@ fn quicksort_p1_holds_only_for_correct_comparison() {
 /// and the reduced model still proves P2.
 #[test]
 fn quicksort_pba_drops_array_for_p2() {
-    let qs = QuickSort::new(QuickSortConfig { n: 3, addr_width: 3, data_width: 3, bug: Default::default() });
+    let qs = QuickSort::new(QuickSortConfig {
+        n: 3,
+        addr_width: 3,
+        data_width: 3,
+        bug: Default::default(),
+    });
     // Stability depth 10, as the paper uses for Table 2; the
     // discover-and-prove loop handles the case where the proof needs
     // reasons from deeper than the discovery window.
@@ -105,7 +125,9 @@ fn image_filter_property_bank() {
         let run = engine.check(p, config.max_witness_depth + 4).expect("run");
         match run.verdict {
             BmcVerdict::Counterexample(trace) => {
-                trace.validate(&filter.design).expect("witness re-simulates");
+                trace
+                    .validate(&filter.design)
+                    .expect("witness re-simulates");
                 max_depth = max_depth.max(trace.depth());
             }
             other => panic!("property {p}: expected witness, got {other:?}"),
@@ -115,7 +137,10 @@ fn image_filter_property_bank() {
 
     let mut engine = BmcEngine::new(
         &filter.design,
-        BmcOptions { proofs: true, ..BmcOptions::default() },
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
     );
     for &p in &filter.unreachable {
         let run = engine.check(p, 24).expect("run");
@@ -150,7 +175,11 @@ fn industry2_full_workflow() {
     let run = engine.check(lookup.lookups[0], 20).expect("run");
     match run.verdict {
         BmcVerdict::Counterexample(t) => {
-            assert_eq!(t.depth() - 1, config.pipeline_depth, "paper: spurious CE at depth 7");
+            assert_eq!(
+                t.depth() - 1,
+                config.pipeline_depth,
+                "paper: spurious CE at depth 7"
+            );
         }
         other => panic!("expected spurious CE, got {other:?}"),
     }
@@ -167,7 +196,13 @@ fn industry2_full_workflow() {
     }
 
     // 3. Invariant proved by backward induction at small depth.
-    let mut engine = BmcEngine::new(d, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut engine = BmcEngine::new(
+        d,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     let run = engine.check(lookup.invariant, 10).expect("run");
     match run.verdict {
         BmcVerdict::Proof { kind, depth } => {
@@ -178,7 +213,10 @@ fn industry2_full_workflow() {
     }
 
     // 4. Invariant applied to RD + memory abstracted: all properties proved.
-    let constrained = Industry2::new(Industry2Config { assume_rd_zero: true, ..config });
+    let constrained = Industry2::new(Industry2Config {
+        assume_rd_zero: true,
+        ..config
+    });
     let cd = &constrained.design;
     let no_memory = AbstractionSpec {
         kept_latches: vec![true; cd.num_latches()],
@@ -195,7 +233,11 @@ fn industry2_full_workflow() {
     );
     for &p in &constrained.lookups {
         let run = engine.check(p, 25).expect("run");
-        assert!(run.verdict.is_proof(), "lookup property {p}: {:?}", run.verdict);
+        assert!(
+            run.verdict.is_proof(),
+            "lookup property {p}: {:?}",
+            run.verdict
+        );
     }
 }
 
@@ -205,12 +247,28 @@ fn industry2_full_workflow() {
 #[test]
 fn cpu_program_correctness_and_any_program_invariant() {
     use emm_verif::designs::cpu::{emulate, CpuConfig, Instr, Op, TinyCpu};
-    let config = CpuConfig { imem_addr_width: 3, dmem_addr_width: 2, data_width: 3 };
+    let config = CpuConfig {
+        imem_addr_width: 3,
+        dmem_addr_width: 2,
+        data_width: 3,
+    };
     let program = vec![
-        Instr { op: Op::Ldi, arg: 3 },
-        Instr { op: Op::Store, arg: 0 },
-        Instr { op: Op::Add, arg: 0 },
-        Instr { op: Op::Halt, arg: 0 },
+        Instr {
+            op: Op::Ldi,
+            arg: 3,
+        },
+        Instr {
+            op: Op::Store,
+            arg: 0,
+        },
+        Instr {
+            op: Op::Add,
+            arg: 0,
+        },
+        Instr {
+            op: Op::Halt,
+            arg: 0,
+        },
     ];
     let expected = emulate(&config, &program, &[], 50);
     assert!(expected.halted);
@@ -218,16 +276,27 @@ fn cpu_program_correctness_and_any_program_invariant() {
     let prop = cpu.result_correct.expect("concrete").0 as usize;
     let mut engine = BmcEngine::new(
         &cpu.design,
-        BmcOptions { proofs: true, ..BmcOptions::default() },
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
     );
-    let run = engine.check(prop, cpu.load_cycles + expected.cycles + 20).expect("run");
-    assert!(run.verdict.is_proof(), "program result proof: {:?}", run.verdict);
+    let run = engine
+        .check(prop, cpu.load_cycles + expected.cycles + 20)
+        .expect("run");
+    assert!(
+        run.verdict.is_proof(),
+        "program result proof: {:?}",
+        run.verdict
+    );
 
     // A wrong expectation must be refuted with a validated witness.
     let wrong = TinyCpu::with_program(config, &program, expected.acc ^ 1);
     let prop = wrong.result_correct.expect("concrete").0 as usize;
     let mut engine = BmcEngine::new(&wrong.design, BmcOptions::default());
-    let run = engine.check(prop, wrong.load_cycles + expected.cycles + 4).expect("run");
+    let run = engine
+        .check(prop, wrong.load_cycles + expected.cycles + 4)
+        .expect("run");
     match run.verdict {
         BmcVerdict::Counterexample(trace) => {
             trace.validate(&wrong.design).expect("witness replays");
@@ -239,10 +308,17 @@ fn cpu_program_correctness_and_any_program_invariant() {
     let any = TinyCpu::any_program(config);
     let mut engine = BmcEngine::new(
         &any.design,
-        BmcOptions { proofs: true, ..BmcOptions::default() },
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
     );
     let run = engine.check(any.halt_sticky.0 as usize, 20).expect("run");
-    assert!(run.verdict.is_proof(), "halt_sticky over all programs: {:?}", run.verdict);
+    assert!(
+        run.verdict.is_proof(),
+        "halt_sticky over all programs: {:?}",
+        run.verdict
+    );
 }
 
 /// The falsification side of Table 1's story: injected defects produce
@@ -259,7 +335,9 @@ fn quicksort_injected_bugs_are_found() {
         data_width: 3,
     });
     let mut engine = BmcEngine::new(&qs.design, BmcOptions::default());
-    let run = engine.check(qs.p1.0 as usize, qs.cycle_bound()).expect("run");
+    let run = engine
+        .check(qs.p1.0 as usize, qs.cycle_bound())
+        .expect("run");
     match run.verdict {
         BmcVerdict::Counterexample(trace) => {
             trace.validate(&qs.design).expect("P1 bug witness replays");
@@ -275,10 +353,14 @@ fn quicksort_injected_bugs_are_found() {
         data_width: 3,
     });
     let mut engine = BmcEngine::new(&qs.design, BmcOptions::default());
-    let run = engine.check(qs.p2.0 as usize, qs.cycle_bound()).expect("run");
+    let run = engine
+        .check(qs.p2.0 as usize, qs.cycle_bound())
+        .expect("run");
     match run.verdict {
         BmcVerdict::Counterexample(trace) => {
-            trace.validate(&qs.design).expect("P2 underflow witness replays");
+            trace
+                .validate(&qs.design)
+                .expect("P2 underflow witness replays");
             assert!(
                 !trace.memory_seeds[qs.stack.0 as usize].is_empty(),
                 "the witness must pin garbage initial stack contents"

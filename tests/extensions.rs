@@ -53,9 +53,19 @@ fn arbitrated_regfile_is_provably_race_free() {
     assert_eq!(checks.len(), 1);
     d.check().expect("valid");
     let prop = checks[0].1 .0 as usize;
-    let mut engine = BmcEngine::new(&d, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut engine = BmcEngine::new(
+        &d,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     let run = engine.check(prop, 10).expect("run");
-    assert!(run.verdict.is_proof(), "race freedom must be proved: {:?}", run.verdict);
+    assert!(
+        run.verdict.is_proof(),
+        "race freedom must be proved: {:?}",
+        run.verdict
+    );
 }
 
 /// COI as a static abstraction: quicksort P2's cone excludes nothing by
@@ -96,7 +106,11 @@ fn coi_abstraction_supports_proofs() {
         },
     );
     let run = engine.check(0, 10).expect("run");
-    assert!(run.verdict.is_proof(), "COI-reduced proof: {:?}", run.verdict);
+    assert!(
+        run.verdict.is_proof(),
+        "COI-reduced proof: {:?}",
+        run.verdict
+    );
 }
 
 /// COI on quicksort: P2's structural cone still contains both memories
@@ -118,23 +132,41 @@ fn coi_is_weaker_than_pba_on_quicksort() {
 /// identical BMC verdicts.
 #[test]
 fn emn_roundtrip_preserves_verification_results() {
-    let qs = QuickSort::new(QuickSortConfig { n: 2, addr_width: 3, data_width: 3, bug: Default::default() });
+    let qs = QuickSort::new(QuickSortConfig {
+        n: 2,
+        addr_width: 3,
+        data_width: 3,
+        bug: Default::default(),
+    });
     let text = write_emn(&qs.design);
     let back = parse_emn(&text).expect("parse");
     assert_eq!(back.aig.num_nodes(), qs.design.aig.num_nodes());
     assert_eq!(back.num_latches(), qs.design.num_latches());
 
-    let mut original =
-        BmcEngine::new(&qs.design, BmcOptions { proofs: true, ..BmcOptions::default() });
-    let run_a = original.check(qs.p1.0 as usize, qs.cycle_bound()).expect("a");
-    let mut reparsed =
-        BmcEngine::new(&back, BmcOptions { proofs: true, ..BmcOptions::default() });
-    let run_b = reparsed.check(qs.p1.0 as usize, qs.cycle_bound()).expect("b");
+    let mut original = BmcEngine::new(
+        &qs.design,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
+    let run_a = original
+        .check(qs.p1.0 as usize, qs.cycle_bound())
+        .expect("a");
+    let mut reparsed = BmcEngine::new(
+        &back,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
+    let run_b = reparsed
+        .check(qs.p1.0 as usize, qs.cycle_bound())
+        .expect("b");
     match (&run_a.verdict, &run_b.verdict) {
-        (
-            BmcVerdict::Proof { depth: da, .. },
-            BmcVerdict::Proof { depth: db, .. },
-        ) => assert_eq!(da, db, "identical proof depth after round-trip"),
+        (BmcVerdict::Proof { depth: da, .. }, BmcVerdict::Proof { depth: db, .. }) => {
+            assert_eq!(da, db, "identical proof depth after round-trip")
+        }
         (x, y) => panic!("verdicts diverged: {x:?} vs {y:?}"),
     }
 }

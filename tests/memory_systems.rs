@@ -12,10 +12,16 @@ use emm_verif::designs::regfile::{RegFile, RegFileConfig};
 /// FIFO safety properties are provable with EMM.
 #[test]
 fn fifo_properties_hold() {
-    let fifo = Fifo::new(FifoConfig { addr_width: 2, data_width: 2 });
+    let fifo = Fifo::new(FifoConfig {
+        addr_width: 2,
+        data_width: 2,
+    });
     let mut engine = BmcEngine::new(
         &fifo.design,
-        BmcOptions { proofs: true, ..BmcOptions::default() },
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
     );
     let run = engine.check(fifo.no_overflow.0 as usize, 30).expect("run");
     assert!(run.verdict.is_proof(), "no_overflow: {:?}", run.verdict);
@@ -35,13 +41,25 @@ fn fifo_properties_hold() {
 /// provable.
 #[test]
 fn lifo_properties_hold() {
-    let lifo = Lifo::new(LifoConfig { addr_width: 2, data_width: 2 });
+    let lifo = Lifo::new(LifoConfig {
+        addr_width: 2,
+        data_width: 2,
+    });
     let mut engine = BmcEngine::new(&lifo.design, BmcOptions::default());
-    let run = engine.check(lifo.push_pop_identity.0 as usize, 8).expect("run");
-    assert!(matches!(run.verdict, BmcVerdict::BoundReached), "{:?}", run.verdict);
+    let run = engine
+        .check(lifo.push_pop_identity.0 as usize, 8)
+        .expect("run");
+    assert!(
+        matches!(run.verdict, BmcVerdict::BoundReached),
+        "{:?}",
+        run.verdict
+    );
     let mut engine = BmcEngine::new(
         &lifo.design,
-        BmcOptions { proofs: true, ..BmcOptions::default() },
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
     );
     let run = engine.check(lifo.no_overflow.0 as usize, 30).expect("run");
     assert!(run.verdict.is_proof(), "no_overflow: {:?}", run.verdict);
@@ -60,7 +78,9 @@ fn regfile_shadow_consistency_multiport() {
             watched: 1,
         });
         let mut engine = BmcEngine::new(&rf.design, BmcOptions::default());
-        let run = engine.check(rf.shadow_consistency.0 as usize, 6).expect("run");
+        let run = engine
+            .check(rf.shadow_consistency.0 as usize, 6)
+            .expect("run");
         assert!(
             matches!(run.verdict, BmcVerdict::BoundReached),
             "R={r} W={w}: {:?}",
@@ -114,14 +134,23 @@ fn regfile_detects_injected_bug() {
 /// proof — and *does* have one when eq. (6) is disabled.
 #[test]
 fn memcpy_needs_init_consistency() {
-    let engine_design = Memcpy::new(MemcpyConfig { len: 2, addr_width: 2, data_width: 2 });
+    let engine_design = Memcpy::new(MemcpyConfig {
+        len: 2,
+        addr_width: 2,
+        data_width: 2,
+    });
     let bound = engine_design.cycle_bound();
     // Proof with eq. (6).
     let mut engine = BmcEngine::new(
         &engine_design.design,
-        BmcOptions { proofs: true, ..BmcOptions::default() },
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
     );
-    let run = engine.check(engine_design.copy_correct.0 as usize, bound).expect("run");
+    let run = engine
+        .check(engine_design.copy_correct.0 as usize, bound)
+        .expect("run");
     assert!(run.verdict.is_proof(), "copy_correct: {:?}", run.verdict);
     // Spurious CE without eq. (6) — the paper's Section 4.2 caveat.
     let mut engine = BmcEngine::new(
@@ -135,7 +164,9 @@ fn memcpy_needs_init_consistency() {
             ..BmcOptions::default()
         },
     );
-    let run = engine.check(engine_design.copy_correct.0 as usize, bound).expect("run");
+    let run = engine
+        .check(engine_design.copy_correct.0 as usize, bound)
+        .expect("run");
     assert!(
         run.verdict.is_counterexample(),
         "without eq. (6) the copy check must fail: {:?}",
@@ -147,22 +178,38 @@ fn memcpy_needs_init_consistency() {
 /// engine agrees with both on the explicit model.
 #[test]
 fn three_engines_agree_on_fifo() {
-    let fifo = Fifo::new(FifoConfig { addr_width: 2, data_width: 1 });
+    let fifo = Fifo::new(FifoConfig {
+        addr_width: 2,
+        data_width: 1,
+    });
     let prop = fifo.no_overflow.0 as usize;
 
     // EMM proof.
     let mut emm = BmcEngine::new(
         &fifo.design,
-        BmcOptions { proofs: true, ..BmcOptions::default() },
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
     );
     let emm_run = emm.check(prop, 40).expect("emm");
     assert!(emm_run.verdict.is_proof(), "EMM: {:?}", emm_run.verdict);
 
     // Explicit-model proof.
     let (expl, _) = explicit_model(&fifo.design);
-    let mut exp = BmcEngine::new(&expl, BmcOptions { proofs: true, ..BmcOptions::default() });
+    let mut exp = BmcEngine::new(
+        &expl,
+        BmcOptions {
+            proofs: true,
+            ..BmcOptions::default()
+        },
+    );
     let exp_run = exp.check(prop, 60).expect("explicit");
-    assert!(exp_run.verdict.is_proof(), "explicit: {:?}", exp_run.verdict);
+    assert!(
+        exp_run.verdict.is_proof(),
+        "explicit: {:?}",
+        exp_run.verdict
+    );
 
     // BDD reachability on the explicit model.
     let mut mc = SymbolicChecker::new(&expl, SymbolicOptions::default()).expect("bdd build");
@@ -176,7 +223,10 @@ fn three_engines_agree_on_fifo() {
 /// gap the whole paper is about.
 #[test]
 fn explicit_blowup_is_real() {
-    let fifo = Fifo::new(FifoConfig { addr_width: 4, data_width: 8 });
+    let fifo = Fifo::new(FifoConfig {
+        addr_width: 4,
+        data_width: 8,
+    });
     let (expl, _) = explicit_model(&fifo.design);
     let original = fifo.design.stats();
     let expanded = expl.stats();
