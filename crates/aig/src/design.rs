@@ -459,6 +459,62 @@ impl Design {
         Ok(())
     }
 
+    /// Replaces the combinational core with `aig`, remapping every stored
+    /// edge (latch outputs and next-state functions, port buses, property
+    /// and constraint bits, input registry, name table) through `map`.
+    ///
+    /// This is the commit step of structural rewriting passes like
+    /// [`fraig`](crate::fraig): the pass builds a new graph plus an
+    /// old-edge → new-edge function, and this hook atomically swaps it in.
+    /// `map` must preserve the input discipline — every input node of the
+    /// old graph maps to the same-index input node of `aig` (so
+    /// [`Design::input_kind`] bookkeeping stays valid), which is checked
+    /// in debug builds.
+    pub(crate) fn replace_aig(&mut self, aig: Aig, map: &mut dyn FnMut(Bit) -> Bit) {
+        for latch in &mut self.latches {
+            latch.output = map(latch.output);
+            latch.next = latch.next.map(&mut *map);
+        }
+        for mem in &mut self.memories {
+            for rp in &mut mem.read_ports {
+                for b in &mut rp.addr.0 {
+                    *b = map(*b);
+                }
+                rp.en = map(rp.en);
+                for b in &mut rp.data.0 {
+                    *b = map(*b);
+                }
+            }
+            for wp in &mut mem.write_ports {
+                for b in &mut wp.addr.0 {
+                    *b = map(*b);
+                }
+                wp.en = map(wp.en);
+                for b in &mut wp.data.0 {
+                    *b = map(*b);
+                }
+            }
+        }
+        for p in &mut self.properties {
+            p.bad = map(p.bad);
+        }
+        for c in &mut self.constraints {
+            *c = map(*c);
+        }
+        for (i, b) in self.input_bits.iter_mut().enumerate() {
+            *b = map(*b);
+            debug_assert_eq!(
+                aig.input_index(*b),
+                Some(i),
+                "rewrite must preserve input indices"
+            );
+        }
+        for b in self.names.values_mut() {
+            *b = map(*b);
+        }
+        self.aig = aig;
+    }
+
     /// Summary statistics in the paper's reporting style.
     pub fn stats(&self) -> DesignStats {
         DesignStats {

@@ -1,0 +1,755 @@
+//! FRAIG — functionally reduced AIGs by simulate / refine / prove.
+//!
+//! The simplifying CNF sink (`emm-sat`) can only intern gates the unroller
+//! already chose to emit, and every sweep refutation there costs a solver
+//! model *during encoding*. This pass moves sweeping to where it is cheap
+//! and pays everywhere: the design's AIG, **once, before unrolling**, so a
+//! merged cone disappears from every time frame of every BMC context.
+//!
+//! The loop is the classic fraiging recipe:
+//!
+//! 1. **Simulate** — every node carries a multi-word signature
+//!    ([`FraigConfig::sim_words`] × 64 pseudorandom input patterns,
+//!    deterministic in [`FraigConfig::seed`]), computed incrementally as
+//!    the reduced graph is built. Equal (or complementary) signatures are
+//!    the only evidence considered, so candidate classes are found without
+//!    any solver work. The constant node seeds the all-zero class, which
+//!    is how constant cones are detected.
+//! 2. **Prove** — candidate pairs go to an incremental
+//!    [`emm_sat::EquivOracle`]: only the two cones' Tseitin clauses are
+//!    encoded (shared substructure once), and the query is bounded by
+//!    [`FraigConfig::sat_conflicts`]. A proved pair merges the new node
+//!    into its class representative; fanouts built later automatically
+//!    redirect to the representative.
+//! 3. **Refine** — a refuted pair yields a distinguishing model, which is
+//!    a *real* simulation pattern. It is folded into every signature and
+//!    the candidate classes are re-bucketed, so one counterexample
+//!    separates every pair it distinguishes — no candidate is ever offered
+//!    again across a pattern the engine has already seen, and the
+//!    guided patterns quickly sharpen the random ones.
+//!
+//! The pass finishes with a rewrite: a fresh graph is rebuilt in the old
+//! topological order with every fanout redirected to class
+//! representatives, inputs preserved index-for-index, and merged or
+//! unreferenced cones dead-stripped. [`fraig_design`] applies that rewrite
+//! to a whole [`Design`] (ports, properties, constraints, name table)
+//! through `Design::replace_aig`.
+//!
+//! Soundness: a merge is performed only after the oracle *proves* the two
+//! cones equal as functions of all AIG inputs (latch outputs and read-data
+//! pseudo-inputs included, treated as free). Functional equivalence over
+//! free inputs is preserved under any environment, so the rewritten design
+//! is cycle-for-cycle indistinguishable — the differential tests in
+//! `emm-bmc` (`fraig_differential.rs`) check verdict equality over random
+//! designs, and [`Trace`](crate::Trace) replay keeps validating
+//! counterexamples against the *original* design.
+//!
+//! ```
+//! use emm_aig::{Aig, fraig::{fraig_aig, FraigConfig}};
+//!
+//! let mut g = Aig::new();
+//! let a = g.new_input();
+//! let b = g.new_input();
+//! let x = g.and(a, b);
+//! let y = g.and(a, x); // absorbed: a ∧ (a ∧ b) ≡ x, structurally distinct
+//! let r = fraig_aig(&g, &[x, y], &FraigConfig::default());
+//! assert_eq!(r.map_bit(x), r.map_bit(y));
+//! assert_eq!(r.stats.merges, 1);
+//! assert_eq!(r.aig.num_ands(), 1);
+//! ```
+
+use std::collections::HashMap;
+
+use emm_sat::{EquivOracle, Lit};
+
+use crate::aig::{Aig, Bit, Node, NodeId};
+use crate::design::Design;
+use crate::sim::eval_combinational;
+
+/// Knobs of the fraig pass.
+#[derive(Clone, Copy, Debug)]
+pub struct FraigConfig {
+    /// Master switch (checked by [`fraig_design`] callers such as the BMC
+    /// engine; the pass itself always runs when invoked directly).
+    pub enabled: bool,
+    /// Signature width in 64-bit words: `64 * sim_words` random patterns.
+    pub sim_words: usize,
+    /// Conflict budget per equivalence-check direction.
+    pub sat_conflicts: u64,
+    /// Candidates tried per node before giving up on a merge.
+    pub max_candidates: usize,
+    /// Total SAT equivalence checks across the pass (hard cap; the pass
+    /// degrades to pure structural reduction once exhausted).
+    pub max_checks: u64,
+    /// Candidate-class size cap (bounds memory and worst-case checks).
+    pub max_bucket: usize,
+    /// Seed of the deterministic input patterns.
+    pub seed: u64,
+}
+
+impl Default for FraigConfig {
+    fn default() -> FraigConfig {
+        FraigConfig {
+            enabled: true,
+            sim_words: 4,
+            sat_conflicts: 48,
+            max_candidates: 2,
+            max_checks: 4096,
+            max_bucket: 8,
+            seed: 0x00E5_AD8F_F12A_9001,
+        }
+    }
+}
+
+impl FraigConfig {
+    /// A configuration that turns the pass off entirely.
+    pub fn disabled() -> FraigConfig {
+        FraigConfig {
+            enabled: false,
+            ..FraigConfig::default()
+        }
+    }
+}
+
+/// What the pass found and what it cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FraigStats {
+    /// AND gates before the pass.
+    pub ands_before: usize,
+    /// AND gates in the rewritten graph (merges and dead cones removed).
+    pub ands_after: usize,
+    /// Old gates answered by folding/structural hashing during rebuild
+    /// (redundancy the representative substitution exposed).
+    pub structural_merges: u64,
+    /// Nodes merged into an equivalence-class representative by a proof.
+    pub merges: u64,
+    /// Of those, nodes proved equal to a constant.
+    pub const_merges: u64,
+    /// SAT equivalence checks issued.
+    pub sat_checks: u64,
+    /// Checks refuted by a distinguishing model.
+    pub refuted: u64,
+    /// Checks abandoned on the conflict budget.
+    pub unknown: u64,
+    /// Counterexample patterns folded back into the signatures.
+    pub cex_patterns: u64,
+    /// Simulation patterns used (initial random plus counterexamples).
+    pub sim_patterns: u64,
+}
+
+impl FraigStats {
+    /// Gates removed by the whole pass (merges plus dead-stripping).
+    pub fn ands_removed(&self) -> usize {
+        self.ands_before.saturating_sub(self.ands_after)
+    }
+}
+
+/// Result of [`fraig_aig`]: the reduced graph plus the edge mapping.
+#[derive(Clone, Debug)]
+pub struct FraigResult {
+    /// The functionally reduced graph. Inputs appear in the same order as
+    /// in the source graph (same dense indices).
+    pub aig: Aig,
+    /// Counters.
+    pub stats: FraigStats,
+    /// Old node -> reduced-graph edge, through class representatives.
+    map: Vec<Bit>,
+}
+
+impl FraigResult {
+    /// Maps an edge of the source graph into the reduced graph.
+    pub fn map_bit(&self, old: Bit) -> Bit {
+        let base = self.map[old.node().index()];
+        if old.is_inverted() {
+            !base
+        } else {
+            base
+        }
+    }
+}
+
+/// SplitMix64: deterministic pseudorandom pattern words.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The in-flight state of one fraig run over a growing reduced graph.
+struct Fraiger {
+    config: FraigConfig,
+    /// The graph being built ("G1"): source nodes rebuilt over
+    /// representative-substituted operands. Merged nodes stay in it as
+    /// garbage and are dead-stripped by the final compaction.
+    g1: Aig,
+    /// G1 node -> representative edge (identity unless merged).
+    repr: Vec<Bit>,
+    /// Flat signatures: G1 node `n` owns `sig[n*w .. (n+1)*w]`.
+    sig: Vec<u64>,
+    /// Candidate classes: canonical signature -> canonical member edges.
+    buckets: HashMap<Vec<u64>, Vec<Bit>>,
+    /// Lazily encoded cones of G1 (the solver side).
+    oracle: EquivOracle,
+    stats: FraigStats,
+}
+
+impl Fraiger {
+    fn new(config: FraigConfig) -> Fraiger {
+        let w = config.sim_words.max(1);
+        let mut f = Fraiger {
+            config: FraigConfig {
+                sim_words: w,
+                ..config
+            },
+            g1: Aig::new(),
+            repr: vec![Aig::FALSE],
+            sig: vec![0; w],
+            buckets: HashMap::new(),
+            oracle: EquivOracle::new(),
+            stats: FraigStats {
+                sim_patterns: 64 * w as u64,
+                ..FraigStats::default()
+            },
+        };
+        // The constant node seeds the all-zero class, so constant cones
+        // become ordinary merge candidates.
+        f.buckets.insert(vec![0; w], vec![Aig::FALSE]);
+        f
+    }
+
+    /// Follows representative chains (with phase) to the class leader.
+    fn resolve(&self, mut bit: Bit) -> Bit {
+        loop {
+            let r = self.repr[bit.node().index()];
+            if r.node() == bit.node() {
+                return if bit.is_inverted() { !r } else { r };
+            }
+            bit = if bit.is_inverted() { !r } else { r };
+        }
+    }
+
+    /// Signature of a G1 edge (node signature, phase-adjusted), one word.
+    fn sig_word(&self, bit: Bit, w: usize) -> u64 {
+        let s = self.sig[bit.node().index() * self.config.sim_words + w];
+        if bit.is_inverted() {
+            !s
+        } else {
+            s
+        }
+    }
+
+    /// Canonicalizes an edge's signature: flips the phase so pattern 0
+    /// (bit 0 of word 0) evaluates to false. Equal functions — up to
+    /// complement — then share one key.
+    fn canonical(&self, node: NodeId) -> (Bit, Vec<u64>) {
+        let w = self.config.sim_words;
+        let bit = Bit::new(node, self.sig[node.index() * w] & 1 == 1);
+        let key = (0..w).map(|i| self.sig_word(bit, i)).collect();
+        (bit, key)
+    }
+
+    /// Registers a fresh G1 node with the given signature words.
+    fn push_node(&mut self, node: NodeId, words: &[u64]) {
+        debug_assert_eq!(node.index(), self.repr.len());
+        self.repr.push(Bit::new(node, false));
+        self.sig.extend_from_slice(words);
+    }
+
+    /// Rebuilds one source AND over mapped operands, then tries to merge
+    /// the result into an existing equivalence class. Returns the edge the
+    /// source node maps to.
+    fn build_and(&mut self, a: Bit, b: Bit) -> Bit {
+        let a = self.resolve(a);
+        let b = self.resolve(b);
+        let before = self.g1.num_nodes();
+        let out = self.g1.and(a, b);
+        if self.g1.num_nodes() == before {
+            // Folded or interned: the substitutions exposed existing
+            // structure; no new node, no new signature.
+            self.stats.structural_merges += 1;
+            return self.resolve(out);
+        }
+        let w = self.config.sim_words;
+        let words: Vec<u64> = (0..w)
+            .map(|i| self.sig_word(a, i) & self.sig_word(b, i))
+            .collect();
+        self.push_node(out.node(), &words);
+        self.try_merge(out.node());
+        self.resolve(out)
+    }
+
+    /// Offers `node` to its signature class: SAT-checks up to
+    /// `max_candidates` members and either merges or joins the class.
+    fn try_merge(&mut self, node: NodeId) {
+        let mut tried = 0usize;
+        let mut pos = 0usize;
+        while self.stats.sat_checks < self.config.max_checks && tried < self.config.max_candidates {
+            // Re-read the class on every step: a refuted check re-buckets
+            // everything, which both drops separated candidates and keeps
+            // this node's key current.
+            let (lit, key) = self.canonical(node);
+            let Some(members) = self.buckets.get(&key) else {
+                break;
+            };
+            let Some(&cand) = members.get(pos) else {
+                break;
+            };
+            pos += 1;
+            let cand = self.resolve(cand);
+            if cand.node() == node {
+                continue;
+            }
+            tried += 1;
+            self.stats.sat_checks += 1;
+            let la = self.encode(lit);
+            let lb = self.encode(cand);
+            match self.oracle.prove_equiv(la, lb, self.config.sat_conflicts) {
+                Some(true) => {
+                    // lit ≡ cand, so node ≡ cand ^ lit's phase.
+                    self.stats.merges += 1;
+                    if cand.node() == NodeId::FALSE {
+                        self.stats.const_merges += 1;
+                    }
+                    self.repr[node.index()] = if lit.is_inverted() { !cand } else { cand };
+                    return;
+                }
+                Some(false) => {
+                    self.stats.refuted += 1;
+                    self.refine();
+                    // The counterexample separates this node from the
+                    // refuted candidate (and possibly others); restart the
+                    // scan of the re-bucketed class.
+                    pos = 0;
+                }
+                None => {
+                    self.stats.unknown += 1;
+                }
+            }
+        }
+        let (lit, key) = self.canonical(node);
+        let class = self.buckets.entry(key).or_default();
+        if class.len() < self.config.max_bucket {
+            class.push(lit);
+        }
+    }
+
+    /// Encodes the cone of a G1 edge into the oracle (memoized) and
+    /// returns its solver literal.
+    fn encode(&mut self, bit: Bit) -> Lit {
+        let mut stack = vec![bit.node()];
+        while let Some(&n) = stack.last() {
+            if self.oracle.lit(n.index()).is_some() {
+                stack.pop();
+                continue;
+            }
+            match self.g1.node(n) {
+                Node::Const => {
+                    self.oracle.define_const(n.index());
+                    stack.pop();
+                }
+                Node::Input(_) => {
+                    self.oracle.define_input(n.index());
+                    stack.pop();
+                }
+                Node::And(a, b) => {
+                    let (la, lb) = (
+                        self.oracle.lit(a.node().index()),
+                        self.oracle.lit(b.node().index()),
+                    );
+                    match (la, lb) {
+                        (Some(la), Some(lb)) => {
+                            let la = if a.is_inverted() { !la } else { la };
+                            let lb = if b.is_inverted() { !lb } else { lb };
+                            self.oracle.define_and(n.index(), la, lb);
+                            stack.pop();
+                        }
+                        _ => {
+                            if la.is_none() {
+                                stack.push(a.node());
+                            }
+                            if lb.is_none() {
+                                stack.push(b.node());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let l = self.oracle.lit(bit.node().index()).expect("just encoded");
+        if bit.is_inverted() {
+            !l
+        } else {
+            l
+        }
+    }
+
+    /// Folds the oracle's distinguishing model back into every signature
+    /// as one fresh pattern, then rebuilds the candidate classes.
+    fn refine(&mut self) {
+        self.stats.cex_patterns += 1;
+        self.stats.sim_patterns += 1;
+        let round = self.stats.cex_patterns;
+        // Assemble a full input pattern: model values where the cone was
+        // encoded, deterministic pseudorandom bits elsewhere.
+        let mut inputs = vec![false; self.g1.num_inputs()];
+        for (id, node) in self.g1.iter() {
+            if let Node::Input(i) = node {
+                let modeled = self
+                    .oracle
+                    .lit(id.index())
+                    .and_then(|l| self.oracle.model_lit(l));
+                inputs[i as usize] = modeled.unwrap_or_else(|| {
+                    mix(self.config.seed
+                        ^ round.wrapping_mul(0x9E3779B97F4A7C15)
+                        ^ id.index() as u64)
+                        & 1
+                        == 1
+                });
+            }
+        }
+        let values = eval_combinational(&self.g1, &inputs);
+        let w = self.config.sim_words;
+        for (n, &value) in values.iter().enumerate() {
+            let word = &mut self.sig[n * w];
+            *word = (*word << 1) | value as u64;
+        }
+        // Re-bucket the candidate classes under the refined signatures.
+        let mut members: Vec<Bit> = self.buckets.drain().flat_map(|(_, v)| v).collect();
+        members.sort_unstable();
+        members.dedup();
+        for m in members {
+            let (lit, key) = self.canonical(m.node());
+            let class = self.buckets.entry(key).or_default();
+            if class.len() < self.config.max_bucket && !class.contains(&lit) {
+                class.push(lit);
+            }
+        }
+    }
+}
+
+/// Runs the fraig pass over a raw graph.
+///
+/// `roots` are the edges whose functions must be preserved (for a design:
+/// next-state functions, properties, constraints, and memory port buses);
+/// everything outside their cones — including cones orphaned by merges —
+/// is dead-stripped from the result. Inputs are always preserved, in
+/// order, so dense input indices survive the rewrite.
+pub fn fraig_aig(aig: &Aig, roots: &[Bit], config: &FraigConfig) -> FraigResult {
+    let mut f = Fraiger::new(*config);
+    let w = f.config.sim_words;
+    // Phase A: rebuild in topological order with merge-on-the-fly.
+    let mut map1: Vec<Bit> = Vec::with_capacity(aig.num_nodes());
+    for (_, node) in aig.iter() {
+        let mapped = match node {
+            Node::Const => Aig::FALSE,
+            Node::Input(i) => {
+                let b = f.g1.new_input();
+                let words: Vec<u64> = (0..w)
+                    .map(|k| mix(f.config.seed ^ mix((i as u64) << 8 | k as u64)))
+                    .collect();
+                f.push_node(b.node(), &words);
+                b
+            }
+            Node::And(a, b) => {
+                let fa = apply(&map1, a);
+                let fb = apply(&map1, b);
+                f.build_and(fa, fb)
+            }
+        };
+        map1.push(mapped);
+    }
+    // Phase B: dead-strip into a compacted graph, preserving input order
+    // and the relative order of surviving nodes (so downstream consumers
+    // that rely on "address cones precede their read port" still hold).
+    let mut live = vec![false; f.g1.num_nodes()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &r in roots {
+        let m = f.resolve(apply(&map1, r));
+        stack.push(m.node());
+    }
+    while let Some(n) = stack.pop() {
+        if live[n.index()] {
+            continue;
+        }
+        live[n.index()] = true;
+        if let Node::And(a, b) = f.g1.node(n) {
+            stack.push(a.node());
+            stack.push(b.node());
+        }
+    }
+    let mut g2 = Aig::new();
+    let mut map2: Vec<Bit> = vec![Aig::FALSE; f.g1.num_nodes()];
+    for (id, node) in f.g1.iter() {
+        match node {
+            Node::Const => {}
+            Node::Input(_) => map2[id.index()] = g2.new_input(),
+            Node::And(a, b) => {
+                if live[id.index()] {
+                    let x = apply(&map2, a);
+                    let y = apply(&map2, b);
+                    map2[id.index()] = g2.and(x, y);
+                }
+            }
+        }
+    }
+    // Final edge map: old -> representative in G1 -> compacted G2.
+    let map: Vec<Bit> = map1
+        .iter()
+        .map(|&b| {
+            let r = f.resolve(b);
+            apply(&map2, r)
+        })
+        .collect();
+    let mut stats = f.stats;
+    stats.ands_before = aig.num_ands();
+    stats.ands_after = g2.num_ands();
+    FraigResult {
+        aig: g2,
+        stats,
+        map,
+    }
+}
+
+/// Applies the fraig pass to a whole design in place, rewriting its
+/// combinational core and every stored edge. Returns the pass counters.
+///
+/// The design's interface is untouched: latch order and initial values,
+/// memory modules and port order, property and constraint lists, input
+/// kinds, and dense input indices are all preserved — only the gate
+/// structure between them shrinks. A design that fails
+/// [`Design::check`] is returned unchanged (zeroed stats), since
+/// next-state functions must exist to be preserved.
+pub fn fraig_design(design: &mut Design, config: &FraigConfig) -> FraigStats {
+    if design.check().is_err() {
+        return FraigStats::default();
+    }
+    let mut roots: Vec<Bit> = Vec::new();
+    for latch in design.latches() {
+        roots.push(latch.next.expect("checked design"));
+    }
+    for p in design.properties() {
+        roots.push(p.bad);
+    }
+    roots.extend_from_slice(design.constraints());
+    for m in design.memories() {
+        for rp in &m.read_ports {
+            roots.extend_from_slice(rp.addr.bits());
+            roots.push(rp.en);
+        }
+        for wp in &m.write_ports {
+            roots.extend_from_slice(wp.addr.bits());
+            roots.push(wp.en);
+            roots.extend_from_slice(wp.data.bits());
+        }
+    }
+    let FraigResult { aig, stats, map } = fraig_aig(&design.aig, &roots, config);
+    design.replace_aig(aig, &mut |b| apply(&map, b));
+    stats
+}
+
+fn apply(map: &[Bit], bit: Bit) -> Bit {
+    let base = map[bit.node().index()];
+    if bit.is_inverted() {
+        !base
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{LatchInit, MemInit};
+    use crate::sim::{eval_combinational_words, Simulator};
+    use crate::word::Word;
+
+    #[test]
+    fn merges_absorbed_variants() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let x = g.and(a, b);
+        // Two absorbed rebuilds of x, structurally distinct from it and
+        // from each other.
+        let left = g.and(a, x);
+        let right = g.and(x, b);
+        let r = fraig_aig(&g, &[x, left, right], &FraigConfig::default());
+        assert_eq!(r.map_bit(x), r.map_bit(left));
+        assert_eq!(r.map_bit(x), r.map_bit(right));
+        assert_eq!(r.aig.num_ands(), 1);
+        assert_eq!(r.stats.merges, 2);
+    }
+
+    #[test]
+    fn detects_constant_cones() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        // (a ∧ b) ∧ (a ∧ ¬b) ≡ false, structurally non-obvious.
+        let x = g.and(a, b);
+        let y = g.and(a, !b);
+        let z = g.and(x, y);
+        let r = fraig_aig(&g, &[z], &FraigConfig::default());
+        assert_eq!(r.map_bit(z), Aig::FALSE);
+        assert_eq!(r.stats.const_merges, 1);
+        assert_eq!(r.aig.num_ands(), 0, "the whole cone dead-strips");
+    }
+
+    /// A real counterexample must block the merge: a deep AND chain's
+    /// signature goes all-zero under random patterns (a depth-`k` node is
+    /// one with probability `2^-k` per pattern), putting its tail in the
+    /// constant class — but no node of the chain is constant, so every
+    /// candidate must be SAT-refuted and the distinguishing pattern folded
+    /// back into the signatures, never merged.
+    #[test]
+    fn never_merges_across_a_real_counterexample() {
+        let mut g = Aig::new();
+        let inputs: Vec<Bit> = (0..16).map(|_| g.new_input()).collect();
+        let mut acc = Aig::TRUE;
+        for &i in &inputs {
+            acc = g.and(acc, i);
+        }
+        let r = fraig_aig(&g, &[acc], &FraigConfig::default());
+        assert_ne!(r.map_bit(acc), Aig::FALSE, "not constant");
+        assert_eq!(r.aig.num_ands(), 15, "chain preserved");
+        assert!(r.stats.refuted >= 1, "candidates were SAT-refuted");
+        assert!(r.stats.cex_patterns >= 1, "the models refined signatures");
+        assert_eq!(r.stats.merges, 0);
+    }
+
+    /// After a refutation the distinguishing pattern becomes part of the
+    /// signatures: a second structurally distinct all-ones detector joins
+    /// a refined class and is separated without exhausting checks.
+    #[test]
+    fn cex_patterns_refine_future_classes() {
+        let mut g = Aig::new();
+        let inputs: Vec<Bit> = (0..6).map(|_| g.new_input()).collect();
+        let mut left = Aig::TRUE;
+        for &i in &inputs {
+            left = g.and(left, i);
+        }
+        // Same function, opposite association order.
+        let mut right = Aig::TRUE;
+        for &i in inputs.iter().rev() {
+            right = g.and(right, i);
+        }
+        let r = fraig_aig(&g, &[left, right], &FraigConfig::default());
+        assert_eq!(
+            r.map_bit(left),
+            r.map_bit(right),
+            "equivalent chains must merge"
+        );
+        assert!(r.stats.merges >= 1);
+    }
+
+    #[test]
+    fn signatures_match_bit_parallel_simulation() {
+        // The incremental signatures must agree with a from-scratch
+        // word-parallel evaluation of the reduced graph.
+        let config = FraigConfig::default();
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let c = g.new_input();
+        let x = g.and(a, b);
+        let y = g.and(x, !c);
+        let r = fraig_aig(&g, &[y], &config);
+        let w = config.sim_words;
+        let inputs: Vec<u64> = (0..r.aig.num_inputs())
+            .flat_map(|i| (0..w).map(move |k| mix(config.seed ^ mix((i as u64) << 8 | k as u64))))
+            .collect();
+        let values = eval_combinational_words(&r.aig, &inputs, w);
+        // Sanity: the root's value is the AND of its cone under every word.
+        let yb = r.map_bit(y);
+        let base = yb.node().index() * w;
+        for k in 0..w {
+            let va = inputs[k];
+            let vb = inputs[w + k];
+            let vc = inputs[2 * w + k];
+            let expect = va & vb & !vc;
+            let got = if yb.is_inverted() {
+                !values[base + k]
+            } else {
+                values[base + k]
+            };
+            assert_eq!(got, expect, "word {k}");
+        }
+    }
+
+    #[test]
+    fn check_cap_degrades_to_structural_reduction() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let x = g.and(a, b);
+        let y = g.and(a, x);
+        let r = fraig_aig(
+            &g,
+            &[x, y],
+            &FraigConfig {
+                max_checks: 0,
+                ..FraigConfig::default()
+            },
+        );
+        assert_eq!(r.stats.sat_checks, 0);
+        assert_ne!(r.map_bit(x), r.map_bit(y), "no proof, no merge");
+        assert_eq!(r.aig.num_ands(), 2);
+    }
+
+    #[test]
+    fn design_rewrite_preserves_cycle_semantics() {
+        // A memory-backed design: fraig it and co-simulate against the
+        // original for many cycles.
+        let mut d = Design::new();
+        let mem = d.add_memory("m", 3, 4, MemInit::Zero);
+        let ptr = d.new_latch_word("ptr", 3, LatchInit::Zero);
+        let next = d.aig.inc(&ptr);
+        d.set_next_word(&ptr, &next);
+        let wd = d.new_input_word("wd", 4);
+        let we = d.new_input("we");
+        d.add_write_port(mem, ptr.clone(), we, wd.clone());
+        let rd = d.add_read_port(mem, ptr.clone(), Aig::TRUE);
+        // Redundant logic: the comparator built two structurally distinct
+        // ways (XNOR-tree vs negated XOR-reduction).
+        let hit1 = d.aig.eq_word(&rd, &wd);
+        let diff = d.aig.word_xor(&rd, &wd);
+        let any_diff = d.aig.redor(&diff);
+        let both = d.aig.and(hit1, !any_diff);
+        d.add_property("p", both);
+        d.check().expect("valid");
+
+        let mut fraiged = d.clone();
+        let stats = fraig_design(&mut fraiged, &FraigConfig::default());
+        assert!(stats.ands_after <= stats.ands_before);
+        fraiged.check().expect("still well-formed");
+        assert_eq!(fraiged.num_latches(), d.num_latches());
+        assert_eq!(fraiged.free_inputs().len(), d.free_inputs().len());
+
+        let mut sim_a = Simulator::new(&d);
+        let mut sim_b = Simulator::new(&fraiged);
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for cycle in 0..40 {
+            state = mix(state);
+            let inputs: Vec<bool> = (0..d.free_inputs().len())
+                .map(|i| (state >> i) & 1 == 1)
+                .collect();
+            let ra = sim_a.step(&inputs);
+            let rb = sim_b.step(&inputs);
+            assert_eq!(ra.property_bad, rb.property_bad, "cycle {cycle}");
+            let pa = Word(d.latches().iter().map(|l| l.output).collect());
+            let pb = Word(fraiged.latches().iter().map(|l| l.output).collect());
+            assert_eq!(sim_a.state_value(&pa), sim_b.state_value(&pb));
+        }
+    }
+
+    #[test]
+    fn malformed_design_is_left_alone() {
+        let mut d = Design::new();
+        d.new_latch("dangling", LatchInit::Zero);
+        let gates = d.num_gates();
+        let stats = fraig_design(&mut d, &FraigConfig::default());
+        assert_eq!(stats, FraigStats::default());
+        assert_eq!(d.num_gates(), gates);
+    }
+}

@@ -14,7 +14,15 @@
 //!   [`design`] for why);
 //! * [`Simulator`] — a cycle-accurate interpreter implementing the memory
 //!   forwarding semantics of Section 2.3, used as the ground truth oracle
-//!   and for counterexample [`Trace`] validation.
+//!   and for counterexample [`Trace`] validation;
+//! * [`fraig`] — a functionally-reduced-AIG pass (simulate / prove /
+//!   refine) that merges equivalent cones *before* Tseitin encoding: every
+//!   node carries a multi-word random-simulation signature, signature
+//!   classes are confirmed by bounded incremental SAT checks
+//!   ([`emm_sat::EquivOracle`]), refutation models are folded back into
+//!   the signatures as guided patterns, and a final rewrite redirects
+//!   fanouts to class representatives and dead-strips merged cones. Knobs
+//!   live in [`FraigConfig`]; the BMC engine runs it by default.
 //!
 //! ## Example: a memory-backed design
 //!
@@ -44,6 +52,7 @@ mod aig;
 pub mod coi;
 pub mod design;
 pub mod emn;
+pub mod fraig;
 pub mod report;
 pub mod sim;
 mod word;
@@ -53,5 +62,6 @@ pub use design::{
     Design, DesignStats, InputKind, Latch, LatchId, LatchInit, MemInit, Memory, MemoryId, Property,
     PropertyId, ReadPort, WritePort,
 };
+pub use fraig::{fraig_aig, fraig_design, FraigConfig, FraigResult, FraigStats};
 pub use sim::{SimConfig, Simulator, StepReport, Trace};
 pub use word::Word;

@@ -10,7 +10,28 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::design::{Design, MemoryId};
+use crate::fraig::FraigStats;
 use crate::sim::{Simulator, Trace};
+
+/// Renders fraig-pass counters as a one-line summary, in the style the
+/// bench harness prints design statistics.
+pub fn format_fraig_stats(stats: &FraigStats) -> String {
+    format!(
+        "fraig: {} -> {} ANDs (-{}; {} proved merges, {} const, {} structural), \
+         {} SAT checks ({} refuted, {} unknown), {} cex patterns over {} total",
+        stats.ands_before,
+        stats.ands_after,
+        stats.ands_removed(),
+        stats.merges,
+        stats.const_merges,
+        stats.structural_merges,
+        stats.sat_checks,
+        stats.refuted,
+        stats.unknown,
+        stats.cex_patterns,
+        stats.sim_patterns,
+    )
+}
 
 /// Renders a trace as a per-cycle textual report.
 ///

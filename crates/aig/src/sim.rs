@@ -42,6 +42,50 @@ pub fn eval_combinational(aig: &Aig, inputs: &[bool]) -> Vec<bool> {
     values
 }
 
+/// Evaluates the combinational core under `words` parallel 64-bit input
+/// patterns per input: bit `p` of word `w` of every value is one coherent
+/// assignment, so a single pass simulates `64 * words` patterns at once.
+///
+/// `inputs` is laid out flat: input `i` owns
+/// `inputs[i * words .. (i + 1) * words]`. The result uses the same layout
+/// over node ids. This is the bit-parallel workhorse behind the
+/// [`fraig`](crate::fraig) pass's simulation signatures.
+///
+/// # Panics
+///
+/// Panics if `words` is zero or `inputs` is shorter than
+/// `aig.num_inputs() * words`.
+pub fn eval_combinational_words(aig: &Aig, inputs: &[u64], words: usize) -> Vec<u64> {
+    assert!(words > 0, "at least one signature word");
+    assert!(
+        inputs.len() >= aig.num_inputs() * words,
+        "need {} input words, got {}",
+        aig.num_inputs() * words,
+        inputs.len()
+    );
+    let mut values = vec![0u64; aig.num_nodes() * words];
+    for (id, node) in aig.iter() {
+        let base = id.index() * words;
+        match node {
+            Node::Const => {}
+            Node::Input(i) => {
+                let src = i as usize * words;
+                values[base..base + words].copy_from_slice(&inputs[src..src + words]);
+            }
+            Node::And(a, b) => {
+                let (na, nb) = (a.node().index() * words, b.node().index() * words);
+                let (ia, ib) = (a.is_inverted(), b.is_inverted());
+                for w in 0..words {
+                    let va = values[na + w] ^ if ia { u64::MAX } else { 0 };
+                    let vb = values[nb + w] ^ if ib { u64::MAX } else { 0 };
+                    values[base + w] = va & vb;
+                }
+            }
+        }
+    }
+    values
+}
+
 /// Configuration of a [`Simulator`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SimConfig {

@@ -1,0 +1,148 @@
+//! CI bench-regression gate: diffs a fresh `BENCH_simplify.json` against
+//! the committed baseline and fails on verdict changes or clause/variable
+//! count regressions beyond a tolerance.
+//!
+//! Every `(benchmark, mode)` row of the baseline must exist in the fresh
+//! file with the *same verdict* and with `clauses` and `vars` no more than
+//! `--tolerance-pct` (default 5%) above the baseline. Wall times are
+//! reported but never gated — CI machines are too noisy for that; counts
+//! are deterministic. Rows that only exist in the fresh file (new modes,
+//! new workloads) are listed as additions and pass.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p emm-bench --bin bench_check -- \
+//!     --baseline BENCH_simplify.json --fresh /tmp/fresh.json [--tolerance-pct 5]
+//! ```
+//!
+//! Exit code 0 on pass, 1 on any regression (with a per-row report).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use emm_bench::bench_json::{extract_str, extract_u64};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Row {
+    verdict: String,
+    vars: u64,
+    clauses: u64,
+}
+
+/// Parses the `runs` records of a bench JSON into `(benchmark, mode)`-keyed
+/// rows. The format is the harness's own: one record per line.
+fn parse(path: &str) -> Result<BTreeMap<(String, String), Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut rows = BTreeMap::new();
+    for line in text.lines() {
+        let Some(benchmark) = extract_str(line, "benchmark") else {
+            continue;
+        };
+        let Some(mode) = extract_str(line, "mode") else {
+            continue;
+        };
+        // Summary records carry reduction percentages, not counts; only
+        // run records have a verdict.
+        let Some(verdict) = extract_str(line, "verdict") else {
+            continue;
+        };
+        let (Some(vars), Some(clauses)) = (extract_u64(line, "vars"), extract_u64(line, "clauses"))
+        else {
+            return Err(format!("{path}: run record without vars/clauses: {line}"));
+        };
+        rows.insert(
+            (benchmark.to_string(), mode.to_string()),
+            Row {
+                verdict: verdict.to_string(),
+                vars,
+                clauses,
+            },
+        );
+    }
+    if rows.is_empty() {
+        return Err(format!("{path}: no run records found"));
+    }
+    Ok(rows)
+}
+
+fn pct(fresh: u64, base: u64) -> f64 {
+    100.0 * (fresh as f64 - base as f64) / base.max(1) as f64
+}
+
+fn main() -> ExitCode {
+    let baseline_path =
+        arg_value("--baseline").unwrap_or_else(|| "BENCH_simplify.json".to_string());
+    let fresh_path = arg_value("--fresh").unwrap_or_else(|| "BENCH_simplify.json".to_string());
+    let tolerance: f64 = arg_value("--tolerance-pct")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+
+    let (baseline, fresh) = match (parse(&baseline_path), parse(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("bench_check: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "bench_check: {} baseline rows ({baseline_path}) vs {} fresh rows ({fresh_path}), \
+         tolerance {tolerance}%",
+        baseline.len(),
+        fresh.len()
+    );
+    let mut failures = 0usize;
+    for ((benchmark, mode), base) in &baseline {
+        let key = format!("{benchmark}/{mode}");
+        let Some(new) = fresh.get(&(benchmark.clone(), mode.clone())) else {
+            println!("  FAIL {key}: row missing from fresh run");
+            failures += 1;
+            continue;
+        };
+        let mut problems = Vec::new();
+        if new.verdict != base.verdict {
+            problems.push(format!("verdict {} -> {}", base.verdict, new.verdict));
+        }
+        let dc = pct(new.clauses, base.clauses);
+        if dc > tolerance {
+            problems.push(format!(
+                "clauses {} -> {} (+{dc:.1}%)",
+                base.clauses, new.clauses
+            ));
+        }
+        let dv = pct(new.vars, base.vars);
+        if dv > tolerance {
+            problems.push(format!("vars {} -> {} (+{dv:.1}%)", base.vars, new.vars));
+        }
+        if problems.is_empty() {
+            println!(
+                "  ok   {key}: {} (clauses {:+.1}%, vars {:+.1}%)",
+                new.verdict, dc, dv
+            );
+        } else {
+            println!("  FAIL {key}: {}", problems.join("; "));
+            failures += 1;
+        }
+    }
+    for key in fresh.keys() {
+        if !baseline.contains_key(key) {
+            println!("  new  {}/{}: not in baseline (allowed)", key.0, key.1);
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench_check: {failures} row(s) regressed");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_check: pass");
+    ExitCode::SUCCESS
+}

@@ -1,13 +1,15 @@
-//! Measures the simplifying CNF layer (`emm_sat::simplify`) on the
-//! paper's Table 1 / Table 2 quicksort workloads and writes a
-//! machine-readable `BENCH_simplify.json` so later PRs have a perf
-//! trajectory to compare against.
+//! Measures the encoding-reduction layers on the paper's Table 1 /
+//! Table 2 quicksort workloads and writes a machine-readable
+//! `BENCH_simplify.json` so later PRs have a perf trajectory to compare
+//! against (CI's `bench-regression` job diffs fresh numbers against the
+//! committed file via the `bench_check` binary).
 //!
-//! For every workload the same property is checked twice — once with the
-//! naive seed encoding (`SimplifyConfig::disabled`) and once with the
-//! simplifying sink (default config) — recording solver variable/clause
-//! counts at the deepest checked frame, wall time, and the layer's cache /
-//! sweep / laziness counters.
+//! For every workload the same property is checked once per mode — the
+//! naive seed encoding (`SimplifyConfig::disabled`), the simplifying sink
+//! (default config), the sink plus encode-time SAT sweeping, and the
+//! AIG-level fraig pass on top of the default sink — recording solver
+//! variable/clause counts at the deepest checked frame, wall time, and
+//! the layers' cache / sweep / fraig counters.
 //!
 //! Usage:
 //!
@@ -18,6 +20,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use emm_aig::FraigConfig;
 use emm_bench::secs;
 use emm_bmc::{BmcEngine, BmcOptions, BmcVerdict};
 use emm_designs::quicksort::{QuickSort, QuickSortConfig};
@@ -41,6 +44,7 @@ struct RunRecord {
     emm_clauses: usize,
     cmp_cache_hits: usize,
     simplify: Option<emm_sat::SimplifyStats>,
+    fraig: Option<emm_aig::FraigStats>,
 }
 
 fn verdict_name(v: &BmcVerdict) -> String {
@@ -52,25 +56,34 @@ fn verdict_name(v: &BmcVerdict) -> String {
     }
 }
 
-/// The three measured encoder configurations.
+/// The four measured encoder configurations.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
-    /// The seed encoding: no sink layer, no comparator cache.
+    /// The seed encoding: no sink layer, no comparator cache, no fraig.
     Naive,
-    /// The engine default: hashing + folding + lazy emission + cmp cache.
+    /// The PR-1 sink: hashing + folding + lazy emission + cmp cache.
     Simplified,
-    /// The default plus SAT sweeping.
+    /// The sink plus encode-time SAT sweeping.
     SimplifiedSweep,
+    /// The engine default: AIG-level fraiging before unrolling, on top of
+    /// the default sink.
+    Fraig,
 }
 
 impl Mode {
-    const ALL: [Mode; 3] = [Mode::Naive, Mode::Simplified, Mode::SimplifiedSweep];
+    const ALL: [Mode; 4] = [
+        Mode::Naive,
+        Mode::Simplified,
+        Mode::SimplifiedSweep,
+        Mode::Fraig,
+    ];
 
     fn name(self) -> &'static str {
         match self {
             Mode::Naive => "naive",
             Mode::Simplified => "simplified",
             Mode::SimplifiedSweep => "simplified_sweep",
+            Mode::Fraig => "fraig",
         }
     }
 }
@@ -85,27 +98,38 @@ fn run_one(
 ) -> RunRecord {
     let simplify = match mode {
         Mode::Naive => SimplifyConfig::disabled(),
-        Mode::Simplified => SimplifyConfig::default(),
+        Mode::Simplified | Mode::Fraig => SimplifyConfig::default(),
         Mode::SimplifiedSweep => SimplifyConfig::sweeping(),
     };
+    // Only the fraig mode runs the AIG-level pass, so the other rows keep
+    // their historical meaning as a trajectory.
+    let fraig = if mode == Mode::Fraig {
+        FraigConfig::default()
+    } else {
+        FraigConfig::disabled()
+    };
     // The naive baseline must be the *seed* encoding: the comparator cache
-    // is part of this PR's optimizations, so it is switched off together
+    // is part of the PR-1 optimizations, so it is switched off together
     // with the sink layer.
     let emm = emm_core::EmmOptions {
         comparator_cache: mode != Mode::Naive,
         ..emm_core::EmmOptions::default()
     };
+    // Timed from engine construction so the fraig preprocessing pass is
+    // charged to the mode that runs it — the speedup column must reflect
+    // end-to-end wall clock.
+    let started = Instant::now();
     let mut engine = BmcEngine::new(
         design,
         BmcOptions {
             proofs: true,
             wall_limit: Some(timeout),
             simplify,
+            fraig,
             emm,
             ..BmcOptions::default()
         },
     );
-    let started = Instant::now();
     let run = engine.check(prop, bound).expect("bench run");
     let elapsed = started.elapsed();
     let (vars, solver_stats) = engine.solver_stats();
@@ -121,6 +145,7 @@ fn run_one(
         emm_clauses: emm.clauses,
         cmp_cache_hits: emm.cmp_cache_hits,
         simplify: engine.simplify_stats(),
+        fraig: engine.fraig_stats().copied(),
     }
 }
 
@@ -143,7 +168,7 @@ fn json_record(r: &RunRecord) -> String {
     )
     .expect("write");
     match &r.simplify {
-        None => s.push_str(", \"simplify\": null}"),
+        None => s.push_str(", \"simplify\": null"),
         Some(st) => {
             write!(
                 s,
@@ -151,7 +176,7 @@ fn json_record(r: &RunRecord) -> String {
                  \"cache_hits\": {}, \"gates_created\": {}, \"gates_emitted\": {}, \
                  \"gates_elided\": {}, \"sweep_checks\": {}, \"sweep_merges\": {}, \
                  \"sweep_refuted\": {}, \"clauses_dropped\": {}, \
-                 \"literals_stripped\": {}}}}}",
+                 \"literals_stripped\": {}}}",
                 st.gate_queries,
                 st.folded,
                 st.cache_hits,
@@ -163,6 +188,28 @@ fn json_record(r: &RunRecord) -> String {
                 st.sweep_refuted,
                 st.clauses_dropped,
                 st.literals_stripped,
+            )
+            .expect("write");
+        }
+    }
+    match &r.fraig {
+        None => s.push_str(", \"fraig\": null}"),
+        Some(st) => {
+            write!(
+                s,
+                ", \"fraig\": {{\"ands_before\": {}, \"ands_after\": {}, \
+                 \"merges\": {}, \"const_merges\": {}, \"structural_merges\": {}, \
+                 \"sat_checks\": {}, \"refuted\": {}, \"unknown\": {}, \
+                 \"cex_patterns\": {}}}}}",
+                st.ands_before,
+                st.ands_after,
+                st.merges,
+                st.const_merges,
+                st.structural_merges,
+                st.sat_checks,
+                st.refuted,
+                st.unknown,
+                st.cex_patterns,
             )
             .expect("write");
         }
@@ -216,6 +263,14 @@ fn main() {
                     r.vars,
                     r.clauses
                 );
+                if let Some(fs) = &r.fraig {
+                    println!(
+                        "{:>28} {:>16}  {}",
+                        "",
+                        "",
+                        emm_aig::report::format_fraig_stats(fs)
+                    );
+                }
                 records.push(r);
             }
         }

@@ -12,7 +12,8 @@
 //! | `industry1` | Industry Design I case study (witnesses + induction) |
 //! | `industry2` | Industry Design II case study (invariant workflow) |
 //! | `constraints` | Section 4.1 constraint-size law |
-//! | `simplify` | simplifying-sink ablation on the Table 1/2 workloads; writes `BENCH_simplify.json` |
+//! | `simplify` | simplify/fraig encoding ablation on the Table 1/2 workloads; writes `BENCH_simplify.json` |
+//! | `bench_check` | CI regression gate: diffs a fresh bench JSON against the committed baseline |
 //!
 //! Run them with `cargo run --release -p emm-bench --bin <name> [-- args]`.
 
@@ -45,6 +46,53 @@ pub fn resident_mib() -> Option<f64> {
         }
     }
     None
+}
+
+/// Minimal field extraction from the flat one-record-per-line JSON the
+/// harness binaries write (`BENCH_simplify.json` and friends). Not a JSON
+/// parser — just enough to let the CI `bench_check` gate diff two bench
+/// files without external dependencies (the build is offline).
+pub mod bench_json {
+    /// Extracts the string value of `"key": "..."` from a record line.
+    pub fn extract_str<'a>(record: &'a str, key: &str) -> Option<&'a str> {
+        let needle = format!("\"{key}\": \"");
+        let start = record.find(&needle)? + needle.len();
+        let rest = &record[start..];
+        let end = rest.find('"')?;
+        Some(&rest[..end])
+    }
+
+    /// Extracts the numeric value of `"key": N` from a record line
+    /// (truncates decimals; first occurrence wins, so query top-level keys
+    /// before nested objects appear).
+    pub fn extract_u64(record: &str, key: &str) -> Option<u64> {
+        let needle = format!("\"{key}\": ");
+        let start = record.find(&needle)? + needle.len();
+        let digits: String = record[start..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        digits.parse().ok()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        const RECORD: &str = r#"{"benchmark": "table1_n3", "mode": "fraig", "verdict": "proof@30", "seconds": 1.013, "vars": 64761, "clauses": 213474, "simplify": {"cache_hits": 53}}"#;
+
+        #[test]
+        fn extracts_strings_and_numbers() {
+            assert_eq!(extract_str(RECORD, "benchmark"), Some("table1_n3"));
+            assert_eq!(extract_str(RECORD, "mode"), Some("fraig"));
+            assert_eq!(extract_str(RECORD, "verdict"), Some("proof@30"));
+            assert_eq!(extract_u64(RECORD, "vars"), Some(64761));
+            assert_eq!(extract_u64(RECORD, "clauses"), Some(213474));
+            assert_eq!(extract_u64(RECORD, "seconds"), Some(1));
+            assert_eq!(extract_str(RECORD, "missing"), None);
+            assert_eq!(extract_u64(RECORD, "missing"), None);
+        }
+    }
 }
 
 /// Simple fixed-width table printer for the harness binaries.

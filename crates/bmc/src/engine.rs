@@ -21,16 +21,23 @@
 //! | BMC-2 (Fig. 2) | memories + EMM, `proofs: false` |
 //! | BMC-3 (Fig. 3) | memories + EMM, `proofs: true`, optionally PBA |
 //!
-//! ## The simplifying sink pipeline
+//! ## The preprocessing and simplifying pipeline
 //!
-//! By default every context routes its clause traffic through the
-//! simplifying layer of [`emm_sat::simplify`]:
+//! By default the engine first fraigs the design (an AIG-level
+//! functionally-reduced rewrite, [`emm_aig::fraig`], on a private copy —
+//! see [`BmcOptions::fraig`]) and then routes every context's clause
+//! traffic through the simplifying layer of [`emm_sat::simplify`]:
 //!
 //! ```text
-//! Unroller ─┐
-//! LfpBuilder ├──> SimplifySink ──> Solver
-//! EmmEncoder ┘
+//! Design ──fraig──> reduced model ──> Unroller ─┐
+//!                                    LfpBuilder ├──> SimplifySink ──> Solver
+//!                                    EmmEncoder ┘
 //! ```
+//!
+//! The two layers are complementary: fraig merges functionally
+//! equivalent cones once, before Tseitin encoding, so the saving repeats
+//! at every unrolling depth; the sink then interns whatever per-frame
+//! structure remains.
 //!
 //! The layer interns structurally identical gates across frames, folds
 //! constants, and defers a gate's Tseitin clauses until something actually
@@ -43,10 +50,11 @@
 //! observable via [`BmcEngine::simplify_stats`] and
 //! [`BmcEngine::solver_stats`].
 
+use std::borrow::Cow;
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use emm_aig::{Design, Trace};
+use emm_aig::{fraig_design, Design, FraigConfig, FraigStats, Trace};
 use emm_core::{EmmEncoder, EmmOptions, MemoryShape, SelectorGranularity};
 use emm_sat::{
     Budget, CnfSink, Lit, Simplifier, SimplifyConfig, SimplifyStats, SolveResult, Solver,
@@ -82,6 +90,21 @@ pub struct BmcOptions {
     /// SAT sweeping, lazy emission); see [`emm_sat::simplify`]. Enabled by
     /// default; use [`SimplifyConfig::disabled`] for the naive encoding.
     pub simplify: SimplifyConfig,
+    /// AIG-level fraiging of the design before any unrolling (see
+    /// [`emm_aig::fraig`]): functionally equivalent cones are merged once,
+    /// at the netlist level, so the saving multiplies across every frame
+    /// of every context. Enabled by default; use
+    /// [`FraigConfig::disabled`] for the unreduced netlist. The engine
+    /// works on the reduced model internally but still validates
+    /// counterexample traces against the original design.
+    ///
+    /// The pass runs inside [`BmcEngine::new`], *before* any
+    /// [`BmcOptions::wall_limit`] deadline exists; its cost is bounded by
+    /// the deterministic [`FraigConfig`] caps (`max_checks`,
+    /// `sat_conflicts`) instead. Callers constructing many engines over
+    /// the same design (abstraction loops) should fraig once and disable
+    /// it per engine, as [`crate::pba`] does.
+    pub fraig: FraigConfig,
 }
 
 impl Default for BmcOptions {
@@ -95,6 +118,7 @@ impl Default for BmcOptions {
             abstraction: None,
             pba_discovery: false,
             simplify: SimplifyConfig::default(),
+            fraig: FraigConfig::default(),
         }
     }
 }
@@ -231,9 +255,9 @@ impl std::fmt::Display for BmcError {
 impl std::error::Error for BmcError {}
 
 /// One SAT context (solver + unroller + EMM + LFP + simplifier).
-struct Ctx<'d> {
+struct Ctx {
     solver: Solver,
-    unroller: Unroller<'d>,
+    unroller: Unroller,
     emm: EmmEncoder,
     /// Maps design memory index -> EMM encoder index (kept memories only).
     emm_index: Vec<Option<usize>>,
@@ -247,7 +271,7 @@ struct Ctx<'d> {
     init_reads_materialized: Vec<usize>,
 }
 
-impl Ctx<'_> {
+impl Ctx {
     /// Prepares `lit` for use as a solve assumption: resolves sweep
     /// substitutions and emits any still-lazy defining clauses.
     fn assumption(&mut self, lit: Lit) -> Lit {
@@ -258,7 +282,7 @@ impl Ctx<'_> {
     }
 }
 
-impl std::fmt::Debug for Ctx<'_> {
+impl std::fmt::Debug for Ctx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Ctx")
             .field("frames", &self.unroller.num_frames())
@@ -266,14 +290,20 @@ impl std::fmt::Debug for Ctx<'_> {
     }
 }
 
-/// The incremental BMC engine. See the [module docs](self) for the mapping
-/// to the paper's algorithms.
+/// The incremental BMC engine. See the crate docs for the mapping to the
+/// paper's algorithms.
 #[derive(Debug)]
 pub struct BmcEngine<'d> {
+    /// The design as handed in — the reference semantics traces are
+    /// validated against.
     design: &'d Design,
+    /// The model actually encoded: the original, or an owned
+    /// fraig-reduced rewrite of it (identical interface, fewer gates).
+    model: Cow<'d, Design>,
+    fraig_stats: Option<FraigStats>,
     options: BmcOptions,
-    anchored: Ctx<'d>,
-    floating: Option<Ctx<'d>>,
+    anchored: Ctx,
+    floating: Option<Ctx>,
 }
 
 impl<'d> BmcEngine<'d> {
@@ -292,19 +322,28 @@ impl<'d> BmcEngine<'d> {
             assert_eq!(a.kept_latches.len(), design.num_latches());
             assert_eq!(a.kept_memories.len(), design.memories().len());
         }
-        let anchored = Self::make_ctx(design, &options, true);
+        let (model, fraig_stats) = if options.fraig.enabled && design.num_gates() > 0 {
+            let mut reduced = design.clone();
+            let stats = fraig_design(&mut reduced, &options.fraig);
+            (Cow::Owned(reduced), Some(stats))
+        } else {
+            (Cow::Borrowed(design), None)
+        };
+        let anchored = Self::make_ctx(&model, &options, true);
         let floating = options
             .proofs
-            .then(|| Self::make_ctx(design, &options, false));
+            .then(|| Self::make_ctx(&model, &options, false));
         BmcEngine {
             design,
+            model,
+            fraig_stats,
             options,
             anchored,
             floating,
         }
     }
 
-    fn make_ctx<'a>(design: &'a Design, options: &BmcOptions, anchored: bool) -> Ctx<'a> {
+    fn make_ctx(design: &Design, options: &BmcOptions, anchored: bool) -> Ctx {
         let mut solver = Solver::with_config(SolverConfig::default());
         let mut simplify = options
             .simplify
@@ -362,9 +401,20 @@ impl<'d> BmcEngine<'d> {
         }
     }
 
-    /// The design under verification.
+    /// The design under verification (as handed to [`BmcEngine::new`]).
     pub fn design(&self) -> &'d Design {
         self.design
+    }
+
+    /// The model the engine actually encodes: the original design, or the
+    /// fraig-reduced rewrite when [`BmcOptions::fraig`] is enabled.
+    pub fn model(&self) -> &Design {
+        &self.model
+    }
+
+    /// Counters of the fraig preprocessing pass, when it ran.
+    pub fn fraig_stats(&self) -> Option<&FraigStats> {
+        self.fraig_stats.as_ref()
     }
 
     /// Cumulative EMM constraint statistics of the anchored context.
@@ -393,6 +443,7 @@ impl<'d> BmcEngine<'d> {
 
     /// Extends every context to include frame `k`.
     fn ensure_depth(&mut self, k: usize) {
+        let model: &Design = &self.model;
         for ctx in std::iter::once(&mut self.anchored).chain(self.floating.as_mut()) {
             let Ctx {
                 solver,
@@ -407,7 +458,7 @@ impl<'d> BmcEngine<'d> {
                 match simplify {
                     Some(simp) => {
                         let mut sink = simp.attach(solver);
-                        Self::extend_one(unroller, emm, emm_index, lfp, &mut sink);
+                        Self::extend_one(model, unroller, emm, emm_index, lfp, &mut sink);
                         // Trace extraction reads literals that may sit
                         // outside every emitted clause under lazy emission;
                         // materialize them so the model constrains them:
@@ -427,14 +478,14 @@ impl<'d> BmcEngine<'d> {
                             *done = reads.len();
                         }
                         let frame = unroller.num_frames() - 1;
-                        for m in unroller.design().memories() {
+                        for m in model.memories() {
                             for rp in &m.read_ports {
                                 let en = unroller.lit(frame, rp.en);
                                 sink.materialize(en);
                             }
                         }
                     }
-                    None => Self::extend_one(unroller, emm, emm_index, lfp, solver),
+                    None => Self::extend_one(model, unroller, emm, emm_index, lfp, solver),
                 }
             }
         }
@@ -442,30 +493,31 @@ impl<'d> BmcEngine<'d> {
 
     /// Unrolls one frame and emits its EMM and LFP constraints into `sink`.
     fn extend_one(
-        unroller: &mut Unroller<'_>,
+        model: &Design,
+        unroller: &mut Unroller,
         emm: &mut EmmEncoder,
         emm_index: &[Option<usize>],
         lfp: &mut Option<LfpBuilder>,
         sink: &mut dyn CnfSink,
     ) {
-        let frame = unroller.extend(sink);
+        let frame = unroller.extend(model, sink);
         // EMM constraints for kept memories.
         let mut frames = Vec::new();
         for (mi, slot) in emm_index.iter().enumerate() {
             if slot.is_some() {
-                frames.push(unroller.memory_frame_lits(frame, mi));
+                frames.push(unroller.memory_frame_lits(model, frame, mi));
             }
         }
         emm.add_frame(sink, &frames);
         if let Some(lfp) = lfp {
-            let lits = unroller.latch_lits(frame);
+            let lits = unroller.latch_lits(model, frame);
             lfp.add_frame(sink, &lits);
         }
     }
 
     /// Base assumptions activating selectors (EMM memory/port selectors and
     /// PBA latch selectors) in a context.
-    fn base_assumptions(ctx: &Ctx<'_>) -> Vec<Lit> {
+    fn base_assumptions(ctx: &Ctx) -> Vec<Lit> {
         let mut a = ctx.emm.all_active_assumptions();
         a.extend_from_slice(ctx.unroller.latch_selectors());
         a
@@ -481,7 +533,10 @@ impl<'d> BmcEngine<'d> {
     pub fn check(&mut self, prop: usize, max_depth: usize) -> Result<BmcRun, BmcError> {
         let started = Instant::now();
         let deadline = self.options.wall_limit.map(|d| started + d);
-        let bad_bit = self.design.properties()[prop].bad;
+        // Encode against the model in force (possibly fraig-reduced);
+        // interface structure (properties, latches, inputs, memories) is
+        // identical to the original design.
+        let bad_bit = self.model.properties()[prop].bad;
         let mut latch_reasons: HashSet<usize> = HashSet::new();
         let mut memory_reasons: HashSet<usize> = HashSet::new();
 
@@ -643,15 +698,19 @@ impl<'d> BmcEngine<'d> {
     }
 
     /// Builds a [`Trace`] from the anchored solver's model at depth `i`.
+    ///
+    /// The trace is expressed over the *interface* (free inputs, latches,
+    /// memories), which the fraig rewrite preserves exactly, so it replays
+    /// on the original design as-is.
     fn extract_trace(&self, prop: usize, depth: usize) -> Trace {
         let ctx = &self.anchored;
         let solver = &ctx.solver;
-        let design = self.design;
+        let design: &Design = &self.model;
         let model = |l: Lit| solver.model_value(l).unwrap_or(false);
 
         let initial_latches: Vec<bool> = ctx
             .unroller
-            .latch_lits(0)
+            .latch_lits(design, 0)
             .iter()
             .map(|&l| model(l))
             .collect();

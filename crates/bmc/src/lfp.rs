@@ -142,8 +142,8 @@ mod tests {
         // A mod-5 counter has 5 distinct states: paths with 5 transitions
         // (6 states) must revisit.
         for k in 0..8usize {
-            u.extend(&mut s);
-            lfp.add_frame(&mut s, &u.latch_lits(k));
+            u.extend(&d, &mut s);
+            lfp.add_frame(&mut s, &u.latch_lits(&d, k));
             let result = s.solve_with(&[lfp.activation()]);
             let expect = if (k as u64) < modulo {
                 SolveResult::Sat
@@ -169,8 +169,8 @@ mod tests {
         );
         let mut lfp = LfpBuilder::new(&mut s, d.num_latches(), None);
         for k in 0..6 {
-            u.extend(&mut s);
-            lfp.add_frame(&mut s, &u.latch_lits(k));
+            u.extend(&d, &mut s);
+            lfp.add_frame(&mut s, &u.latch_lits(&d, k));
         }
         assert_eq!(s.solve(), SolveResult::Sat, "plain model stays satisfiable");
         assert_eq!(s.solve_with(&[lfp.activation()]), SolveResult::Unsat);
@@ -202,8 +202,8 @@ mod tests {
         let kept = vec![true, false, false, false]; // only the toggle bit
         let mut lfp = LfpBuilder::new(&mut s, d.num_latches(), Some(&kept));
         for k in 0..4 {
-            u.extend(&mut s);
-            lfp.add_frame(&mut s, &u.latch_lits(k));
+            u.extend(&d, &mut s);
+            lfp.add_frame(&mut s, &u.latch_lits(&d, k));
         }
         // The toggle alone has 2 states; 3 frames must repeat.
         assert_eq!(s.solve_with(&[lfp.activation()]), SolveResult::Unsat);

@@ -8,19 +8,27 @@
 //!   latch selectors (PBA reason discovery) and frozen abstractions
 //!   (reduced models);
 //! * [`LfpBuilder`] — loop-free-path constraints for the induction-style
-//!   termination checks of ref. [19];
+//!   termination checks of ref. \[19\];
 //! * [`BmcEngine`] — the paper's BMC-1 / BMC-2 / BMC-3 loops: witness
 //!   search, forward-diameter and backward-induction proofs, counterexample
 //!   extraction with re-simulation, and proof-based-abstraction reason
 //!   collection;
 //! * [`pba`] — stability-based abstraction discovery and iterative
-//!   abstraction (ref. [10]).
+//!   abstraction (ref. \[10\]).
 //!
 //! All encoders emit through [`emm_sat::CnfSink`], and the engine threads
 //! a simplifying sink ([`emm_sat::simplify`]) between them and the solver
 //! by default: cross-frame structural hashing, constant folding, and lazy
 //! gate emission, with SAT sweeping as an opt-in pass. See
 //! [`BmcOptions::simplify`](crate::BmcOptions).
+//!
+//! Before any unrolling, the engine also runs the AIG-level fraig pass
+//! ([`emm_aig::fraig`]) on a private copy of the design: functionally
+//! equivalent cones are merged once at the netlist level, so the saving
+//! multiplies across every frame of every context. Counterexample traces
+//! are still validated against the original design. See
+//! [`BmcOptions::fraig`](crate::BmcOptions) and
+//! [`BmcEngine::fraig_stats`].
 //!
 //! ## Example: proving a counter property
 //!

@@ -2,7 +2,7 @@
 //!
 //! [`discover`] runs the falsification loop of BMC with per-latch and
 //! per-memory selectors, accumulating *latch reasons* `LR_i` from every
-//! refutation. Following ref. [10], it stops when the reason set has been
+//! refutation. Following ref. \[10\], it stops when the reason set has been
 //! stable for a configured number of depths and returns an
 //! [`AbstractionSpec`] naming the latches and memory modules the proofs
 //! actually used; everything else can be freed in a *reduced model*.
@@ -12,9 +12,10 @@
 //! iterative abstraction, which is what lets the quicksort array module be
 //! dropped entirely when checking the stack-only property P2 (Table 2).
 
+use std::borrow::Cow;
 use std::time::Duration;
 
-use emm_aig::Design;
+use emm_aig::{fraig_design, Design, FraigConfig};
 use emm_core::EmmOptions;
 use emm_sat::Budget;
 
@@ -34,6 +35,12 @@ pub struct PbaConfig {
     pub solve_budget: Budget,
     /// Wall-clock limit per discovery run.
     pub wall_limit: Option<Duration>,
+    /// AIG-level fraig preprocessing. The multi-engine drivers
+    /// ([`iterative_abstraction`], [`discover_and_prove`]) run the pass
+    /// **once** on the input design and hand every engine the reduced
+    /// model with fraiging disabled, instead of letting each
+    /// [`BmcEngine::new`] repeat the identical pass.
+    pub fraig: FraigConfig,
 }
 
 impl Default for PbaConfig {
@@ -44,8 +51,23 @@ impl Default for PbaConfig {
             emm: EmmOptions::default(),
             solve_budget: Budget::unlimited(),
             wall_limit: None,
+            fraig: FraigConfig::default(),
         }
     }
+}
+
+/// Applies the configured fraig pass once, returning the model every
+/// engine of a multi-engine driver should share (with per-engine
+/// fraiging switched off in the returned config).
+fn prereduce<'d>(design: &'d Design, config: &PbaConfig) -> (Cow<'d, Design>, PbaConfig) {
+    if !config.fraig.enabled {
+        return (Cow::Borrowed(design), config.clone());
+    }
+    let mut model = design.clone();
+    fraig_design(&mut model, &config.fraig);
+    let mut config = config.clone();
+    config.fraig = FraigConfig::disabled();
+    (Cow::Owned(model), config)
 }
 
 /// Outcome of a discovery run.
@@ -100,6 +122,7 @@ pub fn discover_within(
             validate_traces: false,
             abstraction: within.cloned(),
             pba_discovery: true,
+            fraig: config.fraig,
             ..BmcOptions::default()
         },
     );
@@ -161,7 +184,7 @@ pub fn discover_within(
     })
 }
 
-/// Iterative abstraction (ref. [10]): repeat discovery on progressively
+/// Iterative abstraction (ref. \[10\]): repeat discovery on progressively
 /// more abstract models until the kept sets stop shrinking or `max_iters`
 /// runs have been performed.
 ///
@@ -174,6 +197,8 @@ pub fn iterative_abstraction(
     config: &PbaConfig,
     max_iters: usize,
 ) -> Result<PbaDiscovery, crate::BmcError> {
+    let (model, config) = prereduce(design, config);
+    let (design, config) = (&*model, &config);
     let mut current = discover(design, prop, config)?;
     if current.found_counterexample {
         return Ok(current);
@@ -220,7 +245,9 @@ pub fn discover_and_prove(
     proof_depth: usize,
     max_rounds: usize,
 ) -> Result<AbstractProof, crate::BmcError> {
-    let mut config = config.clone();
+    let (model, config) = prereduce(design, config);
+    let design = &*model;
+    let mut config = config;
     let mut rounds = 0;
     loop {
         rounds += 1;
@@ -231,6 +258,7 @@ pub fn discover_and_prove(
                 design,
                 BmcOptions {
                     emm: config.emm,
+                    fraig: config.fraig,
                     ..BmcOptions::default()
                 },
             );
@@ -251,6 +279,7 @@ pub fn discover_and_prove(
                 validate_traces: false,
                 abstraction: Some(disc.abstraction.clone()),
                 pba_discovery: false,
+                fraig: config.fraig,
                 ..BmcOptions::default()
             },
         );

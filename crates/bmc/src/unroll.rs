@@ -38,9 +38,14 @@ pub struct UnrollConfig {
 }
 
 /// Per-frame literal maps over a design.
+///
+/// The unroller does not borrow the design: every method that needs the
+/// graph takes it as a parameter, so an engine can own both the (possibly
+/// preprocessed) design and its unrollers in one struct. Callers must pass
+/// the *same* design to every call — frame literal maps are indexed by its
+/// node ids.
 #[derive(Debug)]
-pub struct Unroller<'d> {
-    design: &'d Design,
+pub struct Unroller {
     config: UnrollConfig,
     /// A literal fixed to false (for mapping AIG constants).
     const_false: Lit,
@@ -50,24 +55,24 @@ pub struct Unroller<'d> {
     latch_sel: Vec<Lit>,
 }
 
-impl<'d> Unroller<'d> {
+impl Unroller {
     /// Creates an unroller; no frames exist yet.
     ///
     /// `sink` is any [`CnfSink`]: a live [`Solver`](emm_sat::Solver), a
     /// [`SimplifySink`](emm_sat::SimplifySink) wrapping one, or a counting
     /// sink for size experiments. The same sink (or at least the same
-    /// underlying variable space) must be used for every later
-    /// [`Unroller::extend`].
+    /// underlying variable space) and the same design must be used for
+    /// every later [`Unroller::extend`].
     ///
     /// # Panics
     ///
     /// Panics if the design fails [`Design::check`] or `kept_latches` has
     /// the wrong length.
     pub fn new<S: CnfSink + ?Sized>(
-        design: &'d Design,
+        design: &Design,
         sink: &mut S,
         config: UnrollConfig,
-    ) -> Unroller<'d> {
+    ) -> Unroller {
         design.check().expect("design must be well-formed");
         if let Some(kept) = &config.kept_latches {
             assert_eq!(kept.len(), design.num_latches(), "kept mask length");
@@ -82,7 +87,6 @@ impl<'d> Unroller<'d> {
             Vec::new()
         };
         Unroller {
-            design,
             config,
             const_false: cf,
             frames: Vec::new(),
@@ -93,11 +97,6 @@ impl<'d> Unroller<'d> {
     /// Number of frames unrolled so far.
     pub fn num_frames(&self) -> usize {
         self.frames.len()
-    }
-
-    /// The design being unrolled.
-    pub fn design(&self) -> &'d Design {
-        self.design
     }
 
     /// Per-latch selector literals (selector mode only, else empty).
@@ -126,8 +125,8 @@ impl<'d> Unroller<'d> {
 
     /// Literals of every latch output at `frame` (for loop-free-path
     /// constraints and trace extraction).
-    pub fn latch_lits(&self, frame: usize) -> Vec<Lit> {
-        self.design
+    pub fn latch_lits(&self, design: &Design, frame: usize) -> Vec<Lit> {
+        design
             .latches()
             .iter()
             .map(|l| self.lit(frame, l.output))
@@ -135,9 +134,8 @@ impl<'d> Unroller<'d> {
     }
 
     /// Unrolls the next frame, returning its index.
-    pub fn extend<S: CnfSink + ?Sized>(&mut self, sink: &mut S) -> usize {
+    pub fn extend<S: CnfSink + ?Sized>(&mut self, design: &Design, sink: &mut S) -> usize {
         let k = self.frames.len();
-        let design = self.design;
         let mut map: Vec<Lit> = Vec::with_capacity(design.aig.num_nodes());
         let tru = !self.const_false;
         let fal = self.const_false;
@@ -238,8 +236,8 @@ impl<'d> Unroller<'d> {
     }
 
     /// Interface literals of memory `mem` at `frame`, for the EMM encoder.
-    pub fn memory_frame_lits(&self, frame: usize, mem: usize) -> MemoryFrameLits {
-        let m = &self.design.memories()[mem];
+    pub fn memory_frame_lits(&self, design: &Design, frame: usize, mem: usize) -> MemoryFrameLits {
+        let m = &design.memories()[mem];
         MemoryFrameLits {
             reads: m
                 .read_ports
@@ -302,7 +300,7 @@ mod tests {
             },
         );
         for _ in 0..6 {
-            u.extend(&mut s);
+            u.extend(&d, &mut s);
         }
         assert_eq!(s.solve(), SolveResult::Sat);
         let count_word = Word::from(d.latches().iter().map(|l| l.output).collect::<Vec<_>>());
@@ -330,7 +328,7 @@ mod tests {
             },
         );
         for k in 0..8 {
-            u.extend(&mut s);
+            u.extend(&d, &mut s);
             let bad = u.lit(k, d.properties()[0].bad);
             let expect = if k == 5 {
                 SolveResult::Sat
@@ -353,7 +351,7 @@ mod tests {
                 ..UnrollConfig::default()
             },
         );
-        u.extend(&mut s);
+        u.extend(&d, &mut s);
         let bad = u.lit(0, d.properties()[0].bad);
         // Unanchored: the bad state is immediately "reachable".
         assert_eq!(s.solve_with(&[bad]), SolveResult::Sat);
@@ -372,7 +370,7 @@ mod tests {
                 ..UnrollConfig::default()
             },
         );
-        u.extend(&mut s);
+        u.extend(&d, &mut s);
         let bad = u.lit(0, d.properties()[0].bad);
         // All latches freed: counter value is unconstrained even at frame 0.
         assert_eq!(s.solve_with(&[bad]), SolveResult::Sat);
@@ -391,7 +389,7 @@ mod tests {
                 ..UnrollConfig::default()
             },
         );
-        u.extend(&mut s);
+        u.extend(&d, &mut s);
         let bad = u.lit(0, d.properties()[0].bad);
         let sels: Vec<Lit> = u.latch_selectors().to_vec();
         assert_eq!(sels.len(), 4);
@@ -424,7 +422,7 @@ mod tests {
             },
         );
         for k in 0..3 {
-            u.extend(&mut s);
+            u.extend(&d, &mut s);
             let bad = u.lit(k, d.properties()[0].bad);
             assert_eq!(s.solve_with(&[bad]), SolveResult::Unsat, "depth {k}");
         }

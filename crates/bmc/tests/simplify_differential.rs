@@ -199,9 +199,9 @@ fn simplified_unrolling_is_equisatisfiable_per_frame() {
         let mut simplified = Unroller::new(&d, &mut sink, config);
 
         for k in 0..6 {
-            plain.extend(&mut plain_solver);
+            plain.extend(&d, &mut plain_solver);
             let mut sink = simp.attach(&mut simp_solver);
-            simplified.extend(&mut sink);
+            simplified.extend(&d, &mut sink);
             let bad = sink.materialize(simplified.lit(k, bad_bit));
             let expect = plain_solver.solve_with(&[plain.lit(k, bad_bit)]);
             let got = simp_solver.solve_with(&[bad]);

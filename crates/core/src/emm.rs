@@ -61,7 +61,7 @@ pub enum ForwardingEncoding {
     Exclusive,
     /// A direct implication encoding of eq. (3) without the one-hot
     /// exclusivity signals; used by the ablation benchmark to measure what
-    /// the exclusivity constraints buy (the comparison in [18]).
+    /// the exclusivity constraints buy (the comparison in \[18\]).
     Direct,
 }
 

@@ -20,7 +20,7 @@ use crate::lit::Lit;
 /// Stable identifier of a tracked clause, used in unsat cores.
 ///
 /// Ids are assigned by the solver in insertion order and survive garbage
-/// collection (unlike [`ClauseRef`], which is a raw arena offset).
+/// collection (unlike the internal `ClauseRef`, which is a raw arena offset).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ClauseId(pub u32);
 

@@ -3,8 +3,8 @@
 //! A conflict-driven clause-learning (CDCL) SAT solver built as the backend
 //! for SAT-based Bounded Model Checking with Efficient Memory Modeling
 //! (Ganai, Gupta, Ashar — DATE 2005). It stands in for the paper's hybrid
-//! circuit/CNF solver (their ref. [21]) and resolution-based refutation
-//! extractor (their ref. [20]).
+//! circuit/CNF solver (their ref. \[21\]) and resolution-based refutation
+//! extractor (their ref. \[20\]).
 //!
 //! ## Features
 //!
@@ -21,6 +21,11 @@
 //! * A **simplifying CNF sink** ([`SimplifySink`], module [`simplify`]):
 //!   cross-frame structural hashing, simulation-guided SAT sweeping, and
 //!   lazy gate emission between the BMC encoders and the solver.
+//! * An incremental **cone-to-CNF equivalence oracle** ([`EquivOracle`]):
+//!   the solver-side half of AIG-level fraiging (`emm-aig`'s `fraig`
+//!   module) — callers encode just the cones a candidate equivalence
+//!   mentions and get proved/refuted/unknown answers with distinguishing
+//!   models.
 //!
 //! ## Example
 //!
@@ -40,6 +45,7 @@
 
 mod clause;
 pub mod dimacs;
+mod equiv;
 mod heap;
 mod lit;
 pub mod naive;
@@ -48,6 +54,7 @@ mod sink;
 mod solver;
 
 pub use clause::ClauseId;
+pub use equiv::EquivOracle;
 pub use lit::{LBool, Lit, Var};
 pub use simplify::{Simplifier, SimplifyConfig, SimplifySink, SimplifyStats};
 pub use sink::{CnfSink, CountingSink, VecSink};

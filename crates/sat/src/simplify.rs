@@ -165,6 +165,12 @@ pub struct SimplifyStats {
     pub sweep_refuted: u64,
     /// Sweep checks abandoned on the conflict budget.
     pub sweep_unknown: u64,
+    /// Sweep candidates skipped without a SAT call: duplicates of an
+    /// already-tried pair, or candidates whose signature a mid-call
+    /// refinement separated from the gate under test. Each skip is a
+    /// refutation-shaped check (and its [`SimplifyConfig::SWEEP_MISS_COST`]
+    /// credits) that the old re-queue behavior would have paid twice.
+    pub sweep_stale_skips: u64,
     /// Clauses received via `add_clause`.
     pub clauses_in: u64,
     /// Clauses forwarded to the inner sink (gate encodings excluded).
@@ -395,6 +401,16 @@ impl<S: CnfSink + ?Sized> SimplifySink<'_, S> {
 
     /// Tries to merge `out` into a signature-equal emitted gate; returns
     /// `true` when a substitution was recorded.
+    ///
+    /// The candidate list is snapshotted from the buckets up front, but a
+    /// refuted check refines every signature mid-call, so later entries can
+    /// be *stale*: re-queued pairs (two bucket entries resolving to the same
+    /// representative) or candidates the fresh counterexample pattern
+    /// already separates from `out`. Both are skipped without a SAT call —
+    /// each skipped check would otherwise be a guaranteed refutation
+    /// charging [`SimplifyConfig::SWEEP_MISS_COST`] credits a second time
+    /// for information the refinement already extracted (see
+    /// [`SimplifyStats::sweep_stale_skips`]).
     fn sweep(&mut self, out: Lit, sig: u64) -> bool {
         let credits = self.simp.config.sweep_credits;
         if self.simp.sweep_spent >= credits {
@@ -409,6 +425,7 @@ impl<S: CnfSink + ?Sized> SimplifySink<'_, S> {
         }
         let budget = self.simp.config.sweep_conflicts;
         let mut tried = 0usize;
+        let mut tried_vars: Vec<Var> = Vec::new();
         for cand in candidates {
             if tried >= self.simp.config.max_sweep_candidates || self.simp.sweep_spent >= credits {
                 break;
@@ -417,6 +434,15 @@ impl<S: CnfSink + ?Sized> SimplifySink<'_, S> {
             if cand.var() == out.var() {
                 continue;
             }
+            if tried_vars.contains(&cand.var()) {
+                self.simp.stats.sweep_stale_skips += 1;
+                continue;
+            }
+            if self.simp.lit_sig(cand) != self.simp.lit_sig(out) {
+                self.simp.stats.sweep_stale_skips += 1;
+                continue;
+            }
+            tried_vars.push(cand.var());
             tried += 1;
             self.simp.stats.sweep_checks += 1;
             match self.inner.prove_equiv(out, cand, budget) {
@@ -709,6 +735,85 @@ mod tests {
         assert_eq!(simp.stats().clauses_emitted, emitted_before + 1);
         assert_eq!(s.solve(), SolveResult::Sat);
         assert_eq!(s.model_value(c), Some(true));
+    }
+
+    /// Re-queue pinning (white-box): when a refuted check refines the
+    /// signatures mid-`sweep`, candidates the fresh counterexample pattern
+    /// already separates from the gate under test are skipped without a
+    /// second SAT call — the old behavior charged `SWEEP_MISS_COST` again
+    /// for a refutation the refinement had already performed. The bucket
+    /// collision is staged directly (signature collisions between
+    /// inequivalent gates arise from refinement shifts in long runs and
+    /// cannot be constructed through the public API deterministically).
+    #[test]
+    fn refuted_sweep_skips_refinement_separated_candidates() {
+        let mut s = Solver::new();
+        let mut simp = Simplifier::new(SimplifyConfig::sweeping());
+        let mut sink = simp.attach(&mut s);
+        let a = sink.new_var().positive();
+        let b = sink.new_var().positive();
+        let c = sink.new_var().positive();
+        let d = sink.new_var().positive();
+        let e = sink.new_var().positive();
+        let f = sink.new_var().positive();
+        let g1 = sink.add_and_gate(a, b);
+        let g1 = sink.materialize(g1);
+        let g2 = sink.add_and_gate(c, d);
+        let g2 = sink.materialize(g2);
+        // Pin g2 false in every model, so any distinguishing model for a
+        // true gate separates g2 as well.
+        sink.add_clause(&[!c]);
+        // Stage the collision: both emitted gates share one bucket under a
+        // common signature, and the next gate will land on it too.
+        let t = 0x0123_4567_89AB_CDEFu64;
+        simp.set_var_sig(g1.var(), t);
+        simp.set_var_sig(g2.var(), t);
+        simp.buckets.clear();
+        simp.buckets.insert(t, vec![g1, g2]);
+        simp.set_var_sig(e.var(), t);
+        simp.set_var_sig(f.var(), u64::MAX);
+        let mut sink = simp.attach(&mut s);
+        let g3 = sink.add_and_gate(e, f);
+        sink.materialize(g3);
+        let st = *simp.stats();
+        assert_eq!(st.sweep_checks, 1, "only the first candidate is checked");
+        assert_eq!(st.sweep_refuted, 1);
+        assert_eq!(st.sweep_merges, 0, "no merge across the counterexample");
+        assert_eq!(st.sweep_stale_skips, 1, "g2 separated by the refinement");
+        assert_eq!(
+            simp.sweep_spent,
+            SimplifyConfig::SWEEP_MISS_COST,
+            "the skipped candidate is not charged a second miss"
+        );
+    }
+
+    /// Re-queue pinning (white-box): two bucket entries resolving to the
+    /// same representative are one candidate pair, checked (and charged)
+    /// once.
+    #[test]
+    fn duplicate_bucket_entries_are_checked_once() {
+        let mut s = Solver::new();
+        let mut simp = Simplifier::new(SimplifyConfig::sweeping());
+        let mut sink = simp.attach(&mut s);
+        let a = sink.new_var().positive();
+        let b = sink.new_var().positive();
+        let e = sink.new_var().positive();
+        let f = sink.new_var().positive();
+        let g1 = sink.add_and_gate(a, b);
+        let g1 = sink.materialize(g1);
+        let t = 0x0123_4567_89AB_CDEFu64;
+        simp.set_var_sig(g1.var(), t);
+        simp.buckets.clear();
+        simp.buckets.insert(t, vec![g1, g1]);
+        simp.set_var_sig(e.var(), t);
+        simp.set_var_sig(f.var(), u64::MAX);
+        let mut sink = simp.attach(&mut s);
+        let g3 = sink.add_and_gate(e, f);
+        sink.materialize(g3);
+        let st = *simp.stats();
+        assert_eq!(st.sweep_checks, 1);
+        assert_eq!(st.sweep_stale_skips, 1, "the duplicate entry is deduped");
+        assert_eq!(simp.sweep_spent, SimplifyConfig::SWEEP_MISS_COST);
     }
 
     /// Equisatisfiability spot check: a small gate pyramid behaves the same

@@ -169,7 +169,7 @@ impl Tracer {
     }
 }
 
-/// The CDCL solver. See the [module documentation](self) for an overview.
+/// The CDCL solver. See the crate docs for an overview.
 ///
 /// ```
 /// use emm_sat::{Solver, SolveResult};

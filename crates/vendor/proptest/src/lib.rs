@@ -89,7 +89,7 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
-        /// Type-erases the strategy (needed for [`prop_oneof!`] arms and
+        /// Type-erases the strategy (needed for `prop_oneof!` arms and
         /// recursive strategies).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
@@ -256,7 +256,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::test_runner::TestRng;
 
-    /// Lengths accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Lengths accepted by [`vec()`]: a fixed `usize` or a `Range<usize>`.
     pub trait IntoLen {
         /// Draws a concrete length.
         fn draw(&self, rng: &mut TestRng) -> usize;
@@ -280,7 +280,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S, L> {
         element: S,
         len: L,
