@@ -262,6 +262,63 @@ impl Aig {
             Self::FALSE
         }
     }
+
+    /// Removes every node with index `>= len`, unwinding the structural
+    /// hash table. Only AND nodes may be removed — the reduction passes
+    /// use this to discard rejected rewrite candidates, which never
+    /// create inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if a non-AND node would be removed.
+    pub(crate) fn truncate(&mut self, len: usize) {
+        while self.nodes.len() > len {
+            match self.nodes.pop().expect("len checked") {
+                Node::And(a, b) => {
+                    self.strash.remove(&(a, b));
+                }
+                other => unreachable!("truncate may only remove AND nodes, found {other:?}"),
+            }
+        }
+    }
+
+    /// Dead-strips everything outside the cones of `roots` into a fresh
+    /// graph, preserving inputs index-for-index and the relative order of
+    /// surviving nodes. Returns the compacted graph and the node map
+    /// (dead ANDs map to [`Aig::FALSE`]). Shared by the fraig and rewrite
+    /// passes' final sweeps.
+    pub(crate) fn compacted(&self, roots: &[NodeId]) -> (Aig, Vec<Bit>) {
+        let mut live = vec![false; self.num_nodes()];
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(n) = stack.pop() {
+            if live[n.index()] {
+                continue;
+            }
+            live[n.index()] = true;
+            if let Node::And(a, b) = self.node(n) {
+                stack.push(a.node());
+                stack.push(b.node());
+            }
+        }
+        let mut out = Aig::new();
+        let mut map: Vec<Bit> = vec![Aig::FALSE; self.num_nodes()];
+        for (id, node) in self.iter() {
+            match node {
+                Node::Const => {}
+                Node::Input(_) => map[id.index()] = out.new_input(),
+                Node::And(a, b) => {
+                    if live[id.index()] {
+                        let x = map[a.node().index()];
+                        let x = if a.is_inverted() { !x } else { x };
+                        let y = map[b.node().index()];
+                        let y = if b.is_inverted() { !y } else { y };
+                        map[id.index()] = out.and(x, y);
+                    }
+                }
+            }
+        }
+        (out, map)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,273 @@
+//! K-feasible cut enumeration with truth tables.
+//!
+//! A *cut* of a node `n` is a set of nodes (the *leaves*) such that every
+//! path from an input to `n` passes through a leaf; the logic between the
+//! leaves and `n` — the cut's *cone* — computes `n` as a function of the
+//! leaves alone. Enumerating all cuts with at most `k` leaves (the
+//! *k-feasible* cuts) is the window-discovery step of cut-based rewriting
+//! ([`crate::rewrite`]): each cut's function, captured as a truth table,
+//! can be re-synthesized from scratch and compared against the cone it
+//! would replace.
+//!
+//! Cuts are computed bottom-up in one topological pass, exactly as in
+//! technology mappers: the cut set of an AND node is the pairwise merge of
+//! its fanins' cut sets (unions of at most `k` leaves), plus the *trivial
+//! cut* `{n}` that lets `n` itself serve as a leaf of its fanouts. Each
+//! cut carries the truth table of the node over the cut leaves, maintained
+//! during the merge, so no separate window simulation is needed.
+//!
+//! Truth tables are stored as full 4-variable tables (`u16`), with leaf
+//! `i` bound to variable `i`; a cut with fewer than four leaves simply
+//! does not depend on the higher variables. [`MAX_CUT_SIZE`] caps `k` at 4.
+
+use crate::aig::{Aig, Node, NodeId};
+
+/// Hard upper bound on cut width: a `u16` truth table covers 4 variables.
+pub const MAX_CUT_SIZE: usize = 4;
+
+/// Truth tables of the four cut variables (`x0` is bit 0 of the position
+/// index). `VAR_TT[i]` is the table of the projection onto leaf `i`.
+pub const VAR_TT: [u16; MAX_CUT_SIZE] = [0xAAAA, 0xCCCC, 0xF0F0, 0xFF00];
+
+/// One k-feasible cut: sorted leaves plus the node's function over them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cut {
+    /// Leaf nodes, sorted ascending, at most [`MAX_CUT_SIZE`] of them.
+    pub leaves: Vec<NodeId>,
+    /// Truth table of the cut's root over the leaves (leaf `i` ↔ variable
+    /// `i` of [`VAR_TT`]); independent of variables `>= leaves.len()`.
+    pub tt: u16,
+}
+
+impl Cut {
+    /// The trivial cut `{n}`: the node as a function of itself.
+    fn trivial(n: NodeId) -> Cut {
+        Cut {
+            leaves: vec![n],
+            tt: VAR_TT[0],
+        }
+    }
+
+    /// `true` for a single-leaf cut of the node itself.
+    pub fn is_trivial(&self, n: NodeId) -> bool {
+        self.leaves.len() == 1 && self.leaves[0] == n
+    }
+}
+
+/// Knobs of the enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct CutConfig {
+    /// Maximum leaves per cut (clamped to `2..=`[`MAX_CUT_SIZE`]).
+    pub cut_size: usize,
+    /// Non-trivial cuts kept per node (smallest-leaf-count first).
+    pub max_cuts: usize,
+}
+
+impl Default for CutConfig {
+    fn default() -> CutConfig {
+        CutConfig {
+            cut_size: MAX_CUT_SIZE,
+            max_cuts: 8,
+        }
+    }
+}
+
+/// Re-expresses `tt`, a table over `leaves`, as a table over `union`
+/// (which must contain every leaf). Both leaf slices are sorted.
+fn expand(tt: u16, leaves: &[NodeId], union: &[NodeId]) -> u16 {
+    if leaves.len() == union.len() {
+        return tt;
+    }
+    // Position of each leaf variable inside the union.
+    let mut pos = [0usize; MAX_CUT_SIZE];
+    for (i, l) in leaves.iter().enumerate() {
+        pos[i] = union.iter().position(|u| u == l).expect("leaf in union");
+    }
+    let mut out = 0u16;
+    for p in 0..16usize {
+        let mut q = 0usize;
+        for (i, &src) in pos.iter().enumerate().take(leaves.len()) {
+            q |= ((p >> src) & 1) << i;
+        }
+        out |= ((tt >> q) & 1) << p;
+    }
+    out
+}
+
+/// Merges two operand cuts into a cut of the AND above them, or `None` if
+/// the union exceeds `k` leaves.
+fn merge(ca: &Cut, inv_a: bool, cb: &Cut, inv_b: bool, k: usize) -> Option<Cut> {
+    // Sorted union of the leaf sets.
+    let mut union: Vec<NodeId> = Vec::with_capacity(ca.leaves.len() + cb.leaves.len());
+    let (mut i, mut j) = (0, 0);
+    while i < ca.leaves.len() || j < cb.leaves.len() {
+        let next = match (ca.leaves.get(i), cb.leaves.get(j)) {
+            (Some(&a), Some(&b)) if a == b => {
+                i += 1;
+                j += 1;
+                a
+            }
+            (Some(&a), Some(&b)) if a < b => {
+                i += 1;
+                a
+            }
+            (Some(_), Some(&b)) => {
+                j += 1;
+                b
+            }
+            (Some(&a), None) => {
+                i += 1;
+                a
+            }
+            (None, Some(&b)) => {
+                j += 1;
+                b
+            }
+            (None, None) => unreachable!(),
+        };
+        if union.len() == k {
+            return None;
+        }
+        union.push(next);
+    }
+    let ta = expand(ca.tt, &ca.leaves, &union) ^ if inv_a { 0xFFFF } else { 0 };
+    let tb = expand(cb.tt, &cb.leaves, &union) ^ if inv_b { 0xFFFF } else { 0 };
+    Some(Cut {
+        leaves: union,
+        tt: ta & tb,
+    })
+}
+
+/// Enumerates the k-feasible cuts of every node, indexed by node id.
+///
+/// Each AND node's set contains its trivial cut plus at most
+/// [`CutConfig::max_cuts`] merged cuts, with dominated cuts (a superset of
+/// another cut's leaves) removed and smaller cuts preferred. Inputs get
+/// only their trivial cut; the constant node gets a single leafless cut
+/// with the all-false table.
+pub fn enumerate_cuts(aig: &Aig, config: &CutConfig) -> Vec<Vec<Cut>> {
+    let k = config.cut_size.clamp(2, MAX_CUT_SIZE);
+    let mut all: Vec<Vec<Cut>> = Vec::with_capacity(aig.num_nodes());
+    for (id, node) in aig.iter() {
+        let cuts = match node {
+            Node::Const => vec![Cut {
+                leaves: Vec::new(),
+                tt: 0,
+            }],
+            Node::Input(_) => vec![Cut::trivial(id)],
+            Node::And(a, b) => {
+                let mut cuts: Vec<Cut> = Vec::new();
+                for ca in &all[a.node().index()] {
+                    for cb in &all[b.node().index()] {
+                        let Some(c) = merge(ca, a.is_inverted(), cb, b.is_inverted(), k) else {
+                            continue;
+                        };
+                        if !cuts.contains(&c) {
+                            cuts.push(c);
+                        }
+                    }
+                }
+                // Prefer small cuts, drop dominated ones (their cone is a
+                // superset of a kept cut's cone and can only cost more).
+                cuts.sort_by_key(|c| c.leaves.len());
+                let mut kept: Vec<Cut> = Vec::new();
+                for c in cuts {
+                    let dominated = kept
+                        .iter()
+                        .any(|d| d.leaves.iter().all(|l| c.leaves.contains(l)));
+                    if !dominated && kept.len() < config.max_cuts {
+                        kept.push(c);
+                    }
+                }
+                kept.push(Cut::trivial(id));
+                kept
+            }
+        };
+        all.push(cuts);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::eval_combinational;
+
+    /// Evaluates a cut's truth table under concrete leaf values.
+    fn tt_eval(cut: &Cut, leaf_values: &[bool]) -> bool {
+        let mut q = 0usize;
+        for (i, &v) in leaf_values.iter().enumerate() {
+            q |= (v as usize) << i;
+        }
+        (cut.tt >> q) & 1 == 1
+    }
+
+    #[test]
+    fn expand_is_identity_on_equal_sets() {
+        let l = vec![NodeId::FALSE];
+        assert_eq!(expand(0xAAAA, &l, &l), 0xAAAA);
+    }
+
+    #[test]
+    fn cuts_of_small_graph_match_simulation() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let c = g.new_input();
+        let x = g.and(a, b);
+        let y = g.and(!x, c);
+        let z = g.and(x, !y);
+        let cuts = enumerate_cuts(&g, &CutConfig::default());
+        // Every cut of every node must agree with concrete simulation on
+        // all 8 input assignments.
+        for p in 0..8u32 {
+            let inputs: Vec<bool> = (0..3).map(|i| (p >> i) & 1 == 1).collect();
+            let values = eval_combinational(&g, &inputs);
+            for (nid, node_cuts) in cuts.iter().enumerate() {
+                for cut in node_cuts {
+                    let leaf_values: Vec<bool> =
+                        cut.leaves.iter().map(|l| values[l.index()]).collect();
+                    assert_eq!(
+                        tt_eval(cut, &leaf_values),
+                        values[nid],
+                        "node {nid} cut {:?} pattern {p}",
+                        cut.leaves
+                    );
+                }
+            }
+        }
+        // z must have a cut over the primary inputs alone.
+        let z_cuts = &cuts[z.node().index()];
+        assert!(z_cuts
+            .iter()
+            .any(|cut| cut.leaves == vec![a.node(), b.node(), c.node()]));
+    }
+
+    #[test]
+    fn trivial_cut_always_present() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let x = g.and(a, b);
+        let cuts = enumerate_cuts(&g, &CutConfig::default());
+        assert!(cuts[x.node().index()]
+            .iter()
+            .any(|c| c.is_trivial(x.node())));
+        assert!(cuts[a.node().index()][0].is_trivial(a.node()));
+    }
+
+    #[test]
+    fn cut_width_is_bounded() {
+        let mut g = Aig::new();
+        let inputs: Vec<_> = (0..8).map(|_| g.new_input()).collect();
+        let mut acc = Aig::TRUE;
+        for &i in &inputs {
+            acc = g.and(acc, i);
+        }
+        for cuts in enumerate_cuts(&g, &CutConfig::default()) {
+            for c in &cuts {
+                assert!(c.leaves.len() <= MAX_CUT_SIZE);
+            }
+        }
+    }
+}

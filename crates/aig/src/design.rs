@@ -459,6 +459,39 @@ impl Design {
         Ok(())
     }
 
+    /// Every edge a structural reduction pass must preserve: next-state
+    /// functions, property and constraint bits, and all memory port buses
+    /// (addresses, enables, write data). The single source of truth for
+    /// the fraig and rewrite passes — a new stored-edge category added to
+    /// `Design` must be added here once, not in every pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a design with dangling latches; callers run
+    /// [`Design::check`] first.
+    pub(crate) fn reduction_roots(&self) -> Vec<Bit> {
+        let mut roots: Vec<Bit> = Vec::new();
+        for latch in &self.latches {
+            roots.push(latch.next.expect("checked design"));
+        }
+        for p in &self.properties {
+            roots.push(p.bad);
+        }
+        roots.extend_from_slice(&self.constraints);
+        for m in &self.memories {
+            for rp in &m.read_ports {
+                roots.extend_from_slice(rp.addr.bits());
+                roots.push(rp.en);
+            }
+            for wp in &m.write_ports {
+                roots.extend_from_slice(wp.addr.bits());
+                roots.push(wp.en);
+                roots.extend_from_slice(wp.data.bits());
+            }
+        }
+        roots
+    }
+
     /// Replaces the combinational core with `aig`, remapping every stored
     /// edge (latch outputs and next-state functions, port buses, property
     /// and constraint bits, input registry, name table) through `map`.

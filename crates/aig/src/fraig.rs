@@ -135,6 +135,11 @@ pub struct FraigStats {
     pub cex_patterns: u64,
     /// Simulation patterns used (initial random plus counterexamples).
     pub sim_patterns: u64,
+    /// Nodes a candidate class refused because it was already at
+    /// [`FraigConfig::max_bucket`] — cones that were never offered for a
+    /// merge. A non-zero count means raising `max_bucket`/`max_checks`
+    /// could find more merges (the ROADMAP's bucket-cap blind spot).
+    pub buckets_truncated: u64,
 }
 
 impl FraigStats {
@@ -331,6 +336,11 @@ impl Fraiger {
         let class = self.buckets.entry(key).or_default();
         if class.len() < self.config.max_bucket {
             class.push(lit);
+        } else {
+            // The class is full: this cone will never be offered a merge.
+            // Recorded instead of silently skipped, so the blind spot is
+            // visible in the stats line.
+            self.stats.buckets_truncated += 1;
         }
     }
 
@@ -421,8 +431,13 @@ impl Fraiger {
         for m in members {
             let (lit, key) = self.canonical(m.node());
             let class = self.buckets.entry(key).or_default();
-            if class.len() < self.config.max_bucket && !class.contains(&lit) {
+            if class.contains(&lit) {
+                continue;
+            }
+            if class.len() < self.config.max_bucket {
                 class.push(lit);
+            } else {
+                self.stats.buckets_truncated += 1;
             }
         }
     }
@@ -435,6 +450,25 @@ impl Fraiger {
 /// everything outside their cones — including cones orphaned by merges —
 /// is dead-stripped from the result. Inputs are always preserved, in
 /// order, so dense input indices survive the rewrite.
+///
+/// # Examples
+///
+/// Absorption (`a ∧ (a ∧ b) ≡ a ∧ b`) creates two structurally distinct
+/// nodes with one function; the pass proves and merges them:
+///
+/// ```
+/// use emm_aig::fraig::{fraig_aig, FraigConfig};
+/// use emm_aig::Aig;
+///
+/// let mut g = Aig::new();
+/// let a = g.new_input();
+/// let b = g.new_input();
+/// let x = g.and(a, b);
+/// let y = g.and(a, x);
+/// let r = fraig_aig(&g, &[x, y], &FraigConfig::default());
+/// assert_eq!(r.map_bit(x), r.map_bit(y));
+/// assert_eq!(r.aig.num_ands(), 1);
+/// ```
 pub fn fraig_aig(aig: &Aig, roots: &[Bit], config: &FraigConfig) -> FraigResult {
     let mut f = Fraiger::new(*config);
     let w = f.config.sim_words;
@@ -462,37 +496,11 @@ pub fn fraig_aig(aig: &Aig, roots: &[Bit], config: &FraigConfig) -> FraigResult 
     // Phase B: dead-strip into a compacted graph, preserving input order
     // and the relative order of surviving nodes (so downstream consumers
     // that rely on "address cones precede their read port" still hold).
-    let mut live = vec![false; f.g1.num_nodes()];
-    let mut stack: Vec<NodeId> = Vec::new();
-    for &r in roots {
-        let m = f.resolve(apply(&map1, r));
-        stack.push(m.node());
-    }
-    while let Some(n) = stack.pop() {
-        if live[n.index()] {
-            continue;
-        }
-        live[n.index()] = true;
-        if let Node::And(a, b) = f.g1.node(n) {
-            stack.push(a.node());
-            stack.push(b.node());
-        }
-    }
-    let mut g2 = Aig::new();
-    let mut map2: Vec<Bit> = vec![Aig::FALSE; f.g1.num_nodes()];
-    for (id, node) in f.g1.iter() {
-        match node {
-            Node::Const => {}
-            Node::Input(_) => map2[id.index()] = g2.new_input(),
-            Node::And(a, b) => {
-                if live[id.index()] {
-                    let x = apply(&map2, a);
-                    let y = apply(&map2, b);
-                    map2[id.index()] = g2.and(x, y);
-                }
-            }
-        }
-    }
+    let root_nodes: Vec<NodeId> = roots
+        .iter()
+        .map(|&r| f.resolve(apply(&map1, r)).node())
+        .collect();
+    let (g2, map2) = f.g1.compacted(&root_nodes);
     // Final edge map: old -> representative in G1 -> compacted G2.
     let map: Vec<Bit> = map1
         .iter()
@@ -524,25 +532,7 @@ pub fn fraig_design(design: &mut Design, config: &FraigConfig) -> FraigStats {
     if design.check().is_err() {
         return FraigStats::default();
     }
-    let mut roots: Vec<Bit> = Vec::new();
-    for latch in design.latches() {
-        roots.push(latch.next.expect("checked design"));
-    }
-    for p in design.properties() {
-        roots.push(p.bad);
-    }
-    roots.extend_from_slice(design.constraints());
-    for m in design.memories() {
-        for rp in &m.read_ports {
-            roots.extend_from_slice(rp.addr.bits());
-            roots.push(rp.en);
-        }
-        for wp in &m.write_ports {
-            roots.extend_from_slice(wp.addr.bits());
-            roots.push(wp.en);
-            roots.extend_from_slice(wp.data.bits());
-        }
-    }
+    let roots = design.reduction_roots();
     let FraigResult { aig, stats, map } = fraig_aig(&design.aig, &roots, config);
     design.replace_aig(aig, &mut |b| apply(&map, b));
     stats
@@ -695,6 +685,34 @@ mod tests {
         assert_eq!(r.stats.sat_checks, 0);
         assert_ne!(r.map_bit(x), r.map_bit(y), "no proof, no merge");
         assert_eq!(r.aig.num_ands(), 2);
+    }
+
+    /// Pin the bucket-cap counter: with `max_bucket: 1` and no SAT budget,
+    /// every signature-equal node after the first is refused by its class
+    /// and must be counted, not silently skipped.
+    #[test]
+    fn bucket_cap_truncations_are_counted() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let x = g.and(a, b);
+        // Two absorbed rebuilds of x: same function, same signature.
+        let left = g.and(a, x);
+        let right = g.and(x, b);
+        let config = FraigConfig {
+            max_bucket: 1,
+            max_checks: 0,
+            ..FraigConfig::default()
+        };
+        let r = fraig_aig(&g, &[x, left, right], &config);
+        assert_eq!(r.stats.merges, 0, "no checks, no merges");
+        assert_eq!(
+            r.stats.buckets_truncated, 2,
+            "left and right both hit the full class"
+        );
+        // An uncapped run of the same graph records no truncation.
+        let r = fraig_aig(&g, &[x, left, right], &FraigConfig::default());
+        assert_eq!(r.stats.buckets_truncated, 0);
     }
 
     #[test]

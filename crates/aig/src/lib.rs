@@ -23,6 +23,15 @@
 //!   the signatures as guided patterns, and a final rewrite redirects
 //!   fanouts to class representatives and dead-strips merged cones. Knobs
 //!   live in [`FraigConfig`]; the BMC engine runs it by default.
+//! * [`rewrite`] — cut-based rewriting (with k-feasible cut enumeration in
+//!   [`cuts`]): per-node truth tables over 4-input cuts are
+//!   NPN-canonicalized and re-synthesized from a recipe library wherever
+//!   that strictly reduces the AND count — the restructuring pass for
+//!   *inequivalent* logic that runs ahead of [`fraig`] in the BMC
+//!   engine's default pipeline.
+//!
+//! How these passes slot into the whole verification stack is described
+//! in `docs/ARCHITECTURE.md` at the repository root.
 //!
 //! ## Example: a memory-backed design
 //!
@@ -50,10 +59,12 @@
 
 mod aig;
 pub mod coi;
+pub mod cuts;
 pub mod design;
 pub mod emn;
 pub mod fraig;
 pub mod report;
+pub mod rewrite;
 pub mod sim;
 mod word;
 
@@ -63,5 +74,6 @@ pub use design::{
     PropertyId, ReadPort, WritePort,
 };
 pub use fraig::{fraig_aig, fraig_design, FraigConfig, FraigResult, FraigStats};
+pub use rewrite::{rewrite_aig, rewrite_design, RewriteConfig, RewriteResult, RewriteStats};
 pub use sim::{SimConfig, Simulator, StepReport, Trace};
 pub use word::Word;

@@ -11,14 +11,23 @@ use std::fmt::Write as _;
 
 use crate::design::{Design, MemoryId};
 use crate::fraig::FraigStats;
+use crate::rewrite::RewriteStats;
 use crate::sim::{Simulator, Trace};
 
 /// Renders fraig-pass counters as a one-line summary, in the style the
 /// bench harness prints design statistics.
 pub fn format_fraig_stats(stats: &FraigStats) -> String {
+    let truncated = if stats.buckets_truncated > 0 {
+        format!(
+            ", {} cones refused by full buckets",
+            stats.buckets_truncated
+        )
+    } else {
+        String::new()
+    };
     format!(
         "fraig: {} -> {} ANDs (-{}; {} proved merges, {} const, {} structural), \
-         {} SAT checks ({} refuted, {} unknown), {} cex patterns over {} total",
+         {} SAT checks ({} refuted, {} unknown), {} cex patterns over {} total{truncated}",
         stats.ands_before,
         stats.ands_after,
         stats.ands_removed(),
@@ -30,6 +39,26 @@ pub fn format_fraig_stats(stats: &FraigStats) -> String {
         stats.unknown,
         stats.cex_patterns,
         stats.sim_patterns,
+    )
+}
+
+/// Renders rewrite-pass counters as a one-line summary, the companion of
+/// [`format_fraig_stats`] for the cut-based rewriting stage.
+pub fn format_rewrite_stats(stats: &RewriteStats) -> String {
+    format!(
+        "rewrite: {} -> {} ANDs (-{}; {} rewrites, {} xor, {} mux) in {} iters, \
+         {} cuts, {} candidates ({} zero-gain), {} NPN classes",
+        stats.ands_before,
+        stats.ands_after,
+        stats.ands_removed(),
+        stats.rewrites,
+        stats.xor_rewrites,
+        stats.mux_rewrites,
+        stats.iterations,
+        stats.cuts_enumerated,
+        stats.candidates_tried,
+        stats.zero_gain_skipped,
+        stats.npn_classes,
     )
 }
 

@@ -1,0 +1,972 @@
+//! Cut-based AIG rewriting (ABC-style) — restructuring *inequivalent*
+//! logic into cheaper shapes before unrolling.
+//!
+//! The [`fraig`](crate::fraig) pass can only merge cones that compute the
+//! *same* function; everything it leaves behind is structure the original
+//! word-level construction happened to choose. This pass attacks that
+//! structure directly: for every AND node it enumerates the k-feasible
+//! cuts (k = 4, [`crate::cuts`]), takes each cut's truth table, and asks
+//! whether the function has a cheaper implementation than the cone it
+//! currently owns. Where the answer is yes — an XOR hiding in four ANDs, a
+//! mux built the long way, a cone whose function collapses onto fewer
+//! leaves, a sub-function another part of the graph already computes — the
+//! node is re-expressed over the cut leaves and the old cone dies.
+//!
+//! The mechanics per node, in one topological rebuild of the graph:
+//!
+//! 1. **Cut truth tables** come from the enumeration itself (maintained
+//!    through the merges), so no window simulation is needed.
+//! 2. Each table is [NPN-canonicalized](npn_canonical) — minimized over
+//!    all input permutations, input complementations, and output
+//!    complementation — and the canonical class is looked up in a
+//!    **recipe library**: a per-pass memo of synthesized implementations
+//!    (AND/OR extraction, XOR and mux/Shannon decomposition, computed once
+//!    per class by exhaustive-cost search and replayed for every later
+//!    cone in the class).
+//! 3. The candidate is instantiated over the (already rebuilt) cut leaves
+//!    in the new graph, where structural hashing makes shared logic free,
+//!    and its **measured** cost (nodes actually added) is compared against
+//!    what the replacement frees: the node itself plus its
+//!    maximal-fanout-free cone w.r.t. the cut. Only strictly positive
+//!    gains are accepted — the **zero-gain guard** that keeps the
+//!    fixpoint iteration from oscillating between equal-cost shapes.
+//!
+//! The pass repeats ([`RewriteConfig::max_iters`]) until an iteration
+//! stops strictly reducing the AND count; a non-improving iteration is
+//! discarded, so the result is never larger than the input. Inputs are
+//! preserved index-for-index and everything outside the root cones is
+//! dead-stripped, exactly like the fraig rewrite, so
+//! [`rewrite_design`] can splice the result into a [`Design`] through the
+//! same interface-preserving substitution.
+//!
+//! Soundness is purely local: a candidate implements the cut's truth
+//! table over the mapped leaf edges, and by induction every mapped edge
+//! computes the same function of the inputs as its source node, so the
+//! replacement is functionally identical — no solver involved. The
+//! property tests in `tests/rewrite_props.rs` check exactly this against
+//! word-parallel simulation, and `emm-bmc`'s `rewrite_differential.rs`
+//! checks verdict preservation through full BMC.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use crate::aig::{Aig, Bit, Node, NodeId};
+use crate::cuts::{enumerate_cuts, CutConfig, MAX_CUT_SIZE, VAR_TT};
+use crate::design::Design;
+
+/// Knobs of the rewriting pass.
+#[derive(Clone, Copy, Debug)]
+pub struct RewriteConfig {
+    /// Master switch (checked by [`rewrite_design`] callers such as the
+    /// BMC engine; the pass itself always runs when invoked directly).
+    pub enabled: bool,
+    /// Cut width `k` (clamped to `2..=4`; a `u16` table covers 4 leaves).
+    pub cut_size: usize,
+    /// Non-trivial cuts kept per node during enumeration.
+    pub max_cuts: usize,
+    /// Fixpoint cap: rewriting repeats until an iteration stops strictly
+    /// reducing the AND count, or this many iterations have run.
+    pub max_iters: usize,
+}
+
+impl Default for RewriteConfig {
+    fn default() -> RewriteConfig {
+        RewriteConfig {
+            enabled: true,
+            cut_size: MAX_CUT_SIZE,
+            max_cuts: 8,
+            max_iters: 4,
+        }
+    }
+}
+
+impl RewriteConfig {
+    /// A configuration that turns the pass off entirely.
+    pub fn disabled() -> RewriteConfig {
+        RewriteConfig {
+            enabled: false,
+            ..RewriteConfig::default()
+        }
+    }
+}
+
+/// What the pass found and what it cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// AND gates before the pass.
+    pub ands_before: usize,
+    /// AND gates in the rewritten graph.
+    pub ands_after: usize,
+    /// Committed fixpoint iterations (0 when nothing improved).
+    pub iterations: usize,
+    /// Accepted cone replacements.
+    pub rewrites: u64,
+    /// Of those, cones whose canonical class is a 2- or 3-input XOR.
+    pub xor_rewrites: u64,
+    /// Of those, cones whose canonical class is a 2:1 mux.
+    pub mux_rewrites: u64,
+    /// Cuts enumerated across all iterations.
+    pub cuts_enumerated: u64,
+    /// Cut candidates evaluated against the gain test.
+    pub candidates_tried: u64,
+    /// Candidates rejected by the zero-gain guard (measured gain ≤ 0).
+    pub zero_gain_skipped: u64,
+    /// Distinct NPN classes synthesized into the recipe library.
+    pub npn_classes: usize,
+}
+
+impl RewriteStats {
+    /// Gates removed by the whole pass.
+    pub fn ands_removed(&self) -> usize {
+        self.ands_before.saturating_sub(self.ands_after)
+    }
+}
+
+/// Result of [`rewrite_aig`]: the rewritten graph plus the edge mapping.
+#[derive(Clone, Debug)]
+pub struct RewriteResult {
+    /// The rewritten graph. Inputs appear in the same order as in the
+    /// source graph (same dense indices).
+    pub aig: Aig,
+    /// Counters.
+    pub stats: RewriteStats,
+    /// Old node -> rewritten-graph edge.
+    map: Vec<Bit>,
+}
+
+impl RewriteResult {
+    /// Maps an edge of the source graph into the rewritten graph.
+    pub fn map_bit(&self, old: Bit) -> Bit {
+        apply(&self.map, old)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NPN canonicalization
+// ---------------------------------------------------------------------------
+
+/// An NPN transform: input negations, an input permutation, and an output
+/// negation, acting on 4-variable truth tables.
+///
+/// Applied to a function `f`, the transform yields
+/// `g(y0..y3) = output_neg ⊕ f(x0..x3)` with `x_j = y_{perm[j]} ⊕ neg_j`
+/// (where `neg_j` is bit `j` of `input_neg`). The identity transform has
+/// `perm = [0, 1, 2, 3]`, `input_neg = 0`, `output_neg = false`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NpnTransform {
+    /// Where each original input reads from: `x_j` comes from `y_{perm[j]}`.
+    pub perm: [u8; 4],
+    /// Mask of complemented inputs (bit `j` complements `x_j`).
+    pub input_neg: u8,
+    /// Whether the output is complemented.
+    pub output_neg: bool,
+}
+
+impl NpnTransform {
+    /// Applies the transform to a truth table.
+    pub fn apply(&self, tt: u16) -> u16 {
+        let mut out = 0u16;
+        for p in 0..16u16 {
+            let mut q = 0u16;
+            for j in 0..4 {
+                let bit = ((p >> self.perm[j]) & 1) ^ ((self.input_neg as u16 >> j) & 1);
+                q |= bit << j;
+            }
+            let v = ((tt >> q) & 1) ^ self.output_neg as u16;
+            out |= v << p;
+        }
+        out
+    }
+}
+
+/// All 24 permutations of four elements.
+fn all_perms() -> &'static [[u8; 4]; 24] {
+    static PERMS: OnceLock<[[u8; 4]; 24]> = OnceLock::new();
+    PERMS.get_or_init(|| {
+        let mut out = [[0u8; 4]; 24];
+        let mut n = 0;
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                for c in 0..4u8 {
+                    for d in 0..4u8 {
+                        if a != b && a != c && a != d && b != c && b != d && c != d {
+                            out[n] = [a, b, c, d];
+                            n += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    })
+}
+
+/// NPN-canonicalizes a 4-variable truth table: returns the minimum table
+/// reachable by input permutation, input complementation, and output
+/// complementation, together with the transform that reaches it.
+///
+/// Two tables are NPN-equivalent iff their canonical forms are equal, so
+/// the canonical table serves as the key of the rewrite recipe library.
+pub fn npn_canonical(tt: u16) -> (u16, NpnTransform) {
+    let mut best = tt;
+    let mut best_t = NpnTransform {
+        perm: [0, 1, 2, 3],
+        input_neg: 0,
+        output_neg: false,
+    };
+    for perm in all_perms() {
+        for input_neg in 0..16u8 {
+            for output_neg in [false, true] {
+                let t = NpnTransform {
+                    perm: *perm,
+                    input_neg,
+                    output_neg,
+                };
+                let cand = t.apply(tt);
+                if cand < best {
+                    best = cand;
+                    best_t = t;
+                }
+            }
+        }
+    }
+    (best, best_t)
+}
+
+// ---------------------------------------------------------------------------
+// Recipe synthesis (the per-class implementation library)
+// ---------------------------------------------------------------------------
+
+/// A recipe reference: `(index << 1) | inverted`. Index 0 is constant
+/// false, 1..=4 are the canonical inputs, 5.. are recipe steps.
+type Ref = u8;
+
+const REF_FALSE: Ref = 0;
+
+fn ref_var(i: usize) -> Ref {
+    ((i + 1) << 1) as Ref
+}
+
+/// A synthesized implementation of one NPN class: a straight-line list of
+/// AND steps over canonical inputs, replayable into any [`Aig`].
+#[derive(Clone, Debug)]
+struct Recipe {
+    steps: Vec<(Ref, Ref)>,
+    out: Ref,
+}
+
+/// Cofactor of `tt` with variable `i` fixed to 0 (result independent of `i`).
+fn cof0(tt: u16, i: usize) -> u16 {
+    let lo = tt & !VAR_TT[i];
+    lo | (lo << (1 << i))
+}
+
+/// Cofactor of `tt` with variable `i` fixed to 1.
+fn cof1(tt: u16, i: usize) -> u16 {
+    let hi = tt & VAR_TT[i];
+    hi | (hi >> (1 << i))
+}
+
+/// The decomposition chosen for a table (shared by cost and emission so
+/// both follow the same argmin).
+#[derive(Clone, Copy)]
+enum Plan {
+    /// `f = x_i & sub`
+    AndPos(usize, u16),
+    /// `f = !x_i & sub`
+    AndNeg(usize, u16),
+    /// `f = x_i | sub`
+    OrPos(usize, u16),
+    /// `f = !x_i | sub`
+    OrNeg(usize, u16),
+    /// `f = x_i ⊕ sub`
+    Xor(usize, u16),
+    /// `f = x_i ? hi : lo` (Shannon)
+    Mux(usize, u16, u16),
+}
+
+/// Exhaustive-cost synthesizer over 4-variable truth tables, memoized.
+#[derive(Default)]
+struct Synth {
+    cost_memo: HashMap<u16, u32>,
+}
+
+impl Synth {
+    /// `Some(ref)` for tables free to implement (constants and literals).
+    fn free_ref(tt: u16) -> Option<Ref> {
+        if tt == 0 {
+            return Some(REF_FALSE);
+        }
+        if tt == 0xFFFF {
+            return Some(REF_FALSE ^ 1);
+        }
+        for (i, &v) in VAR_TT.iter().enumerate() {
+            if tt == v {
+                return Some(ref_var(i));
+            }
+            if tt == !v {
+                return Some(ref_var(i) ^ 1);
+            }
+        }
+        None
+    }
+
+    /// Minimum AND count over the decompositions [`Plan`] explores.
+    fn cost(&mut self, tt: u16) -> u32 {
+        if Self::free_ref(tt).is_some() {
+            return 0;
+        }
+        if let Some(&c) = self.cost_memo.get(&tt) {
+            return c;
+        }
+        let best = self
+            .plans(tt)
+            .into_iter()
+            .map(|p| self.plan_cost(p))
+            .min()
+            .expect("non-free table has support");
+        self.cost_memo.insert(tt, best);
+        best
+    }
+
+    fn plan_cost(&mut self, plan: Plan) -> u32 {
+        match plan {
+            Plan::AndPos(_, s) | Plan::AndNeg(_, s) | Plan::OrPos(_, s) | Plan::OrNeg(_, s) => {
+                1 + self.cost(s)
+            }
+            Plan::Xor(_, s) => 3 + self.cost(s),
+            Plan::Mux(_, hi, lo) => 3 + self.cost(hi) + self.cost(lo),
+        }
+    }
+
+    /// Candidate decompositions of a non-free table.
+    fn plans(&self, tt: u16) -> Vec<Plan> {
+        let mut plans = Vec::new();
+        for i in 0..4 {
+            let (c0, c1) = (cof0(tt, i), cof1(tt, i));
+            if c0 == c1 {
+                continue; // not in the support
+            }
+            if c0 == 0 {
+                plans.push(Plan::AndPos(i, c1));
+            } else if c0 == 0xFFFF {
+                plans.push(Plan::OrNeg(i, c1));
+            }
+            if c1 == 0 {
+                plans.push(Plan::AndNeg(i, c0));
+            } else if c1 == 0xFFFF {
+                plans.push(Plan::OrPos(i, c0));
+            }
+            if c0 == !c1 {
+                plans.push(Plan::Xor(i, c0));
+            }
+            plans.push(Plan::Mux(i, c1, c0));
+        }
+        plans
+    }
+
+    /// Synthesizes a recipe for `tt` following the cost argmin, sharing
+    /// sub-functions (and their complements) within the recipe.
+    fn recipe(&mut self, tt: u16) -> Recipe {
+        let mut steps = Vec::new();
+        let mut built = HashMap::new();
+        let out = self.emit(tt, &mut steps, &mut built);
+        Recipe { steps, out }
+    }
+
+    fn emit(&mut self, tt: u16, steps: &mut Vec<(Ref, Ref)>, built: &mut HashMap<u16, Ref>) -> Ref {
+        if let Some(r) = Self::free_ref(tt) {
+            return r;
+        }
+        if let Some(&r) = built.get(&tt) {
+            return r;
+        }
+        if let Some(&r) = built.get(&!tt) {
+            return r ^ 1;
+        }
+        let plan = self
+            .plans(tt)
+            .into_iter()
+            .min_by_key(|&p| self.plan_cost(p))
+            .expect("non-free table has support");
+        let push = |steps: &mut Vec<(Ref, Ref)>, a: Ref, b: Ref| -> Ref {
+            steps.push((a, b));
+            ((steps.len() + 4) << 1) as Ref
+        };
+        let r = match plan {
+            Plan::AndPos(i, s) => {
+                let rs = self.emit(s, steps, built);
+                push(steps, ref_var(i), rs)
+            }
+            Plan::AndNeg(i, s) => {
+                let rs = self.emit(s, steps, built);
+                push(steps, ref_var(i) ^ 1, rs)
+            }
+            Plan::OrPos(i, s) => {
+                // x | s = !(!x & !s)
+                let rs = self.emit(s, steps, built);
+                push(steps, ref_var(i) ^ 1, rs ^ 1) ^ 1
+            }
+            Plan::OrNeg(i, s) => {
+                // !x | s = !(x & !s)
+                let rs = self.emit(s, steps, built);
+                push(steps, ref_var(i), rs ^ 1) ^ 1
+            }
+            Plan::Xor(i, s) => {
+                // x ⊕ s = !(!(x & !s) & !(!x & s))
+                let rs = self.emit(s, steps, built);
+                let x = ref_var(i);
+                let s1 = push(steps, x, rs ^ 1);
+                let s2 = push(steps, x ^ 1, rs);
+                push(steps, s1 ^ 1, s2 ^ 1) ^ 1
+            }
+            Plan::Mux(i, hi, lo) => {
+                // (x & hi) | (!x & lo)
+                let rhi = self.emit(hi, steps, built);
+                let rlo = self.emit(lo, steps, built);
+                let x = ref_var(i);
+                let s1 = push(steps, x, rhi);
+                let s2 = push(steps, x ^ 1, rlo);
+                push(steps, s1 ^ 1, s2 ^ 1) ^ 1
+            }
+        };
+        built.insert(tt, r);
+        r
+    }
+}
+
+/// Replays a recipe into a graph over concrete canonical-input edges.
+fn instantiate(g: &mut Aig, recipe: &Recipe, ys: [Bit; 4]) -> Bit {
+    let mut vals: Vec<Bit> = Vec::with_capacity(5 + recipe.steps.len());
+    vals.push(Aig::FALSE);
+    vals.extend_from_slice(&ys);
+    let resolve = |vals: &[Bit], r: Ref| -> Bit {
+        let b = vals[(r >> 1) as usize];
+        if r & 1 == 1 {
+            !b
+        } else {
+            b
+        }
+    };
+    for &(a, b) in &recipe.steps {
+        let x = resolve(&vals, a);
+        let y = resolve(&vals, b);
+        let r = g.and(x, y);
+        vals.push(r);
+    }
+    resolve(&vals, recipe.out)
+}
+
+/// The per-pass recipe library: canonicalization cache plus synthesized
+/// implementations keyed by NPN-canonical table.
+struct NpnLibrary {
+    canon_cache: HashMap<u16, (u16, NpnTransform)>,
+    recipes: HashMap<u16, Recipe>,
+    synth: Synth,
+    /// Canonical classes of XOR2/XOR3 and the 2:1 mux, for the stats.
+    xor_classes: [u16; 2],
+    mux_class: u16,
+}
+
+impl NpnLibrary {
+    fn new() -> NpnLibrary {
+        let xor2 = VAR_TT[0] ^ VAR_TT[1];
+        let xor3 = xor2 ^ VAR_TT[2];
+        let mux = (VAR_TT[2] & VAR_TT[1]) | (!VAR_TT[2] & VAR_TT[0]);
+        NpnLibrary {
+            canon_cache: HashMap::new(),
+            recipes: HashMap::new(),
+            synth: Synth::default(),
+            xor_classes: [npn_canonical(xor2).0, npn_canonical(xor3).0],
+            mux_class: npn_canonical(mux).0,
+        }
+    }
+
+    fn canonical(&mut self, tt: u16) -> (u16, NpnTransform) {
+        *self
+            .canon_cache
+            .entry(tt)
+            .or_insert_with(|| npn_canonical(tt))
+    }
+
+    /// Recipe plus nominal AND cost for a canonical class.
+    fn recipe(&mut self, canon: u16) -> (Recipe, usize) {
+        let synth = &mut self.synth;
+        let r = self
+            .recipes
+            .entry(canon)
+            .or_insert_with(|| synth.recipe(canon));
+        (r.clone(), r.steps.len())
+    }
+
+    /// Builds the canonical class's implementation over mapped cut leaves,
+    /// undoing the NPN transform.
+    fn build(
+        &mut self,
+        g: &mut Aig,
+        canon: u16,
+        t: &NpnTransform,
+        leaves: &[Bit; MAX_CUT_SIZE],
+    ) -> Bit {
+        let (recipe, _) = self.recipe(canon);
+        // g(y) = out_neg ⊕ f(x), x_j = y_{perm[j]} ⊕ neg_j, hence
+        // f(leaves) = out_neg ⊕ g(y) with y_{perm[j]} = leaves[j] ⊕ neg_j.
+        let mut ys = [Aig::FALSE; 4];
+        for (j, &e) in leaves.iter().enumerate() {
+            let e = if (t.input_neg >> j) & 1 == 1 { !e } else { e };
+            ys[t.perm[j] as usize] = e;
+        }
+        let r = instantiate(g, &recipe, ys);
+        if t.output_neg {
+            !r
+        } else {
+            r
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The rewriting pass
+// ---------------------------------------------------------------------------
+
+fn apply(map: &[Bit], bit: Bit) -> Bit {
+    let base = map[bit.node().index()];
+    if bit.is_inverted() {
+        !base
+    } else {
+        base
+    }
+}
+
+/// Size of the maximal fanout-free cone of `n` w.r.t. `leaves`, excluding
+/// `n` itself: the AND nodes strictly between the leaves and `n` whose
+/// every fanout (parents and roots, per `refs`) stays inside the cone —
+/// the nodes that die if `n` stops referencing them. Restores `refs`.
+fn mffc_interior(aig: &Aig, refs: &mut [u32], n: NodeId, leaves: &[NodeId]) -> usize {
+    let mut count = 0usize;
+    let mut undone: Vec<NodeId> = Vec::new();
+    let mut stack = vec![n];
+    while let Some(m) = stack.pop() {
+        if let Node::And(a, b) = aig.node(m) {
+            for c in [a.node(), b.node()] {
+                if leaves.contains(&c) || !matches!(aig.node(c), Node::And(..)) {
+                    continue;
+                }
+                refs[c.index()] -= 1;
+                undone.push(c);
+                if refs[c.index()] == 0 {
+                    count += 1;
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    for c in undone {
+        refs[c.index()] += 1;
+    }
+    count
+}
+
+/// One topological rebuild with per-node cut rewriting, followed by a
+/// dead-strip from the mapped roots. Returns the compacted graph, the
+/// source-node map into it, and the number of accepted replacements.
+fn rewrite_pass(
+    src: &Aig,
+    roots: &[Bit],
+    config: &RewriteConfig,
+    lib: &mut NpnLibrary,
+    stats: &mut RewriteStats,
+) -> (Aig, Vec<Bit>, u64) {
+    let cuts = enumerate_cuts(
+        src,
+        &CutConfig {
+            cut_size: config.cut_size,
+            max_cuts: config.max_cuts,
+        },
+    );
+    stats.cuts_enumerated += cuts.iter().map(|c| c.len() as u64).sum::<u64>();
+    // Fanout reference counts on the source graph (roots count as fanouts).
+    let mut refs = vec![0u32; src.num_nodes()];
+    for (_, node) in src.iter() {
+        if let Node::And(a, b) = node {
+            refs[a.node().index()] += 1;
+            refs[b.node().index()] += 1;
+        }
+    }
+    for r in roots {
+        refs[r.node().index()] += 1;
+    }
+
+    let mut g2 = Aig::new();
+    let mut map: Vec<Bit> = Vec::with_capacity(src.num_nodes());
+    let mut accepted = 0u64;
+    for (id, node) in src.iter() {
+        let mapped = match node {
+            Node::Const => Aig::FALSE,
+            Node::Input(_) => g2.new_input(),
+            Node::And(a, b) => {
+                let fa = apply(&map, a);
+                let fb = apply(&map, b);
+                let before = g2.num_nodes();
+                let default = g2.and(fa, fb);
+                if g2.num_nodes() == before {
+                    // Folded or interned: locally free, nothing to beat.
+                    default
+                } else {
+                    let mut best = default;
+                    let mut best_gain = 0i64;
+                    let mut best_class = 0u16;
+                    for cut in &cuts[id.index()] {
+                        if cut.is_trivial(id) || cut.leaves.is_empty() {
+                            continue;
+                        }
+                        stats.candidates_tried += 1;
+                        // What the replacement frees: the node's default
+                        // AND plus its fanout-free cone above the cut.
+                        let saved = 1 + mffc_interior(src, &mut refs, id, &cut.leaves) as i64;
+                        let (canon, t) = lib.canonical(cut.tt);
+                        let (_, nominal) = lib.recipe(canon);
+                        // Don't pollute the new graph with candidates that
+                        // cannot win even with generous structural sharing.
+                        if nominal as i64 >= saved + 2 {
+                            stats.zero_gain_skipped += 1;
+                            continue;
+                        }
+                        let mut leaf_edges = [Aig::FALSE; MAX_CUT_SIZE];
+                        for (i, l) in cut.leaves.iter().enumerate() {
+                            leaf_edges[i] = apply(&map, Bit::new(*l, false));
+                        }
+                        let before_c = g2.num_nodes();
+                        let cand = lib.build(&mut g2, canon, &t, &leaf_edges);
+                        let added = (g2.num_nodes() - before_c) as i64;
+                        let gain = saved - added;
+                        if cand != default && gain > best_gain {
+                            best = cand;
+                            best_gain = gain;
+                            best_class = canon;
+                        } else {
+                            if cand != default {
+                                stats.zero_gain_skipped += 1;
+                            }
+                            // Unwind the losing candidate: leaving its
+                            // nodes in the graph would let later
+                            // candidates share them for free, overstating
+                            // their measured gain. Everything `best` and
+                            // `default` reference lies below `before_c`,
+                            // so the truncation cannot orphan them.
+                            g2.truncate(before_c);
+                        }
+                    }
+                    if best != default {
+                        accepted += 1;
+                        stats.rewrites += 1;
+                        if lib.xor_classes.contains(&best_class) {
+                            stats.xor_rewrites += 1;
+                        } else if best_class == lib.mux_class {
+                            stats.mux_rewrites += 1;
+                        }
+                    }
+                    best
+                }
+            }
+        };
+        map.push(mapped);
+    }
+
+    // Dead-strip from the mapped roots into a compacted graph, preserving
+    // input order (the same phase-B sweep the fraig pass performs).
+    let root_nodes: Vec<NodeId> = roots.iter().map(|&r| apply(&map, r).node()).collect();
+    let (g3, map2) = g2.compacted(&root_nodes);
+    let final_map: Vec<Bit> = map.iter().map(|&b| apply(&map2, b)).collect();
+    (g3, final_map, accepted)
+}
+
+/// Runs cut-based rewriting over a raw graph to a fixpoint.
+///
+/// `roots` are the edges whose functions must be preserved (for a design:
+/// next-state functions, properties, constraints, and memory port buses);
+/// everything outside their cones is dead-stripped. Inputs are always
+/// preserved, in order, so dense input indices survive the rewrite. The
+/// result never has more AND gates than the input graph.
+///
+/// # Examples
+///
+/// A disguised wire: `(a ∧ b) ∨ (a ∧ ¬b)` is just `a`, but no structural
+/// hashing can see it. The 2-leaf cut's truth table can:
+///
+/// ```
+/// use emm_aig::rewrite::{rewrite_aig, RewriteConfig};
+/// use emm_aig::Aig;
+///
+/// let mut g = Aig::new();
+/// let a = g.new_input();
+/// let b = g.new_input();
+/// let t = g.and(a, b);
+/// let e = g.and(a, !b);
+/// let f = g.or(t, e); // ≡ a, built as three ANDs
+/// let r = rewrite_aig(&g, &[f], &RewriteConfig::default());
+/// assert_eq!(r.map_bit(f), r.map_bit(a));
+/// assert_eq!(r.aig.num_ands(), 0);
+/// assert_eq!(r.stats.rewrites, 1);
+/// ```
+pub fn rewrite_aig(aig: &Aig, roots: &[Bit], config: &RewriteConfig) -> RewriteResult {
+    let mut stats = RewriteStats {
+        ands_before: aig.num_ands(),
+        ..RewriteStats::default()
+    };
+    let mut lib = NpnLibrary::new();
+    let mut result_aig = aig.clone();
+    let mut result_map: Vec<Bit> = aig.iter().map(|(id, _)| Bit::new(id, false)).collect();
+    for iter in 0..config.max_iters.max(1) {
+        let roots_cur: Vec<Bit> = roots.iter().map(|&r| apply(&result_map, r)).collect();
+        let (g2, pmap, accepted) =
+            rewrite_pass(&result_aig, &roots_cur, config, &mut lib, &mut stats);
+        if g2.num_ands() >= result_aig.num_ands() {
+            // A non-improving iteration is discarded: the pass never grows
+            // the graph, and equal size means the fixpoint is reached.
+            break;
+        }
+        result_map = result_map.iter().map(|&b| apply(&pmap, b)).collect();
+        result_aig = g2;
+        stats.iterations = iter + 1;
+        if accepted == 0 {
+            // The shrink came from dead-stripping alone; nothing further
+            // to iterate on.
+            break;
+        }
+    }
+    stats.ands_after = result_aig.num_ands();
+    stats.npn_classes = lib.recipes.len();
+    RewriteResult {
+        aig: result_aig,
+        stats,
+        map: result_map,
+    }
+}
+
+/// Applies cut-based rewriting to a whole design in place, rewriting its
+/// combinational core and every stored edge. Returns the pass counters.
+///
+/// The design's interface is untouched: latch order and initial values,
+/// memory modules and port order, property and constraint lists, input
+/// kinds, and dense input indices are all preserved — only the gate
+/// structure between them changes. A design that fails [`Design::check`]
+/// is returned unchanged (zeroed stats).
+///
+/// # Examples
+///
+/// ```
+/// use emm_aig::rewrite::{rewrite_design, RewriteConfig};
+/// use emm_aig::{Design, LatchInit};
+///
+/// let mut d = Design::new();
+/// let (_, x) = d.new_latch("x", LatchInit::Zero);
+/// let a = d.new_input("a");
+/// let t = d.aig.and(x, a);
+/// let e = d.aig.and(x, !a);
+/// let redundant = d.aig.or(t, e); // ≡ x
+/// d.set_next(x, redundant);
+/// let bad = d.aig.and(x, a);
+/// d.add_property("p", bad);
+/// d.check().expect("well-formed");
+///
+/// let stats = rewrite_design(&mut d, &RewriteConfig::default());
+/// assert!(stats.ands_after < stats.ands_before);
+/// d.check().expect("still well-formed");
+/// ```
+pub fn rewrite_design(design: &mut Design, config: &RewriteConfig) -> RewriteStats {
+    if design.check().is_err() {
+        return RewriteStats::default();
+    }
+    let roots = design.reduction_roots();
+    let RewriteResult { aig, stats, map } = rewrite_aig(&design.aig, &roots, config);
+    design.replace_aig(aig, &mut |b| apply(&map, b));
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::LatchInit;
+    use crate::sim::{eval_combinational, Simulator};
+
+    /// Evaluates a tt at an assignment given as 4 bits.
+    fn tt_at(tt: u16, p: usize) -> bool {
+        (tt >> p) & 1 == 1
+    }
+
+    #[test]
+    fn cofactors_agree_with_semantics() {
+        let tt = 0x1234u16;
+        for i in 0..4 {
+            for p in 0..16usize {
+                let p0 = p & !(1 << i);
+                let p1 = p | (1 << i);
+                assert_eq!(tt_at(cof0(tt, i), p), tt_at(tt, p0));
+                assert_eq!(tt_at(cof1(tt, i), p), tt_at(tt, p1));
+            }
+        }
+    }
+
+    #[test]
+    fn npn_transform_identity() {
+        let id = NpnTransform {
+            perm: [0, 1, 2, 3],
+            input_neg: 0,
+            output_neg: false,
+        };
+        assert_eq!(id.apply(0xBEEF), 0xBEEF);
+    }
+
+    #[test]
+    fn npn_canonical_is_invariant_under_transforms() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let tt = next() as u16;
+            let (canon, t) = npn_canonical(tt);
+            assert_eq!(t.apply(tt), canon, "transform reaches the canonical");
+            // Any random transform of tt must canonicalize identically.
+            let rt = NpnTransform {
+                perm: all_perms()[(next() % 24) as usize],
+                input_neg: (next() % 16) as u8,
+                output_neg: next() % 2 == 1,
+            };
+            assert_eq!(npn_canonical(rt.apply(tt)).0, canon);
+        }
+    }
+
+    #[test]
+    fn recipes_implement_their_tables() {
+        // Synthesize a spread of tables, instantiate over fresh inputs,
+        // and check against direct evaluation.
+        let mut synth = Synth::default();
+        let mut state = 0xD1B54A32D192ED03u64;
+        let mut tables: Vec<u16> = (0..60)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 40) as u16
+            })
+            .collect();
+        tables.extend([0x6666, 0x9696, 0xCACA, 0x8000, 0xFFFE, 0x0001]);
+        for tt in tables {
+            let recipe = synth.recipe(tt);
+            // Sub-function sharing inside a recipe can beat the no-sharing
+            // cost bound, never exceed it.
+            assert!(recipe.steps.len() as u32 <= synth.cost(tt));
+            let mut g = Aig::new();
+            let ys = [g.new_input(), g.new_input(), g.new_input(), g.new_input()];
+            let out = instantiate(&mut g, &recipe, ys);
+            for p in 0..16usize {
+                let inputs: Vec<bool> = (0..4).map(|i| (p >> i) & 1 == 1).collect();
+                let values = eval_combinational(&g, &inputs);
+                assert_eq!(
+                    out.apply(values[out.node().index()]),
+                    tt_at(tt, p),
+                    "tt {tt:#06x} at {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn npn_build_undoes_the_transform() {
+        let mut lib = NpnLibrary::new();
+        let mut state = 0xA076_1D64_78BD_642Fu64;
+        for _ in 0..40 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let tt = (state >> 33) as u16;
+            let (canon, t) = npn_canonical(tt);
+            let mut g = Aig::new();
+            let leaves = [g.new_input(), g.new_input(), g.new_input(), g.new_input()];
+            let out = lib.build(&mut g, canon, &t, &leaves);
+            for p in 0..16usize {
+                let inputs: Vec<bool> = (0..4).map(|i| (p >> i) & 1 == 1).collect();
+                let values = eval_combinational(&g, &inputs);
+                assert_eq!(
+                    out.apply(values[out.node().index()]),
+                    tt_at(tt, p),
+                    "tt {tt:#06x} at {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xor_cost_is_three() {
+        let mut synth = Synth::default();
+        assert_eq!(synth.cost(0x6666), 3, "2-input XOR");
+        assert_eq!(synth.cost(0xCACA), 3, "2:1 mux");
+        assert_eq!(synth.cost(0x9696), 6, "3-input XOR");
+        assert_eq!(synth.cost(0x8888), 1, "2-input AND");
+    }
+
+    #[test]
+    fn rewrites_disguised_constant() {
+        // (a ∧ b) ∧ (a ∧ ¬b) ≡ false over the cut {a, b}.
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let x = g.and(a, b);
+        let y = g.and(a, !b);
+        let z = g.and(x, y);
+        let r = rewrite_aig(&g, &[z], &RewriteConfig::default());
+        assert_eq!(r.map_bit(z), Aig::FALSE);
+        assert_eq!(r.aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn preserves_semantics_on_a_design() {
+        let mut d = Design::new();
+        let s = d.new_latch_word("s", 4, LatchInit::Zero);
+        let i = d.new_input_word("i", 4);
+        let sum = d.aig.add(&s, &i);
+        d.set_next_word(&s, &sum);
+        let bad = d.aig.eq_const(&s, 11);
+        d.add_property("p", bad);
+        d.check().expect("valid");
+
+        let mut rewritten = d.clone();
+        let stats = rewrite_design(&mut rewritten, &RewriteConfig::default());
+        assert!(stats.ands_after <= stats.ands_before);
+        rewritten.check().expect("still well-formed");
+
+        let mut sim_a = Simulator::new(&d);
+        let mut sim_b = Simulator::new(&rewritten);
+        let mut state = 0x5DEECE66Du64;
+        for cycle in 0..50 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(11);
+            let inputs: Vec<bool> = (0..4).map(|k| (state >> (16 + k)) & 1 == 1).collect();
+            let ra = sim_a.step(&inputs);
+            let rb = sim_b.step(&inputs);
+            assert_eq!(ra.property_bad, rb.property_bad, "cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn malformed_design_is_left_alone() {
+        let mut d = Design::new();
+        d.new_latch("dangling", LatchInit::Zero);
+        let stats = rewrite_design(&mut d, &RewriteConfig::default());
+        assert_eq!(stats, RewriteStats::default());
+    }
+
+    #[test]
+    fn result_never_grows() {
+        // A graph the pass cannot improve must come back unchanged in size.
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let c = g.new_input();
+        let x = g.and(a, b);
+        let y = g.and(x, c);
+        let r = rewrite_aig(&g, &[y], &RewriteConfig::default());
+        assert_eq!(r.aig.num_ands(), 2);
+        assert_eq!(r.stats.iterations, 0);
+    }
+}

@@ -9,11 +9,19 @@
 //! are deterministic. Rows that only exist in the fresh file (new modes,
 //! new workloads) are listed as additions and pass.
 //!
+//! In addition, `--require-modes` (a comma-separated list defaulting to
+//! every mode the `simplify` harness emits, `rewrite_fraig` included)
+//! demands that each benchmark of **both** files carries every named
+//! mode — so a mode silently disappearing from the suite, or a stale
+//! baseline missing a newly-shipped mode, fails the gate instead of
+//! sliding through as "fewer rows to compare".
+//!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p emm-bench --bin bench_check -- \
-//!     --baseline BENCH_simplify.json --fresh /tmp/fresh.json [--tolerance-pct 5]
+//!     --baseline BENCH_simplify.json --fresh /tmp/fresh.json \
+//!     [--tolerance-pct 5] [--require-modes naive,fraig,...]
 //! ```
 //!
 //! Exit code 0 on pass, 1 on any regression (with a per-row report).
@@ -77,6 +85,26 @@ fn pct(fresh: u64, base: u64) -> f64 {
     100.0 * (fresh as f64 - base as f64) / base.max(1) as f64
 }
 
+/// Every benchmark in `rows` must carry every required mode; returns the
+/// number of `(benchmark, mode)` holes found (reported on stdout).
+fn check_required_modes(
+    label: &str,
+    rows: &BTreeMap<(String, String), Row>,
+    required: &[String],
+) -> usize {
+    let mut missing = 0usize;
+    let benchmarks: std::collections::BTreeSet<&String> = rows.keys().map(|(b, _)| b).collect();
+    for b in benchmarks {
+        for m in required {
+            if !rows.contains_key(&(b.clone(), m.clone())) {
+                println!("  FAIL {b}/{m}: required mode missing from {label}");
+                missing += 1;
+            }
+        }
+    }
+    missing
+}
+
 fn main() -> ExitCode {
     let baseline_path =
         arg_value("--baseline").unwrap_or_else(|| "BENCH_simplify.json".to_string());
@@ -84,6 +112,12 @@ fn main() -> ExitCode {
     let tolerance: f64 = arg_value("--tolerance-pct")
         .and_then(|v| v.parse().ok())
         .unwrap_or(5.0);
+    let required_modes: Vec<String> = arg_value("--require-modes")
+        .unwrap_or_else(|| "naive,simplified,simplified_sweep,fraig,rewrite_fraig".to_string())
+        .split(',')
+        .map(|m| m.trim().to_string())
+        .filter(|m| !m.is_empty())
+        .collect();
 
     let (baseline, fresh) = match (parse(&baseline_path), parse(&fresh_path)) {
         (Ok(b), Ok(f)) => (b, f),
@@ -102,6 +136,8 @@ fn main() -> ExitCode {
         fresh.len()
     );
     let mut failures = 0usize;
+    failures += check_required_modes("baseline", &baseline, &required_modes);
+    failures += check_required_modes("fresh run", &fresh, &required_modes);
     for ((benchmark, mode), base) in &baseline {
         let key = format!("{benchmark}/{mode}");
         let Some(new) = fresh.get(&(benchmark.clone(), mode.clone())) else {

@@ -6,10 +6,11 @@
 //!
 //! For every workload the same property is checked once per mode — the
 //! naive seed encoding (`SimplifyConfig::disabled`), the simplifying sink
-//! (default config), the sink plus encode-time SAT sweeping, and the
-//! AIG-level fraig pass on top of the default sink — recording solver
+//! (default config), the sink plus encode-time SAT sweeping, the
+//! AIG-level fraig pass on top of the default sink, and cut-based
+//! rewriting ahead of fraig (the engine default) — recording solver
 //! variable/clause counts at the deepest checked frame, wall time, and
-//! the layers' cache / sweep / fraig counters.
+//! the layers' cache / sweep / fraig / rewrite counters.
 //!
 //! Usage:
 //!
@@ -20,7 +21,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use emm_aig::FraigConfig;
+use emm_aig::{FraigConfig, RewriteConfig};
 use emm_bench::secs;
 use emm_bmc::{BmcEngine, BmcOptions, BmcVerdict};
 use emm_designs::quicksort::{QuickSort, QuickSortConfig};
@@ -45,6 +46,7 @@ struct RunRecord {
     cmp_cache_hits: usize,
     simplify: Option<emm_sat::SimplifyStats>,
     fraig: Option<emm_aig::FraigStats>,
+    rewrite: Option<emm_aig::RewriteStats>,
 }
 
 fn verdict_name(v: &BmcVerdict) -> String {
@@ -56,7 +58,7 @@ fn verdict_name(v: &BmcVerdict) -> String {
     }
 }
 
-/// The four measured encoder configurations.
+/// The five measured encoder configurations.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
     /// The seed encoding: no sink layer, no comparator cache, no fraig.
@@ -65,17 +67,20 @@ enum Mode {
     Simplified,
     /// The sink plus encode-time SAT sweeping.
     SimplifiedSweep,
-    /// The engine default: AIG-level fraiging before unrolling, on top of
-    /// the default sink.
+    /// AIG-level fraiging before unrolling, on top of the default sink.
     Fraig,
+    /// The engine default: cut-based rewriting, then fraiging, then the
+    /// default sink.
+    RewriteFraig,
 }
 
 impl Mode {
-    const ALL: [Mode; 4] = [
+    const ALL: [Mode; 5] = [
         Mode::Naive,
         Mode::Simplified,
         Mode::SimplifiedSweep,
         Mode::Fraig,
+        Mode::RewriteFraig,
     ];
 
     fn name(self) -> &'static str {
@@ -84,6 +89,7 @@ impl Mode {
             Mode::Simplified => "simplified",
             Mode::SimplifiedSweep => "simplified_sweep",
             Mode::Fraig => "fraig",
+            Mode::RewriteFraig => "rewrite_fraig",
         }
     }
 }
@@ -98,15 +104,20 @@ fn run_one(
 ) -> RunRecord {
     let simplify = match mode {
         Mode::Naive => SimplifyConfig::disabled(),
-        Mode::Simplified | Mode::Fraig => SimplifyConfig::default(),
+        Mode::Simplified | Mode::Fraig | Mode::RewriteFraig => SimplifyConfig::default(),
         Mode::SimplifiedSweep => SimplifyConfig::sweeping(),
     };
-    // Only the fraig mode runs the AIG-level pass, so the other rows keep
-    // their historical meaning as a trajectory.
-    let fraig = if mode == Mode::Fraig {
+    // Only the two fraig modes run the AIG-level passes, so the other rows
+    // keep their historical meaning as a trajectory.
+    let fraig = if matches!(mode, Mode::Fraig | Mode::RewriteFraig) {
         FraigConfig::default()
     } else {
         FraigConfig::disabled()
+    };
+    let rewrite = if mode == Mode::RewriteFraig {
+        RewriteConfig::default()
+    } else {
+        RewriteConfig::disabled()
     };
     // The naive baseline must be the *seed* encoding: the comparator cache
     // is part of the PR-1 optimizations, so it is switched off together
@@ -126,6 +137,7 @@ fn run_one(
             wall_limit: Some(timeout),
             simplify,
             fraig,
+            rewrite,
             emm,
             ..BmcOptions::default()
         },
@@ -146,6 +158,7 @@ fn run_one(
         cmp_cache_hits: emm.cmp_cache_hits,
         simplify: engine.simplify_stats(),
         fraig: engine.fraig_stats().copied(),
+        rewrite: engine.rewrite_stats().copied(),
     }
 }
 
@@ -193,14 +206,14 @@ fn json_record(r: &RunRecord) -> String {
         }
     }
     match &r.fraig {
-        None => s.push_str(", \"fraig\": null}"),
+        None => s.push_str(", \"fraig\": null"),
         Some(st) => {
             write!(
                 s,
                 ", \"fraig\": {{\"ands_before\": {}, \"ands_after\": {}, \
                  \"merges\": {}, \"const_merges\": {}, \"structural_merges\": {}, \
                  \"sat_checks\": {}, \"refuted\": {}, \"unknown\": {}, \
-                 \"cex_patterns\": {}}}}}",
+                 \"cex_patterns\": {}, \"buckets_truncated\": {}}}",
                 st.ands_before,
                 st.ands_after,
                 st.merges,
@@ -210,6 +223,31 @@ fn json_record(r: &RunRecord) -> String {
                 st.refuted,
                 st.unknown,
                 st.cex_patterns,
+                st.buckets_truncated,
+            )
+            .expect("write");
+        }
+    }
+    match &r.rewrite {
+        None => s.push_str(", \"rewrite\": null}"),
+        Some(st) => {
+            write!(
+                s,
+                ", \"rewrite\": {{\"ands_before\": {}, \"ands_after\": {}, \
+                 \"iterations\": {}, \"rewrites\": {}, \"xor_rewrites\": {}, \
+                 \"mux_rewrites\": {}, \"cuts_enumerated\": {}, \
+                 \"candidates_tried\": {}, \"zero_gain_skipped\": {}, \
+                 \"npn_classes\": {}}}}}",
+                st.ands_before,
+                st.ands_after,
+                st.iterations,
+                st.rewrites,
+                st.xor_rewrites,
+                st.mux_rewrites,
+                st.cuts_enumerated,
+                st.candidates_tried,
+                st.zero_gain_skipped,
+                st.npn_classes,
             )
             .expect("write");
         }
@@ -263,6 +301,14 @@ fn main() {
                     r.vars,
                     r.clauses
                 );
+                if let Some(rs) = &r.rewrite {
+                    println!(
+                        "{:>28} {:>16}  {}",
+                        "",
+                        "",
+                        emm_aig::report::format_rewrite_stats(rs)
+                    );
+                }
                 if let Some(fs) = &r.fraig {
                     println!(
                         "{:>28} {:>16}  {}",
@@ -276,12 +322,12 @@ fn main() {
         }
     }
 
-    // Per-benchmark reductions vs the naive baseline (mode triples are
-    // adjacent in `records`).
+    // Per-benchmark reductions vs the naive baseline (a benchmark's mode
+    // rows are adjacent in `records`).
     let mut summary = String::new();
     println!();
-    for triple in records.chunks(Mode::ALL.len()) {
-        let [naive, rest @ ..] = triple else { continue };
+    for group in records.chunks(Mode::ALL.len()) {
+        let [naive, rest @ ..] = group else { continue };
         for simp in rest {
             let clause_red = 100.0 * (1.0 - simp.clauses as f64 / naive.clauses.max(1) as f64);
             let var_red = 100.0 * (1.0 - simp.vars as f64 / naive.vars.max(1) as f64);

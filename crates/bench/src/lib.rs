@@ -2,8 +2,8 @@
 //!
 //! Binaries that regenerate each table / case study of *"Verification of
 //! Embedded Memory Systems using Efficient Memory Modeling"* (DATE 2005),
-//! plus Criterion micro-benchmarks. See `EXPERIMENTS.md` at the repository
-//! root for the paper-vs-measured record.
+//! plus Criterion micro-benchmarks. See `README.md` at the repository
+//! root for how to run and read the `simplify` suite and its CI gate.
 //!
 //! | Binary | Regenerates |
 //! |---|---|

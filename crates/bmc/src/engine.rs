@@ -23,21 +23,24 @@
 //!
 //! ## The preprocessing and simplifying pipeline
 //!
-//! By default the engine first fraigs the design (an AIG-level
-//! functionally-reduced rewrite, [`emm_aig::fraig`], on a private copy —
-//! see [`BmcOptions::fraig`]) and then routes every context's clause
-//! traffic through the simplifying layer of [`emm_sat::simplify`]:
+//! By default the engine reduces the design on a private copy — first
+//! cut-based rewriting ([`emm_aig::rewrite`], restructuring inequivalent
+//! logic into cheaper shapes), then fraiging ([`emm_aig::fraig`], merging
+//! functionally equivalent cones) — and then routes every context's
+//! clause traffic through the simplifying layer of [`emm_sat::simplify`]:
 //!
 //! ```text
-//! Design ──fraig──> reduced model ──> Unroller ─┐
-//!                                    LfpBuilder ├──> SimplifySink ──> Solver
-//!                                    EmmEncoder ┘
+//! Design ──rewrite──strash──fraig──> reduced model ──> Unroller ─┐
+//!                                                      LfpBuilder ├──> SimplifySink ──> Solver
+//!                                                      EmmEncoder ┘
 //! ```
 //!
-//! The two layers are complementary: fraig merges functionally
-//! equivalent cones once, before Tseitin encoding, so the saving repeats
-//! at every unrolling depth; the sink then interns whatever per-frame
-//! structure remains.
+//! The three layers are complementary: rewriting shrinks cones no
+//! equivalence-based pass can touch (and its rebuild re-strashes the
+//! graph, handing fraig better merge candidates); fraig merges
+//! functionally equivalent cones once, before Tseitin encoding, so the
+//! saving repeats at every unrolling depth; the sink then interns
+//! whatever per-frame structure remains.
 //!
 //! The layer interns structurally identical gates across frames, folds
 //! constants, and defers a gate's Tseitin clauses until something actually
@@ -54,7 +57,10 @@ use std::borrow::Cow;
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use emm_aig::{fraig_design, Design, FraigConfig, FraigStats, Trace};
+use emm_aig::{
+    fraig_design, rewrite_design, Design, FraigConfig, FraigStats, RewriteConfig, RewriteStats,
+    Trace,
+};
 use emm_core::{EmmEncoder, EmmOptions, MemoryShape, SelectorGranularity};
 use emm_sat::{
     Budget, CnfSink, Lit, Simplifier, SimplifyConfig, SimplifyStats, SolveResult, Solver,
@@ -105,6 +111,16 @@ pub struct BmcOptions {
     /// the same design (abstraction loops) should fraig once and disable
     /// it per engine, as [`crate::pba`] does.
     pub fraig: FraigConfig,
+    /// Cut-based AIG rewriting of the design before any unrolling (see
+    /// [`emm_aig::rewrite`]): k-feasible cut cones are re-synthesized from
+    /// NPN-canonical implementations wherever that strictly reduces the
+    /// AND count. Runs **before** the fraig pass — rewriting restructures
+    /// inequivalent logic, and its rebuild hands fraig a freshly strashed
+    /// graph. Enabled by default; use [`RewriteConfig::disabled`] for the
+    /// unrewritten netlist. Like fraiging, the pass is deterministic,
+    /// runs inside [`BmcEngine::new`], and multi-engine drivers should
+    /// pre-reduce once instead (see [`crate::pba`]).
+    pub rewrite: RewriteConfig,
 }
 
 impl Default for BmcOptions {
@@ -119,6 +135,7 @@ impl Default for BmcOptions {
             pba_discovery: false,
             simplify: SimplifyConfig::default(),
             fraig: FraigConfig::default(),
+            rewrite: RewriteConfig::default(),
         }
     }
 }
@@ -298,8 +315,9 @@ pub struct BmcEngine<'d> {
     /// validated against.
     design: &'d Design,
     /// The model actually encoded: the original, or an owned
-    /// fraig-reduced rewrite of it (identical interface, fewer gates).
+    /// rewrite/fraig-reduced copy of it (identical interface, fewer gates).
     model: Cow<'d, Design>,
+    rewrite_stats: Option<RewriteStats>,
     fraig_stats: Option<FraigStats>,
     options: BmcOptions,
     anchored: Ctx,
@@ -313,6 +331,31 @@ impl<'d> BmcEngine<'d> {
     ///
     /// Panics if the design is malformed or an abstraction mask has the
     /// wrong length.
+    ///
+    /// # Examples
+    ///
+    /// Falsifying a counter property (the engine defaults run the full
+    /// rewrite → fraig → simplify pipeline):
+    ///
+    /// ```
+    /// use emm_aig::{Design, LatchInit};
+    /// use emm_bmc::{BmcEngine, BmcOptions, BmcVerdict};
+    ///
+    /// let mut d = Design::new();
+    /// let count = d.new_latch_word("count", 4, LatchInit::Zero);
+    /// let next = d.aig.inc(&count);
+    /// d.set_next_word(&count, &next);
+    /// let bad = d.aig.eq_const(&count, 9);
+    /// d.add_property("reaches9", bad);
+    /// d.check().expect("well-formed");
+    ///
+    /// let mut engine = BmcEngine::new(&d, BmcOptions::default());
+    /// let run = engine.check(0, 20).expect("no spurious traces");
+    /// match run.verdict {
+    ///     BmcVerdict::Counterexample(trace) => assert_eq!(trace.depth(), 10),
+    ///     other => panic!("expected a counterexample, got {other:?}"),
+    /// }
+    /// ```
     pub fn new(design: &'d Design, options: BmcOptions) -> BmcEngine<'d> {
         let mut options = options;
         if options.pba_discovery && matches!(options.emm.selectors, SelectorGranularity::None) {
@@ -322,12 +365,25 @@ impl<'d> BmcEngine<'d> {
             assert_eq!(a.kept_latches.len(), design.num_latches());
             assert_eq!(a.kept_memories.len(), design.memories().len());
         }
-        let (model, fraig_stats) = if options.fraig.enabled && design.num_gates() > 0 {
-            let mut reduced = design.clone();
-            let stats = fraig_design(&mut reduced, &options.fraig);
-            (Cow::Owned(reduced), Some(stats))
-        } else {
-            (Cow::Borrowed(design), None)
+        // Preprocessing pipeline on a private copy: rewrite → fraig. The
+        // order matters — rewriting restructures inequivalent logic and
+        // re-strashes the graph, which feeds fraig better candidates.
+        let mut reduced: Option<Design> = None;
+        let mut rewrite_stats = None;
+        let mut fraig_stats = None;
+        if design.num_gates() > 0 {
+            if options.rewrite.enabled {
+                let model = reduced.get_or_insert_with(|| design.clone());
+                rewrite_stats = Some(rewrite_design(model, &options.rewrite));
+            }
+            if options.fraig.enabled {
+                let model = reduced.get_or_insert_with(|| design.clone());
+                fraig_stats = Some(fraig_design(model, &options.fraig));
+            }
+        }
+        let model = match reduced {
+            Some(m) => Cow::Owned(m),
+            None => Cow::Borrowed(design),
         };
         let anchored = Self::make_ctx(&model, &options, true);
         let floating = options
@@ -336,6 +392,7 @@ impl<'d> BmcEngine<'d> {
         BmcEngine {
             design,
             model,
+            rewrite_stats,
             fraig_stats,
             options,
             anchored,
@@ -407,7 +464,8 @@ impl<'d> BmcEngine<'d> {
     }
 
     /// The model the engine actually encodes: the original design, or the
-    /// fraig-reduced rewrite when [`BmcOptions::fraig`] is enabled.
+    /// reduced copy when [`BmcOptions::rewrite`] and/or
+    /// [`BmcOptions::fraig`] are enabled.
     pub fn model(&self) -> &Design {
         &self.model
     }
@@ -415,6 +473,11 @@ impl<'d> BmcEngine<'d> {
     /// Counters of the fraig preprocessing pass, when it ran.
     pub fn fraig_stats(&self) -> Option<&FraigStats> {
         self.fraig_stats.as_ref()
+    }
+
+    /// Counters of the cut-based rewriting pass, when it ran.
+    pub fn rewrite_stats(&self) -> Option<&RewriteStats> {
+        self.rewrite_stats.as_ref()
     }
 
     /// Cumulative EMM constraint statistics of the anchored context.

@@ -22,13 +22,16 @@
 //! gate emission, with SAT sweeping as an opt-in pass. See
 //! [`BmcOptions::simplify`](crate::BmcOptions).
 //!
-//! Before any unrolling, the engine also runs the AIG-level fraig pass
-//! ([`emm_aig::fraig`]) on a private copy of the design: functionally
-//! equivalent cones are merged once at the netlist level, so the saving
-//! multiplies across every frame of every context. Counterexample traces
-//! are still validated against the original design. See
-//! [`BmcOptions::fraig`](crate::BmcOptions) and
-//! [`BmcEngine::fraig_stats`].
+//! Before any unrolling, the engine also reduces a private copy of the
+//! design: cut-based rewriting ([`emm_aig::rewrite`]) restructures
+//! inequivalent logic into cheaper shapes, then the AIG-level fraig pass
+//! ([`emm_aig::fraig`]) merges functionally equivalent cones — both
+//! savings multiply across every frame of every context. Counterexample
+//! traces are still validated against the original design. See
+//! [`BmcOptions::rewrite`](crate::BmcOptions),
+//! [`BmcOptions::fraig`](crate::BmcOptions), and
+//! [`BmcEngine::fraig_stats`]. The full pipeline, encoder by encoder, is
+//! documented in `docs/ARCHITECTURE.md` at the repository root.
 //!
 //! ## Example: proving a counter property
 //!

@@ -15,7 +15,7 @@
 use std::borrow::Cow;
 use std::time::Duration;
 
-use emm_aig::{fraig_design, Design, FraigConfig};
+use emm_aig::{fraig_design, rewrite_design, Design, FraigConfig, RewriteConfig};
 use emm_core::EmmOptions;
 use emm_sat::Budget;
 
@@ -41,6 +41,9 @@ pub struct PbaConfig {
     /// model with fraiging disabled, instead of letting each
     /// [`BmcEngine::new`] repeat the identical pass.
     pub fraig: FraigConfig,
+    /// Cut-based AIG rewriting, run (once, before fraig) by the same
+    /// pre-reduction the multi-engine drivers apply to the fraig pass.
+    pub rewrite: RewriteConfig,
 }
 
 impl Default for PbaConfig {
@@ -52,21 +55,28 @@ impl Default for PbaConfig {
             solve_budget: Budget::unlimited(),
             wall_limit: None,
             fraig: FraigConfig::default(),
+            rewrite: RewriteConfig::default(),
         }
     }
 }
 
-/// Applies the configured fraig pass once, returning the model every
-/// engine of a multi-engine driver should share (with per-engine
-/// fraiging switched off in the returned config).
+/// Applies the configured rewrite and fraig passes once, returning the
+/// model every engine of a multi-engine driver should share (with the
+/// per-engine passes switched off in the returned config).
 fn prereduce<'d>(design: &'d Design, config: &PbaConfig) -> (Cow<'d, Design>, PbaConfig) {
-    if !config.fraig.enabled {
+    if !config.fraig.enabled && !config.rewrite.enabled {
         return (Cow::Borrowed(design), config.clone());
     }
     let mut model = design.clone();
-    fraig_design(&mut model, &config.fraig);
+    if config.rewrite.enabled {
+        rewrite_design(&mut model, &config.rewrite);
+    }
+    if config.fraig.enabled {
+        fraig_design(&mut model, &config.fraig);
+    }
     let mut config = config.clone();
     config.fraig = FraigConfig::disabled();
+    config.rewrite = RewriteConfig::disabled();
     (Cow::Owned(model), config)
 }
 
@@ -123,6 +133,7 @@ pub fn discover_within(
             abstraction: within.cloned(),
             pba_discovery: true,
             fraig: config.fraig,
+            rewrite: config.rewrite,
             ..BmcOptions::default()
         },
     );
@@ -259,6 +270,7 @@ pub fn discover_and_prove(
                 BmcOptions {
                     emm: config.emm,
                     fraig: config.fraig,
+                    rewrite: config.rewrite,
                     ..BmcOptions::default()
                 },
             );
@@ -280,6 +292,7 @@ pub fn discover_and_prove(
                 abstraction: Some(disc.abstraction.clone()),
                 pba_discovery: false,
                 fraig: config.fraig,
+                rewrite: config.rewrite,
                 ..BmcOptions::default()
             },
         );

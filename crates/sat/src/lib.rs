@@ -27,6 +27,10 @@
 //!   mentions and get proved/refuted/unknown answers with distinguishing
 //!   models.
 //!
+//! Where this crate sits in the encoding pipeline (design → reduction
+//! passes → unrolling → sink → solver) is described in
+//! `docs/ARCHITECTURE.md` at the repository root.
+//!
 //! ## Example
 //!
 //! ```

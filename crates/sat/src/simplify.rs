@@ -313,6 +313,29 @@ impl Simplifier {
 
 /// A [`CnfSink`] that simplifies gate and clause traffic on its way into
 /// `inner`. Created by [`Simplifier::attach`]; see the [module docs](self).
+///
+/// # Examples
+///
+/// Structural hashing interns commuted gates, and lazy emission withholds
+/// a gate's clauses until something references its output:
+///
+/// ```
+/// use emm_sat::{CnfSink, Simplifier, SimplifyConfig, Solver};
+///
+/// let mut solver = Solver::new();
+/// let mut simp = Simplifier::new(SimplifyConfig::default());
+/// let mut sink = simp.attach(&mut solver);
+/// let a = sink.new_var().positive();
+/// let b = sink.new_var().positive();
+/// let g1 = sink.add_and_gate(a, b);
+/// let g2 = sink.add_and_gate(b, a); // same gate, commuted
+/// assert_eq!(g1, g2);
+/// let folded = sink.add_and_gate(a, a); // x & x folds to x, no gate
+/// assert_eq!(folded, a);
+/// drop(sink);
+/// assert_eq!(simp.stats().cache_hits, 1);
+/// assert_eq!(simp.stats().gates_created, 1);
+/// ```
 #[derive(Debug)]
 pub struct SimplifySink<'a, S: CnfSink + ?Sized> {
     simp: &'a mut Simplifier,
