@@ -16,18 +16,25 @@
 //! cut carries the truth table of the node over the cut leaves, maintained
 //! during the merge, so no separate window simulation is needed.
 //!
-//! Truth tables are stored as full 4-variable tables (`u16`), with leaf
-//! `i` bound to variable `i`; a cut with fewer than four leaves simply
-//! does not depend on the higher variables. [`MAX_CUT_SIZE`] caps `k` at 4.
+//! Truth tables are stored as full 6-variable tables (`u64`), with leaf
+//! `i` bound to variable `i`; a cut with fewer than six leaves simply
+//! does not depend on the higher variables. [`MAX_CUT_SIZE`] caps `k` at 6.
 
 use crate::aig::{Aig, Node, NodeId};
 
-/// Hard upper bound on cut width: a `u16` truth table covers 4 variables.
-pub const MAX_CUT_SIZE: usize = 4;
+/// Hard upper bound on cut width: a `u64` truth table covers 6 variables.
+pub const MAX_CUT_SIZE: usize = 6;
 
-/// Truth tables of the four cut variables (`x0` is bit 0 of the position
+/// Truth tables of the six cut variables (`x0` is bit 0 of the position
 /// index). `VAR_TT[i]` is the table of the projection onto leaf `i`.
-pub const VAR_TT: [u16; MAX_CUT_SIZE] = [0xAAAA, 0xCCCC, 0xF0F0, 0xFF00];
+pub const VAR_TT: [u64; MAX_CUT_SIZE] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
 
 /// One k-feasible cut: sorted leaves plus the node's function over them.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,7 +43,7 @@ pub struct Cut {
     pub leaves: Vec<NodeId>,
     /// Truth table of the cut's root over the leaves (leaf `i` ↔ variable
     /// `i` of [`VAR_TT`]); independent of variables `>= leaves.len()`.
-    pub tt: u16,
+    pub tt: u64,
 }
 
 impl Cut {
@@ -74,7 +81,7 @@ impl Default for CutConfig {
 
 /// Re-expresses `tt`, a table over `leaves`, as a table over `union`
 /// (which must contain every leaf). Both leaf slices are sorted.
-fn expand(tt: u16, leaves: &[NodeId], union: &[NodeId]) -> u16 {
+fn expand(tt: u64, leaves: &[NodeId], union: &[NodeId]) -> u64 {
     if leaves.len() == union.len() {
         return tt;
     }
@@ -83,13 +90,21 @@ fn expand(tt: u16, leaves: &[NodeId], union: &[NodeId]) -> u16 {
     for (i, l) in leaves.iter().enumerate() {
         pos[i] = union.iter().position(|u| u == l).expect("leaf in union");
     }
-    let mut out = 0u16;
-    for p in 0..16usize {
+    // Only the low 2^|union| positions carry information — this is the
+    // hottest loop of the enumeration, so compute that block and fill
+    // the rest by doubling (the table is constant in variables above
+    // the union).
+    let n = union.len();
+    let mut out = 0u64;
+    for p in 0..(1usize << n) {
         let mut q = 0usize;
         for (i, &src) in pos.iter().enumerate().take(leaves.len()) {
             q |= ((p >> src) & 1) << i;
         }
         out |= ((tt >> q) & 1) << p;
+    }
+    for i in n..MAX_CUT_SIZE {
+        out |= out << (1usize << i);
     }
     out
 }
@@ -130,8 +145,8 @@ fn merge(ca: &Cut, inv_a: bool, cb: &Cut, inv_b: bool, k: usize) -> Option<Cut> 
         }
         union.push(next);
     }
-    let ta = expand(ca.tt, &ca.leaves, &union) ^ if inv_a { 0xFFFF } else { 0 };
-    let tb = expand(cb.tt, &cb.leaves, &union) ^ if inv_b { 0xFFFF } else { 0 };
+    let ta = expand(ca.tt, &ca.leaves, &union) ^ if inv_a { u64::MAX } else { 0 };
+    let tb = expand(cb.tt, &cb.leaves, &union) ^ if inv_b { u64::MAX } else { 0 };
     Some(Cut {
         leaves: union,
         tt: ta & tb,

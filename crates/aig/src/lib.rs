@@ -24,10 +24,13 @@
 //!   fanouts to class representatives and dead-strips merged cones. Knobs
 //!   live in [`FraigConfig`]; the BMC engine runs it by default.
 //! * [`rewrite`] — cut-based rewriting (with k-feasible cut enumeration in
-//!   [`cuts`]): per-node truth tables over 4-input cuts are
-//!   NPN-canonicalized and re-synthesized from a recipe library wherever
-//!   that strictly reduces the AND count — the restructuring pass for
-//!   *inequivalent* logic that runs ahead of [`fraig`] in the BMC
+//!   [`cuts`], k ≤ 6 over `u64` truth tables): per-node cut functions are
+//!   canonicalized by a memoized semicanonical NPN form and
+//!   re-synthesized from a recipe library wherever that strictly reduces
+//!   the AND count; accepted rewrites are chosen by a global
+//!   non-overlapping selection pass ([`select`]) so overlapping
+//!   fanout-free cones are never double-counted — the restructuring pass
+//!   for *inequivalent* logic that runs ahead of [`fraig`] in the BMC
 //!   engine's default pipeline.
 //!
 //! How these passes slot into the whole verification stack is described
@@ -65,6 +68,7 @@ pub mod emn;
 pub mod fraig;
 pub mod report;
 pub mod rewrite;
+pub mod select;
 pub mod sim;
 mod word;
 

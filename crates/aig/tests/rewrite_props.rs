@@ -1,11 +1,13 @@
-//! Property tests for cut enumeration, NPN canonicalization, and the
+//! Property tests for cut enumeration, NPN semicanonicalization, and the
 //! cut-based rewriting pass: on random graphs, rewriting must preserve
 //! combinational semantics exactly (checked with the word-parallel
-//! simulator), never grow the graph, and canonical forms must be
-//! invariant under every NPN transform.
+//! simulator) under both the default and the wide (k = 6, global
+//! selection) configurations, never grow the graph, k = 6 cut truth
+//! tables must agree with word-parallel simulation, and semicanonical
+//! forms must be invariant under every NPN transform.
 
-use emm_aig::cuts::{enumerate_cuts, CutConfig};
-use emm_aig::rewrite::{npn_canonical, rewrite_aig, NpnTransform, RewriteConfig};
+use emm_aig::cuts::{enumerate_cuts, CutConfig, MAX_CUT_SIZE};
+use emm_aig::rewrite::{npn_semicanonical, rewrite_aig, NpnTransform, RewriteConfig};
 use emm_aig::sim::eval_combinational_words;
 use emm_aig::{Aig, Bit};
 use proptest::collection::vec;
@@ -61,71 +63,81 @@ fn word_of(values: &[u64], words: usize, bit: Bit, w: usize) -> u64 {
     }
 }
 
-/// The 24 permutations of four elements, for random-transform draws.
-fn perms() -> Vec<[u8; 4]> {
-    let mut out = Vec::new();
-    for a in 0..4u8 {
-        for b in 0..4u8 {
-            for c in 0..4u8 {
-                for d in 0..4u8 {
-                    if a != b && a != c && a != d && b != c && b != d && c != d {
-                        out.push([a, b, c, d]);
-                    }
-                }
-            }
+/// A random permutation of `0..6` derived from a seed.
+fn seeded_perm(seed: u64) -> [u8; MAX_CUT_SIZE] {
+    let mut perm = [0u8, 1, 2, 3, 4, 5];
+    for i in (1..MAX_CUT_SIZE).rev() {
+        let j = (mix(seed ^ i as u64) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Checks one rewriting configuration against word-parallel simulation.
+fn check_rewrite_preserves(g: &Aig, roots: &[Bit], config: &RewriteConfig, seed: u64) {
+    let r = rewrite_aig(g, roots, config);
+    assert!(r.stats.ands_after <= r.stats.ands_before);
+    let words = 2usize;
+    let values_old = eval_combinational_words(g, &input_words(g, words, seed), words);
+    let values_new = eval_combinational_words(&r.aig, &input_words(&r.aig, words, seed), words);
+    assert_eq!(g.num_inputs(), r.aig.num_inputs(), "inputs preserved");
+    for (i, &root) in roots.iter().enumerate() {
+        let mapped = r.map_bit(root);
+        for w in 0..words {
+            assert_eq!(
+                word_of(&values_old, words, root, w),
+                word_of(&values_new, words, mapped, w),
+                "k={} root {} word {}",
+                config.cut_size,
+                i,
+                w
+            );
         }
     }
-    out
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Rewriting preserves the function of every root on 128 patterns of
-    /// word-parallel simulation, and never grows the graph.
+    /// word-parallel simulation, and never grows the graph — under the
+    /// default configuration, the wide k = 6 configuration, and the
+    /// traversal-order greedy acceptance policy.
     #[test]
     fn rewrite_preserves_combinational_semantics(
-        num_inputs in 2usize..6,
+        num_inputs in 2usize..8,
         ops in vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..60),
         seed in any::<u64>(),
     ) {
         let (g, edges) = build_graph(num_inputs, &ops);
         // The last few edges are the roots whose functions must survive.
         let roots: Vec<Bit> = edges.iter().rev().take(4).copied().collect();
-        let r = rewrite_aig(&g, &roots, &RewriteConfig::default());
-        prop_assert!(r.stats.ands_after <= r.stats.ands_before);
-
-        let words = 2usize;
-        let values_old = eval_combinational_words(&g, &input_words(&g, words, seed), words);
-        let values_new =
-            eval_combinational_words(&r.aig, &input_words(&r.aig, words, seed), words);
-        prop_assert_eq!(g.num_inputs(), r.aig.num_inputs(), "inputs preserved");
-        for (i, &root) in roots.iter().enumerate() {
-            let mapped = r.map_bit(root);
-            for w in 0..words {
-                prop_assert_eq!(
-                    word_of(&values_old, words, root, w),
-                    word_of(&values_new, words, mapped, w),
-                    "root {} word {}", i, w
-                );
-            }
-        }
+        check_rewrite_preserves(&g, &roots, &RewriteConfig::default(), seed);
+        check_rewrite_preserves(&g, &roots, &RewriteConfig::wide(), seed);
+        check_rewrite_preserves(
+            &g,
+            &roots,
+            &RewriteConfig { global_select: false, ..RewriteConfig::default() },
+            seed,
+        );
     }
 
-    /// Every enumerated cut's truth table agrees with word-parallel
-    /// simulation of the graph on every node.
+    /// Every enumerated cut's truth table — k = 6, `u64` tables — agrees
+    /// with word-parallel simulation of the graph on every node.
     #[test]
     fn cut_truth_tables_agree_with_simulation(
-        num_inputs in 2usize..5,
+        num_inputs in 2usize..8,
         ops in vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..30),
         seed in any::<u64>(),
     ) {
         let (g, _) = build_graph(num_inputs, &ops);
-        let cuts = enumerate_cuts(&g, &CutConfig::default());
+        let config = CutConfig { cut_size: MAX_CUT_SIZE, max_cuts: 8 };
+        let cuts = enumerate_cuts(&g, &config);
         let words = 1usize;
         let values = eval_combinational_words(&g, &input_words(&g, words, seed), words);
         for (nid, node_cuts) in cuts.iter().enumerate() {
             for cut in node_cuts {
+                prop_assert!(cut.leaves.len() <= MAX_CUT_SIZE);
                 for p in 0..64usize {
                     // Pattern p of the single simulation word.
                     let mut q = 0usize;
@@ -134,7 +146,7 @@ proptest! {
                     }
                     prop_assert_eq!(
                         (cut.tt >> q) & 1,
-                        ((values[nid] >> p) & 1) as u16,
+                        (values[nid] >> p) & 1,
                         "node {} cut {:?} pattern {}", nid, &cut.leaves, p
                     );
                 }
@@ -142,26 +154,53 @@ proptest! {
         }
     }
 
-    /// NPN canonical forms are invariant under arbitrary NPN transforms,
-    /// and the returned transform actually reaches the canonical table.
+    /// Semicanonical forms are invariant under arbitrary input/output
+    /// negations and permutations, and the returned transform actually
+    /// reaches the semicanonical table.
     #[test]
-    fn npn_canonical_is_transform_invariant(
-        tt in any::<u16>(),
-        perm_idx in 0usize..24,
-        input_neg in 0u8..16,
+    fn semicanonical_is_transform_invariant(
+        tt in any::<u64>(),
+        perm_seed in any::<u64>(),
+        input_neg in 0u8..64,
         output_neg in any::<bool>(),
     ) {
-        let (canon, reached_by) = npn_canonical(tt);
+        let (canon, reached_by) = npn_semicanonical(tt);
         prop_assert_eq!(reached_by.apply(tt), canon);
         let t = NpnTransform {
-            perm: perms()[perm_idx],
+            perm: seeded_perm(perm_seed),
             input_neg,
             output_neg,
         };
         let transformed = t.apply(tt);
         prop_assert_eq!(
-            npn_canonical(transformed).0, canon,
-            "tt {:#06x} transformed {:#06x}", tt, transformed
+            npn_semicanonical(transformed).0, canon,
+            "tt {:#018x} transformed {:#018x}", tt, transformed
         );
+    }
+
+    /// Narrow-support functions hiding in wide tables: a table depending
+    /// on few variables must canonicalize identically however the unused
+    /// variables are permuted or negated — the shape every cut with fewer
+    /// than six leaves produces.
+    #[test]
+    fn semicanonical_ignores_unused_variables(
+        low_tt in any::<u16>(),
+        perm_seed in any::<u64>(),
+        input_neg in 0u8..64,
+    ) {
+        // Expand a 4-variable table to 6 variables (x4/x5 unused).
+        let mut tt = 0u64;
+        for p in 0..64usize {
+            if (low_tt >> (p & 15)) & 1 == 1 {
+                tt |= 1 << p;
+            }
+        }
+        let (canon, _) = npn_semicanonical(tt);
+        let t = NpnTransform {
+            perm: seeded_perm(perm_seed),
+            input_neg,
+            output_neg: false,
+        };
+        prop_assert_eq!(npn_semicanonical(t.apply(tt)).0, canon);
     }
 }

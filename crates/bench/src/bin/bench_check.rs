@@ -9,24 +9,37 @@
 //! are deterministic. Rows that only exist in the fresh file (new modes,
 //! new workloads) are listed as additions and pass.
 //!
+//! Improvements are not gated either, but they are not silent: a row
+//! whose clause or variable count *drops* by more than the tolerance is
+//! flagged as a **stale baseline** — the win should be committed to
+//! `BENCH_simplify.json` rather than absorbed, or the next regression up
+//! to the old level would pass unnoticed.
+//!
 //! In addition, `--require-modes` (a comma-separated list defaulting to
-//! every mode the `simplify` harness emits, `rewrite_fraig` included)
+//! every mode the `simplify` harness emits, `rewrite6_fraig` included)
 //! demands that each benchmark of **both** files carries every named
 //! mode — so a mode silently disappearing from the suite, or a stale
 //! baseline missing a newly-shipped mode, fails the gate instead of
 //! sliding through as "fewer rows to compare".
+//!
+//! `--summary <path>` appends a per-row markdown diff table (verdict,
+//! clause/var deltas, status) to the given file — pass
+//! `"$GITHUB_STEP_SUMMARY"` in CI to render the whole diff on the run's
+//! summary page instead of burying it in the log.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p emm-bench --bin bench_check -- \
 //!     --baseline BENCH_simplify.json --fresh /tmp/fresh.json \
-//!     [--tolerance-pct 5] [--require-modes naive,fraig,...]
+//!     [--tolerance-pct 5] [--require-modes naive,fraig,...] \
+//!     [--summary "$GITHUB_STEP_SUMMARY"]
 //! ```
 //!
 //! Exit code 0 on pass, 1 on any regression (with a per-row report).
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use emm_bench::bench_json::{extract_str, extract_u64};
@@ -86,23 +99,31 @@ fn pct(fresh: u64, base: u64) -> f64 {
 }
 
 /// Every benchmark in `rows` must carry every required mode; returns the
-/// number of `(benchmark, mode)` holes found (reported on stdout).
+/// `(benchmark, mode)` holes found (reported on stdout).
 fn check_required_modes(
     label: &str,
     rows: &BTreeMap<(String, String), Row>,
     required: &[String],
-) -> usize {
-    let mut missing = 0usize;
+) -> Vec<(String, String)> {
+    let mut missing = Vec::new();
     let benchmarks: std::collections::BTreeSet<&String> = rows.keys().map(|(b, _)| b).collect();
     for b in benchmarks {
         for m in required {
             if !rows.contains_key(&(b.clone(), m.clone())) {
                 println!("  FAIL {b}/{m}: required mode missing from {label}");
-                missing += 1;
+                missing.push((b.clone(), m.clone()));
             }
         }
     }
     missing
+}
+
+/// Per-row outcome, for both the stdout report and the markdown summary.
+enum Outcome {
+    Ok,
+    /// Improvement beyond the tolerance: baseline should be refreshed.
+    Stale,
+    Fail(String),
 }
 
 fn main() -> ExitCode {
@@ -112,8 +133,11 @@ fn main() -> ExitCode {
     let tolerance: f64 = arg_value("--tolerance-pct")
         .and_then(|v| v.parse().ok())
         .unwrap_or(5.0);
+    let summary_path = arg_value("--summary");
     let required_modes: Vec<String> = arg_value("--require-modes")
-        .unwrap_or_else(|| "naive,simplified,simplified_sweep,fraig,rewrite_fraig".to_string())
+        .unwrap_or_else(|| {
+            "naive,simplified,simplified_sweep,fraig,rewrite_fraig,rewrite6_fraig".to_string()
+        })
         .split(',')
         .map(|m| m.trim().to_string())
         .filter(|m| !m.is_empty())
@@ -136,13 +160,43 @@ fn main() -> ExitCode {
         fresh.len()
     );
     let mut failures = 0usize;
-    failures += check_required_modes("baseline", &baseline, &required_modes);
-    failures += check_required_modes("fresh run", &fresh, &required_modes);
+    let mut stale = 0usize;
+    let mut table = String::from(
+        "| benchmark / mode | verdict | clauses | Δ clauses | vars | Δ vars | status |\n\
+         |---|---|---:|---:|---:|---:|---|\n",
+    );
+    for (b, m) in check_required_modes("baseline", &baseline, &required_modes) {
+        let _ = writeln!(
+            table,
+            "| {b} / {m} | — | — | — | — | — | ❌ missing from baseline |"
+        );
+        failures += 1;
+    }
+    let missing_fresh: std::collections::BTreeSet<(String, String)> =
+        check_required_modes("fresh run", &fresh, &required_modes)
+            .into_iter()
+            .collect();
+    for (b, m) in &missing_fresh {
+        let _ = writeln!(
+            table,
+            "| {b} / {m} | — | — | — | — | — | ❌ missing from fresh run |"
+        );
+        failures += 1;
+    }
     for ((benchmark, mode), base) in &baseline {
         let key = format!("{benchmark}/{mode}");
         let Some(new) = fresh.get(&(benchmark.clone(), mode.clone())) else {
-            println!("  FAIL {key}: row missing from fresh run");
-            failures += 1;
+            // Required-mode holes were already reported and counted above;
+            // only flag rows the required-modes check cannot see.
+            if !missing_fresh.contains(&(benchmark.clone(), mode.clone())) {
+                println!("  FAIL {key}: row missing from fresh run");
+                let _ = writeln!(
+                    table,
+                    "| {benchmark} / {mode} | {} | {} | — | {} | — | ❌ missing from fresh run |",
+                    base.verdict, base.clauses, base.vars
+                );
+                failures += 1;
+            }
             continue;
         };
         let mut problems = Vec::new();
@@ -160,25 +214,92 @@ fn main() -> ExitCode {
         if dv > tolerance {
             problems.push(format!("vars {} -> {} (+{dv:.1}%)", base.vars, new.vars));
         }
-        if problems.is_empty() {
-            println!(
-                "  ok   {key}: {} (clauses {:+.1}%, vars {:+.1}%)",
-                new.verdict, dc, dv
-            );
+        let outcome = if !problems.is_empty() {
+            Outcome::Fail(problems.join("; "))
+        } else if dc < -tolerance || dv < -tolerance {
+            Outcome::Stale
         } else {
-            println!("  FAIL {key}: {}", problems.join("; "));
-            failures += 1;
-        }
+            Outcome::Ok
+        };
+        let status = match &outcome {
+            Outcome::Ok => {
+                println!(
+                    "  ok   {key}: {} (clauses {:+.1}%, vars {:+.1}%)",
+                    new.verdict, dc, dv
+                );
+                "✅ ok".to_string()
+            }
+            Outcome::Stale => {
+                stale += 1;
+                println!(
+                    "  ok   {key}: {} (clauses {:+.1}%, vars {:+.1}%) — improvement beyond \
+                     tolerance: stale baseline, refresh {baseline_path}",
+                    new.verdict, dc, dv
+                );
+                "⚠️ stale baseline — refresh".to_string()
+            }
+            Outcome::Fail(msg) => {
+                println!("  FAIL {key}: {msg}");
+                failures += 1;
+                format!("❌ {msg}")
+            }
+        };
+        let _ = writeln!(
+            table,
+            "| {benchmark} / {mode} | {} | {} → {} | {dc:+.1}% | {} → {} | {dv:+.1}% | {status} |",
+            new.verdict, base.clauses, new.clauses, base.vars, new.vars
+        );
     }
-    for key in fresh.keys() {
+    for (key, row) in &fresh {
         if !baseline.contains_key(key) {
             println!("  new  {}/{}: not in baseline (allowed)", key.0, key.1);
+            let _ = writeln!(
+                table,
+                "| {} / {} | {} | {} | — | {} | — | new (not in baseline) |",
+                key.0, key.1, row.verdict, row.clauses, row.vars
+            );
+        }
+    }
+
+    let verdict_line = if failures > 0 {
+        format!("**{failures} row(s) regressed** — gate fails.")
+    } else if stale > 0 {
+        format!(
+            "Pass, but {stale} row(s) improved beyond the {tolerance}% tolerance — \
+             **stale baseline**: regenerate `{baseline_path}` \
+             (`cargo run --release -p emm-bench --bin simplify`) so the win is locked in."
+        )
+    } else {
+        "All rows within tolerance.".to_string()
+    };
+    if let Some(path) = summary_path {
+        // Append (GITHUB_STEP_SUMMARY accumulates across steps).
+        use std::io::Write as _;
+        let md = format!(
+            "## Bench regression gate\n\nBaseline `{baseline_path}` vs fresh \
+             `{fresh_path}`, tolerance {tolerance}%.\n\n{table}\n{verdict_line}\n"
+        );
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                if let Err(e) = f.write_all(md.as_bytes()) {
+                    eprintln!("bench_check: cannot write summary {path}: {e}");
+                }
+            }
+            Err(e) => eprintln!("bench_check: cannot open summary {path}: {e}"),
         }
     }
     if failures > 0 {
         eprintln!("bench_check: {failures} row(s) regressed");
         return ExitCode::FAILURE;
     }
-    println!("bench_check: pass");
+    if stale > 0 {
+        println!("bench_check: pass ({stale} stale-baseline warning(s) — refresh {baseline_path})");
+    } else {
+        println!("bench_check: pass");
+    }
     ExitCode::SUCCESS
 }

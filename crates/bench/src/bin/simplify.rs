@@ -7,8 +7,10 @@
 //! For every workload the same property is checked once per mode — the
 //! naive seed encoding (`SimplifyConfig::disabled`), the simplifying sink
 //! (default config), the sink plus encode-time SAT sweeping, the
-//! AIG-level fraig pass on top of the default sink, and cut-based
-//! rewriting ahead of fraig (the engine default) — recording solver
+//! AIG-level fraig pass on top of the default sink, cut-based rewriting
+//! ahead of fraig (the engine default, k = 4 cuts with global
+//! selection), and wide-cut rewriting (`RewriteConfig::wide()`: k = 6
+//! cuts, `u64` truth tables) ahead of fraig — recording solver
 //! variable/clause counts at the deepest checked frame, wall time, and
 //! the layers' cache / sweep / fraig / rewrite counters.
 //!
@@ -58,7 +60,7 @@ fn verdict_name(v: &BmcVerdict) -> String {
     }
 }
 
-/// The five measured encoder configurations.
+/// The six measured encoder configurations.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
     /// The seed encoding: no sink layer, no comparator cache, no fraig.
@@ -69,18 +71,22 @@ enum Mode {
     SimplifiedSweep,
     /// AIG-level fraiging before unrolling, on top of the default sink.
     Fraig,
-    /// The engine default: cut-based rewriting, then fraiging, then the
-    /// default sink.
+    /// The engine default: cut-based rewriting (k = 4, global
+    /// selection), then fraiging, then the default sink.
     RewriteFraig,
+    /// Wide-cut rewriting (`RewriteConfig::wide()`: k = 6 cuts over
+    /// `u64` truth tables), then fraiging, then the default sink.
+    Rewrite6Fraig,
 }
 
 impl Mode {
-    const ALL: [Mode; 5] = [
+    const ALL: [Mode; 6] = [
         Mode::Naive,
         Mode::Simplified,
         Mode::SimplifiedSweep,
         Mode::Fraig,
         Mode::RewriteFraig,
+        Mode::Rewrite6Fraig,
     ];
 
     fn name(self) -> &'static str {
@@ -90,6 +96,7 @@ impl Mode {
             Mode::SimplifiedSweep => "simplified_sweep",
             Mode::Fraig => "fraig",
             Mode::RewriteFraig => "rewrite_fraig",
+            Mode::Rewrite6Fraig => "rewrite6_fraig",
         }
     }
 }
@@ -104,20 +111,22 @@ fn run_one(
 ) -> RunRecord {
     let simplify = match mode {
         Mode::Naive => SimplifyConfig::disabled(),
-        Mode::Simplified | Mode::Fraig | Mode::RewriteFraig => SimplifyConfig::default(),
+        Mode::Simplified | Mode::Fraig | Mode::RewriteFraig | Mode::Rewrite6Fraig => {
+            SimplifyConfig::default()
+        }
         Mode::SimplifiedSweep => SimplifyConfig::sweeping(),
     };
-    // Only the two fraig modes run the AIG-level passes, so the other rows
-    // keep their historical meaning as a trajectory.
-    let fraig = if matches!(mode, Mode::Fraig | Mode::RewriteFraig) {
+    // Only the fraig-and-later modes run the AIG-level passes, so the
+    // other rows keep their historical meaning as a trajectory.
+    let fraig = if matches!(mode, Mode::Fraig | Mode::RewriteFraig | Mode::Rewrite6Fraig) {
         FraigConfig::default()
     } else {
         FraigConfig::disabled()
     };
-    let rewrite = if mode == Mode::RewriteFraig {
-        RewriteConfig::default()
-    } else {
-        RewriteConfig::disabled()
+    let rewrite = match mode {
+        Mode::RewriteFraig => RewriteConfig::default(),
+        Mode::Rewrite6Fraig => RewriteConfig::wide(),
+        _ => RewriteConfig::disabled(),
     };
     // The naive baseline must be the *seed* encoding: the comparator cache
     // is part of the PR-1 optimizations, so it is switched off together
@@ -234,12 +243,15 @@ fn json_record(r: &RunRecord) -> String {
             write!(
                 s,
                 ", \"rewrite\": {{\"ands_before\": {}, \"ands_after\": {}, \
-                 \"iterations\": {}, \"rewrites\": {}, \"xor_rewrites\": {}, \
-                 \"mux_rewrites\": {}, \"cuts_enumerated\": {}, \
-                 \"candidates_tried\": {}, \"zero_gain_skipped\": {}, \
+                 \"cut_size\": {}, \"iterations\": {}, \"rewrites\": {}, \
+                 \"xor_rewrites\": {}, \"mux_rewrites\": {}, \
+                 \"cuts_enumerated\": {}, \"candidates_tried\": {}, \
+                 \"zero_gain_skipped\": {}, \"candidates_collected\": {}, \
+                 \"select_dropped\": {}, \"exchange_swaps\": {}, \
                  \"npn_classes\": {}}}}}",
                 st.ands_before,
                 st.ands_after,
+                st.cut_size,
                 st.iterations,
                 st.rewrites,
                 st.xor_rewrites,
@@ -247,6 +259,9 @@ fn json_record(r: &RunRecord) -> String {
                 st.cuts_enumerated,
                 st.candidates_tried,
                 st.zero_gain_skipped,
+                st.candidates_collected,
+                st.select_dropped,
+                st.exchange_swaps,
                 st.npn_classes,
             )
             .expect("write");

@@ -114,12 +114,18 @@ pub struct BmcOptions {
     /// Cut-based AIG rewriting of the design before any unrolling (see
     /// [`emm_aig::rewrite`]): k-feasible cut cones are re-synthesized from
     /// NPN-canonical implementations wherever that strictly reduces the
-    /// AND count. Runs **before** the fraig pass — rewriting restructures
-    /// inequivalent logic, and its rebuild hands fraig a freshly strashed
-    /// graph. Enabled by default; use [`RewriteConfig::disabled`] for the
-    /// unrewritten netlist. Like fraiging, the pass is deterministic,
-    /// runs inside [`BmcEngine::new`], and multi-engine drivers should
-    /// pre-reduce once instead (see [`crate::pba`]).
+    /// AND count, with accepted rewrites chosen by a global
+    /// non-overlapping selection over their fanout-free cones. Runs
+    /// **before** the fraig pass — rewriting restructures inequivalent
+    /// logic, and its rebuild hands fraig a freshly strashed graph.
+    /// Enabled by default (4-input cuts, global selection); the knobs
+    /// thread straight through: `RewriteConfig { cut_size, global_select,
+    /// .. }`, with [`RewriteConfig::wide`] for 6-input `u64`-table cuts
+    /// (the bench harness's `rewrite6_fraig` mode) and
+    /// [`RewriteConfig::disabled`] for the unrewritten netlist. Like
+    /// fraiging, the pass is deterministic, runs inside
+    /// [`BmcEngine::new`], and multi-engine drivers should pre-reduce
+    /// once instead (see [`crate::pba`]).
     pub rewrite: RewriteConfig,
 }
 

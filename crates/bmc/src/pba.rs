@@ -43,6 +43,8 @@ pub struct PbaConfig {
     pub fraig: FraigConfig,
     /// Cut-based AIG rewriting, run (once, before fraig) by the same
     /// pre-reduction the multi-engine drivers apply to the fraig pass.
+    /// The cut width and selection policy knobs (`cut_size`,
+    /// `global_select`, [`RewriteConfig::wide`]) pass through unchanged.
     pub rewrite: RewriteConfig,
 }
 
