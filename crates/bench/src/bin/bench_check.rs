@@ -16,7 +16,8 @@
 //! to the old level would pass unnoticed.
 //!
 //! In addition, `--require-modes` (a comma-separated list defaulting to
-//! every mode the `simplify` harness emits, `rewrite6_fraig` included)
+//! every mode the `simplify` harness emits, `rewrite6_fraig` and
+//! `incremental` included)
 //! demands that each benchmark of **both** files carries every named
 //! mode — so a mode silently disappearing from the suite, or a stale
 //! baseline missing a newly-shipped mode, fails the gate instead of
@@ -136,7 +137,8 @@ fn main() -> ExitCode {
     let summary_path = arg_value("--summary");
     let required_modes: Vec<String> = arg_value("--require-modes")
         .unwrap_or_else(|| {
-            "naive,simplified,simplified_sweep,fraig,rewrite_fraig,rewrite6_fraig".to_string()
+            "naive,simplified,simplified_sweep,fraig,rewrite_fraig,rewrite6_fraig,incremental"
+                .to_string()
         })
         .split(',')
         .map(|m| m.trim().to_string())

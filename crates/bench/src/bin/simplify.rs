@@ -9,10 +9,14 @@
 //! (default config), the sink plus encode-time SAT sweeping, the
 //! AIG-level fraig pass on top of the default sink, cut-based rewriting
 //! ahead of fraig (the engine default, k = 4 cuts with global
-//! selection), and wide-cut rewriting (`RewriteConfig::wide()`: k = 6
-//! cuts, `u64` truth tables) ahead of fraig — recording solver
-//! variable/clause counts at the deepest checked frame, wall time, and
-//! the layers' cache / sweep / fraig / rewrite counters.
+//! selection), wide-cut rewriting (`RewriteConfig::wide()`: k = 6
+//! cuts, `u64` truth tables) ahead of fraig, and the `incremental`
+//! solver-lifecycle row (the sweeping sink solved bound-to-bound on one
+//! long-lived solver with clause retirement, against a
+//! restart-from-scratch leg of the same configuration) — recording
+//! solver variable/clause counts at the deepest checked frame, wall
+//! time (per-bound for the incremental pair), retired-clause totals,
+//! and the layers' cache / sweep / fraig / rewrite counters.
 //!
 //! Usage:
 //!
@@ -49,6 +53,26 @@ struct RunRecord {
     simplify: Option<emm_sat::SimplifyStats>,
     fraig: Option<emm_aig::FraigStats>,
     rewrite: Option<emm_aig::RewriteStats>,
+    incremental: Option<IncrementalExtras>,
+}
+
+/// The `incremental` mode's extra measurements: solver-side clause
+/// retirement totals and the per-bound wall-clock comparison against the
+/// restart-from-scratch baseline (same config, `incremental: false`).
+struct IncrementalExtras {
+    /// Clauses physically retired by the anchored solver (sweep-merged
+    /// Tseitin triples + refuted per-bound property clauses).
+    retired_clauses: u64,
+    /// The property-clause share of `retired_clauses`.
+    property_clauses_retired: u64,
+    /// Wall seconds per bound, incremental engine.
+    per_bound_seconds: Vec<f64>,
+    /// Total wall seconds of the restart-from-scratch leg.
+    restart_seconds: f64,
+    /// Verdict of the restart leg (must match the row's `verdict`).
+    restart_verdict: String,
+    /// Wall seconds per bound, restart engine.
+    restart_per_bound_seconds: Vec<f64>,
 }
 
 fn verdict_name(v: &BmcVerdict) -> String {
@@ -60,7 +84,7 @@ fn verdict_name(v: &BmcVerdict) -> String {
     }
 }
 
-/// The six measured encoder configurations.
+/// The seven measured encoder configurations.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
     /// The seed encoding: no sink layer, no comparator cache, no fraig.
@@ -77,16 +101,24 @@ enum Mode {
     /// Wide-cut rewriting (`RewriteConfig::wide()`: k = 6 cuts over
     /// `u64` truth tables), then fraiging, then the default sink.
     Rewrite6Fraig,
+    /// The sweeping sink measured as a *solver lifecycle* row: one
+    /// long-lived solver across the bound loop with per-bound property
+    /// clauses retired on refutation and sweep-merged Tseitin triples
+    /// physically deleted, against a restart-from-scratch leg of the
+    /// same configuration (verdicts must agree; per-bound wall clock is
+    /// the headline number).
+    Incremental,
 }
 
 impl Mode {
-    const ALL: [Mode; 6] = [
+    const ALL: [Mode; 7] = [
         Mode::Naive,
         Mode::Simplified,
         Mode::SimplifiedSweep,
         Mode::Fraig,
         Mode::RewriteFraig,
         Mode::Rewrite6Fraig,
+        Mode::Incremental,
     ];
 
     fn name(self) -> &'static str {
@@ -97,6 +129,7 @@ impl Mode {
             Mode::Fraig => "fraig",
             Mode::RewriteFraig => "rewrite_fraig",
             Mode::Rewrite6Fraig => "rewrite6_fraig",
+            Mode::Incremental => "incremental",
         }
     }
 }
@@ -115,6 +148,7 @@ fn run_one(
             SimplifyConfig::default()
         }
         Mode::SimplifiedSweep => SimplifyConfig::sweeping(),
+        Mode::Incremental => unreachable!("dispatched to run_incremental"),
     };
     // Only the fraig-and-later modes run the AIG-level passes, so the
     // other rows keep their historical meaning as a trajectory.
@@ -168,6 +202,66 @@ fn run_one(
         simplify: engine.simplify_stats(),
         fraig: engine.fraig_stats().copied(),
         rewrite: engine.rewrite_stats().copied(),
+        incremental: None,
+    }
+}
+
+/// The `incremental` mode: the sweeping configuration solved
+/// bound-to-bound on one long-lived solver per context, then the same
+/// configuration again with `incremental: false` (every bound re-encodes
+/// and re-solves from scratch). The row's headline counts come from the
+/// incremental leg; the extras record the comparison.
+fn run_incremental(
+    benchmark: &str,
+    design: &emm_aig::Design,
+    prop: usize,
+    bound: usize,
+    timeout: Duration,
+) -> RunRecord {
+    let opts = |incremental: bool| BmcOptions {
+        proofs: true,
+        // The restart leg is deliberately quadratic; give it headroom so
+        // the comparison ends in matching verdicts, not a timeout.
+        wall_limit: Some(if incremental { timeout } else { timeout * 5 }),
+        simplify: SimplifyConfig::sweeping(),
+        fraig: FraigConfig::disabled(),
+        rewrite: RewriteConfig::disabled(),
+        incremental,
+        ..BmcOptions::default()
+    };
+    let started = Instant::now();
+    let mut engine = BmcEngine::new(design, opts(true));
+    let run = engine.check(prop, bound).expect("bench run");
+    let elapsed = started.elapsed();
+    let (vars, solver_stats) = engine.solver_stats();
+    let emm = engine.emm_stats();
+
+    let restart_started = Instant::now();
+    let mut restart = BmcEngine::new(design, opts(false));
+    let restart_run = restart.check(prop, bound).expect("bench run");
+    let restart_elapsed = restart_started.elapsed();
+
+    RunRecord {
+        benchmark: benchmark.to_string(),
+        mode: Mode::Incremental.name(),
+        verdict: verdict_name(&run.verdict),
+        depth: run.depth_reached,
+        seconds: elapsed.as_secs_f64(),
+        vars,
+        clauses: solver_stats.original_clauses,
+        emm_clauses: emm.clauses,
+        cmp_cache_hits: emm.cmp_cache_hits,
+        simplify: engine.simplify_stats(),
+        fraig: None,
+        rewrite: None,
+        incremental: Some(IncrementalExtras {
+            retired_clauses: solver_stats.retired_clauses,
+            property_clauses_retired: engine.property_clauses_retired(),
+            per_bound_seconds: run.per_bound_seconds,
+            restart_seconds: restart_elapsed.as_secs_f64(),
+            restart_verdict: verdict_name(&restart_run.verdict),
+            restart_per_bound_seconds: restart_run.per_bound_seconds,
+        }),
     }
 }
 
@@ -198,7 +292,7 @@ fn json_record(r: &RunRecord) -> String {
                  \"cache_hits\": {}, \"gates_created\": {}, \"gates_emitted\": {}, \
                  \"gates_elided\": {}, \"sweep_checks\": {}, \"sweep_merges\": {}, \
                  \"sweep_refuted\": {}, \"clauses_dropped\": {}, \
-                 \"literals_stripped\": {}}}",
+                 \"literals_stripped\": {}, \"clauses_retired\": {}}}",
                 st.gate_queries,
                 st.folded,
                 st.cache_hits,
@@ -210,6 +304,7 @@ fn json_record(r: &RunRecord) -> String {
                 st.sweep_refuted,
                 st.clauses_dropped,
                 st.literals_stripped,
+                st.clauses_retired,
             )
             .expect("write");
         }
@@ -238,7 +333,7 @@ fn json_record(r: &RunRecord) -> String {
         }
     }
     match &r.rewrite {
-        None => s.push_str(", \"rewrite\": null}"),
+        None => s.push_str(", \"rewrite\": null"),
         Some(st) => {
             write!(
                 s,
@@ -248,7 +343,7 @@ fn json_record(r: &RunRecord) -> String {
                  \"cuts_enumerated\": {}, \"candidates_tried\": {}, \
                  \"zero_gain_skipped\": {}, \"candidates_collected\": {}, \
                  \"select_dropped\": {}, \"exchange_swaps\": {}, \
-                 \"npn_classes\": {}}}}}",
+                 \"npn_classes\": {}}}",
                 st.ands_before,
                 st.ands_after,
                 st.cut_size,
@@ -267,6 +362,28 @@ fn json_record(r: &RunRecord) -> String {
             .expect("write");
         }
     }
+    if let Some(extra) = &r.incremental {
+        let fmt_bounds = |xs: &[f64]| {
+            xs.iter()
+                .map(|x| format!("{x:.4}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        write!(
+            s,
+            ", \"retired_clauses\": {}, \"property_clauses_retired\": {}, \
+             \"restart_seconds\": {:.3}, \"restart_verdict\": \"{}\", \
+             \"per_bound_seconds\": [{}], \"restart_per_bound_seconds\": [{}]",
+            extra.retired_clauses,
+            extra.property_clauses_retired,
+            extra.restart_seconds,
+            extra.restart_verdict,
+            fmt_bounds(&extra.per_bound_seconds),
+            fmt_bounds(&extra.restart_per_bound_seconds),
+        )
+        .expect("write");
+    }
+    s.push('}');
     s
 }
 
@@ -306,7 +423,11 @@ fn main() {
         ] {
             let name = format!("{table}_quicksort_{label}_n{n}");
             for mode in Mode::ALL {
-                let r = run_one(&name, &qs.design, prop, qs.cycle_bound(), timeout, mode);
+                let r = if mode == Mode::Incremental {
+                    run_incremental(&name, &qs.design, prop, qs.cycle_bound(), timeout)
+                } else {
+                    run_one(&name, &qs.design, prop, qs.cycle_bound(), timeout, mode)
+                };
                 println!(
                     "{:>28} {:>16}: {:>10}  {}s  vars={} clauses={}",
                     r.benchmark,
@@ -330,6 +451,19 @@ fn main() {
                         "",
                         "",
                         emm_aig::report::format_fraig_stats(fs)
+                    );
+                }
+                if let Some(extra) = &r.incremental {
+                    println!(
+                        "{:>28} {:>16}  restart {}s ({}), {:.2}x vs incremental; \
+                         {} clauses retired ({} property)",
+                        "",
+                        "",
+                        secs(Duration::from_secs_f64(extra.restart_seconds)),
+                        extra.restart_verdict,
+                        extra.restart_seconds / r.seconds.max(1e-9),
+                        extra.retired_clauses,
+                        extra.property_clauses_retired,
                     );
                 }
                 records.push(r);

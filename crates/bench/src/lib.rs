@@ -12,7 +12,7 @@
 //! | `industry1` | Industry Design I case study (witnesses + induction) |
 //! | `industry2` | Industry Design II case study (invariant workflow) |
 //! | `constraints` | Section 4.1 constraint-size law |
-//! | `simplify` | simplify/fraig encoding ablation on the Table 1/2 workloads; writes `BENCH_simplify.json` |
+//! | `simplify` | simplify/fraig encoding ablation plus the `incremental` solver-lifecycle comparison on the Table 1/2 workloads; writes `BENCH_simplify.json` |
 //! | `bench_check` | CI regression gate: diffs a fresh bench JSON against the committed baseline |
 //!
 //! Run them with `cargo run --release -p emm-bench --bin <name> [-- args]`.

@@ -13,6 +13,14 @@
 //!   start in any reachable state; this is where the paper's precise
 //!   arbitrary-initial-state modeling (Section 4.2) is load-bearing.
 //!
+//! Both contexts follow the **incremental solver lifecycle** (see the
+//! "Solver lifecycle" section of `docs/ARCHITECTURE.md`): one long-lived
+//! solver per context across the whole bound loop, per-bound property
+//! clauses under activation groups retired on refutation, and cleared
+//! counterexample bounds skipped on repeated [`BmcEngine::check`] calls.
+//! The restart-from-scratch baseline is kept behind
+//! [`BmcOptions::incremental`]` = false`.
+//!
 //! The engine configurations map to the paper's algorithms:
 //!
 //! | Paper | Configuration |
@@ -54,7 +62,7 @@
 //! [`BmcEngine::solver_stats`].
 
 use std::borrow::Cow;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use emm_aig::{
@@ -111,6 +119,53 @@ pub struct BmcOptions {
     /// the same design (abstraction loops) should fraig once and disable
     /// it per engine, as [`crate::pba`] does.
     pub fraig: FraigConfig,
+    /// Solve **incrementally across bounds** (the default): every context
+    /// keeps one long-lived solver for the whole bound loop, each bound
+    /// only emits the new frame's clauses, the per-bound property clause
+    /// is added under an activation group and physically retired
+    /// ([`emm_sat::Solver::retire_group`]) once its bound is refuted, and
+    /// counterexample checks already proven UNSAT are skipped on repeated
+    /// [`BmcEngine::check`] calls (what makes [`crate::pba`]'s
+    /// depth-by-depth discovery loop linear instead of quadratic in
+    /// solver calls).
+    ///
+    /// When `false` the engine rebuilds every context — solver, unroller,
+    /// EMM, LFP, simplifier — from scratch at each bound, re-encoding
+    /// frames `0..=k` and solving cold: the paper-era baseline, kept for
+    /// differential testing and for the bench harness's `incremental`
+    /// mode (which measures one against the other).
+    ///
+    /// # Examples
+    ///
+    /// Both modes must agree on verdicts; the incremental engine just
+    /// gets there without re-encoding:
+    ///
+    /// ```
+    /// use emm_aig::{Design, LatchInit};
+    /// use emm_bmc::{BmcEngine, BmcOptions, BmcVerdict};
+    ///
+    /// let mut d = Design::new();
+    /// let count = d.new_latch_word("count", 3, LatchInit::Zero);
+    /// let next = d.aig.inc(&count);
+    /// d.set_next_word(&count, &next);
+    /// let bad = d.aig.eq_const(&count, 5);
+    /// d.add_property("reaches5", bad);
+    /// d.check().expect("well-formed");
+    ///
+    /// let mut incremental = BmcEngine::new(&d, BmcOptions::default());
+    /// let mut restart = BmcEngine::new(
+    ///     &d,
+    ///     BmcOptions { incremental: false, ..BmcOptions::default() },
+    /// );
+    /// let a = incremental.check(0, 8).unwrap();
+    /// let b = restart.check(0, 8).unwrap();
+    /// assert!(matches!(a.verdict, BmcVerdict::Counterexample(ref t) if t.depth() == 6));
+    /// assert!(matches!(b.verdict, BmcVerdict::Counterexample(ref t) if t.depth() == 6));
+    /// // Each bound's wall time is recorded either way (bounds 0..=5).
+    /// assert_eq!(a.per_bound_seconds.len(), 6);
+    /// assert_eq!(b.per_bound_seconds.len(), 6);
+    /// ```
+    pub incremental: bool,
     /// Cut-based AIG rewriting of the design before any unrolling (see
     /// [`emm_aig::rewrite`]): k-feasible cut cones are re-synthesized from
     /// NPN-canonical implementations wherever that strictly reduces the
@@ -140,6 +195,7 @@ impl Default for BmcOptions {
             abstraction: None,
             pba_discovery: false,
             simplify: SimplifyConfig::default(),
+            incremental: true,
             fraig: FraigConfig::default(),
             rewrite: RewriteConfig::default(),
         }
@@ -254,9 +310,16 @@ pub struct BmcRun {
     pub depth_reached: usize,
     /// Wall-clock time spent in this call.
     pub elapsed: Duration,
-    /// Latch reasons accumulated by PBA discovery (latch indices).
+    /// Wall-clock seconds per processed bound (encoding plus every solver
+    /// call at that bound), `per_bound_seconds[k]` for bound `k`. The
+    /// bench harness's `incremental` mode plots these against the
+    /// restart-from-scratch baseline.
+    pub per_bound_seconds: Vec<f64>,
+    /// Latch reasons accumulated by PBA discovery (latch indices),
+    /// cumulative across all `check` calls on this engine.
     pub latch_reasons: Vec<usize>,
-    /// Memory reasons accumulated by PBA discovery (memory indices).
+    /// Memory reasons accumulated by PBA discovery (memory indices),
+    /// cumulative across all `check` calls on this engine.
     pub memory_reasons: Vec<usize>,
 }
 
@@ -328,6 +391,24 @@ pub struct BmcEngine<'d> {
     options: BmcOptions,
     anchored: Ctx,
     floating: Option<Ctx>,
+    /// Per property: deepest bound whose counterexample check is already
+    /// UNSAT in the anchored solver. The formula only grows (retired
+    /// clauses are redundant), so those answers are monotone and repeated
+    /// `check` calls skip them (incremental mode only).
+    cleared_depth: HashMap<usize, usize>,
+    /// PBA reasons accumulated across every check (they survive the
+    /// cleared-bound skipping, which no longer re-solves old bounds).
+    latch_reasons: HashSet<usize>,
+    memory_reasons: HashSet<usize>,
+    /// Per-bound property clauses physically retired after their bound
+    /// was refuted (see [`BmcOptions::incremental`]).
+    prop_clauses_retired: u64,
+    /// The property the termination (proof) queries have run for. Those
+    /// queries are bound-exact (see `process_bound`), so switching a
+    /// proof-mode engine to a different property rebuilds the contexts —
+    /// otherwise the new property's backward-induction checks could never
+    /// run at the already-unrolled bounds and proofs would be missed.
+    proofs_prop: Option<usize>,
 }
 
 impl<'d> BmcEngine<'d> {
@@ -403,6 +484,11 @@ impl<'d> BmcEngine<'d> {
             options,
             anchored,
             floating,
+            cleared_depth: HashMap::new(),
+            latch_reasons: HashSet::new(),
+            memory_reasons: HashSet::new(),
+            prop_clauses_retired: 0,
+            proofs_prop: None,
         }
     }
 
@@ -510,6 +596,15 @@ impl<'d> BmcEngine<'d> {
         self.anchored.unroller.num_frames()
     }
 
+    /// Per-bound property clauses physically retired after their bound was
+    /// refuted. Together with the sweep-retired Tseitin clauses counted in
+    /// [`SimplifyStats::clauses_retired`](emm_sat::SimplifyStats) this
+    /// accounts for every retirement the anchored solver reports in
+    /// [`emm_sat::SolverStats::retired_clauses`].
+    pub fn property_clauses_retired(&self) -> u64 {
+        self.prop_clauses_retired
+    }
+
     /// Extends every context to include frame `k`.
     fn ensure_depth(&mut self, k: usize) {
         let model: &Design = &self.model;
@@ -606,125 +701,175 @@ impl<'d> BmcEngine<'d> {
         // interface structure (properties, latches, inputs, memories) is
         // identical to the original design.
         let bad_bit = self.model.properties()[prop].bad;
-        let mut latch_reasons: HashSet<usize> = HashSet::new();
-        let mut memory_reasons: HashSet<usize> = HashSet::new();
+        let mut per_bound: Vec<f64> = Vec::new();
 
-        let finish =
-            |verdict: BmcVerdict, depth: usize, lr: &HashSet<usize>, mr: &HashSet<usize>| {
-                let mut lrv: Vec<usize> = lr.iter().copied().collect();
-                lrv.sort_unstable();
-                let mut mrv: Vec<usize> = mr.iter().copied().collect();
-                mrv.sort_unstable();
-                Ok(BmcRun {
-                    verdict,
-                    depth_reached: depth,
-                    elapsed: started.elapsed(),
-                    latch_reasons: lrv,
-                    memory_reasons: mrv,
-                })
-            };
+        if self.options.proofs {
+            // Termination queries are bound-exact, so a proof-mode engine
+            // reused for a *different* property starts its bound loop over
+            // on fresh contexts (the forward queries it ran for the old
+            // property say nothing about this one's backward inductions).
+            if self.proofs_prop.is_some_and(|p| p != prop)
+                && self.anchored.unroller.num_frames() > 0
+            {
+                self.rebuild_contexts();
+            }
+            self.proofs_prop = Some(prop);
+        }
 
         for i in 0..=max_depth {
+            let bound_started = Instant::now();
             if let Some(dl) = deadline {
                 if Instant::now() >= dl {
-                    return finish(BmcVerdict::Timeout, i, &latch_reasons, &memory_reasons);
+                    return self.finish(BmcVerdict::Timeout, i, started, per_bound);
                 }
+            }
+            if !self.options.incremental && self.anchored.unroller.num_frames() > 0 {
+                self.rebuild_contexts();
             }
             self.ensure_depth(i);
             self.apply_budget(deadline);
-
-            if self.options.proofs {
-                // Forward termination: SAT(I ∧ LFP_i ∧ C_i).
-                let mut assumptions = Self::base_assumptions(&self.anchored);
-                assumptions.push(self.anchored.lfp.as_ref().expect("proofs on").activation());
-                match self.anchored.solver.solve_with(&assumptions) {
-                    SolveResult::Unsat => {
-                        return finish(
-                            BmcVerdict::Proof {
-                                kind: ProofKind::ForwardDiameter,
-                                depth: i,
-                            },
-                            i,
-                            &latch_reasons,
-                            &memory_reasons,
-                        );
-                    }
-                    SolveResult::Unknown => {
-                        return finish(BmcVerdict::Timeout, i, &latch_reasons, &memory_reasons)
-                    }
-                    SolveResult::Sat => {}
-                }
-                // Backward termination: SAT(LFP_i ∧ ¬P_i ∧ CP_i ∧ C_i).
-                let floating = self.floating.as_mut().expect("proofs on");
-                let mut assumptions = Self::base_assumptions(floating);
-                assumptions.push(floating.lfp.as_ref().expect("proofs on").activation());
-                for j in 0..i {
-                    let bad_j = floating.unroller.lit(j, bad_bit);
-                    assumptions.push(floating.assumption(!bad_j));
-                }
-                let bad_i = floating.unroller.lit(i, bad_bit);
-                let bad_i = floating.assumption(bad_i);
-                assumptions.push(bad_i);
-                match floating.solver.solve_with(&assumptions) {
-                    SolveResult::Unsat => {
-                        return finish(
-                            BmcVerdict::Proof {
-                                kind: ProofKind::BackwardInduction,
-                                depth: i,
-                            },
-                            i,
-                            &latch_reasons,
-                            &memory_reasons,
-                        );
-                    }
-                    SolveResult::Unknown => {
-                        return finish(BmcVerdict::Timeout, i, &latch_reasons, &memory_reasons)
-                    }
-                    SolveResult::Sat => {}
-                }
-            }
-
-            // Counterexample check: SAT(I ∧ ¬P_i ∧ C_i).
-            let bad_i = self.anchored.unroller.lit(i, bad_bit);
-            let bad_i = self.anchored.assumption(bad_i);
-            let mut assumptions = Self::base_assumptions(&self.anchored);
-            assumptions.push(bad_i);
-            match self.anchored.solver.solve_with(&assumptions) {
-                SolveResult::Sat => {
-                    let trace = self.extract_trace(prop, i);
-                    if self.options.validate_traces && self.options.abstraction.is_none() {
-                        trace
-                            .validate(self.design)
-                            .map_err(BmcError::SpuriousTrace)?;
-                    }
-                    return finish(
-                        BmcVerdict::Counterexample(trace),
-                        i,
-                        &latch_reasons,
-                        &memory_reasons,
-                    );
-                }
-                SolveResult::Unknown => {
-                    return finish(BmcVerdict::Timeout, i, &latch_reasons, &memory_reasons)
-                }
-                SolveResult::Unsat => {
-                    if self.options.pba_discovery {
-                        self.collect_reasons(&mut latch_reasons, &mut memory_reasons);
-                    }
-                }
+            let outcome = self.process_bound(prop, bad_bit, i)?;
+            per_bound.push(bound_started.elapsed().as_secs_f64());
+            if let Some(verdict) = outcome {
+                return self.finish(verdict, i, started, per_bound);
             }
         }
-        finish(
-            BmcVerdict::BoundReached,
-            max_depth,
-            &latch_reasons,
-            &memory_reasons,
-        )
+        self.finish(BmcVerdict::BoundReached, max_depth, started, per_bound)
+    }
+
+    /// Runs every solver query of bound `i`; `Some(verdict)` ends the run.
+    fn process_bound(
+        &mut self,
+        prop: usize,
+        bad_bit: emm_aig::Bit,
+        i: usize,
+    ) -> Result<Option<BmcVerdict>, BmcError> {
+        // The termination queries are *bound-exact*: `LFP_i` is "frames
+        // 0..=i are pairwise distinct", and the single shared activation
+        // literal enforces every distinctness row emitted so far. On a
+        // repeated `check` call the contexts may already be unrolled past
+        // `i`; re-running the bound-`i` query then would assume LFP over
+        // the *deeper* unrolling and could report a spurious proof (e.g.
+        // an absorbing bad state cannot extend to more distinct frames).
+        // Those bounds already ran their termination checks at the exact
+        // depth in the earlier call (and found nothing, or we would not be
+        // here), so they are skipped, not re-approximated.
+        let bound_exact = self.anchored.unroller.num_frames() == i + 1;
+        if self.options.proofs && bound_exact {
+            // Forward termination: SAT(I ∧ LFP_i ∧ C_i).
+            let mut assumptions = Self::base_assumptions(&self.anchored);
+            assumptions.push(self.anchored.lfp.as_ref().expect("proofs on").activation());
+            match self.anchored.solver.solve_with_assumptions(&assumptions) {
+                SolveResult::Unsat => {
+                    return Ok(Some(BmcVerdict::Proof {
+                        kind: ProofKind::ForwardDiameter,
+                        depth: i,
+                    }));
+                }
+                SolveResult::Unknown => return Ok(Some(BmcVerdict::Timeout)),
+                SolveResult::Sat => {}
+            }
+            // Backward termination: SAT(LFP_i ∧ ¬P_i ∧ CP_i ∧ C_i).
+            let floating = self.floating.as_mut().expect("proofs on");
+            let mut assumptions = Self::base_assumptions(floating);
+            assumptions.push(floating.lfp.as_ref().expect("proofs on").activation());
+            for j in 0..i {
+                let bad_j = floating.unroller.lit(j, bad_bit);
+                assumptions.push(floating.assumption(!bad_j));
+            }
+            let bad_i = floating.unroller.lit(i, bad_bit);
+            let bad_i = floating.assumption(bad_i);
+            assumptions.push(bad_i);
+            match floating.solver.solve_with_assumptions(&assumptions) {
+                SolveResult::Unsat => {
+                    return Ok(Some(BmcVerdict::Proof {
+                        kind: ProofKind::BackwardInduction,
+                        depth: i,
+                    }));
+                }
+                SolveResult::Unknown => return Ok(Some(BmcVerdict::Timeout)),
+                SolveResult::Sat => {}
+            }
+        }
+
+        // Counterexample check: SAT(I ∧ ¬P_i ∧ C_i). A bound refuted in an
+        // earlier `check` call stays refuted — the anchored formula only
+        // grows (retired clauses are redundant) — so it is skipped.
+        if self.options.incremental && self.cleared_depth.get(&prop).is_some_and(|&d| i <= d) {
+            return Ok(None);
+        }
+        let bad_i = self.anchored.unroller.lit(i, bad_bit);
+        let bad_i = self.anchored.assumption(bad_i);
+        // The bound's property clause lives in an activation group of its
+        // own: enforced through the group assumption while this bound is
+        // under test, physically retired the moment the bound is refuted —
+        // the solver's clause arena does not accumulate one dead property
+        // clause per bound the way satisfied-but-resident clauses would.
+        let group = self.anchored.solver.new_activation_group();
+        self.anchored.solver.add_clause_in_group(group, &[bad_i]);
+        let mut assumptions = Self::base_assumptions(&self.anchored);
+        assumptions.push(group);
+        match self.anchored.solver.solve_with_assumptions(&assumptions) {
+            SolveResult::Sat => {
+                let trace = self.extract_trace(prop, i);
+                if self.options.validate_traces && self.options.abstraction.is_none() {
+                    trace
+                        .validate(self.design)
+                        .map_err(BmcError::SpuriousTrace)?;
+                }
+                Ok(Some(BmcVerdict::Counterexample(trace)))
+            }
+            SolveResult::Unknown => Ok(Some(BmcVerdict::Timeout)),
+            SolveResult::Unsat => {
+                if self.options.pba_discovery {
+                    self.collect_reasons();
+                }
+                self.prop_clauses_retired += self.anchored.solver.retire_group(group) as u64;
+                let d = self.cleared_depth.entry(prop).or_insert(i);
+                *d = (*d).max(i);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Drops and recreates every context: fresh solvers, unrollers, EMM
+    /// and LFP state (the restart-from-scratch baseline of
+    /// [`BmcOptions::incremental`]` = false`).
+    fn rebuild_contexts(&mut self) {
+        self.anchored = Self::make_ctx(&self.model, &self.options, true);
+        self.floating = self
+            .options
+            .proofs
+            .then(|| Self::make_ctx(&self.model, &self.options, false));
+        self.cleared_depth.clear();
+    }
+
+    /// Assembles a [`BmcRun`] from the engine's accumulated state.
+    fn finish(
+        &self,
+        verdict: BmcVerdict,
+        depth: usize,
+        started: Instant,
+        per_bound_seconds: Vec<f64>,
+    ) -> Result<BmcRun, BmcError> {
+        let mut lrv: Vec<usize> = self.latch_reasons.iter().copied().collect();
+        lrv.sort_unstable();
+        let mut mrv: Vec<usize> = self.memory_reasons.iter().copied().collect();
+        mrv.sort_unstable();
+        Ok(BmcRun {
+            verdict,
+            depth_reached: depth,
+            elapsed: started.elapsed(),
+            per_bound_seconds,
+            latch_reasons: lrv,
+            memory_reasons: mrv,
+        })
     }
 
     /// Latch/memory reasons from the failed assumptions of the most recent
-    /// UNSAT answer of the anchored solver (`Get_Latch_Reasons(U_Core)`).
-    fn collect_reasons(&mut self, latches: &mut HashSet<usize>, memories: &mut HashSet<usize>) {
+    /// UNSAT answer of the anchored solver (`Get_Latch_Reasons(U_Core)`),
+    /// accumulated into the engine-lifetime reason sets.
+    fn collect_reasons(&mut self) {
         let failed: HashSet<Lit> = self
             .anchored
             .solver
@@ -734,7 +879,7 @@ impl<'d> BmcEngine<'d> {
             .collect();
         for (li, &sel) in self.anchored.unroller.latch_selectors().iter().enumerate() {
             if failed.contains(&sel) {
-                latches.insert(li);
+                self.latch_reasons.insert(li);
             }
         }
         for (enc_idx, _port, sel) in self.anchored.emm.selectors() {
@@ -746,7 +891,7 @@ impl<'d> BmcEngine<'d> {
                     .iter()
                     .position(|s| *s == Some(enc_idx))
                 {
-                    memories.insert(mi);
+                    self.memory_reasons.insert(mi);
                 }
             }
         }
@@ -775,7 +920,16 @@ impl<'d> BmcEngine<'d> {
         let ctx = &self.anchored;
         let solver = &ctx.solver;
         let design: &Design = &self.model;
-        let model = |l: Lit| solver.model_value(l).unwrap_or(false);
+        // Read literals through the sweep substitutions: a merged gate's
+        // own variable is unconstrained once its retired definition left
+        // the solver, so only the representative carries the model value.
+        let model = |l: Lit| {
+            let l = match &ctx.simplify {
+                Some(simp) => simp.resolve(l),
+                None => l,
+            };
+            solver.model_value(l).unwrap_or(false)
+        };
 
         let initial_latches: Vec<bool> = ctx
             .unroller

@@ -3,10 +3,14 @@
 //! of Fig. 3).
 //!
 //! `LFP_i` states that the latch states at frames `0..=i` are pairwise
-//! distinct. The constraints are cumulative across depths, so they are added
-//! permanently to the solver but *activated* by a single shared assumption
-//! literal — counterexample checks on the same solver simply do not assume
-//! it.
+//! distinct. The constraints are cumulative across depths — exactly the
+//! monotone-growth shape the incremental solver lifecycle wants — so they
+//! are added permanently to the solver but *activated* by a single shared
+//! assumption literal: counterexample checks on the same solver simply do
+//! not assume it. (Unlike the per-bound property clauses, which a refuted
+//! bound retires via `emm_sat::Solver::retire_group`, LFP constraints stay
+//! useful at every later bound, so a single never-retired activation
+//! literal is the right granularity.)
 //!
 //! With an abstraction in force, only the *kept* latches constitute state;
 //! freed latches are pseudo-primary inputs and must not count toward state

@@ -46,6 +46,15 @@ pub struct PbaConfig {
     /// The cut width and selection policy knobs (`cut_size`,
     /// `global_select`, [`RewriteConfig::wide`]) pass through unchanged.
     pub rewrite: RewriteConfig,
+    /// Bound-to-bound incremental solving
+    /// ([`BmcOptions::incremental`], default on). Discovery calls
+    /// `check(prop, depth)` once per depth on one engine so the stability
+    /// criterion can run between depths; with incremental solving the
+    /// engine skips every counterexample check it already refuted, making
+    /// the depth-by-depth loop (and each refinement iteration of
+    /// [`iterative_abstraction`]) linear in solver calls instead of
+    /// quadratic. `false` restores the restart-from-scratch baseline.
+    pub incremental: bool,
 }
 
 impl Default for PbaConfig {
@@ -58,6 +67,7 @@ impl Default for PbaConfig {
             wall_limit: None,
             fraig: FraigConfig::default(),
             rewrite: RewriteConfig::default(),
+            incremental: true,
         }
     }
 }
@@ -136,6 +146,7 @@ pub fn discover_within(
             pba_discovery: true,
             fraig: config.fraig,
             rewrite: config.rewrite,
+            incremental: config.incremental,
             ..BmcOptions::default()
         },
     );
@@ -273,6 +284,7 @@ pub fn discover_and_prove(
                     emm: config.emm,
                     fraig: config.fraig,
                     rewrite: config.rewrite,
+                    incremental: config.incremental,
                     ..BmcOptions::default()
                 },
             );
@@ -295,6 +307,7 @@ pub fn discover_and_prove(
                 pba_discovery: false,
                 fraig: config.fraig,
                 rewrite: config.rewrite,
+                incremental: config.incremental,
                 ..BmcOptions::default()
             },
         );

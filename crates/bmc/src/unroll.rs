@@ -6,6 +6,12 @@
 //! literal level, so zero-initialized state collapses large cones in early
 //! frames.
 //!
+//! Unrolling is **bound-to-bound incremental**: the per-frame literal
+//! maps persist in the `Unroller`, and [`Unroller::extend`] emits only
+//! the *new* frame's clauses into the sink — nothing already encoded is
+//! revisited. That is what lets `BmcEngine` keep one long-lived solver
+//! across its whole bound loop (see [`crate::BmcOptions::incremental`]).
+//!
 //! Three latch-handling modes support the different BMC configurations:
 //!
 //! * plain (anchored or floating initial state) — latch outputs reuse the

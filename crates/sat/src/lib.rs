@@ -10,9 +10,16 @@
 //!
 //! * Incremental solving: add clauses between [`Solver::solve`] calls — the
 //!   pattern BMC uses when unrolling one frame at a time.
-//! * Solving under **assumptions** with [`Solver::failed_assumptions`],
-//!   enabling selector-based *group unsat cores* (how proof-based
-//!   abstraction computes latch reasons).
+//! * Solving under **assumptions** ([`Solver::solve_with_assumptions`])
+//!   with [`Solver::failed_assumptions`], enabling selector-based *group
+//!   unsat cores* (how proof-based abstraction computes latch reasons).
+//! * **Clause retirement**: [`Solver::retire_clause`] physically deletes a
+//!   redundant original clause (watchers detached, arena compacted by GC),
+//!   and **activation groups** ([`Solver::new_activation_group`],
+//!   [`Solver::add_clause_in_group`], [`Solver::retire_group`]) scope
+//!   clauses to a guard literal so whole groups — e.g. a BMC bound's
+//!   property clause — can be enforced per solve and later removed for
+//!   good.
 //! * **Refutation tracing** ([`SolverConfig::proof_tracing`]): on UNSAT,
 //!   [`Solver::core_clause_ids`] returns the original clauses used in the
 //!   refutation (`SAT_Get_Refutation` in the paper's Fig. 1/Fig. 3).

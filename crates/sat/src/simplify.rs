@@ -105,6 +105,14 @@ pub struct SimplifyConfig {
     pub lazy_emission: bool,
     /// Drop clauses satisfied by a known unit, strip false literals.
     pub clause_folding: bool,
+    /// Physically retire the three Tseitin clauses of a gate the sweeping
+    /// pass merges away (via [`CnfSink::retire_clause`]). Sound because a
+    /// merge happens at the moment the gate is emitted, before any other
+    /// clause references its output, and the recorded substitution keeps
+    /// it unreferenced forever — the definition is a removable
+    /// definitional extension. Only effective together with
+    /// [`SimplifyConfig::sat_sweeping`] and a solver-backed sink.
+    pub retire_merged: bool,
 }
 
 impl Default for SimplifyConfig {
@@ -119,6 +127,7 @@ impl Default for SimplifyConfig {
             max_bucket: 16,
             lazy_emission: true,
             clause_folding: true,
+            retire_merged: true,
         }
     }
 }
@@ -179,6 +188,10 @@ pub struct SimplifyStats {
     pub clauses_dropped: u64,
     /// False literals stripped from forwarded clauses.
     pub literals_stripped: u64,
+    /// Tseitin clauses of swept-away gates physically retired from the
+    /// solver (up to 3 per [`SimplifyStats::sweep_merges`]; fewer when the
+    /// solver dropped a clause at add time, e.g. satisfied at level 0).
+    pub clauses_retired: u64,
 }
 
 impl SimplifyStats {
@@ -393,10 +406,16 @@ impl<S: CnfSink + ?Sized> SimplifySink<'_, S> {
 
     /// Emits `out = a ∧ b` into the inner sink, then offers `out` to the
     /// sweeping pass (which may record a substitution for future uses).
+    /// When the sweep merges `out` away the just-emitted Tseitin clauses
+    /// are retired again: at this instant they are the only clauses
+    /// mentioning `out`, and the substitution guarantees no later clause
+    /// ever will, so the definition is dead weight in the solver.
     fn emit_gate(&mut self, out: Lit, a: Lit, b: Lit) {
-        self.inner.add_clause(&[!out, a]);
-        self.inner.add_clause(&[!out, b]);
-        self.inner.add_clause(&[out, !a, !b]);
+        let ids = [
+            self.inner.add_clause(&[!out, a]),
+            self.inner.add_clause(&[!out, b]),
+            self.inner.add_clause(&[out, !a, !b]),
+        ];
         self.simp.stats.gates_emitted += 1;
         let sig = self.simp.lit_sig(a) & self.simp.lit_sig(b);
         self.simp.set_var_sig(out.var(), sig);
@@ -408,6 +427,13 @@ impl<S: CnfSink + ?Sized> SimplifySink<'_, S> {
             return;
         }
         if self.simp.config.sat_sweeping && self.sweep(out, sig) {
+            if self.simp.config.retire_merged {
+                for id in ids.into_iter().flatten() {
+                    if self.inner.retire_clause(id) {
+                        self.simp.stats.clauses_retired += 1;
+                    }
+                }
+            }
             return;
         }
         // A refuted sweep candidate refines every signature mid-call;
@@ -722,6 +748,52 @@ mod tests {
         let my = sink.materialize(y);
         assert_eq!(my, x, "sweep must substitute the representative");
         assert_eq!(simp.stats().sweep_merges, 1);
+    }
+
+    /// A sweep merge retires the merged gate's three Tseitin clauses from
+    /// the solver, and the solver-side count matches the sink's.
+    #[test]
+    fn sweep_merge_retires_tseitin_clauses() {
+        let mut s = Solver::new();
+        let mut simp = Simplifier::new(SimplifyConfig::sweeping());
+        let mut sink = simp.attach(&mut s);
+        let a = sink.new_var().positive();
+        let b = sink.new_var().positive();
+        let x = sink.add_and_gate(a, b);
+        sink.materialize(x);
+        let y = sink.add_and_gate(a, x); // absorbed: y ≡ x
+        let my = sink.materialize(y);
+        assert_eq!(my, x);
+        assert_eq!(simp.stats().sweep_merges, 1);
+        assert_eq!(simp.stats().clauses_retired, 3);
+        assert_eq!(s.stats().retired_clauses, 3);
+        // The solver answers as if y's definition never existed; the
+        // representative's definition still constrains x.
+        s.add_clause(&[a]);
+        s.add_clause(&[b]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(x), Some(true));
+    }
+
+    /// With `retire_merged` off the merged definitions stay resident
+    /// (the pre-retirement behavior, kept for differential comparison).
+    #[test]
+    fn retire_merged_can_be_disabled() {
+        let mut s = Solver::new();
+        let mut simp = Simplifier::new(SimplifyConfig {
+            retire_merged: false,
+            ..SimplifyConfig::sweeping()
+        });
+        let mut sink = simp.attach(&mut s);
+        let a = sink.new_var().positive();
+        let b = sink.new_var().positive();
+        let x = sink.add_and_gate(a, b);
+        sink.materialize(x);
+        let y = sink.add_and_gate(a, x);
+        sink.materialize(y);
+        assert_eq!(simp.stats().sweep_merges, 1);
+        assert_eq!(simp.stats().clauses_retired, 0);
+        assert_eq!(s.stats().retired_clauses, 0);
     }
 
     #[test]

@@ -63,6 +63,15 @@ pub trait CnfSink {
     fn model_lit(&self, _lit: Lit) -> Option<bool> {
         None
     }
+
+    /// Retires a previously added clause, when the sink supports clause
+    /// deletion (see [`Solver::retire_clause`] for the soundness
+    /// contract — the clause must be redundant). Returns `true` when the
+    /// clause was physically removed; the default (non-solver sinks)
+    /// retires nothing.
+    fn retire_clause(&mut self, _id: ClauseId) -> bool {
+        false
+    }
 }
 
 impl CnfSink for Solver {
@@ -80,6 +89,10 @@ impl CnfSink for Solver {
 
     fn model_lit(&self, lit: Lit) -> Option<bool> {
         self.model_value(lit)
+    }
+
+    fn retire_clause(&mut self, id: ClauseId) -> bool {
+        Solver::retire_clause(self, id)
     }
 }
 

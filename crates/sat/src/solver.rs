@@ -8,12 +8,20 @@
 //! analysis with recursive clause minimization, VSIDS branching with phase
 //! saving, Luby restarts, and activity/LBD-driven learned-clause reduction.
 //!
-//! Two features are specifically in service of the EMM/BMC stack built on
-//! top (see the `emm-bmc` crate):
+//! Three features are specifically in service of the EMM/BMC stack built
+//! on top (see the `emm-bmc` crate):
 //!
-//! * **Incremental solving under assumptions** with
+//! * **Incremental solving under assumptions**
+//!   ([`Solver::solve_with_assumptions`]) with
 //!   [`Solver::failed_assumptions`] — the mechanism behind *group unsat
 //!   cores*, which proof-based abstraction uses to compute latch reasons.
+//! * **Clause retirement** ([`Solver::retire_clause`]) and **activation
+//!   groups** ([`Solver::new_activation_group`] /
+//!   [`Solver::retire_group`]) — physical deletion of redundant original
+//!   clauses (watchers detached, level-0 reasons cleared, arena space
+//!   reclaimed by the mark-and-compact GC), which is how the incremental
+//!   BMC bound loop sheds refuted bounds' property clauses and how the
+//!   sweeping sink deletes the Tseitin triples of merged-away gates.
 //! * **Refutation tracing** ([`SolverConfig::proof_tracing`]) — every learned
 //!   clause records its antecedents so that, on UNSAT,
 //!   [`Solver::core_clause_ids`] returns the set of original clauses used in
@@ -124,6 +132,9 @@ pub struct SolverStats {
     pub gc_runs: u64,
     /// Clauses added by the user.
     pub original_clauses: u64,
+    /// Original clauses retired by [`Solver::retire_clause`] /
+    /// [`Solver::retire_group`].
+    pub retired_clauses: u64,
 }
 
 /// One entry of a watch list. `blocker` is a cached literal of the clause
@@ -217,6 +228,14 @@ pub struct Solver {
     last_core: Option<Vec<ClauseId>>,
     budget: Budget,
     reduce_limit: u64,
+    /// `id_refs[id]` = arena ref of the original clause with that tracking
+    /// id (INVALID for learnt/derived ids and clauses never allocated or
+    /// already retired). This is what makes [`Solver::retire_clause`] O(1):
+    /// ids are stable across garbage collection, arena offsets are not.
+    id_refs: Vec<ClauseRef>,
+    /// Activation groups: group variable -> ids of the clauses guarded by
+    /// it (see [`Solver::new_activation_group`]).
+    groups: HashMap<Var, Vec<ClauseId>>,
 }
 
 impl Default for Solver {
@@ -263,6 +282,8 @@ impl Solver {
             last_core: None,
             budget: Budget::unlimited(),
             reduce_limit: first_reduce,
+            id_refs: Vec::new(),
+            groups: HashMap::new(),
         }
     }
 
@@ -378,6 +399,7 @@ impl Solver {
             }
             // Unit under level-0 assignment.
             let cref = self.db.alloc(&sorted, false, id);
+            self.register_ref(id, cref);
             if sorted.len() >= 2 {
                 self.attach(cref);
             }
@@ -389,8 +411,19 @@ impl Solver {
             return Some(id);
         }
         let cref = self.db.alloc(&sorted, false, id);
+        self.register_ref(id, cref);
         self.attach(cref);
         Some(id)
+    }
+
+    /// Records the arena location of an original clause so it can later be
+    /// retired by id.
+    fn register_ref(&mut self, id: ClauseId, cref: ClauseRef) {
+        let idx = id.0 as usize;
+        if self.id_refs.len() <= idx {
+            self.id_refs.resize(idx + 1, ClauseRef::INVALID);
+        }
+        self.id_refs[idx] = cref;
     }
 
     /// Sets the resource budget for subsequent solve calls.
@@ -408,13 +441,45 @@ impl Solver {
         self.solve_with(&[])
     }
 
-    /// Solves under the given assumption literals.
+    /// Shorthand for [`Solver::solve_with_assumptions`] (the historical
+    /// spelling; both names resolve to the same implementation).
     ///
     /// On [`SolveResult::Unsat`], [`Solver::failed_assumptions`] returns a
     /// subset of the assumptions sufficient for unsatisfiability; if proof
     /// tracing is enabled, [`Solver::core_clause_ids`] additionally returns
     /// the original clauses used by the refutation.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_with_assumptions(assumptions)
+    }
+
+    /// Solves under the given assumption literals — the incremental-BMC
+    /// entry point.
+    ///
+    /// Assumptions are temporary unit constraints: they hold for this call
+    /// only and leave the clause database untouched, so one long-lived
+    /// solver can answer a different query at every BMC bound while keeping
+    /// all learned clauses. On [`SolveResult::Unsat`],
+    /// [`Solver::failed_assumptions`] names the subset of assumptions the
+    /// refutation needed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use emm_sat::{SolveResult, Solver};
+    /// let mut s = Solver::new();
+    /// let a = s.new_var().positive();
+    /// let b = s.new_var().positive();
+    /// s.add_clause(&[!a, b]);
+    /// // Query 1: under `a`, propagation forces `b`.
+    /// assert_eq!(s.solve_with_assumptions(&[a]), SolveResult::Sat);
+    /// assert_eq!(s.model_value(b), Some(true));
+    /// // Query 2: the same solver, incompatible assumptions.
+    /// assert_eq!(s.solve_with_assumptions(&[a, !b]), SolveResult::Unsat);
+    /// assert!(!s.failed_assumptions().is_empty());
+    /// // The formula itself is untouched.
+    /// assert_eq!(s.solve(), SolveResult::Sat);
+    /// ```
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.model.clear();
         self.conflict_set.clear();
         self.last_core = None;
@@ -452,6 +517,151 @@ impl Solver {
         }
         self.cancel_until(0);
         result
+    }
+
+    /// Retires (physically deletes) an original clause: its watchers are
+    /// removed, its arena space is reclaimed by the next garbage
+    /// collection, and propagation never sees it again. Returns `true` if
+    /// the clause was live and is now gone.
+    ///
+    /// # Soundness contract
+    ///
+    /// Learned clauses derived from the retired clause are **kept**, so the
+    /// caller must only retire clauses that are *redundant* — entailed by
+    /// the clauses that remain. The two patterns the BMC stack uses:
+    ///
+    /// * the Tseitin definition of a variable no remaining clause
+    ///   references (a gate output substituted away by SAT sweeping) —
+    ///   definitional extensions can be removed because any model of the
+    ///   rest extends to the defined variable, which also repairs every
+    ///   learned clause over it;
+    /// * a clause satisfied by a level-0 unit (an activation-group clause
+    ///   after [`Solver::retire_group`] asserted the group literal false).
+    ///
+    /// Retiring a clause that is *not* redundant weakens the formula and
+    /// can change answers. With [`SolverConfig::proof_tracing`], cores
+    /// reported after a retirement may still name retired clause ids —
+    /// they were original clauses when the traced derivations happened.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use emm_sat::{SolveResult, Solver};
+    /// let mut s = Solver::new();
+    /// let a = s.new_var().positive();
+    /// let out = s.new_var().positive();
+    /// // out = a & a, Tseitin-style; nothing else references `out`.
+    /// let c1 = s.add_clause(&[!out, a]).unwrap();
+    /// let c2 = s.add_clause(&[out, !a]).unwrap();
+    /// assert!(s.retire_clause(c1));
+    /// assert!(s.retire_clause(c2));
+    /// assert!(!s.retire_clause(c1), "already retired");
+    /// assert_eq!(s.stats().retired_clauses, 2);
+    /// assert_eq!(s.solve(), SolveResult::Sat);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the solver is not at decision level zero.
+    pub fn retire_clause(&mut self, id: ClauseId) -> bool {
+        assert_eq!(self.decision_level(), 0, "retire at level 0 only");
+        let Some(&cref) = self.id_refs.get(id.0 as usize) else {
+            return false;
+        };
+        if !cref.is_valid() {
+            return false;
+        }
+        debug_assert!(!self.db.is_learnt(cref), "only original clauses retire");
+        self.id_refs[id.0 as usize] = ClauseRef::INVALID;
+        if self.db.len(cref) >= 2 {
+            self.detach(cref);
+        }
+        // If the clause is the recorded reason of a level-0 assignment it
+        // would dangle after deletion; the assignment itself is permanent,
+        // so it degrades to a reason-less (root) assignment.
+        let lits: Vec<Lit> = self.db.lits(cref).to_vec();
+        for l in lits {
+            let v = l.var().index();
+            if self.reason[v] == cref {
+                self.reason[v] = ClauseRef::INVALID;
+            }
+        }
+        self.db.delete(cref);
+        self.stats.retired_clauses += 1;
+        if self.db.wasted() * 3 > self.db.capacity_words() {
+            self.collect_garbage();
+        }
+        true
+    }
+
+    /// Creates an **activation group**: a fresh literal `g` guarding every
+    /// clause later added through [`Solver::add_clause_in_group`]. Such
+    /// clauses are enforced only while `g` is passed as an assumption, and
+    /// the whole group can later be permanently removed with
+    /// [`Solver::retire_group`] — the mechanism behind per-bound property
+    /// clauses in the incremental BMC loop.
+    pub fn new_activation_group(&mut self) -> Lit {
+        let g = self.new_var().positive();
+        self.groups.insert(g.var(), Vec::new());
+        g
+    }
+
+    /// Adds `lits` as a clause of activation group `group`: the stored
+    /// clause is `¬group ∨ lits…`, inert unless `group` is assumed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use emm_sat::{SolveResult, Solver};
+    /// let mut s = Solver::new();
+    /// let x = s.new_var().positive();
+    /// let g = s.new_activation_group();
+    /// s.add_clause_in_group(g, &[x]);
+    /// // Active only under the group assumption.
+    /// assert_eq!(s.solve_with_assumptions(&[g, !x]), SolveResult::Unsat);
+    /// assert_eq!(s.solve_with_assumptions(&[!x]), SolveResult::Sat);
+    /// // Retiring deletes the group's clauses for good.
+    /// assert_eq!(s.retire_group(g), 1);
+    /// assert_eq!(s.solve_with_assumptions(&[!x]), SolveResult::Sat);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` was not created by [`Solver::new_activation_group`]
+    /// or has already been retired.
+    pub fn add_clause_in_group(&mut self, group: Lit, lits: &[Lit]) -> Option<ClauseId> {
+        assert!(
+            self.groups.contains_key(&group.var()),
+            "unknown or retired activation group"
+        );
+        let mut guarded = Vec::with_capacity(lits.len() + 1);
+        guarded.push(!group);
+        guarded.extend_from_slice(lits);
+        let id = self.add_clause(&guarded);
+        if let Some(id) = id {
+            self.groups.get_mut(&group.var()).expect("checked").push(id);
+        }
+        id
+    }
+
+    /// Permanently dissolves an activation group: asserts `¬group` as a
+    /// unit (so the group's clauses become level-0 satisfied, which makes
+    /// their physical removal sound) and retires every clause added under
+    /// it. Returns the number of clauses physically retired.
+    ///
+    /// Calling it on an unknown or already-retired group returns 0.
+    pub fn retire_group(&mut self, group: Lit) -> usize {
+        let Some(ids) = self.groups.remove(&group.var()) else {
+            return 0;
+        };
+        self.add_clause(&[!group]);
+        let mut retired = 0usize;
+        for id in ids {
+            if self.retire_clause(id) {
+                retired += 1;
+            }
+        }
+        retired
     }
 
     /// Value of `lit` in the model of the last [`SolveResult::Sat`] answer.
@@ -1035,6 +1245,11 @@ impl Solver {
                 false
             }
         });
+        for r in &mut self.id_refs {
+            if r.is_valid() {
+                *r = map.get(r).copied().unwrap_or(ClauseRef::INVALID);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1502,6 +1717,110 @@ mod tests {
             }
         }
         assert!(checked > 0, "no watchers inspected");
+    }
+
+    /// Retiring the Tseitin definition of an otherwise-unreferenced output
+    /// variable keeps answers over the remaining variables intact, even
+    /// after search learned clauses from the definition.
+    #[test]
+    fn retire_definition_preserves_answers() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        let out = s.new_var().positive();
+        // out = v0 & v1.
+        let ids: Vec<ClauseId> = [
+            s.add_clause(&[!out, v[0]]),
+            s.add_clause(&[!out, v[1]]),
+            s.add_clause(&[out, !v[0], !v[1]]),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        s.add_clause(&[v[0], v[2]]);
+        assert_eq!(s.solve_with(&[out]), SolveResult::Sat);
+        for id in ids {
+            assert!(s.retire_clause(id));
+        }
+        assert_eq!(s.stats().retired_clauses, 3);
+        // The rest of the formula is unchanged.
+        assert_eq!(s.solve_with(&[!v[0], !v[2]]), SolveResult::Unsat);
+        assert_eq!(s.solve_with(&[!v[0], v[2]]), SolveResult::Sat);
+        // `out` itself is now unconstrained.
+        assert_eq!(s.solve_with(&[out, !v[0]]), SolveResult::Sat);
+    }
+
+    /// A retired clause that was the level-0 reason of a propagated literal
+    /// must not leave a dangling reason pointer behind.
+    #[test]
+    fn retire_level0_reason_clause() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        let id = s.add_clause(&[!v[0], v[1]]).expect("id");
+        s.add_clause(&[v[0]]); // propagates v1 at level 0 with reason `id`
+        assert!(s.retire_clause(id));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(v[1]), Some(true), "assignment is permanent");
+        // Heavy search afterwards must stay sound (reason walks, GC).
+        pigeonhole(&mut s, 6, 5);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// Retired space is compacted: enough retirements trigger a GC, and
+    /// ids keep resolving correctly across the relocation.
+    #[test]
+    fn retirement_triggers_gc_and_ids_survive() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 8);
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            for j in i + 1..7 {
+                ids.push(s.add_clause(&[v[i], v[j], v[7]]).expect("id"));
+            }
+        }
+        let keep = ids.split_off(ids.len() / 2);
+        for id in ids {
+            assert!(s.retire_clause(id));
+        }
+        assert!(s.stats().gc_runs > 0, "bulk retirement must compact");
+        // Clauses kept across the GC still retire by their stable id.
+        for id in keep {
+            assert!(s.retire_clause(id));
+        }
+        assert_eq!(s.solve_with(&[!v[7]]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn activation_group_lifecycle() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        let g1 = s.new_activation_group();
+        let g2 = s.new_activation_group();
+        s.add_clause_in_group(g1, &[v[0]]);
+        s.add_clause_in_group(g1, &[!v[0], v[1]]);
+        s.add_clause_in_group(g2, &[!v[1]]);
+        // Groups compose through assumptions.
+        assert_eq!(s.solve_with(&[g1]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[1]), Some(true));
+        assert_eq!(s.solve_with(&[g1, g2]), SolveResult::Unsat);
+        // Retiring g1 deletes its two clauses and deactivates it for good.
+        assert_eq!(s.retire_group(g1), 2);
+        assert_eq!(s.retire_group(g1), 0, "second retire is a no-op");
+        assert_eq!(s.solve_with(&[g2, !v[0]]), SolveResult::Sat);
+        assert_eq!(s.stats().retired_clauses, 2);
+    }
+
+    /// Assuming a retired group is simply UNSAT-under-assumption (its
+    /// literal is pinned false), not an error — callers holding a stale
+    /// activation literal get a clean answer.
+    #[test]
+    fn retired_group_assumption_fails_cleanly() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        let g = s.new_activation_group();
+        s.add_clause_in_group(g, &[v[0]]);
+        s.retire_group(g);
+        assert_eq!(s.solve_with(&[g]), SolveResult::Unsat);
+        assert_eq!(s.failed_assumptions(), &[g]);
     }
 
     /// The blocker fast path must never change answers: solve the same
