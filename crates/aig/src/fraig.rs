@@ -60,7 +60,7 @@
 
 use std::collections::HashMap;
 
-use emm_sat::{EquivOracle, Lit};
+use emm_sat::{EquivOracle, FaultSite, Lit, ResourceGovernor};
 
 use crate::aig::{Aig, Bit, Node, NodeId};
 use crate::design::Design;
@@ -140,6 +140,17 @@ pub struct FraigStats {
     /// merge. A non-zero count means raising `max_bucket`/`max_checks`
     /// could find more merges (the ROADMAP's bucket-cap blind spot).
     pub buckets_truncated: u64,
+    /// Truncated cones re-offered by the retry pass once merges landed
+    /// or refinement split their classes.
+    pub truncated_retried: u64,
+    /// Merges found by the truncated-cone retry pass (included in
+    /// [`FraigStats::merges`]).
+    pub retry_merges: u64,
+    /// The pass was interrupted by its [`ResourceGovernor`] (deadline or
+    /// cancellation) and degraded to structural reduction for the
+    /// remainder of the graph. The result is still a sound best-so-far
+    /// reduction; only further SAT-proved merges were skipped.
+    pub interrupted: bool,
 }
 
 impl FraigStats {
@@ -197,11 +208,21 @@ struct Fraiger {
     /// Lazily encoded cones of G1 (the solver side).
     oracle: EquivOracle,
     stats: FraigStats,
+    /// The shared resource governor; polled once per candidate-loop
+    /// entry so cancellation latency is bounded by one SAT check.
+    governor: ResourceGovernor,
+    /// Set when the governor trips: no further SAT work is issued and
+    /// the pass degrades to structural reduction.
+    halted: bool,
+    /// Cones refused by a full candidate class, kept for the retry pass.
+    truncated: Vec<NodeId>,
 }
 
 impl Fraiger {
-    fn new(config: FraigConfig) -> Fraiger {
+    fn new(config: FraigConfig, governor: ResourceGovernor) -> Fraiger {
         let w = config.sim_words.max(1);
+        let mut oracle = EquivOracle::new();
+        oracle.set_governor(governor.clone());
         let mut f = Fraiger {
             config: FraigConfig {
                 sim_words: w,
@@ -211,11 +232,14 @@ impl Fraiger {
             repr: vec![Aig::FALSE],
             sig: vec![0; w],
             buckets: HashMap::new(),
-            oracle: EquivOracle::new(),
+            oracle,
             stats: FraigStats {
                 sim_patterns: 64 * w as u64,
                 ..FraigStats::default()
             },
+            governor,
+            halted: false,
+            truncated: Vec::new(),
         };
         // The constant node seeds the all-zero class, so constant cones
         // become ordinary merge candidates.
@@ -287,9 +311,26 @@ impl Fraiger {
     /// Offers `node` to its signature class: SAT-checks up to
     /// `max_candidates` members and either merges or joins the class.
     fn try_merge(&mut self, node: NodeId) {
+        self.try_merge_bounded(node, self.config.max_checks, true);
+    }
+
+    /// The work of [`Fraiger::try_merge`] under an explicit check cap.
+    /// `count_truncation` is false when the retry pass re-offers a cone
+    /// already counted as truncated. Returns whether the node merged.
+    fn try_merge_bounded(&mut self, node: NodeId, max_checks: u64, count_truncation: bool) -> bool {
         let mut tried = 0usize;
         let mut pos = 0usize;
-        while self.stats.sat_checks < self.config.max_checks && tried < self.config.max_candidates {
+        while self.stats.sat_checks < max_checks && tried < self.config.max_candidates {
+            if !self.halted && self.governor.poll().is_some() {
+                // Governor tripped: stop issuing SAT work and degrade to
+                // structural reduction. Everything merged so far was
+                // proved, so the partial reduction stays sound.
+                self.halted = true;
+                self.stats.interrupted = true;
+            }
+            if self.halted {
+                break;
+            }
             // Re-read the class on every step: a refuted check re-buckets
             // everything, which both drops separated candidates and keeps
             // this node's key current.
@@ -309,15 +350,28 @@ impl Fraiger {
             self.stats.sat_checks += 1;
             let la = self.encode(lit);
             let lb = self.encode(cand);
-            match self.oracle.prove_equiv(la, lb, self.config.sat_conflicts) {
+            let answer = self.oracle.prove_equiv(la, lb, self.config.sat_conflicts);
+            self.governor.note(FaultSite::FraigCheck);
+            match answer {
                 Some(true) => {
-                    // lit ≡ cand, so node ≡ cand ^ lit's phase.
+                    // lit ≡ cand, so node ≡ cand ^ lit's phase. Point the
+                    // younger node at the older one so representative
+                    // chains always descend in topological order (the
+                    // retry pass can prove a class member equal to an
+                    // older truncated cone).
                     self.stats.merges += 1;
+                    self.governor.note(FaultSite::FraigMerge);
                     if cand.node() == NodeId::FALSE {
                         self.stats.const_merges += 1;
                     }
-                    self.repr[node.index()] = if lit.is_inverted() { !cand } else { cand };
-                    return;
+                    if cand.node().index() < node.index() {
+                        self.repr[node.index()] = if lit.is_inverted() { !cand } else { cand };
+                    } else {
+                        let this = Bit::new(node, lit.is_inverted());
+                        self.repr[cand.node().index()] =
+                            if cand.is_inverted() { !this } else { this };
+                    }
+                    return true;
                 }
                 Some(false) => {
                     self.stats.refuted += 1;
@@ -334,14 +388,50 @@ impl Fraiger {
         }
         let (lit, key) = self.canonical(node);
         let class = self.buckets.entry(key).or_default();
-        if class.len() < self.config.max_bucket {
+        if class.contains(&lit) {
+            // Already a member (a cone the retry pass re-offered).
+        } else if class.len() < self.config.max_bucket {
             class.push(lit);
-        } else {
-            // The class is full: this cone will never be offered a merge.
-            // Recorded instead of silently skipped, so the blind spot is
-            // visible in the stats line.
+        } else if count_truncation {
+            // The class is full: this cone was never offered a merge.
+            // Recorded — and remembered for the retry pass — instead of
+            // silently skipped, so the blind spot is visible in the stats
+            // line.
             self.stats.buckets_truncated += 1;
+            self.truncated.push(node);
         }
+        false
+    }
+
+    /// Second chance for bucket-cap-truncated cones (the ROADMAP's blind
+    /// spot): after the first pass has merged and refined, classes have
+    /// shrunk or split, so a cone a full class once refused can be
+    /// re-offered. The retry gets its own `max_checks` allowance — the
+    /// first pass may have consumed the original budget. Returns the
+    /// number of merges the retry found.
+    fn retry_truncated(&mut self) -> u64 {
+        if self.truncated.is_empty() || self.halted {
+            return 0;
+        }
+        let cap = self.stats.sat_checks.saturating_add(self.config.max_checks);
+        let mut nodes = std::mem::take(&mut self.truncated);
+        nodes.sort_unstable();
+        nodes.dedup();
+        let before = self.stats.merges;
+        for n in nodes {
+            if self.halted || self.stats.sat_checks >= cap {
+                break;
+            }
+            if self.resolve(Bit::new(n, false)).node() != n {
+                // Merged away since it was refused.
+                continue;
+            }
+            self.stats.truncated_retried += 1;
+            self.try_merge_bounded(n, cap, false);
+        }
+        let found = self.stats.merges - before;
+        self.stats.retry_merges = found;
+        found
     }
 
     /// Encodes the cone of a G1 edge into the oracle (memoized) and
@@ -438,6 +528,7 @@ impl Fraiger {
                 class.push(lit);
             } else {
                 self.stats.buckets_truncated += 1;
+                self.truncated.push(lit.node());
             }
         }
     }
@@ -470,7 +561,24 @@ impl Fraiger {
 /// assert_eq!(r.aig.num_ands(), 1);
 /// ```
 pub fn fraig_aig(aig: &Aig, roots: &[Bit], config: &FraigConfig) -> FraigResult {
-    let mut f = Fraiger::new(*config);
+    fraig_aig_governed(aig, roots, config, &ResourceGovernor::unlimited())
+}
+
+/// [`fraig_aig`] under a shared [`ResourceGovernor`].
+///
+/// The governor's deadline and cancellation token are polled once per
+/// candidate offer and inside every oracle call, and
+/// [`FaultSite::FraigCheck`] / [`FaultSite::FraigMerge`] events feed its
+/// fault injector. When the governor trips mid-pass, SAT work stops but
+/// the rebuild finishes structurally: the result is the sound
+/// best-so-far reduction with [`FraigStats::interrupted`] set.
+pub fn fraig_aig_governed(
+    aig: &Aig,
+    roots: &[Bit],
+    config: &FraigConfig,
+    governor: &ResourceGovernor,
+) -> FraigResult {
+    let mut f = Fraiger::new(*config, governor.clone());
     let w = f.config.sim_words;
     // Phase A: rebuild in topological order with merge-on-the-fly.
     let mut map1: Vec<Bit> = Vec::with_capacity(aig.num_nodes());
@@ -493,22 +601,46 @@ pub fn fraig_aig(aig: &Aig, roots: &[Bit], config: &FraigConfig) -> FraigResult 
         };
         map1.push(mapped);
     }
+    // Second pass over bucket-cap-truncated cones, now that merges and
+    // refinement have shrunk the classes.
+    let retry_merges = f.retry_truncated();
+    let resolved: Vec<Bit> = map1.iter().map(|&b| f.resolve(b)).collect();
+    // Merges found by the retry land *after* fanouts were already rebuilt,
+    // so they don't propagate through G1's structure on their own: when
+    // any landed, rebuild once more with representatives substituted.
+    let (live, pre) = if retry_merges > 0 {
+        let mut g3 = Aig::new();
+        let mut map3: Vec<Bit> = Vec::with_capacity(f.g1.num_nodes());
+        for (id, node) in f.g1.iter() {
+            let rep = f.resolve(Bit::new(id, false));
+            let mapped = if rep.node() != id {
+                // Merged: representative chains descend, so it is built.
+                apply(&map3, rep)
+            } else {
+                match node {
+                    Node::Const => Aig::FALSE,
+                    Node::Input(_) => g3.new_input(),
+                    Node::And(a, b) => {
+                        let ra = apply(&map3, f.resolve(a));
+                        let rb = apply(&map3, f.resolve(b));
+                        g3.and(ra, rb)
+                    }
+                }
+            };
+            map3.push(mapped);
+        }
+        let pre: Vec<Bit> = resolved.iter().map(|&b| apply(&map3, b)).collect();
+        (g3, pre)
+    } else {
+        (std::mem::take(&mut f.g1), resolved)
+    };
     // Phase B: dead-strip into a compacted graph, preserving input order
     // and the relative order of surviving nodes (so downstream consumers
     // that rely on "address cones precede their read port" still hold).
-    let root_nodes: Vec<NodeId> = roots
-        .iter()
-        .map(|&r| f.resolve(apply(&map1, r)).node())
-        .collect();
-    let (g2, map2) = f.g1.compacted(&root_nodes);
-    // Final edge map: old -> representative in G1 -> compacted G2.
-    let map: Vec<Bit> = map1
-        .iter()
-        .map(|&b| {
-            let r = f.resolve(b);
-            apply(&map2, r)
-        })
-        .collect();
+    let root_nodes: Vec<NodeId> = roots.iter().map(|&r| apply(&pre, r).node()).collect();
+    let (g2, map2) = live.compacted(&root_nodes);
+    // Final edge map: old -> representative -> compacted G2.
+    let map: Vec<Bit> = pre.iter().map(|&b| apply(&map2, b)).collect();
     let mut stats = f.stats;
     stats.ands_before = aig.num_ands();
     stats.ands_after = g2.num_ands();
@@ -529,11 +661,21 @@ pub fn fraig_aig(aig: &Aig, roots: &[Bit], config: &FraigConfig) -> FraigResult 
 /// [`Design::check`] is returned unchanged (zeroed stats), since
 /// next-state functions must exist to be preserved.
 pub fn fraig_design(design: &mut Design, config: &FraigConfig) -> FraigStats {
+    fraig_design_governed(design, config, &ResourceGovernor::unlimited())
+}
+
+/// [`fraig_design`] under a shared [`ResourceGovernor`] — see
+/// [`fraig_aig_governed`] for the degradation contract.
+pub fn fraig_design_governed(
+    design: &mut Design,
+    config: &FraigConfig,
+    governor: &ResourceGovernor,
+) -> FraigStats {
     if design.check().is_err() {
         return FraigStats::default();
     }
     let roots = design.reduction_roots();
-    let FraigResult { aig, stats, map } = fraig_aig(&design.aig, &roots, config);
+    let FraigResult { aig, stats, map } = fraig_aig_governed(&design.aig, &roots, config, governor);
     design.replace_aig(aig, &mut |b| apply(&map, b));
     stats
 }
@@ -713,6 +855,84 @@ mod tests {
         // An uncapped run of the same graph records no truncation.
         let r = fraig_aig(&g, &[x, left, right], &FraigConfig::default());
         assert_eq!(r.stats.buckets_truncated, 0);
+    }
+
+    /// Satellite: cones refused by a full class are re-offered after the
+    /// first pass once merges have landed — and a late merge propagates
+    /// through already-built fanouts via the substitution rebuild.
+    #[test]
+    fn truncated_cones_are_retried_after_merges() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let c = g.new_input();
+        let d = g.new_input();
+        let e = g.new_input();
+        let x = g.and(a, b);
+        let y = g.and(a, x); // ≡ x, costs check 1
+        let z = g.and(x, b); // ≡ x, costs check 2 — budget now spent
+        let u = g.and(c, d);
+        let v = g.and(c, u); // ≡ u, but no checks left: truncated
+        let t = g.and(v, e); // fanout of the truncated cone
+        let config = FraigConfig {
+            max_bucket: 1,
+            max_checks: 2,
+            ..FraigConfig::default()
+        };
+        let r = fraig_aig(&g, &[x, y, z, u, v, t], &config);
+        assert_eq!(r.stats.merges, 3);
+        assert_eq!(r.stats.buckets_truncated, 1, "v hit u's full class");
+        assert_eq!(r.stats.truncated_retried, 1);
+        assert_eq!(r.stats.retry_merges, 1, "the retry pass proved v ≡ u");
+        assert_eq!(r.map_bit(v), r.map_bit(u));
+        assert_eq!(r.map_bit(y), r.map_bit(x));
+        // The substitution rebuild redirects t's fanin to u's node and
+        // dead-strips v's cone: exactly x, u, t survive.
+        assert_eq!(r.aig.num_ands(), 3);
+    }
+
+    /// A cancelled governor degrades the pass to pure structural
+    /// reduction: no SAT work at all, but a sound, well-formed result.
+    #[test]
+    fn cancelled_governor_degrades_to_structural_reduction() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let x = g.and(a, b);
+        let y = g.and(a, x);
+        let governor = ResourceGovernor::unlimited();
+        governor.cancel();
+        let r = fraig_aig_governed(&g, &[x, y], &FraigConfig::default(), &governor);
+        assert!(r.stats.interrupted);
+        assert_eq!(r.stats.sat_checks, 0, "no SAT work under cancellation");
+        assert_eq!(r.stats.merges, 0);
+        assert_ne!(r.map_bit(x), r.map_bit(y), "no proof, no merge");
+        assert_eq!(r.aig.num_ands(), 2);
+    }
+
+    /// The deterministic fault injector stops the pass right after the
+    /// Nth equivalence check: everything proved before the trip stays
+    /// merged, everything after degrades structurally.
+    #[test]
+    fn fault_injection_halts_after_nth_fraig_check() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let c = g.new_input();
+        let d = g.new_input();
+        let x = g.and(a, b);
+        let y = g.and(a, x); // check 1: proves and merges
+        let u = g.and(c, d);
+        let v = g.and(c, u); // check 2: proves, then the fault trips
+        let w = g.and(x, b); // would be check 3 — never issued
+        let governor = ResourceGovernor::unlimited().with_fault(FaultSite::FraigCheck, 2);
+        let r = fraig_aig_governed(&g, &[x, y, u, v, w], &FraigConfig::default(), &governor);
+        assert_eq!(r.stats.sat_checks, 2, "halted right after the 2nd check");
+        assert_eq!(r.stats.merges, 2, "both completed checks proved");
+        assert!(r.stats.interrupted);
+        assert_eq!(r.map_bit(x), r.map_bit(y));
+        assert_eq!(r.map_bit(u), r.map_bit(v));
+        assert_ne!(r.map_bit(w), r.map_bit(x), "post-trip cone left unmerged");
     }
 
     #[test]

@@ -77,7 +77,13 @@ pub use design::{
     Design, DesignStats, InputKind, Latch, LatchId, LatchInit, MemInit, Memory, MemoryId, Property,
     PropertyId, ReadPort, WritePort,
 };
-pub use fraig::{fraig_aig, fraig_design, FraigConfig, FraigResult, FraigStats};
-pub use rewrite::{rewrite_aig, rewrite_design, RewriteConfig, RewriteResult, RewriteStats};
+pub use fraig::{
+    fraig_aig, fraig_aig_governed, fraig_design, fraig_design_governed, FraigConfig, FraigResult,
+    FraigStats,
+};
+pub use rewrite::{
+    rewrite_aig, rewrite_aig_governed, rewrite_design, rewrite_design_governed, RewriteConfig,
+    RewriteResult, RewriteStats,
+};
 pub use sim::{SimConfig, Simulator, StepReport, Trace};
 pub use word::Word;

@@ -70,6 +70,8 @@
 
 use std::collections::HashMap;
 
+use emm_sat::{FaultSite, ResourceGovernor};
+
 use crate::aig::{Aig, Bit, Node, NodeId};
 use crate::cuts::{enumerate_cuts, CutConfig, MAX_CUT_SIZE, VAR_TT};
 use crate::design::Design;
@@ -168,6 +170,11 @@ pub struct RewriteStats {
     pub exchange_swaps: u64,
     /// Distinct NPN classes synthesized into the recipe library.
     pub npn_classes: usize,
+    /// The fixpoint was stopped early by its [`ResourceGovernor`]
+    /// (deadline or cancellation). The result is the last committed
+    /// iteration — a sound best-so-far reduction, never larger than the
+    /// input.
+    pub interrupted: bool,
 }
 
 impl RewriteStats {
@@ -1211,6 +1218,22 @@ fn compact_from_roots(
 /// assert_eq!(r.stats.rewrites, 1);
 /// ```
 pub fn rewrite_aig(aig: &Aig, roots: &[Bit], config: &RewriteConfig) -> RewriteResult {
+    rewrite_aig_governed(aig, roots, config, &ResourceGovernor::unlimited())
+}
+
+/// [`rewrite_aig`] under a shared [`ResourceGovernor`].
+///
+/// The governor is polled at fixpoint-iteration granularity and each
+/// iteration entry reports a [`FaultSite::RewriteIteration`] event to its
+/// fault injector. On a trip the loop stops with the last *committed*
+/// iteration's graph — a sound best-so-far reduction — and
+/// [`RewriteStats::interrupted`] set.
+pub fn rewrite_aig_governed(
+    aig: &Aig,
+    roots: &[Bit],
+    config: &RewriteConfig,
+    governor: &ResourceGovernor,
+) -> RewriteResult {
     let mut stats = RewriteStats {
         ands_before: aig.num_ands(),
         cut_size: config.cut_size.clamp(2, MAX_CUT_SIZE),
@@ -1220,6 +1243,11 @@ pub fn rewrite_aig(aig: &Aig, roots: &[Bit], config: &RewriteConfig) -> RewriteR
     let mut result_aig = aig.clone();
     let mut result_map: Vec<Bit> = aig.iter().map(|(id, _)| Bit::new(id, false)).collect();
     for iter in 0..config.max_iters.max(1) {
+        if governor.poll().is_some() {
+            stats.interrupted = true;
+            break;
+        }
+        governor.note(FaultSite::RewriteIteration);
         let roots_cur: Vec<Bit> = roots.iter().map(|&r| apply(&result_map, r)).collect();
         let (g2, pmap, accepted) = if config.global_select {
             rewrite_pass_global(&result_aig, &roots_cur, config, &mut lib, &mut stats)
@@ -1280,11 +1308,22 @@ pub fn rewrite_aig(aig: &Aig, roots: &[Bit], config: &RewriteConfig) -> RewriteR
 /// d.check().expect("still well-formed");
 /// ```
 pub fn rewrite_design(design: &mut Design, config: &RewriteConfig) -> RewriteStats {
+    rewrite_design_governed(design, config, &ResourceGovernor::unlimited())
+}
+
+/// [`rewrite_design`] under a shared [`ResourceGovernor`] — see
+/// [`rewrite_aig_governed`] for the degradation contract.
+pub fn rewrite_design_governed(
+    design: &mut Design,
+    config: &RewriteConfig,
+    governor: &ResourceGovernor,
+) -> RewriteStats {
     if design.check().is_err() {
         return RewriteStats::default();
     }
     let roots = design.reduction_roots();
-    let RewriteResult { aig, stats, map } = rewrite_aig(&design.aig, &roots, config);
+    let RewriteResult { aig, stats, map } =
+        rewrite_aig_governed(&design.aig, &roots, config, governor);
     design.replace_aig(aig, &mut |b| apply(&map, b));
     stats
 }
@@ -1308,6 +1347,44 @@ mod tests {
             perm.swap(i, j);
         }
         perm
+    }
+
+    /// A cancelled governor stops the fixpoint before the first
+    /// iteration: the graph comes back untouched, honestly flagged.
+    #[test]
+    fn cancelled_governor_skips_rewriting() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let t = g.and(a, b);
+        let e = g.and(a, !b);
+        let f = g.or(t, e); // ≡ a: rewritable, but the governor says no
+        let governor = ResourceGovernor::unlimited();
+        governor.cancel();
+        let r = rewrite_aig_governed(&g, &[f], &RewriteConfig::default(), &governor);
+        assert!(r.stats.interrupted);
+        assert_eq!(r.stats.iterations, 0);
+        assert_eq!(r.stats.rewrites, 0);
+        assert_eq!(r.aig.num_ands(), g.num_ands());
+        assert_ne!(r.map_bit(f), r.map_bit(a), "no rewrite committed");
+    }
+
+    /// The fault injector trips after the Nth fixpoint iteration: the
+    /// last committed iteration's (sound, improved) graph is kept.
+    #[test]
+    fn fault_injection_stops_after_nth_iteration() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let t = g.and(a, b);
+        let e = g.and(a, !b);
+        let f = g.or(t, e); // ≡ a
+        let governor = ResourceGovernor::unlimited().with_fault(FaultSite::RewriteIteration, 1);
+        let r = rewrite_aig_governed(&g, &[f], &RewriteConfig::default(), &governor);
+        assert!(r.stats.interrupted, "a second iteration was refused");
+        assert_eq!(r.stats.iterations, 1, "the first iteration committed");
+        assert_eq!(r.map_bit(f), r.map_bit(a), "its rewrite survives");
+        assert_eq!(r.aig.num_ands(), 0);
     }
 
     #[test]

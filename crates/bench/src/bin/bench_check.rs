@@ -203,7 +203,19 @@ fn main() -> ExitCode {
         };
         let mut problems = Vec::new();
         if new.verdict != base.verdict {
-            problems.push(format!("verdict {} -> {}", base.verdict, new.verdict));
+            // A decisive baseline (proof or counterexample) collapsing to
+            // `unknown:*` means the fresh run exhausted a resource budget
+            // the baseline fit inside — a perf regression dressed up as a
+            // verdict, so call it out as such.
+            let decisive = base.verdict.starts_with("proof") || base.verdict.starts_with("cex");
+            if decisive && new.verdict.starts_with("unknown") {
+                problems.push(format!(
+                    "decisive verdict {} degraded to {} (resource exhaustion)",
+                    base.verdict, new.verdict
+                ));
+            } else {
+                problems.push(format!("verdict {} -> {}", base.verdict, new.verdict));
+            }
         }
         let dc = pct(new.clauses, base.clauses);
         if dc > tolerance {

@@ -44,6 +44,9 @@ struct RunRecord {
     benchmark: String,
     mode: &'static str,
     verdict: String,
+    /// Governor exhaustion reason when the verdict is `unknown:*`
+    /// (`deadline`, `conflict_limit`, ...), `None` for decisive runs.
+    exhaustion: Option<String>,
     depth: usize,
     seconds: f64,
     vars: usize,
@@ -80,7 +83,17 @@ fn verdict_name(v: &BmcVerdict) -> String {
         BmcVerdict::Proof { depth, .. } => format!("proof@{depth}"),
         BmcVerdict::Counterexample(t) => format!("cex@{}", t.depth()),
         BmcVerdict::BoundReached => "bound".into(),
-        BmcVerdict::Timeout => "timeout".into(),
+        BmcVerdict::Unknown { reason, .. } => format!("unknown:{}", reason.as_str()),
+    }
+}
+
+/// The exhaustion reason alone, for the dedicated JSON field — lets
+/// `bench_check` and ad-hoc tooling distinguish a deadline trip from a
+/// conflict-cap or memory-ceiling trip without parsing the verdict.
+fn exhaustion_name(v: &BmcVerdict) -> Option<String> {
+    match v {
+        BmcVerdict::Unknown { reason, .. } => Some(reason.as_str().to_string()),
+        _ => None,
     }
 }
 
@@ -193,6 +206,7 @@ fn run_one(
         benchmark: benchmark.to_string(),
         mode: mode.name(),
         verdict: verdict_name(&run.verdict),
+        exhaustion: exhaustion_name(&run.verdict),
         depth: run.depth_reached,
         seconds: elapsed.as_secs_f64(),
         vars,
@@ -245,6 +259,7 @@ fn run_incremental(
         benchmark: benchmark.to_string(),
         mode: Mode::Incremental.name(),
         verdict: verdict_name(&run.verdict),
+        exhaustion: exhaustion_name(&run.verdict),
         depth: run.depth_reached,
         seconds: elapsed.as_secs_f64(),
         vars,
@@ -270,11 +285,16 @@ fn json_record(r: &RunRecord) -> String {
     write!(
         s,
         "    {{\"benchmark\": \"{}\", \"mode\": \"{}\", \"verdict\": \"{}\", \
+         \"exhaustion\": {}, \
          \"depth\": {}, \"seconds\": {:.3}, \"vars\": {}, \"clauses\": {}, \
          \"emm_clauses\": {}, \"cmp_cache_hits\": {}",
         r.benchmark,
         r.mode,
         r.verdict,
+        match &r.exhaustion {
+            Some(reason) => format!("\"{reason}\""),
+            None => "null".to_string(),
+        },
         r.depth,
         r.seconds,
         r.vars,
@@ -292,7 +312,8 @@ fn json_record(r: &RunRecord) -> String {
                  \"cache_hits\": {}, \"gates_created\": {}, \"gates_emitted\": {}, \
                  \"gates_elided\": {}, \"sweep_checks\": {}, \"sweep_merges\": {}, \
                  \"sweep_refuted\": {}, \"clauses_dropped\": {}, \
-                 \"literals_stripped\": {}, \"clauses_retired\": {}}}",
+                 \"literals_stripped\": {}, \"clauses_retired\": {}, \
+                 \"interrupted\": {}}}",
                 st.gate_queries,
                 st.folded,
                 st.cache_hits,
@@ -305,6 +326,7 @@ fn json_record(r: &RunRecord) -> String {
                 st.clauses_dropped,
                 st.literals_stripped,
                 st.clauses_retired,
+                st.interrupted,
             )
             .expect("write");
         }
@@ -317,7 +339,9 @@ fn json_record(r: &RunRecord) -> String {
                 ", \"fraig\": {{\"ands_before\": {}, \"ands_after\": {}, \
                  \"merges\": {}, \"const_merges\": {}, \"structural_merges\": {}, \
                  \"sat_checks\": {}, \"refuted\": {}, \"unknown\": {}, \
-                 \"cex_patterns\": {}, \"buckets_truncated\": {}}}",
+                 \"cex_patterns\": {}, \"buckets_truncated\": {}, \
+                 \"truncated_retried\": {}, \"retry_merges\": {}, \
+                 \"interrupted\": {}}}",
                 st.ands_before,
                 st.ands_after,
                 st.merges,
@@ -328,6 +352,9 @@ fn json_record(r: &RunRecord) -> String {
                 st.unknown,
                 st.cex_patterns,
                 st.buckets_truncated,
+                st.truncated_retried,
+                st.retry_merges,
+                st.interrupted,
             )
             .expect("write");
         }
@@ -343,7 +370,7 @@ fn json_record(r: &RunRecord) -> String {
                  \"cuts_enumerated\": {}, \"candidates_tried\": {}, \
                  \"zero_gain_skipped\": {}, \"candidates_collected\": {}, \
                  \"select_dropped\": {}, \"exchange_swaps\": {}, \
-                 \"npn_classes\": {}}}",
+                 \"npn_classes\": {}, \"interrupted\": {}}}",
                 st.ands_before,
                 st.ands_after,
                 st.cut_size,
@@ -358,6 +385,7 @@ fn json_record(r: &RunRecord) -> String {
                 st.select_dropped,
                 st.exchange_swaps,
                 st.npn_classes,
+                st.interrupted,
             )
             .expect("write");
         }

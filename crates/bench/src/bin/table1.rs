@@ -86,7 +86,7 @@ fn main() {
             let run = engine.check(prop, qs.cycle_bound()).expect("emm run");
             let (diameter, emm_time) = match run.verdict {
                 BmcVerdict::Proof { depth, .. } => (depth.to_string(), secs(run.elapsed)),
-                BmcVerdict::Timeout => ("-".to_string(), format!(">{}", timeout.as_secs())),
+                BmcVerdict::Unknown { .. } => ("-".to_string(), format!(">{}", timeout.as_secs())),
                 other => (format!("{other:?}"), secs(run.elapsed)),
             };
             let emm_mb = resident_mib()
@@ -105,7 +105,7 @@ fn main() {
             let run = engine.check(prop, qs.cycle_bound()).expect("explicit run");
             let expl_time = match run.verdict {
                 BmcVerdict::Proof { .. } => secs(run.elapsed),
-                BmcVerdict::Timeout => format!(">{}", timeout.as_secs()),
+                BmcVerdict::Unknown { .. } => format!(">{}", timeout.as_secs()),
                 other => format!("{other:?}"),
             };
             let expl_mb = resident_mib()

@@ -109,7 +109,7 @@ fn main() {
                     _ => format!("{:?}", run.verdict),
                 }
             }
-            BmcVerdict::Timeout => format!(">{}", timeout.as_secs()),
+            BmcVerdict::Unknown { .. } => format!(">{}", timeout.as_secs()),
             ref other => format!("{other:?}"),
         };
 
@@ -153,7 +153,7 @@ fn main() {
                 .expect("explicit proof");
             match run.verdict {
                 BmcVerdict::Proof { .. } => secs(run.elapsed),
-                BmcVerdict::Timeout => format!(">{}", timeout.as_secs()),
+                BmcVerdict::Unknown { .. } => format!(">{}", timeout.as_secs()),
                 _ => "refine".to_string(),
             }
         } else {

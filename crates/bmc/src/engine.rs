@@ -66,13 +66,13 @@ use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use emm_aig::{
-    fraig_design, rewrite_design, Design, FraigConfig, FraigStats, RewriteConfig, RewriteStats,
-    Trace,
+    fraig_design_governed, rewrite_design_governed, Design, FraigConfig, FraigStats, RewriteConfig,
+    RewriteStats, Trace,
 };
 use emm_core::{EmmEncoder, EmmOptions, MemoryShape, SelectorGranularity};
 use emm_sat::{
-    Budget, CnfSink, Lit, Simplifier, SimplifyConfig, SimplifyStats, SolveResult, Solver,
-    SolverConfig,
+    Budget, CnfSink, ExhaustionReason, FaultSite, Lit, ResourceGovernor, Simplifier,
+    SimplifyConfig, SimplifyStats, SolveResult, Solver, SolverConfig,
 };
 
 use crate::lfp::LfpBuilder;
@@ -182,6 +182,20 @@ pub struct BmcOptions {
     /// [`BmcEngine::new`], and multi-engine drivers should pre-reduce
     /// once instead (see [`crate::pba`]).
     pub rewrite: RewriteConfig,
+    /// Pipeline-wide resource governor: a deadline, lifetime conflict /
+    /// propagation caps, a solver memory ceiling, and a shared
+    /// cooperative cancellation token, threaded through every stage —
+    /// the rewrite and fraig preprocessing in [`BmcEngine::new`], the
+    /// simplifying sink's SAT sweeper, the EMM constraint encoder, the
+    /// frame unrolling loop, and both incremental solvers. A trip
+    /// anywhere degrades gracefully: preprocessing returns its
+    /// best-so-far reduction (with `interrupted` stats), and `check`
+    /// returns [`BmcVerdict::Unknown`] naming the reason and the
+    /// deepest cleanly refuted bound. Keep a clone and call
+    /// [`ResourceGovernor::cancel`] to stop a run from another thread;
+    /// resume by raising the limits via [`BmcEngine::set_governor`] and
+    /// calling [`BmcEngine::check`] again.
+    pub governor: ResourceGovernor,
 }
 
 impl Default for BmcOptions {
@@ -198,6 +212,7 @@ impl Default for BmcOptions {
             incremental: true,
             fraig: FraigConfig::default(),
             rewrite: RewriteConfig::default(),
+            governor: ResourceGovernor::unlimited(),
         }
     }
 }
@@ -285,8 +300,20 @@ pub enum BmcVerdict {
     Counterexample(Trace),
     /// No counterexample up to the bound; nothing proved.
     BoundReached,
-    /// A resource budget was exhausted.
-    Timeout,
+    /// A resource limit ended the run without an answer. Never a wrong
+    /// answer: every completed bound's refutation still stands, and a
+    /// repeated [`BmcEngine::check`] with a raised budget (see
+    /// [`BmcEngine::set_governor`]) resumes past the clean bounds.
+    Unknown {
+        /// Which resource ran out (deadline, work cap, memory ceiling,
+        /// or an external cancellation).
+        reason: ExhaustionReason,
+        /// Deepest bound whose counterexample check completed UNSAT
+        /// before exhaustion — the resume point. `None` when no bound
+        /// was cleanly refuted (or the refutations were discarded by a
+        /// context rebuild).
+        deepest_clean_bound: Option<u32>,
+    },
 }
 
 impl BmcVerdict {
@@ -299,6 +326,27 @@ impl BmcVerdict {
     pub fn is_counterexample(&self) -> bool {
         matches!(self, BmcVerdict::Counterexample(_))
     }
+
+    /// `true` for [`BmcVerdict::Unknown`].
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, BmcVerdict::Unknown { .. })
+    }
+}
+
+/// Wall-clock seconds per pipeline phase, reported in [`BmcRun`]. The
+/// rewrite and fraig entries cover the preprocessing that ran in
+/// [`BmcEngine::new`] (once per engine); encode and solve accumulate
+/// over the reported `check` call.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseSeconds {
+    /// Cut-based AIG rewriting ([`BmcOptions::rewrite`]).
+    pub rewrite: f64,
+    /// Fraig reduction ([`BmcOptions::fraig`]).
+    pub fraig: f64,
+    /// Frame unrolling plus EMM/LFP constraint emission.
+    pub encode: f64,
+    /// SAT solving (all termination and counterexample queries).
+    pub solve: f64,
 }
 
 /// Result of [`BmcEngine::check`].
@@ -321,6 +369,9 @@ pub struct BmcRun {
     /// Memory reasons accumulated by PBA discovery (memory indices),
     /// cumulative across all `check` calls on this engine.
     pub memory_reasons: Vec<usize>,
+    /// Wall-clock seconds per pipeline phase (preprocessing once per
+    /// engine; encode/solve for this call).
+    pub phase_seconds: PhaseSeconds,
 }
 
 /// Engine errors.
@@ -409,6 +460,16 @@ pub struct BmcEngine<'d> {
     /// otherwise the new property's backward-induction checks could never
     /// run at the already-unrolled bounds and proofs would be missed.
     proofs_prop: Option<usize>,
+    /// The governor in force: [`BmcOptions::governor`] with the current
+    /// `check` call's wall-limit deadline min-combined in. Installed on
+    /// every context's solver, sweeper and EMM encoder.
+    governor: ResourceGovernor,
+    /// Wall time of the preprocessing phases (run once, in `new`).
+    rewrite_seconds: f64,
+    fraig_seconds: f64,
+    /// Encode/solve wall time accumulated over the current `check` call.
+    encode_seconds: f64,
+    solve_seconds: f64,
 }
 
 impl<'d> BmcEngine<'d> {
@@ -458,24 +519,31 @@ impl<'d> BmcEngine<'d> {
         let mut reduced: Option<Design> = None;
         let mut rewrite_stats = None;
         let mut fraig_stats = None;
+        let mut rewrite_seconds = 0.0;
+        let mut fraig_seconds = 0.0;
+        let governor = options.governor.clone();
         if design.num_gates() > 0 {
             if options.rewrite.enabled {
                 let model = reduced.get_or_insert_with(|| design.clone());
-                rewrite_stats = Some(rewrite_design(model, &options.rewrite));
+                let t = Instant::now();
+                rewrite_stats = Some(rewrite_design_governed(model, &options.rewrite, &governor));
+                rewrite_seconds = t.elapsed().as_secs_f64();
             }
             if options.fraig.enabled {
                 let model = reduced.get_or_insert_with(|| design.clone());
-                fraig_stats = Some(fraig_design(model, &options.fraig));
+                let t = Instant::now();
+                fraig_stats = Some(fraig_design_governed(model, &options.fraig, &governor));
+                fraig_seconds = t.elapsed().as_secs_f64();
             }
         }
         let model = match reduced {
             Some(m) => Cow::Owned(m),
             None => Cow::Borrowed(design),
         };
-        let anchored = Self::make_ctx(&model, &options, true);
+        let anchored = Self::make_ctx(&model, &options, &governor, true);
         let floating = options
             .proofs
-            .then(|| Self::make_ctx(&model, &options, false));
+            .then(|| Self::make_ctx(&model, &options, &governor, false));
         BmcEngine {
             design,
             model,
@@ -489,15 +557,27 @@ impl<'d> BmcEngine<'d> {
             memory_reasons: HashSet::new(),
             prop_clauses_retired: 0,
             proofs_prop: None,
+            governor,
+            rewrite_seconds,
+            fraig_seconds,
+            encode_seconds: 0.0,
+            solve_seconds: 0.0,
         }
     }
 
-    fn make_ctx(design: &Design, options: &BmcOptions, anchored: bool) -> Ctx {
+    fn make_ctx(
+        design: &Design,
+        options: &BmcOptions,
+        governor: &ResourceGovernor,
+        anchored: bool,
+    ) -> Ctx {
         let mut solver = Solver::with_config(SolverConfig::default());
-        let mut simplify = options
-            .simplify
-            .enabled
-            .then(|| Simplifier::new(options.simplify));
+        solver.set_governor(governor.clone());
+        let mut simplify = options.simplify.enabled.then(|| {
+            let mut s = Simplifier::new(options.simplify);
+            s.set_governor(governor.clone());
+            s
+        });
         let unroll_config = UnrollConfig {
             initial_state: anchored,
             latch_selectors: options.pba_discovery && anchored,
@@ -534,7 +614,8 @@ impl<'d> BmcEngine<'d> {
                 emm_index.push(None);
             }
         }
-        let emm = EmmEncoder::new(&shapes, options.emm);
+        let mut emm = EmmEncoder::new(&shapes, options.emm);
+        emm.set_governor(governor.clone());
         let lfp = options
             .proofs
             .then(|| LfpBuilder::new(&mut solver, design.num_latches(), kept_latches.as_deref()));
@@ -605,9 +686,65 @@ impl<'d> BmcEngine<'d> {
         self.prop_clauses_retired
     }
 
-    /// Extends every context to include frame `k`.
-    fn ensure_depth(&mut self, k: usize) {
+    /// Replaces the pipeline governor on the engine and on every live
+    /// context (solvers, sweepers, EMM encoders). This is how a run that
+    /// ended in [`BmcVerdict::Unknown`] is resumed: install a governor
+    /// with raised (or no) limits and call [`BmcEngine::check`] again —
+    /// in incremental mode the cleanly refuted bounds are skipped, not
+    /// re-solved. A cancelled or fault-armed governor stays tripped until
+    /// replaced (or [`ResourceGovernor::reset_cancellation`] is called).
+    pub fn set_governor(&mut self, governor: ResourceGovernor) {
+        self.options.governor = governor.clone();
+        self.governor = governor;
+        self.install_governor();
+    }
+
+    /// The governor currently in force.
+    pub fn governor(&self) -> &ResourceGovernor {
+        &self.governor
+    }
+
+    /// Installs `self.governor` on both contexts' solver, sweeper and
+    /// EMM encoder.
+    fn install_governor(&mut self) {
+        for ctx in std::iter::once(&mut self.anchored).chain(self.floating.as_mut()) {
+            ctx.solver.set_governor(self.governor.clone());
+            if let Some(simp) = &mut ctx.simplify {
+                simp.set_governor(self.governor.clone());
+            }
+            ctx.emm.set_governor(self.governor.clone());
+        }
+    }
+
+    /// Whether a context's EMM encoder aborted emission mid-frame: its
+    /// most recent frame is under-constrained, so its satisfiable answers
+    /// can no longer be trusted and the contexts must be rebuilt before
+    /// the next query.
+    fn poisoned(&self) -> bool {
+        self.anchored.emm.interrupted()
+            || self.floating.as_ref().is_some_and(|f| f.emm.interrupted())
+    }
+
+    /// The [`BmcVerdict::Unknown`] for the current resume state, with the
+    /// reason falling back to the governor's own trip cause.
+    fn unknown_verdict(&self, prop: usize, reason: Option<ExhaustionReason>) -> BmcVerdict {
+        BmcVerdict::Unknown {
+            reason: reason
+                .or_else(|| self.governor.poll())
+                .unwrap_or(ExhaustionReason::Deadline),
+            deepest_clean_bound: self.cleared_depth.get(&prop).map(|&d| d as u32),
+        }
+    }
+
+    /// Extends every context to include frame `k`. Polls the governor
+    /// between frames (each completed unrolling is one
+    /// [`FaultSite::Frame`] event) and stops early when it trips;
+    /// `Some(reason)` means the depth was **not** reached. A trip between
+    /// frames leaves the contexts clean (no partial frame); a trip inside
+    /// the EMM encoder poisons them (see [`BmcEngine::poisoned`]).
+    fn ensure_depth(&mut self, k: usize) -> Option<ExhaustionReason> {
         let model: &Design = &self.model;
+        let governor = self.governor.clone();
         for ctx in std::iter::once(&mut self.anchored).chain(self.floating.as_mut()) {
             let Ctx {
                 solver,
@@ -619,6 +756,9 @@ impl<'d> BmcEngine<'d> {
                 init_reads_materialized,
             } = ctx;
             while unroller.num_frames() <= k {
+                if let Some(reason) = governor.poll() {
+                    return Some(reason);
+                }
                 match simplify {
                     Some(simp) => {
                         let mut sink = simp.attach(solver);
@@ -651,8 +791,13 @@ impl<'d> BmcEngine<'d> {
                     }
                     None => Self::extend_one(model, unroller, emm, emm_index, lfp, solver),
                 }
+                if emm.interrupted() {
+                    return Some(governor.poll().unwrap_or(ExhaustionReason::Cancelled));
+                }
+                governor.note(FaultSite::Frame);
             }
         }
+        None
     }
 
     /// Unrolls one frame and emits its EMM and LFP constraints into `sink`.
@@ -697,6 +842,23 @@ impl<'d> BmcEngine<'d> {
     pub fn check(&mut self, prop: usize, max_depth: usize) -> Result<BmcRun, BmcError> {
         let started = Instant::now();
         let deadline = self.options.wall_limit.map(|d| started + d);
+        // The governor in force for this call: the configured one with
+        // the wall limit min-combined in (the earlier deadline wins).
+        self.governor = match deadline {
+            Some(dl) => self.options.governor.clone().with_deadline(dl),
+            None => self.options.governor.clone(),
+        };
+        self.encode_seconds = 0.0;
+        self.solve_seconds = 0.0;
+        // A context whose EMM encoder aborted mid-frame is under-
+        // constrained (its SAT answers could be spurious); rebuild it
+        // before trusting anything. Otherwise just re-install the
+        // governor so the per-call deadline reaches every stage.
+        if self.poisoned() {
+            self.rebuild_contexts();
+        } else {
+            self.install_governor();
+        }
         // Encode against the model in force (possibly fraig-reduced);
         // interface structure (properties, latches, inputs, memories) is
         // identical to the original design.
@@ -718,15 +880,20 @@ impl<'d> BmcEngine<'d> {
 
         for i in 0..=max_depth {
             let bound_started = Instant::now();
-            if let Some(dl) = deadline {
-                if Instant::now() >= dl {
-                    return self.finish(BmcVerdict::Timeout, i, started, per_bound);
-                }
+            if let Some(reason) = self.governor.poll() {
+                let v = self.unknown_verdict(prop, Some(reason));
+                return self.finish(v, i, started, per_bound);
             }
             if !self.options.incremental && self.anchored.unroller.num_frames() > 0 {
                 self.rebuild_contexts();
             }
-            self.ensure_depth(i);
+            let encode_started = Instant::now();
+            let encode_outcome = self.ensure_depth(i);
+            self.encode_seconds += encode_started.elapsed().as_secs_f64();
+            if let Some(reason) = encode_outcome {
+                let v = self.unknown_verdict(prop, Some(reason));
+                return self.finish(v, i, started, per_bound);
+            }
             self.apply_budget(deadline);
             let outcome = self.process_bound(prop, bad_bit, i)?;
             per_bound.push(bound_started.elapsed().as_secs_f64());
@@ -759,14 +926,20 @@ impl<'d> BmcEngine<'d> {
             // Forward termination: SAT(I ∧ LFP_i ∧ C_i).
             let mut assumptions = Self::base_assumptions(&self.anchored);
             assumptions.push(self.anchored.lfp.as_ref().expect("proofs on").activation());
-            match self.anchored.solver.solve_with_assumptions(&assumptions) {
+            let solve_started = Instant::now();
+            let forward = self.anchored.solver.solve_with_assumptions(&assumptions);
+            self.solve_seconds += solve_started.elapsed().as_secs_f64();
+            match forward {
                 SolveResult::Unsat => {
                     return Ok(Some(BmcVerdict::Proof {
                         kind: ProofKind::ForwardDiameter,
                         depth: i,
                     }));
                 }
-                SolveResult::Unknown => return Ok(Some(BmcVerdict::Timeout)),
+                SolveResult::Unknown => {
+                    let reason = self.anchored.solver.exhaustion_reason();
+                    return Ok(Some(self.unknown_verdict(prop, reason)));
+                }
                 SolveResult::Sat => {}
             }
             // Backward termination: SAT(LFP_i ∧ ¬P_i ∧ CP_i ∧ C_i).
@@ -780,14 +953,25 @@ impl<'d> BmcEngine<'d> {
             let bad_i = floating.unroller.lit(i, bad_bit);
             let bad_i = floating.assumption(bad_i);
             assumptions.push(bad_i);
-            match floating.solver.solve_with_assumptions(&assumptions) {
+            let solve_started = Instant::now();
+            let backward = floating.solver.solve_with_assumptions(&assumptions);
+            self.solve_seconds += solve_started.elapsed().as_secs_f64();
+            match backward {
                 SolveResult::Unsat => {
                     return Ok(Some(BmcVerdict::Proof {
                         kind: ProofKind::BackwardInduction,
                         depth: i,
                     }));
                 }
-                SolveResult::Unknown => return Ok(Some(BmcVerdict::Timeout)),
+                SolveResult::Unknown => {
+                    let reason = self
+                        .floating
+                        .as_ref()
+                        .expect("proofs on")
+                        .solver
+                        .exhaustion_reason();
+                    return Ok(Some(self.unknown_verdict(prop, reason)));
+                }
                 SolveResult::Sat => {}
             }
         }
@@ -809,7 +993,10 @@ impl<'d> BmcEngine<'d> {
         self.anchored.solver.add_clause_in_group(group, &[bad_i]);
         let mut assumptions = Self::base_assumptions(&self.anchored);
         assumptions.push(group);
-        match self.anchored.solver.solve_with_assumptions(&assumptions) {
+        let solve_started = Instant::now();
+        let result = self.anchored.solver.solve_with_assumptions(&assumptions);
+        self.solve_seconds += solve_started.elapsed().as_secs_f64();
+        match result {
             SolveResult::Sat => {
                 let trace = self.extract_trace(prop, i);
                 if self.options.validate_traces && self.options.abstraction.is_none() {
@@ -819,7 +1006,15 @@ impl<'d> BmcEngine<'d> {
                 }
                 Ok(Some(BmcVerdict::Counterexample(trace)))
             }
-            SolveResult::Unknown => Ok(Some(BmcVerdict::Timeout)),
+            SolveResult::Unknown => {
+                // The bound was *not* refuted: leave `cleared_depth`
+                // alone (a resumed check re-runs this bound) but retire
+                // the bound's property clause so the abandoned group
+                // does not linger in the clause arena.
+                self.prop_clauses_retired += self.anchored.solver.retire_group(group) as u64;
+                let reason = self.anchored.solver.exhaustion_reason();
+                Ok(Some(self.unknown_verdict(prop, reason)))
+            }
             SolveResult::Unsat => {
                 if self.options.pba_discovery {
                     self.collect_reasons();
@@ -836,11 +1031,11 @@ impl<'d> BmcEngine<'d> {
     /// and LFP state (the restart-from-scratch baseline of
     /// [`BmcOptions::incremental`]` = false`).
     fn rebuild_contexts(&mut self) {
-        self.anchored = Self::make_ctx(&self.model, &self.options, true);
+        self.anchored = Self::make_ctx(&self.model, &self.options, &self.governor, true);
         self.floating = self
             .options
             .proofs
-            .then(|| Self::make_ctx(&self.model, &self.options, false));
+            .then(|| Self::make_ctx(&self.model, &self.options, &self.governor, false));
         self.cleared_depth.clear();
     }
 
@@ -863,6 +1058,12 @@ impl<'d> BmcEngine<'d> {
             per_bound_seconds,
             latch_reasons: lrv,
             memory_reasons: mrv,
+            phase_seconds: PhaseSeconds {
+                rewrite: self.rewrite_seconds,
+                fraig: self.fraig_seconds,
+                encode: self.encode_seconds,
+                solve: self.solve_seconds,
+            },
         })
     }
 
@@ -898,13 +1099,11 @@ impl<'d> BmcEngine<'d> {
     }
 
     fn apply_budget(&mut self, deadline: Option<Instant>) {
-        let mut budget = self.options.solve_budget.clone();
-        if let Some(dl) = deadline {
-            budget.deadline = Some(match budget.deadline {
-                None => dl,
-                Some(b) => b.min(dl),
-            });
-        }
+        let budget = self
+            .options
+            .solve_budget
+            .clone()
+            .with_earlier_deadline(deadline);
         self.anchored.solver.set_budget(budget.clone());
         if let Some(f) = &mut self.floating {
             f.solver.set_budget(budget);

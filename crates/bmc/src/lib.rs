@@ -62,6 +62,8 @@ mod lfp;
 pub mod pba;
 mod unroll;
 
-pub use engine::{AbstractionSpec, BmcEngine, BmcError, BmcOptions, BmcRun, BmcVerdict, ProofKind};
+pub use engine::{
+    AbstractionSpec, BmcEngine, BmcError, BmcOptions, BmcRun, BmcVerdict, PhaseSeconds, ProofKind,
+};
 pub use lfp::LfpBuilder;
 pub use unroll::{UnrollConfig, Unroller};

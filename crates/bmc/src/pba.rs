@@ -163,7 +163,7 @@ pub fn discover_within(
                 found_ce = true;
                 break;
             }
-            BmcVerdict::Timeout => break,
+            BmcVerdict::Unknown { .. } => break,
             _ => {}
         }
         let reasons = (run.latch_reasons.clone(), run.memory_reasons.clone());

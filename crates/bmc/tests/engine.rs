@@ -472,7 +472,7 @@ fn multiport_memory_verified_end_to_end() {
 }
 
 #[test]
-fn wall_limit_yields_timeout() {
+fn wall_limit_yields_unknown_deadline() {
     let d = mod_counter(8, 256, 200);
     let mut engine = BmcEngine::new(
         &d,
@@ -484,7 +484,13 @@ fn wall_limit_yields_timeout() {
     );
     let run = engine.check(0, 300).expect("run");
     assert!(
-        matches!(run.verdict, BmcVerdict::Timeout),
+        matches!(
+            run.verdict,
+            BmcVerdict::Unknown {
+                reason: emm_sat::ExhaustionReason::Deadline,
+                deepest_clean_bound: None,
+            }
+        ),
         "{:?}",
         run.verdict
     );

@@ -119,7 +119,7 @@ fn verdict_shape(v: &BmcVerdict) -> (u8, usize) {
         BmcVerdict::Proof { depth, .. } => (0, *depth),
         BmcVerdict::Counterexample(t) => (1, t.depth()),
         BmcVerdict::BoundReached => (2, usize::MAX),
-        BmcVerdict::Timeout => (3, usize::MAX),
+        BmcVerdict::Unknown { .. } => (3, usize::MAX),
     }
 }
 

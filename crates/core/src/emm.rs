@@ -37,7 +37,7 @@
 
 use std::collections::HashMap;
 
-use emm_sat::{CnfSink, Lit};
+use emm_sat::{CnfSink, FaultSite, Lit, ResourceGovernor};
 
 use crate::iface::{MemoryFrameLits, MemoryShape, PortLits};
 
@@ -219,6 +219,10 @@ pub struct EmmEncoder {
     mems: Vec<MemState>,
     /// Comparator memo shared by all memories (see [`CmpCache`]).
     cmp: CmpCache,
+    /// Pipeline governor polled at comparator granularity during emission.
+    governor: ResourceGovernor,
+    /// Set once a governor trip aborted emission mid-frame.
+    interrupted: bool,
 }
 
 impl EmmEncoder {
@@ -252,7 +256,31 @@ impl EmmEncoder {
                 enabled: options.comparator_cache,
                 map: HashMap::new(),
             },
+            governor: ResourceGovernor::unlimited(),
+            interrupted: false,
         }
+    }
+
+    /// Installs a pipeline governor. [`EmmEncoder::add_frame`] polls it at
+    /// comparator granularity (each `(write frame, write port)` pair of
+    /// every read access) and aborts emission mid-frame when it trips,
+    /// setting [`EmmEncoder::interrupted`]. Each encoded address
+    /// comparator is also reported to the governor's fault injector as
+    /// [`FaultSite::EmmComparator`].
+    pub fn set_governor(&mut self, governor: ResourceGovernor) {
+        self.governor = governor;
+    }
+
+    /// Whether a governor trip aborted constraint emission mid-frame.
+    ///
+    /// An interrupted encoder's most recent frame is **under-constrained**
+    /// (its exclusivity chain and validity clause were not emitted), so
+    /// satisfiable answers from the owning solver can no longer be
+    /// trusted; the BMC engine treats such a context as poisoned and
+    /// rebuilds it before the next query. Once set, the flag is sticky and
+    /// later [`EmmEncoder::add_frame`] calls emit nothing.
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
     }
 
     /// Number of memories.
@@ -330,6 +358,8 @@ impl EmmEncoder {
 
     fn add_memory_frame(&mut self, sink: &mut dyn CnfSink, mi: usize, frame: &MemoryFrameLits) {
         let options = self.options;
+        let governor = self.governor.clone();
+        let mut interrupted = self.interrupted;
         let cmp = &mut self.cmp;
         let mem = &mut self.mems[mi];
         let shape = mem.shape;
@@ -361,6 +391,9 @@ impl EmmEncoder {
         let mut frame_stats = EmmStats::default();
         let k = mem.depth;
         for (r, rp) in frame.reads.iter().enumerate() {
+            if interrupted {
+                break;
+            }
             let guard = match options.selectors {
                 SelectorGranularity::None => None,
                 SelectorGranularity::PerMemory => Some(!mem.selectors[0]),
@@ -379,6 +412,8 @@ impl EmmEncoder {
                     r,
                     rp,
                     guard,
+                    &governor,
+                    &mut interrupted,
                 ),
                 ForwardingEncoding::Direct => Self::encode_read_direct(
                     sink,
@@ -392,13 +427,19 @@ impl EmmEncoder {
                     r,
                     rp,
                     guard,
+                    &governor,
+                    &mut interrupted,
                 ),
             }
         }
+        // The bookkeeping still advances on an interrupted frame: the
+        // context is poisoned either way and the depth invariants (one
+        // write-history entry per frame) must hold for the rebuild.
         mem.write_history.push(frame.writes.clone());
         mem.depth += 1;
         mem.stats.add(frame_stats);
         mem.per_frame.push(frame_stats);
+        self.interrupted = interrupted;
     }
 
     /// The paper's encoding: exclusivity chain of eq. (4), read-data
@@ -416,15 +457,21 @@ impl EmmEncoder {
         r: usize,
         rp: &PortLits,
         guard: Option<Lit>,
+        governor: &ResourceGovernor,
+        interrupted: &mut bool,
     ) {
         let n = shape.data_width;
         // Build the chain from PS_{k,k,0,r} = RE downwards.
         let mut ps = rp.en;
         let mut matches: Vec<(usize, usize, Lit)> = Vec::new(); // (frame, port, S)
-        for i in (0..k).rev() {
+        'chain: for i in (0..k).rev() {
             for p in (0..shape.write_ports).rev() {
+                if governor.poll().is_some() {
+                    *interrupted = true;
+                    break 'chain;
+                }
                 let wp = &write_history[i][p];
-                let e = encode_addr_eq(sink, cmp, &wp.addr, &rp.addr, stats);
+                let e = encode_addr_eq(sink, cmp, &wp.addr, &rp.addr, stats, governor);
                 let s = sink.add_and_gate(e, wp.en); // s_{i,k,p,r}
                 let s_excl = sink.add_and_gate(s, ps); // S_{i,k,p,r}
                 ps = sink.add_and_gate(!s, ps); // PS_{i,k,p,r}
@@ -432,6 +479,13 @@ impl EmmEncoder {
                 stats.aux_vars += 3;
                 matches.push((i, p, s_excl));
             }
+        }
+        if *interrupted {
+            // The chain is incomplete: `ps` is not the true N condition
+            // and the validity clause would be missing match terms —
+            // emitting either would wrongly *strengthen* the formula.
+            // Stop here; the caller treats the whole context as poisoned.
+            return;
         }
         let n_lit = ps; // PS_{0,k,0,r}: the paper's N condition.
 
@@ -459,8 +513,15 @@ impl EmmEncoder {
             };
             if !options.skip_init_consistency {
                 for prev in init_reads.iter() {
+                    if governor.poll().is_some() {
+                        // eq. (6) pairs are pairwise-independent: a partial
+                        // set only under-constrains (the context is poisoned
+                        // anyway), so stopping mid-list is safe.
+                        *interrupted = true;
+                        break;
+                    }
                     let _ = prev.port; // pairs span all ports, incl. same port
-                    let ea = encode_addr_eq(sink, cmp, &prev.addr, &me.addr, stats);
+                    let ea = encode_addr_eq(sink, cmp, &prev.addr, &me.addr, stats, governor);
                     for b in 0..n {
                         emit(
                             sink,
@@ -515,15 +576,21 @@ impl EmmEncoder {
         r: usize,
         rp: &PortLits,
         guard: Option<Lit>,
+        governor: &ResourceGovernor,
+        interrupted: &mut bool,
     ) {
         let n = shape.data_width;
         // later = "some write at a strictly later position matches".
         let mut later: Option<Lit> = None;
         let mut entries: Vec<(usize, usize, Lit, Option<Lit>)> = Vec::new();
-        for i in (0..k).rev() {
+        'scan: for i in (0..k).rev() {
             for p in (0..shape.write_ports).rev() {
+                if governor.poll().is_some() {
+                    *interrupted = true;
+                    break 'scan;
+                }
                 let wp = &write_history[i][p];
-                let e = encode_addr_eq(sink, cmp, &wp.addr, &rp.addr, stats);
+                let e = encode_addr_eq(sink, cmp, &wp.addr, &rp.addr, stats, governor);
                 let s = sink.add_and_gate(e, wp.en);
                 stats.gates += 1;
                 stats.aux_vars += 1;
@@ -537,6 +604,12 @@ impl EmmEncoder {
                     }
                 });
             }
+        }
+        if *interrupted {
+            // `later` misses the unscanned writes, so both the forwarding
+            // implications and the N condition built from it would be
+            // wrong. Stop; the caller treats the context as poisoned.
+            return;
         }
         // Forwarding implications: RE ∧ s ∧ ¬later → RD = WD.
         for &(i, p, s, later_here) in &entries {
@@ -578,7 +651,11 @@ impl EmmEncoder {
             };
             if !options.skip_init_consistency {
                 for prev in init_reads.iter() {
-                    let ea = encode_addr_eq(sink, cmp, &prev.addr, &me.addr, stats);
+                    if governor.poll().is_some() {
+                        *interrupted = true;
+                        break;
+                    }
+                    let ea = encode_addr_eq(sink, cmp, &prev.addr, &me.addr, stats, governor);
                     for b in 0..n {
                         emit(
                             sink,
@@ -624,15 +701,19 @@ fn emit(sink: &mut dyn CnfSink, stats: &mut EmmStats, guard: Option<Lit>, lits: 
 /// Encodes the paper's address comparison (Section 3): `4m + 1` clauses over
 /// `m + 1` fresh variables; returns the equality literal `E`. With the
 /// comparator cache enabled, a pair already encoded (in either operand
-/// order) returns its cached literal and emits nothing.
+/// order) returns its cached literal and emits nothing. Every call — cache
+/// hit or not — counts as one [`FaultSite::EmmComparator`] event for the
+/// governor's fault injector.
 fn encode_addr_eq(
     sink: &mut dyn CnfSink,
     cmp: &mut CmpCache,
     a: &[Lit],
     b: &[Lit],
     stats: &mut EmmStats,
+    governor: &ResourceGovernor,
 ) -> Lit {
     debug_assert_eq!(a.len(), b.len());
+    governor.note(FaultSite::EmmComparator);
     if cmp.enabled {
         if let Some(e) = cmp.get(a, b) {
             stats.cmp_cache_hits += 1;
@@ -1103,7 +1184,14 @@ mod tests {
                     enabled: true,
                     map: HashMap::new(),
                 };
-                let e = encode_addr_eq(&mut s, &mut cmp, &a, &b, &mut stats);
+                let e = encode_addr_eq(
+                    &mut s,
+                    &mut cmp,
+                    &a,
+                    &b,
+                    &mut stats,
+                    &ResourceGovernor::unlimited(),
+                );
                 assert_eq!(stats.clauses, 4 * 2 + 1);
                 fix_word(&mut s, &a, av);
                 fix_word(&mut s, &b, bv);
@@ -1111,5 +1199,77 @@ mod tests {
                 assert_eq!(s.model_value(e), Some(av == bv), "{av} vs {bv}");
             }
         }
+    }
+
+    /// A cancelled governor aborts frame emission at the first comparator
+    /// poll and the encoder reports itself interrupted. Frame 0 has no
+    /// write history (no comparators, no polls), so it still emits; the
+    /// first frame with a pending write aborts.
+    #[test]
+    fn cancelled_governor_poisons_frame_emission() {
+        let shape = MemoryShape {
+            addr_width: 3,
+            data_width: 4,
+            read_ports: 1,
+            write_ports: 1,
+            arbitrary_init: false,
+        };
+        let mut enc = EmmEncoder::new(&[shape], EmmOptions::default());
+        let gov = emm_sat::ResourceGovernor::unlimited();
+        gov.cancel();
+        enc.set_governor(gov);
+        let mut sink = CountingSink::new();
+        for _ in 0..2 {
+            let frame = fresh_frame(&mut sink, &shape);
+            enc.add_frame(&mut sink, &[frame]);
+        }
+        assert!(enc.interrupted(), "cancellation must poison the encoder");
+        assert!(
+            enc.per_frame_stats(0)[0].clauses > 0,
+            "frame 0 has no comparators and emits fully"
+        );
+        assert_eq!(
+            enc.per_frame_stats(0)[1].clauses,
+            0,
+            "frame 1 aborts before its first comparator"
+        );
+    }
+
+    /// The fault injector trips emission deterministically after the Nth
+    /// encoded comparator, and the interrupted flag is sticky: later
+    /// frames emit nothing.
+    #[test]
+    fn fault_injection_interrupts_after_nth_comparator() {
+        let shape = MemoryShape {
+            addr_width: 3,
+            data_width: 2,
+            read_ports: 1,
+            write_ports: 1,
+            arbitrary_init: true,
+        };
+        let mut enc = EmmEncoder::new(
+            &[shape],
+            EmmOptions {
+                // The closed-form per-frame clause count assumed below
+                // excludes the eq. (6) pairs.
+                skip_init_consistency: true,
+                ..EmmOptions::default()
+            },
+        );
+        // Frame k encodes k comparators (one per pending write frame):
+        // cumulative 0, 1, 3, 6, ... The 3rd comparator completes during
+        // frame 2, so frame 2 still emits fully and frame 3 aborts at its
+        // first poll.
+        enc.set_governor(
+            emm_sat::ResourceGovernor::unlimited().with_fault(emm_sat::FaultSite::EmmComparator, 3),
+        );
+        let mut sink = CountingSink::new();
+        for _ in 0..4 {
+            let frame = fresh_frame(&mut sink, &shape);
+            enc.add_frame(&mut sink, &[frame]);
+        }
+        assert!(enc.interrupted());
+        assert_eq!(enc.per_frame_stats(0)[2].clauses, shape.clauses_at_depth(2));
+        assert_eq!(enc.per_frame_stats(0)[3].clauses, 0);
     }
 }

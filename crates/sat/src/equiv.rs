@@ -28,6 +28,7 @@
 //! assert_eq!(o.model_lit(a), Some(true));
 //! ```
 
+use crate::govern::ResourceGovernor;
 use crate::lit::Lit;
 use crate::sink::CnfSink;
 use crate::solver::Solver;
@@ -52,6 +53,13 @@ impl EquivOracle {
     /// Creates an oracle with an empty CNF.
     pub fn new() -> EquivOracle {
         EquivOracle::default()
+    }
+
+    /// Installs a [`ResourceGovernor`] on the oracle's solver: its
+    /// deadline, caps, and cancellation token then bound every
+    /// [`EquivOracle::prove_equiv`] call (exhaustion answers `None`).
+    pub fn set_governor(&mut self, governor: ResourceGovernor) {
+        self.solver.set_governor(governor);
     }
 
     /// The literal `node` was encoded as, if it has been defined.

@@ -24,7 +24,11 @@
 //!   [`Solver::core_clause_ids`] returns the original clauses used in the
 //!   refutation (`SAT_Get_Refutation` in the paper's Fig. 1/Fig. 3).
 //! * Deterministic **budgets** ([`Budget`]) for the paper's timeout-based
-//!   experimental methodology.
+//!   experimental methodology, and a pipeline-wide **resource governor**
+//!   ([`ResourceGovernor`], module [`govern`]): shared deadline,
+//!   conflict/propagation caps, a memory ceiling over arena + watcher
+//!   bytes, and a cooperative cancellation token polled by every
+//!   long-running loop in the stack.
 //! * A **simplifying CNF sink** ([`SimplifySink`], module [`simplify`]):
 //!   cross-frame structural hashing, simulation-guided SAT sweeping, and
 //!   lazy gate emission between the BMC encoders and the solver.
@@ -57,6 +61,7 @@
 mod clause;
 pub mod dimacs;
 mod equiv;
+pub mod govern;
 mod heap;
 mod lit;
 pub mod naive;
@@ -66,6 +71,7 @@ mod solver;
 
 pub use clause::ClauseId;
 pub use equiv::EquivOracle;
+pub use govern::{ExhaustionReason, FaultSite, ResourceGovernor};
 pub use lit::{LBool, Lit, Var};
 pub use simplify::{Simplifier, SimplifyConfig, SimplifySink, SimplifyStats};
 pub use sink::{CnfSink, CountingSink, VecSink};

@@ -69,6 +69,7 @@
 use std::collections::HashMap;
 
 use crate::clause::ClauseId;
+use crate::govern::{FaultSite, ResourceGovernor};
 use crate::lit::{Lit, Var};
 use crate::sink::CnfSink;
 
@@ -192,6 +193,11 @@ pub struct SimplifyStats {
     /// solver (up to 3 per [`SimplifyStats::sweep_merges`]; fewer when the
     /// solver dropped a clause at add time, e.g. satisfied at level 0).
     pub clauses_retired: u64,
+    /// Sweeping was stopped early by the simplifier's
+    /// [`ResourceGovernor`] (deadline or cancellation). Hashing, folding,
+    /// and lazy emission keep working — they are pure rewrites — so the
+    /// encoding stays correct; only further SAT sweep checks are skipped.
+    pub interrupted: bool,
 }
 
 impl SimplifyStats {
@@ -226,6 +232,8 @@ pub struct Simplifier {
     sweep_spent: u64,
     /// A literal known false, once one exists (for folding results).
     known_false: Option<Lit>,
+    /// Shared resource governor, polled before every sweep SAT check.
+    governor: ResourceGovernor,
     stats: SimplifyStats,
 }
 
@@ -251,6 +259,14 @@ impl Simplifier {
     /// The configuration this simplifier runs with.
     pub fn config(&self) -> &SimplifyConfig {
         &self.config
+    }
+
+    /// Installs a shared [`ResourceGovernor`]. It is polled before every
+    /// sweep equivalence check; a trip permanently stops SAT sweeping
+    /// (the pure structural passes continue) and sets
+    /// [`SimplifyStats::interrupted`].
+    pub fn set_governor(&mut self, governor: ResourceGovernor) {
+        self.governor = governor;
     }
 
     /// Counters accumulated so far.
@@ -479,6 +495,14 @@ impl<S: CnfSink + ?Sized> SimplifySink<'_, S> {
             if tried >= self.simp.config.max_sweep_candidates || self.simp.sweep_spent >= credits {
                 break;
             }
+            if self.simp.governor.poll().is_some() {
+                // Governor tripped: burn the remaining credit pool so no
+                // later gate re-enters the sweep. Merges recorded so far
+                // were proved, so the encoding stays sound.
+                self.simp.stats.interrupted = true;
+                self.simp.sweep_spent = credits;
+                break;
+            }
             let cand = self.simp.resolve(cand);
             if cand.var() == out.var() {
                 continue;
@@ -494,7 +518,9 @@ impl<S: CnfSink + ?Sized> SimplifySink<'_, S> {
             tried_vars.push(cand.var());
             tried += 1;
             self.simp.stats.sweep_checks += 1;
-            match self.inner.prove_equiv(out, cand, budget) {
+            let answer = self.inner.prove_equiv(out, cand, budget);
+            self.simp.governor.note(FaultSite::SweepCheck);
+            match answer {
                 Some(true) => {
                     self.simp.sweep_spent += 1;
                     self.simp.stats.sweep_merges += 1;
@@ -909,6 +935,59 @@ mod tests {
         assert_eq!(st.sweep_checks, 1);
         assert_eq!(st.sweep_stale_skips, 1, "the duplicate entry is deduped");
         assert_eq!(simp.sweep_spent, SimplifyConfig::SWEEP_MISS_COST);
+    }
+
+    /// A cancelled governor stops sweeping (no SAT work) but leaves the
+    /// pure structural passes — and the encoding's correctness — intact.
+    #[test]
+    fn cancelled_governor_stops_sweeping() {
+        let mut s = Solver::new();
+        let mut simp = Simplifier::new(SimplifyConfig::sweeping());
+        let governor = ResourceGovernor::unlimited();
+        governor.cancel();
+        simp.set_governor(governor);
+        let mut sink = simp.attach(&mut s);
+        let a = sink.new_var().positive();
+        let b = sink.new_var().positive();
+        let x = sink.add_and_gate(a, b);
+        sink.materialize(x);
+        let y = sink.add_and_gate(a, x); // absorbed: only sweeping finds it
+        let my = sink.materialize(y);
+        assert_eq!(my, y, "no merge without a SAT proof");
+        assert_eq!(simp.stats().sweep_checks, 0);
+        assert!(simp.stats().interrupted);
+        // The formula is still the honest Tseitin encoding.
+        s.add_clause(&[a]);
+        s.add_clause(&[b]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(y), Some(true));
+    }
+
+    /// The fault injector trips after the Nth sweep check: the Nth check's
+    /// merge stands, later candidates are left unswept.
+    #[test]
+    fn fault_injection_halts_after_nth_sweep_check() {
+        let mut s = Solver::new();
+        let mut simp = Simplifier::new(SimplifyConfig::sweeping());
+        simp.set_governor(ResourceGovernor::unlimited().with_fault(FaultSite::SweepCheck, 1));
+        let mut sink = simp.attach(&mut s);
+        let a = sink.new_var().positive();
+        let b = sink.new_var().positive();
+        let c = sink.new_var().positive();
+        let d = sink.new_var().positive();
+        let x = sink.add_and_gate(a, b);
+        sink.materialize(x);
+        let y = sink.add_and_gate(a, x); // check 1: merges, then trips
+        let my = sink.materialize(y);
+        let u = sink.add_and_gate(c, d);
+        sink.materialize(u);
+        let v = sink.add_and_gate(c, u); // would be check 2 — never issued
+        let mv = sink.materialize(v);
+        assert_eq!(my, x, "the pre-trip merge stands");
+        assert_eq!(mv, v, "the post-trip candidate is left alone");
+        assert_eq!(simp.stats().sweep_checks, 1);
+        assert_eq!(simp.stats().sweep_merges, 1);
+        assert!(simp.stats().interrupted);
     }
 
     /// Equisatisfiability spot check: a small gate pyramid behaves the same

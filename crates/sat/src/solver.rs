@@ -31,6 +31,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use crate::clause::{ClauseDb, ClauseId, ClauseRef};
+use crate::govern::{ExhaustionReason, FaultSite, ResourceGovernor};
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
 
@@ -99,6 +100,35 @@ impl Budget {
             max_conflicts: None,
             deadline: Some(Instant::now() + d),
         }
+    }
+
+    /// Returns this budget with its deadline tightened to the earlier of
+    /// the current one and `deadline` — the combine rule the BMC engine
+    /// uses to merge a caller-supplied `solve_budget.deadline` with a
+    /// per-check wall-clock deadline: the earlier of the two always wins,
+    /// and a `None` on either side defers to the other.
+    ///
+    /// ```
+    /// use emm_sat::Budget;
+    /// use std::time::{Duration, Instant};
+    /// let near = Instant::now() + Duration::from_secs(1);
+    /// let far = near + Duration::from_secs(100);
+    /// let b = Budget::conflicts(10).with_earlier_deadline(Some(far));
+    /// assert_eq!(b.deadline, Some(far));
+    /// let b = b.with_earlier_deadline(Some(near));
+    /// assert_eq!(b.deadline, Some(near), "earlier deadline wins");
+    /// let b = b.with_earlier_deadline(Some(far));
+    /// assert_eq!(b.deadline, Some(near), "later deadline never loosens");
+    /// let b = b.with_earlier_deadline(None);
+    /// assert_eq!(b.deadline, Some(near));
+    /// assert_eq!(b.max_conflicts, Some(10), "conflict cap untouched");
+    /// ```
+    pub fn with_earlier_deadline(mut self, deadline: Option<Instant>) -> Budget {
+        self.deadline = match (self.deadline, deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self
     }
 }
 
@@ -227,6 +257,9 @@ pub struct Solver {
     /// Core (original clause ids) from the last UNSAT answer, when tracing.
     last_core: Option<Vec<ClauseId>>,
     budget: Budget,
+    governor: ResourceGovernor,
+    /// Why the last solve call answered `Unknown` (cleared per call).
+    exhaustion: Option<ExhaustionReason>,
     reduce_limit: u64,
     /// `id_refs[id]` = arena ref of the original clause with that tracking
     /// id (INVALID for learnt/derived ids and clauses never allocated or
@@ -281,6 +314,8 @@ impl Solver {
             tracer,
             last_core: None,
             budget: Budget::unlimited(),
+            governor: ResourceGovernor::unlimited(),
+            exhaustion: None,
             reduce_limit: first_reduce,
             id_refs: Vec::new(),
             groups: HashMap::new(),
@@ -431,6 +466,64 @@ impl Solver {
         self.budget = budget;
     }
 
+    /// Installs the pipeline-wide [`ResourceGovernor`]. Its deadline,
+    /// lifetime conflict/propagation caps, memory ceiling, and shared
+    /// cancellation token are enforced in addition to the per-call
+    /// [`Budget`]; any trip makes solve calls answer
+    /// [`SolveResult::Unknown`] with the trail back at level 0 and the
+    /// reason readable via [`Solver::exhaustion_reason`].
+    pub fn set_governor(&mut self, governor: ResourceGovernor) {
+        self.governor = governor;
+    }
+
+    /// The installed governor (unlimited by default).
+    pub fn governor(&self) -> &ResourceGovernor {
+        &self.governor
+    }
+
+    /// Why the most recent solve call returned
+    /// [`SolveResult::Unknown`], or `None` if it did not.
+    pub fn exhaustion_reason(&self) -> Option<ExhaustionReason> {
+        self.exhaustion
+    }
+
+    /// Accounted memory in bytes: live clause-arena words plus
+    /// watcher-list entries — the two structures that grow with learned
+    /// clauses. This is what the governor's memory ceiling is compared
+    /// against, at GC points and periodically during search.
+    pub fn memory_bytes(&self) -> usize {
+        let arena = self.db.capacity_words() * std::mem::size_of::<u32>();
+        let watchers: usize = self
+            .watches
+            .iter()
+            .map(|w| w.len() * std::mem::size_of::<Watcher>())
+            .sum();
+        arena + watchers
+    }
+
+    /// The memory ceiling, checked only when one is set (the accounting
+    /// walk is O(vars)).
+    fn memory_tripped(&self) -> Option<ExhaustionReason> {
+        if self.governor.memory_limit().is_some() {
+            self.governor.check_memory(self.memory_bytes())
+        } else {
+            None
+        }
+    }
+
+    /// Full governor check — cancellation, deadline, lifetime caps,
+    /// memory ceiling — used at solve entry so an already-tripped
+    /// governor refuses new work immediately.
+    fn governor_exhausted(&self) -> Option<ExhaustionReason> {
+        self.governor
+            .poll()
+            .or_else(|| {
+                self.governor
+                    .check_counters(self.stats.conflicts, self.stats.propagations)
+            })
+            .or_else(|| self.memory_tripped())
+    }
+
     /// Returns accumulated statistics.
     pub fn stats(&self) -> &SolverStats {
         &self.stats
@@ -483,6 +576,7 @@ impl Solver {
         self.model.clear();
         self.conflict_set.clear();
         self.last_core = None;
+        self.exhaustion = None;
         if !self.ok {
             if let Some(tr) = &self.tracer {
                 let seeds = tr.final_ids.clone();
@@ -495,6 +589,11 @@ impl Solver {
             self.record_final_level0(confl);
             self.ok = false;
             return SolveResult::Unsat;
+        }
+        if let Some(reason) = self.governor_exhausted() {
+            self.exhaustion = Some(reason);
+            self.cancel_until(0);
+            return SolveResult::Unknown;
         }
 
         let conflicts_at_start = self.stats.conflicts;
@@ -588,6 +687,7 @@ impl Solver {
         }
         self.db.delete(cref);
         self.stats.retired_clauses += 1;
+        self.governor.note(FaultSite::RetiredClause);
         if self.db.wasted() * 3 > self.db.capacity_words() {
             self.collect_garbage();
         }
@@ -740,10 +840,18 @@ impl Solver {
     ) -> SearchOutcome {
         let mut conflicts_here = 0u64;
         loop {
+            // Cooperative cancellation: one atomic load per propagation
+            // round bounds the latency from token-set to return by a
+            // single propagate/analyze cycle.
+            if self.governor.is_cancelled() {
+                self.exhaustion = Some(ExhaustionReason::Cancelled);
+                return SearchOutcome::BudgetExhausted;
+            }
             if let Some(confl) = self.propagate() {
                 // Conflict.
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
+                self.governor.note(FaultSite::Conflict);
                 if self.decision_level() == 0 {
                     self.record_final_level0(confl);
                     self.ok = false;
@@ -761,17 +869,40 @@ impl Solver {
                 if self.stats.learned_clauses > self.reduce_limit {
                     self.reduce_db();
                     self.reduce_limit += self.config.reduce_increment;
-                }
-                if let Some(max) = self.budget.max_conflicts {
-                    if self.stats.conflicts - conflicts_at_start >= max {
+                    // A GC point: the arena was just compacted, so the
+                    // accounted bytes reflect live clauses only.
+                    if let Some(reason) = self.memory_tripped() {
+                        self.exhaustion = Some(reason);
                         return SearchOutcome::BudgetExhausted;
                     }
                 }
+                if let Some(max) = self.budget.max_conflicts {
+                    if self.stats.conflicts - conflicts_at_start >= max {
+                        self.exhaustion = Some(ExhaustionReason::ConflictLimit);
+                        return SearchOutcome::BudgetExhausted;
+                    }
+                }
+                if let Some(reason) = self
+                    .governor
+                    .check_counters(self.stats.conflicts, self.stats.propagations)
+                {
+                    self.exhaustion = Some(reason);
+                    return SearchOutcome::BudgetExhausted;
+                }
                 if self.stats.conflicts.is_multiple_of(1024) {
-                    if let Some(deadline) = self.budget.deadline {
+                    let deadline = match (self.budget.deadline, self.governor.deadline()) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    if let Some(deadline) = deadline {
                         if Instant::now() >= deadline {
+                            self.exhaustion = Some(ExhaustionReason::Deadline);
                             return SearchOutcome::BudgetExhausted;
                         }
+                    }
+                    if let Some(reason) = self.memory_tripped() {
+                        self.exhaustion = Some(reason);
+                        return SearchOutcome::BudgetExhausted;
                     }
                 }
                 if conflicts_here >= max_restart_conflicts
@@ -1821,6 +1952,137 @@ mod tests {
         s.retire_group(g);
         assert_eq!(s.solve_with(&[g]), SolveResult::Unsat);
         assert_eq!(s.failed_assumptions(), &[g]);
+    }
+
+    /// After a mid-search budget exhaustion the solver must be reusable:
+    /// trail back at decision level 0, assumptions cleared (they were
+    /// temporary), and subsequent solves — with or without assumptions —
+    /// answer correctly on the same instance.
+    #[test]
+    fn state_clean_after_budget_exhaustion() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 9, 8);
+        let extra = s.new_var().positive();
+        s.set_budget(Budget::conflicts(10));
+        assert_eq!(s.solve_with(&[extra]), SolveResult::Unknown);
+        assert_eq!(s.exhaustion_reason(), Some(ExhaustionReason::ConflictLimit));
+        // Level-0 clean: no decisions or assumption levels left behind.
+        assert_eq!(s.decision_level(), 0);
+        assert!(s.trail.iter().all(|l| s.level[l.var().index()] == 0));
+        assert!(
+            s.assigns[extra.var().index()].is_undef(),
+            "assumption must not outlive the exhausted call"
+        );
+        // The same solver answers correctly once the budget is raised,
+        // both under the old assumption and its negation.
+        s.set_budget(Budget::unlimited());
+        assert_eq!(s.solve_with(&[extra]), SolveResult::Unsat);
+        assert_eq!(s.solve_with(&[!extra]), SolveResult::Unsat);
+    }
+
+    /// Cooperative cancellation: a pre-set token makes the solve answer
+    /// `Unknown` immediately; clearing it restores full function.
+    #[test]
+    fn cancellation_token_stops_and_resumes() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5, 4);
+        let gov = ResourceGovernor::unlimited();
+        s.set_governor(gov.clone());
+        gov.cancel();
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.exhaustion_reason(), Some(ExhaustionReason::Cancelled));
+        gov.reset_cancellation();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.exhaustion_reason(), None);
+    }
+
+    /// The fault injector trips cancellation after exactly the Nth
+    /// conflict, deterministically.
+    #[test]
+    fn fault_injection_trips_after_nth_conflict() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 9, 8);
+        s.set_governor(ResourceGovernor::unlimited().with_fault(FaultSite::Conflict, 7));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.exhaustion_reason(), Some(ExhaustionReason::Cancelled));
+        assert_eq!(
+            s.stats().conflicts,
+            7,
+            "stopped right after the 7th conflict"
+        );
+        s.set_governor(ResourceGovernor::unlimited());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// Governor work caps are lifetime caps: once the solver's total
+    /// conflicts pass the cap, every solve answers `Unknown` until the
+    /// governor is replaced.
+    #[test]
+    fn governor_conflict_cap_is_lifetime() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 9, 8);
+        s.set_governor(ResourceGovernor::unlimited().with_max_conflicts(20));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.exhaustion_reason(), Some(ExhaustionReason::ConflictLimit));
+        assert_eq!(s.solve(), SolveResult::Unknown, "still capped");
+        s.set_governor(ResourceGovernor::unlimited());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn governor_propagation_cap_trips() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 9, 8);
+        s.set_governor(ResourceGovernor::unlimited().with_max_propagations(50));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(
+            s.exhaustion_reason(),
+            Some(ExhaustionReason::PropagationLimit)
+        );
+    }
+
+    /// The memory ceiling is honest: a ceiling below the current
+    /// accounted bytes refuses work, one above them lets learning run
+    /// until growth trips it, and raising the ceiling resumes to the
+    /// real answer on the same solver.
+    #[test]
+    fn memory_ceiling_degrades_and_resumes() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 9, 8);
+        assert!(s.memory_bytes() > 0);
+        s.set_governor(ResourceGovernor::unlimited().with_memory_limit(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.exhaustion_reason(), Some(ExhaustionReason::MemoryLimit));
+        let headroom = s.memory_bytes() + 2048;
+        s.set_governor(ResourceGovernor::unlimited().with_memory_limit(headroom));
+        assert_eq!(s.solve(), SolveResult::Unknown, "learning outgrows 2 KiB");
+        assert_eq!(s.exhaustion_reason(), Some(ExhaustionReason::MemoryLimit));
+        s.set_governor(ResourceGovernor::unlimited());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// Pins the `Budget::with_earlier_deadline` min-combine rule the BMC
+    /// engine relies on: the earlier deadline always wins, `None` defers.
+    #[test]
+    fn budget_deadline_min_combine() {
+        let near = Instant::now() + std::time::Duration::from_secs(5);
+        let far = near + std::time::Duration::from_secs(100);
+        let cases = [
+            (None, None, None),
+            (Some(near), None, Some(near)),
+            (None, Some(near), Some(near)),
+            (Some(near), Some(far), Some(near)),
+            (Some(far), Some(near), Some(near)),
+        ];
+        for (own, other, want) in cases {
+            let b = Budget {
+                max_conflicts: Some(3),
+                deadline: own,
+            };
+            let combined = b.with_earlier_deadline(other);
+            assert_eq!(combined.deadline, want, "own={own:?} other={other:?}");
+            assert_eq!(combined.max_conflicts, Some(3));
+        }
     }
 
     /// The blocker fast path must never change answers: solve the same
