@@ -67,7 +67,7 @@ use crate::design::Design;
 use crate::sim::eval_combinational;
 
 /// Knobs of the fraig pass.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FraigConfig {
     /// Master switch (checked by [`fraig_design`] callers such as the BMC
     /// engine; the pass itself always runs when invoked directly).
@@ -437,51 +437,7 @@ impl Fraiger {
     /// Encodes the cone of a G1 edge into the oracle (memoized) and
     /// returns its solver literal.
     fn encode(&mut self, bit: Bit) -> Lit {
-        let mut stack = vec![bit.node()];
-        while let Some(&n) = stack.last() {
-            if self.oracle.lit(n.index()).is_some() {
-                stack.pop();
-                continue;
-            }
-            match self.g1.node(n) {
-                Node::Const => {
-                    self.oracle.define_const(n.index());
-                    stack.pop();
-                }
-                Node::Input(_) => {
-                    self.oracle.define_input(n.index());
-                    stack.pop();
-                }
-                Node::And(a, b) => {
-                    let (la, lb) = (
-                        self.oracle.lit(a.node().index()),
-                        self.oracle.lit(b.node().index()),
-                    );
-                    match (la, lb) {
-                        (Some(la), Some(lb)) => {
-                            let la = if a.is_inverted() { !la } else { la };
-                            let lb = if b.is_inverted() { !lb } else { lb };
-                            self.oracle.define_and(n.index(), la, lb);
-                            stack.pop();
-                        }
-                        _ => {
-                            if la.is_none() {
-                                stack.push(a.node());
-                            }
-                            if lb.is_none() {
-                                stack.push(b.node());
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        let l = self.oracle.lit(bit.node().index()).expect("just encoded");
-        if bit.is_inverted() {
-            !l
-        } else {
-            l
-        }
+        encode_cone(&self.g1, &mut self.oracle, bit)
     }
 
     /// Folds the oracle's distinguishing model back into every signature
@@ -687,6 +643,488 @@ fn apply(map: &[Bit], bit: Bit) -> Bit {
     } else {
         base
     }
+}
+
+/// Encodes the cone of an edge of `g` into `oracle` (memoized, iterative
+/// DFS) and returns its solver literal.
+fn encode_cone(g: &Aig, oracle: &mut EquivOracle, bit: Bit) -> Lit {
+    let mut stack = vec![bit.node()];
+    while let Some(&n) = stack.last() {
+        if oracle.lit(n.index()).is_some() {
+            stack.pop();
+            continue;
+        }
+        match g.node(n) {
+            Node::Const => {
+                oracle.define_const(n.index());
+                stack.pop();
+            }
+            Node::Input(_) => {
+                oracle.define_input(n.index());
+                stack.pop();
+            }
+            Node::And(a, b) => {
+                let (la, lb) = (oracle.lit(a.node().index()), oracle.lit(b.node().index()));
+                match (la, lb) {
+                    (Some(la), Some(lb)) => {
+                        let la = if a.is_inverted() { !la } else { la };
+                        let lb = if b.is_inverted() { !lb } else { lb };
+                        oracle.define_and(n.index(), la, lb);
+                        stack.pop();
+                    }
+                    _ => {
+                        if la.is_none() {
+                            stack.push(a.node());
+                        }
+                        if lb.is_none() {
+                            stack.push(b.node());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let l = oracle.lit(bit.node().index()).expect("just encoded");
+    if bit.is_inverted() {
+        !l
+    } else {
+        l
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched class-parallel sweep
+// ---------------------------------------------------------------------------
+
+/// One SAT equivalence check's outcome inside a [`ClassReport`], in the
+/// order the job issued them.
+#[derive(Clone, Debug)]
+pub enum SweepOutcome {
+    /// `member ≡ leader` was proved; the barrier merges `member`'s node
+    /// into the leader edge.
+    Proved {
+        /// The canonical member edge that was checked.
+        member: Bit,
+        /// The class leader edge it proved equal to.
+        leader: Bit,
+    },
+    /// The pair was refuted; `pattern` is the distinguishing input
+    /// assignment (model values where the cone was encoded,
+    /// deterministic pseudorandom fill elsewhere), folded into every
+    /// signature at the barrier.
+    Refuted {
+        /// One value per graph input, dense input order.
+        pattern: Vec<bool>,
+    },
+    /// The conflict budget ran out before an answer.
+    Unknown,
+}
+
+/// What one candidate-class job of the batched sweep found. Reports are
+/// committed at the round barrier in canonical class order, so the
+/// result is identical at every worker count.
+#[derive(Clone, Debug, Default)]
+pub struct ClassReport {
+    /// Check outcomes in issue order.
+    pub checks: Vec<SweepOutcome>,
+    /// The job's governor tripped mid-class (deadline or upstream
+    /// cancellation); outcomes up to the trip are still valid.
+    pub interrupted: bool,
+}
+
+/// A boxed candidate-class job for a [`SweepRunner`]: borrows the
+/// in-progress graph (`'a`), runs one class's SAT checks against its
+/// own oracle, and returns the outcomes for barrier commit.
+pub type SweepTask<'a> = Box<dyn FnOnce() -> ClassReport + Send + 'a>;
+
+/// Executes a batch of independent candidate-class jobs. The pipeline's
+/// work-stealing pool (`emm_core::pool::Pool`) implements this; this
+/// crate ships [`SequentialRunner`] so the pass is usable (and
+/// testable) without the pool crate, which sits above `emm-aig` in the
+/// dependency graph.
+///
+/// `None` entries in the returned vector mark jobs the runner skipped
+/// (cooperative shutdown); the sweep treats the first skip as an
+/// interruption and commits nothing from that job onward, keeping the
+/// committed prefix deterministic.
+pub trait SweepRunner {
+    /// Runs every task, returning results in task order (`None` for
+    /// tasks skipped by a cancellation).
+    fn run_sweep<'a>(&self, tasks: Vec<SweepTask<'a>>) -> Vec<Option<ClassReport>>;
+
+    /// Worker count, for stats/telemetry only.
+    fn workers(&self) -> usize {
+        1
+    }
+}
+
+/// A [`SweepRunner`] that executes jobs inline, in order — the
+/// reference implementation the parallel pool must be bit-identical to.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SequentialRunner;
+
+impl SweepRunner for SequentialRunner {
+    fn run_sweep<'a>(&self, tasks: Vec<SweepTask<'a>>) -> Vec<Option<ClassReport>> {
+        tasks.into_iter().map(|t| Some(t())).collect()
+    }
+}
+
+/// Follows representative chains (with phase) to the class leader.
+fn chase(repr: &[Bit], mut bit: Bit) -> Bit {
+    loop {
+        let r = repr[bit.node().index()];
+        if r.node() == bit.node() {
+            return if bit.is_inverted() { !r } else { r };
+        }
+        bit = if bit.is_inverted() { !r } else { r };
+    }
+}
+
+/// Signature word of an edge (node signature, phase-adjusted).
+fn sig_word_of(sig: &[u64], w: usize, bit: Bit, k: usize) -> u64 {
+    let s = sig[bit.node().index() * w + k];
+    if bit.is_inverted() {
+        !s
+    } else {
+        s
+    }
+}
+
+/// Canonicalizes a node's signature: flips the phase so pattern 0
+/// evaluates to false, as [`Fraiger::canonical`].
+fn canonical_of(sig: &[u64], w: usize, node: NodeId) -> (Bit, Vec<u64>) {
+    let bit = Bit::new(node, sig[node.index() * w] & 1 == 1);
+    let key = (0..w).map(|k| sig_word_of(sig, w, bit, k)).collect();
+    (bit, key)
+}
+
+/// The batched, class-parallel variant of [`fraig_aig_governed`].
+///
+/// Instead of merging on the fly during the topological rebuild, this
+/// pass alternates **rounds**: bucket all live nodes into candidate
+/// classes by signature, dispatch one job per class to `runner` (each
+/// with its own [`EquivOracle`] and a [forked](ResourceGovernor::fork),
+/// fault-disarmed governor), then commit every job's merges,
+/// counterexample patterns, and fault-injection events at a barrier in
+/// canonical class order. Because jobs are pure functions of the round
+/// snapshot and the commit order is fixed, **the result — graph, map,
+/// and stats — is bit-identical at every worker count**, including
+/// under fault injection: armed faults are replayed against the parent
+/// governor at the barrier, and the commit stream is truncated at the
+/// deterministic trip point.
+///
+/// The schedule differs from [`fraig_aig_governed`]'s (checks are
+/// batched per class rather than interleaved with construction), so
+/// stats and intermediate candidates differ from the classic pass; the
+/// *reduction is equally sound* and the differential suite checks both
+/// engines agree on verdicts.
+pub fn fraig_aig_pooled(
+    aig: &Aig,
+    roots: &[Bit],
+    config: &FraigConfig,
+    governor: &ResourceGovernor,
+    runner: &dyn SweepRunner,
+) -> FraigResult {
+    let w = config.sim_words.max(1);
+    let mut stats = FraigStats {
+        sim_patterns: 64 * w as u64,
+        ands_before: aig.num_ands(),
+        ..FraigStats::default()
+    };
+
+    // Phase A: structural rebuild with incremental signatures, no SAT.
+    let mut g1 = Aig::new();
+    let mut sig: Vec<u64> = vec![0; w];
+    let mut map1: Vec<Bit> = Vec::with_capacity(aig.num_nodes());
+    for (_, node) in aig.iter() {
+        let mapped = match node {
+            Node::Const => Aig::FALSE,
+            Node::Input(i) => {
+                let b = g1.new_input();
+                for k in 0..w {
+                    sig.push(mix(config.seed ^ mix((i as u64) << 8 | k as u64)));
+                }
+                b
+            }
+            Node::And(a, b) => {
+                let fa = apply(&map1, a);
+                let fb = apply(&map1, b);
+                let before = g1.num_nodes();
+                let out = g1.and(fa, fb);
+                if g1.num_nodes() == before {
+                    stats.structural_merges += 1;
+                } else {
+                    for k in 0..w {
+                        sig.push(sig_word_of(&sig, w, fa, k) & sig_word_of(&sig, w, fb, k));
+                    }
+                }
+                out
+            }
+        };
+        map1.push(mapped);
+    }
+    let mut repr: Vec<Bit> = g1.iter().map(|(id, _)| Bit::new(id, false)).collect();
+
+    // Rounds: bucket → dispatch → barrier commit → refine.
+    let mut halted = false;
+    loop {
+        if halted {
+            break;
+        }
+        if governor.poll().is_some() {
+            stats.interrupted = true;
+            break;
+        }
+        let budget_left = config.max_checks.saturating_sub(stats.sat_checks);
+        if budget_left == 0 {
+            break;
+        }
+        // Candidate classes over live representatives, ascending node
+        // order, capped at `max_bucket` (overflow counted as truncated —
+        // a shrunk class re-offers them next round).
+        let mut buckets: HashMap<Vec<u64>, Vec<Bit>> = HashMap::new();
+        let mut class_order: Vec<Vec<u64>> = Vec::new();
+        for (node, _) in g1.iter() {
+            if chase(&repr, Bit::new(node, false)).node() != node {
+                continue;
+            }
+            let (lit, key) = canonical_of(&sig, w, node);
+            let class = buckets.entry(key.clone()).or_insert_with(|| {
+                class_order.push(key);
+                Vec::new()
+            });
+            if class.len() < config.max_bucket {
+                class.push(lit);
+            } else {
+                stats.buckets_truncated += 1;
+            }
+        }
+        let mut classes: Vec<Vec<Bit>> = class_order
+            .into_iter()
+            .filter_map(|key| {
+                let class = buckets.remove(&key)?;
+                (class.len() >= 2).then_some(class)
+            })
+            .collect();
+        // Canonical dispatch/commit order: by class leader.
+        classes.sort_by_key(|c| c[0].node().index());
+        if classes.is_empty() {
+            break;
+        }
+        // Deterministic per-class budgets, allocated in canonical order.
+        let mut left = budget_left;
+        let budgets: Vec<u64> = classes
+            .iter()
+            .map(|c| {
+                let want = (c.len() - 1) as u64;
+                let got = want.min(left);
+                left -= got;
+                got
+            })
+            .collect();
+
+        let g1_ref = &g1;
+        let tasks: Vec<SweepTask<'_>> = classes
+            .iter()
+            .zip(&budgets)
+            .map(|(class, &budget)| {
+                let class = class.clone();
+                let job_gov = governor.fork().disarmed();
+                let config = *config;
+                Box::new(move || sweep_class(g1_ref, &class, budget, &config, &job_gov))
+                    as SweepTask<'_>
+            })
+            .collect();
+        let reports = runner.run_sweep(tasks);
+
+        // Barrier: commit in canonical order. Fault events are replayed
+        // on the parent governor here, so an armed fault trips at the
+        // same committed check count at every worker count.
+        let mut patterns: Vec<Vec<bool>> = Vec::new();
+        let mut progressed = false;
+        for (report, class) in reports.into_iter().zip(&classes) {
+            let Some(report) = report else {
+                // The runner skipped the job (cooperative shutdown):
+                // nothing from it or any later class commits.
+                halted = true;
+                stats.interrupted = true;
+                break;
+            };
+            let leader = class[0];
+            debug_assert!(chase(&repr, leader) == leader);
+            for outcome in report.checks {
+                stats.sat_checks += 1;
+                governor.note(FaultSite::FraigCheck);
+                match outcome {
+                    SweepOutcome::Proved { member, leader: l } => {
+                        debug_assert_eq!(l, leader);
+                        stats.merges += 1;
+                        if leader.node() == NodeId::FALSE {
+                            stats.const_merges += 1;
+                        }
+                        // member ≡ leader as functions, and the leader
+                        // is the oldest class node, so chains keep
+                        // descending topologically.
+                        repr[member.node().index()] = if member.is_inverted() {
+                            !leader
+                        } else {
+                            leader
+                        };
+                        progressed = true;
+                        governor.note(FaultSite::FraigMerge);
+                    }
+                    SweepOutcome::Refuted { pattern } => {
+                        stats.refuted += 1;
+                        patterns.push(pattern);
+                        progressed = true;
+                    }
+                    SweepOutcome::Unknown => {
+                        stats.unknown += 1;
+                    }
+                }
+                if governor.is_cancelled() {
+                    halted = true;
+                    stats.interrupted = true;
+                    break;
+                }
+            }
+            if report.interrupted && !halted {
+                halted = true;
+                stats.interrupted = true;
+            }
+            if halted {
+                break;
+            }
+        }
+
+        // Refine: fold the committed counterexample patterns into every
+        // signature, in commit order.
+        for pattern in &patterns {
+            stats.cex_patterns += 1;
+            stats.sim_patterns += 1;
+            let values = eval_combinational(&g1, pattern);
+            for (n, &value) in values.iter().enumerate() {
+                let word = &mut sig[n * w];
+                *word = (*word << 1) | value as u64;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Substitution rebuild (merges landed after fanouts were built),
+    // then dead-strip into a compacted graph — as the classic pass's
+    // retry path.
+    let resolved: Vec<Bit> = map1.iter().map(|&b| chase(&repr, b)).collect();
+    let (live, pre) = if stats.merges > 0 {
+        let mut g3 = Aig::new();
+        let mut map3: Vec<Bit> = Vec::with_capacity(g1.num_nodes());
+        for (id, node) in g1.iter() {
+            let rep = chase(&repr, Bit::new(id, false));
+            let mapped = if rep.node() != id {
+                apply(&map3, rep)
+            } else {
+                match node {
+                    Node::Const => Aig::FALSE,
+                    Node::Input(_) => g3.new_input(),
+                    Node::And(a, b) => {
+                        let ra = apply(&map3, chase(&repr, a));
+                        let rb = apply(&map3, chase(&repr, b));
+                        g3.and(ra, rb)
+                    }
+                }
+            };
+            map3.push(mapped);
+        }
+        let pre: Vec<Bit> = resolved.iter().map(|&b| apply(&map3, b)).collect();
+        (g3, pre)
+    } else {
+        (g1, resolved)
+    };
+    let root_nodes: Vec<NodeId> = roots.iter().map(|&r| apply(&pre, r).node()).collect();
+    let (g2, map2) = live.compacted(&root_nodes);
+    let map: Vec<Bit> = pre.iter().map(|&b| apply(&map2, b)).collect();
+    stats.ands_after = g2.num_ands();
+    FraigResult {
+        aig: g2,
+        stats,
+        map,
+    }
+}
+
+/// One candidate-class job: checks each member against the class leader
+/// with a private oracle, up to `budget` checks. Pure function of its
+/// arguments — no shared mutable state — which is what makes the
+/// barrier commit order the only thing that matters for determinism.
+fn sweep_class(
+    g: &Aig,
+    class: &[Bit],
+    budget: u64,
+    config: &FraigConfig,
+    job_gov: &ResourceGovernor,
+) -> ClassReport {
+    let mut oracle = EquivOracle::new();
+    oracle.set_governor(job_gov.clone());
+    let mut report = ClassReport::default();
+    let leader = class[0];
+    let mut cex_local = 0u64;
+    for (checks, &member) in class[1..].iter().enumerate() {
+        if checks as u64 >= budget {
+            break;
+        }
+        if job_gov.poll().is_some() {
+            report.interrupted = true;
+            break;
+        }
+        let la = encode_cone(g, &mut oracle, member);
+        let lb = encode_cone(g, &mut oracle, leader);
+        match oracle.prove_equiv(la, lb, config.sat_conflicts) {
+            Some(true) => report.checks.push(SweepOutcome::Proved { member, leader }),
+            Some(false) => {
+                // Distinguishing pattern: model values where encoded,
+                // deterministic fill elsewhere — salted by the class
+                // leader and the local counterexample index so the
+                // pattern is a pure function of the job, not of any
+                // global counter a sibling job could race on.
+                let salt = (leader.node().index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ cex_local.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                cex_local += 1;
+                let mut pattern = vec![false; g.num_inputs()];
+                for (id, node) in g.iter() {
+                    if let Node::Input(i) = node {
+                        let modeled = oracle.lit(id.index()).and_then(|l| oracle.model_lit(l));
+                        pattern[i as usize] = modeled.unwrap_or_else(|| {
+                            mix(config.seed ^ salt ^ id.index() as u64) & 1 == 1
+                        });
+                    }
+                }
+                report.checks.push(SweepOutcome::Refuted { pattern });
+            }
+            None => report.checks.push(SweepOutcome::Unknown),
+        }
+    }
+    report
+}
+
+/// [`fraig_design_governed`] on the batched class-parallel pass: applies
+/// [`fraig_aig_pooled`] to a whole design in place. Same interface
+/// contract as [`fraig_design`]; the runner decides the parallelism and
+/// the result is identical for every worker count.
+pub fn fraig_design_pooled(
+    design: &mut Design,
+    config: &FraigConfig,
+    governor: &ResourceGovernor,
+    runner: &dyn SweepRunner,
+) -> FraigStats {
+    if design.check().is_err() {
+        return FraigStats::default();
+    }
+    let roots = design.reduction_roots();
+    let FraigResult { aig, stats, map } =
+        fraig_aig_pooled(&design.aig, &roots, config, governor, runner);
+    design.replace_aig(aig, &mut |b| apply(&map, b));
+    stats
 }
 
 #[cfg(test)]
@@ -989,5 +1427,146 @@ mod tests {
         let stats = fraig_design(&mut d, &FraigConfig::default());
         assert_eq!(stats, FraigStats::default());
         assert_eq!(d.num_gates(), gates);
+    }
+
+    #[test]
+    fn pooled_sweep_merges_absorbed_variants() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let x = g.and(a, b);
+        let left = g.and(a, x);
+        let right = g.and(x, b);
+        let r = fraig_aig_pooled(
+            &g,
+            &[x, left, right],
+            &FraigConfig::default(),
+            &ResourceGovernor::unlimited(),
+            &SequentialRunner,
+        );
+        assert_eq!(r.map_bit(x), r.map_bit(left));
+        assert_eq!(r.map_bit(x), r.map_bit(right));
+        assert_eq!(r.aig.num_ands(), 1);
+        assert_eq!(r.stats.merges, 2);
+    }
+
+    #[test]
+    fn pooled_sweep_detects_constant_cones() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let x = g.and(a, b);
+        let y = g.and(a, !b);
+        let z = g.and(x, y);
+        let r = fraig_aig_pooled(
+            &g,
+            &[z],
+            &FraigConfig::default(),
+            &ResourceGovernor::unlimited(),
+            &SequentialRunner,
+        );
+        assert_eq!(r.map_bit(z), Aig::FALSE);
+        assert!(r.stats.const_merges >= 1);
+        assert_eq!(r.aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn pooled_sweep_never_merges_across_a_real_counterexample() {
+        let mut g = Aig::new();
+        let inputs: Vec<Bit> = (0..16).map(|_| g.new_input()).collect();
+        let mut acc = Aig::TRUE;
+        for &i in &inputs {
+            acc = g.and(acc, i);
+        }
+        let r = fraig_aig_pooled(
+            &g,
+            &[acc],
+            &FraigConfig::default(),
+            &ResourceGovernor::unlimited(),
+            &SequentialRunner,
+        );
+        assert_ne!(r.map_bit(acc), Aig::FALSE);
+        assert_eq!(r.aig.num_ands(), 15);
+        assert!(r.stats.refuted >= 1);
+        assert_eq!(r.stats.merges, 0);
+    }
+
+    #[test]
+    fn pooled_design_preserves_cycle_semantics() {
+        let mut d = Design::new();
+        let mem = d.add_memory("m", 3, 4, MemInit::Zero);
+        let ptr = d.new_latch_word("ptr", 3, LatchInit::Zero);
+        let next = d.aig.inc(&ptr);
+        d.set_next_word(&ptr, &next);
+        let wd = d.new_input_word("wd", 4);
+        let we = d.new_input("we");
+        d.add_write_port(mem, ptr.clone(), we, wd.clone());
+        let rd = d.add_read_port(mem, ptr.clone(), Aig::TRUE);
+        let hit1 = d.aig.eq_word(&rd, &wd);
+        let diff = d.aig.word_xor(&rd, &wd);
+        let any_diff = d.aig.redor(&diff);
+        let both = d.aig.and(hit1, !any_diff);
+        d.add_property("p", both);
+        d.check().expect("valid");
+
+        let mut pooled = d.clone();
+        let stats = fraig_design_pooled(
+            &mut pooled,
+            &FraigConfig::default(),
+            &ResourceGovernor::unlimited(),
+            &SequentialRunner,
+        );
+        assert!(stats.ands_after <= stats.ands_before);
+        pooled.check().expect("still well-formed");
+
+        let mut sim_a = Simulator::new(&d);
+        let mut sim_b = Simulator::new(&pooled);
+        let mut state = 0x0F1E_2D3C_4B5A_6978u64;
+        for cycle in 0..40 {
+            state = mix(state);
+            let inputs: Vec<bool> = (0..d.free_inputs().len())
+                .map(|i| (state >> i) & 1 == 1)
+                .collect();
+            let ra = sim_a.step(&inputs);
+            let rb = sim_b.step(&inputs);
+            assert_eq!(ra.property_bad, rb.property_bad, "cycle {cycle}");
+        }
+    }
+
+    /// The pooled sweep's determinism contract under fault injection:
+    /// the armed fault is replayed at the barrier, so two runs trip at
+    /// the same committed check and produce identical stats and graphs.
+    #[test]
+    fn pooled_fault_injection_is_deterministic() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let c = g.new_input();
+        let d = g.new_input();
+        let x = g.and(a, b);
+        let y = g.and(a, x);
+        let u = g.and(c, d);
+        let v = g.and(c, u);
+        let w = g.and(x, b);
+        let roots = [x, y, u, v, w];
+        let run = || {
+            let governor = ResourceGovernor::unlimited().with_fault(FaultSite::FraigCheck, 2);
+            fraig_aig_pooled(
+                &g,
+                &roots,
+                &FraigConfig::default(),
+                &governor,
+                &SequentialRunner,
+            )
+        };
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(r1.stats, r2.stats);
+        assert_eq!(r1.stats.sat_checks, 2, "committed exactly up to the trip");
+        assert!(r1.stats.interrupted);
+        assert_eq!(r1.aig.num_ands(), r2.aig.num_ands());
+        for &r in &roots {
+            assert_eq!(r1.map_bit(r), r2.map_bit(r));
+        }
     }
 }

@@ -78,8 +78,9 @@ pub use design::{
     PropertyId, ReadPort, WritePort,
 };
 pub use fraig::{
-    fraig_aig, fraig_aig_governed, fraig_design, fraig_design_governed, FraigConfig, FraigResult,
-    FraigStats,
+    fraig_aig, fraig_aig_governed, fraig_aig_pooled, fraig_design, fraig_design_governed,
+    fraig_design_pooled, ClassReport, FraigConfig, FraigResult, FraigStats, SequentialRunner,
+    SweepOutcome, SweepRunner, SweepTask,
 };
 pub use rewrite::{
     rewrite_aig, rewrite_aig_governed, rewrite_design, rewrite_design_governed, RewriteConfig,

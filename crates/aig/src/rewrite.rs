@@ -78,7 +78,7 @@ use crate::design::Design;
 use crate::select::{select_nonoverlapping, Selectable};
 
 /// Knobs of the rewriting pass.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RewriteConfig {
     /// Master switch (checked by [`rewrite_design`] callers such as the
     /// BMC engine; the pass itself always runs when invoked directly).
@@ -168,6 +168,11 @@ pub struct RewriteStats {
     pub select_dropped: u64,
     /// Improving exchange moves applied by the selection solver.
     pub exchange_swaps: u64,
+    /// Accepted candidates whose recipe instantiation reused pre-existing
+    /// strash nodes (selection reads) — the cost model prefers these at
+    /// equal gain, since their logic is already shared with the rest of
+    /// the graph.
+    pub reuse_preferred: u64,
     /// Distinct NPN classes synthesized into the recipe library.
     pub npn_classes: usize,
     /// The fixpoint was stopped early by its [`ResourceGovernor`]
@@ -919,6 +924,7 @@ fn rewrite_pass_greedy(
                     let mut best = default;
                     let mut best_gain = 0i64;
                     let mut best_class = 0u64;
+                    let mut best_reads = 0usize;
                     for cut in &cuts[id.index()] {
                         if cut.is_trivial(id) || cut.leaves.is_empty() {
                             continue;
@@ -963,12 +969,23 @@ fn rewrite_pass_greedy(
                         freed.push(default.node());
                         freed.sort_unstable();
                         freed.dedup();
-                        let (alive, _) = cone_references(&g2, cand, before_c, &freed);
+                        let (alive, reads) = cone_references(&g2, cand, before_c, &freed);
                         let gain = saved - alive - added;
-                        if cand != default && gain > best_gain {
+                        // At equal (positive) gain, prefer the candidate
+                        // that reads more pre-existing strash nodes: its
+                        // implementation is already shared with the rest
+                        // of the graph, so later rewrites and the final
+                        // dead-strip see more reuse for the same saving.
+                        let reuse_break =
+                            gain == best_gain && best_gain > 0 && reads.len() > best_reads;
+                        if cand != default && (gain > best_gain || reuse_break) {
+                            if reuse_break {
+                                stats.reuse_preferred += 1;
+                            }
                             best = cand;
                             best_gain = gain;
                             best_class = canon;
+                            best_reads = reads.len();
                         } else {
                             if cand != default {
                                 stats.zero_gain_skipped += 1;
@@ -1120,10 +1137,15 @@ fn rewrite_pass_global(
                     claims.push(2 * n.index() + 1);
                 }
             }
+            // Weight = gain, scaled up so a bounded strash-reuse bonus
+            // (one point per pre-existing node the recipe reads, capped
+            // at 3) breaks ties toward candidates whose implementation
+            // shares existing logic without ever outranking a full gate
+            // of real gain.
             Selectable {
                 claims,
                 reads: c.reads.iter().map(|n| 2 * n.index() + 1).collect(),
-                weight: c.gain,
+                weight: c.gain * 4 + (c.reads.len() as i64).min(3),
             }
         })
         .collect();
@@ -1136,6 +1158,7 @@ fn rewrite_pass_global(
         .filter(|(_, &p)| p)
         .map(|(c, _)| (c.root, c))
         .collect();
+    stats.reuse_preferred += chosen.values().filter(|c| !c.reads.is_empty()).count() as u64;
 
     // Phase 3 — commit: one topological rebuild applying exactly the
     // selected rewrites (instantiated over already-rebuilt leaves, where

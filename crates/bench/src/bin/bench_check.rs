@@ -23,8 +23,18 @@
 //! baseline missing a newly-shipped mode, fails the gate instead of
 //! sliding through as "fewer rows to compare".
 //!
+//! The `server` section (`VerificationServer` throughput per pool size)
+//! is gated separately: the fresh file **must** carry the section, a
+//! fresh `jobs_per_sec` more than `--server-tolerance-pct` (default 10%)
+//! below the baseline row fails — but only when both runs report the
+//! same `cores` count, because throughput measured on different machines
+//! is not comparable — and when the fresh machine has at least 4 cores,
+//! the 4-worker row must clear 1.5× the 1-worker row (the core-scaling
+//! contract of the work-stealing pool).
+//!
 //! `--summary <path>` appends a per-row markdown diff table (verdict,
-//! clause/var deltas, status) to the given file — pass
+//! clause/var deltas, status) plus a server-throughput table with a
+//! jobs/sec column to the given file — pass
 //! `"$GITHUB_STEP_SUMMARY"` in CI to render the whole diff on the run's
 //! summary page instead of burying it in the log.
 //!
@@ -43,7 +53,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use emm_bench::bench_json::{extract_str, extract_u64};
+use emm_bench::bench_json::{extract_f64, extract_str, extract_u64};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -95,6 +105,43 @@ fn parse(path: &str) -> Result<BTreeMap<(String, String), Row>, String> {
     Ok(rows)
 }
 
+/// One `server` section row, keyed by worker count.
+#[derive(Debug, Clone, PartialEq)]
+struct ServerRow {
+    jobs: u64,
+    cores: u64,
+    jobs_per_sec: f64,
+}
+
+/// Parses the `server` section rows (one record per line, identified by
+/// their `jobs_per_sec` key). An empty map means the file has no server
+/// section — the caller decides whether that fails.
+fn parse_server(path: &str) -> Result<BTreeMap<u64, ServerRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut rows = BTreeMap::new();
+    for line in text.lines() {
+        let Some(jobs_per_sec) = extract_f64(line, "jobs_per_sec") else {
+            continue;
+        };
+        let (Some(workers), Some(jobs), Some(cores)) = (
+            extract_u64(line, "workers"),
+            extract_u64(line, "jobs"),
+            extract_u64(line, "cores"),
+        ) else {
+            return Err(format!("{path}: malformed server record: {line}"));
+        };
+        rows.insert(
+            workers,
+            ServerRow {
+                jobs,
+                cores,
+                jobs_per_sec,
+            },
+        );
+    }
+    Ok(rows)
+}
+
 fn pct(fresh: u64, base: u64) -> f64 {
     100.0 * (fresh as f64 - base as f64) / base.max(1) as f64
 }
@@ -134,6 +181,9 @@ fn main() -> ExitCode {
     let tolerance: f64 = arg_value("--tolerance-pct")
         .and_then(|v| v.parse().ok())
         .unwrap_or(5.0);
+    let server_tolerance: f64 = arg_value("--server-tolerance-pct")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
     let summary_path = arg_value("--summary");
     let required_modes: Vec<String> = arg_value("--require-modes")
         .unwrap_or_else(|| {
@@ -275,6 +325,105 @@ fn main() -> ExitCode {
         }
     }
 
+    // --- VerificationServer throughput gate -------------------------------
+    let (server_base, server_fresh) =
+        match (parse_server(&baseline_path), parse_server(&fresh_path)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (b, f) => {
+                for err in [b.err(), f.err()].into_iter().flatten() {
+                    eprintln!("bench_check: {err}");
+                }
+                return ExitCode::FAILURE;
+            }
+        };
+    let mut server_table = String::from(
+        "| workers | jobs | cores | jobs/sec (base → fresh) | Δ | status |\n\
+         |---:|---:|---:|---:|---:|---|\n",
+    );
+    if server_fresh.is_empty() {
+        println!("  FAIL server: fresh run has no server throughput section");
+        let _ = writeln!(
+            server_table,
+            "| — | — | — | — | — | ❌ missing from fresh run |"
+        );
+        failures += 1;
+    }
+    for (workers, new) in &server_fresh {
+        let key = format!("server/workers={workers}");
+        let Some(base) = server_base.get(workers) else {
+            println!(
+                "  new  {key}: {:.2} jobs/sec, not in baseline (allowed)",
+                new.jobs_per_sec
+            );
+            let _ = writeln!(
+                server_table,
+                "| {workers} | {} | {} | — → {:.2} | — | new (not in baseline) |",
+                new.jobs, new.cores, new.jobs_per_sec
+            );
+            continue;
+        };
+        let drop_pct = 100.0 * (base.jobs_per_sec - new.jobs_per_sec) / base.jobs_per_sec.max(1e-9);
+        let comparable = base.cores == new.cores && base.jobs == new.jobs;
+        let status = if !comparable {
+            println!(
+                "  ok   {key}: {:.2} jobs/sec — not gated (baseline ran {} job(s) on {} \
+                 core(s), fresh {} job(s) on {})",
+                new.jobs_per_sec, base.jobs, base.cores, new.jobs, new.cores
+            );
+            "ok (different machine/batch — not gated)".to_string()
+        } else if drop_pct > server_tolerance {
+            println!(
+                "  FAIL {key}: throughput {:.2} -> {:.2} jobs/sec (-{drop_pct:.1}%)",
+                base.jobs_per_sec, new.jobs_per_sec
+            );
+            failures += 1;
+            format!("❌ throughput -{drop_pct:.1}%")
+        } else {
+            println!(
+                "  ok   {key}: {:.2} jobs/sec ({:+.1}% vs baseline)",
+                new.jobs_per_sec, -drop_pct
+            );
+            "✅ ok".to_string()
+        };
+        let _ = writeln!(
+            server_table,
+            "| {workers} | {} | {} | {:.2} → {:.2} | {:+.1}% | {status} |",
+            new.jobs, new.cores, base.jobs_per_sec, new.jobs_per_sec, -drop_pct
+        );
+    }
+    // Core-scaling contract: on a machine that can actually run 4 workers
+    // in parallel, the 4-worker batch must beat the 1-worker batch by 1.5x.
+    if let (Some(one), Some(four)) = (server_fresh.get(&1), server_fresh.get(&4)) {
+        if four.cores >= 4 {
+            let scaling = four.jobs_per_sec / one.jobs_per_sec.max(1e-9);
+            if scaling < 1.5 {
+                println!(
+                    "  FAIL server: 4-worker throughput only {scaling:.2}x the 1-worker row \
+                     on a {}-core machine (need ≥1.5x)",
+                    four.cores
+                );
+                let _ = writeln!(
+                    server_table,
+                    "| 4 vs 1 | — | {} | — | {scaling:.2}x | ❌ core-scaling below 1.5x |",
+                    four.cores
+                );
+                failures += 1;
+            } else {
+                println!("  ok   server: 4-worker scaling {scaling:.2}x over 1 worker");
+                let _ = writeln!(
+                    server_table,
+                    "| 4 vs 1 | — | {} | — | {scaling:.2}x | ✅ core-scaling ok |",
+                    four.cores
+                );
+            }
+        } else {
+            println!(
+                "  ok   server: {} core(s) — core-scaling contract not applicable",
+                four.cores
+            );
+        }
+    }
+
     let verdict_line = if failures > 0 {
         format!("**{failures} row(s) regressed** — gate fails.")
     } else if stale > 0 {
@@ -291,7 +440,9 @@ fn main() -> ExitCode {
         use std::io::Write as _;
         let md = format!(
             "## Bench regression gate\n\nBaseline `{baseline_path}` vs fresh \
-             `{fresh_path}`, tolerance {tolerance}%.\n\n{table}\n{verdict_line}\n"
+             `{fresh_path}`, tolerance {tolerance}%.\n\n{table}\n\
+             ### Server throughput (tolerance {server_tolerance}%)\n\n\
+             {server_table}\n{verdict_line}\n"
         );
         match std::fs::OpenOptions::new()
             .create(true)

@@ -18,6 +18,11 @@
 //! time (per-bound for the incremental pair), retired-clause totals,
 //! and the layers' cache / sweep / fraig / rewrite counters.
 //!
+//! A final `server` section measures `VerificationServer` batch
+//! throughput (jobs/sec) at pool sizes 1, 2, and 4 on the quicksort
+//! `n = 3` workload, recording the machine's core count alongside so the
+//! CI gate can judge core-scaling honestly.
+//!
 //! Usage:
 //!
 //! ```text
@@ -25,11 +30,15 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use emm_aig::{FraigConfig, RewriteConfig};
 use emm_bench::secs;
-use emm_bmc::{BmcEngine, BmcOptions, BmcVerdict};
+use emm_bmc::{
+    BmcEngine, BmcOptions, BmcVerdict, VerificationServer, VerifyBudget, VerifyOptions,
+    VerifyRequest,
+};
 use emm_designs::quicksort::{QuickSort, QuickSortConfig};
 use emm_sat::SimplifyConfig;
 
@@ -415,6 +424,80 @@ fn json_record(r: &RunRecord) -> String {
     s
 }
 
+/// One `server` section row: [`VerificationServer`] batch throughput at a
+/// given pool size. `cores` records the machine the numbers came from —
+/// `bench_check` only gates throughput against a baseline measured on the
+/// same core count, and only demands multi-worker scaling when the
+/// machine can actually run workers in parallel.
+struct ServerRow {
+    workers: usize,
+    jobs: usize,
+    cores: usize,
+    elapsed_seconds: f64,
+    jobs_per_sec: f64,
+}
+
+/// Measures [`VerificationServer`] throughput on a fixed batch — the
+/// quicksort `n = 3` Table 1/2 properties, two submissions each, all
+/// sharing one `Arc`'d design so the pre-reduction is shared — at pool
+/// sizes 1, 2, and 4. Responses are bit-identical across worker counts
+/// (the parallel differential suite proves it); this measures only how
+/// fast the batch drains.
+fn run_server_bench(aw: usize, dw: usize, timeout: Duration) -> Vec<ServerRow> {
+    let qs = QuickSort::new(QuickSortConfig {
+        n: 3,
+        addr_width: aw,
+        data_width: dw,
+        bug: Default::default(),
+    });
+    let design = Arc::new(qs.design.clone());
+    let props = [qs.p1.0 as usize, qs.p2.0 as usize];
+    let bound = qs.cycle_bound();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let mut server = VerificationServer::new(workers);
+        for _ in 0..2 {
+            for &prop in &props {
+                server.submit(VerifyRequest {
+                    design: Arc::clone(&design),
+                    property: prop,
+                    budget: VerifyBudget {
+                        max_depth: bound,
+                        wall_limit: Some(timeout),
+                        ..VerifyBudget::default()
+                    },
+                    options: VerifyOptions::default(),
+                });
+            }
+        }
+        let responses = server.run();
+        assert!(
+            responses.iter().all(|r| r.error.is_none()),
+            "server bench job failed"
+        );
+        let stats = server.stats();
+        rows.push(ServerRow {
+            workers,
+            jobs: stats.jobs,
+            cores,
+            elapsed_seconds: stats.elapsed_seconds,
+            jobs_per_sec: stats.jobs_per_sec,
+        });
+    }
+    rows
+}
+
+fn json_server_row(r: &ServerRow) -> String {
+    format!(
+        "    {{\"workers\": {}, \"jobs\": {}, \"cores\": {}, \
+         \"elapsed_seconds\": {:.3}, \"jobs_per_sec\": {:.3}}}",
+        r.workers, r.jobs, r.cores, r.elapsed_seconds, r.jobs_per_sec
+    )
+}
+
 fn main() {
     let aw: usize = arg_value("--aw").and_then(|v| v.parse().ok()).unwrap_or(6);
     let dw: usize = arg_value("--dw").and_then(|v| v.parse().ok()).unwrap_or(4);
@@ -499,6 +582,21 @@ fn main() {
         }
     }
 
+    println!();
+    println!("VerificationServer throughput (quicksort n=3 batch):");
+    let server_rows = run_server_bench(aw, dw, timeout);
+    for row in &server_rows {
+        println!(
+            "{:>28} workers={}: {} jobs in {}s = {:.2} jobs/sec ({} core(s))",
+            "server",
+            row.workers,
+            row.jobs,
+            row.elapsed_seconds as u64,
+            row.jobs_per_sec,
+            row.cores
+        );
+    }
+
     // Per-benchmark reductions vs the naive baseline (a benchmark's mode
     // rows are adjacent in `records`).
     let mut summary = String::new();
@@ -541,6 +639,14 @@ fn main() {
         &records
             .iter()
             .map(json_record)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    json.push_str("\n  ],\n  \"server\": [\n");
+    json.push_str(
+        &server_rows
+            .iter()
+            .map(json_server_row)
             .collect::<Vec<_>>()
             .join(",\n"),
     );

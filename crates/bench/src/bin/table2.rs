@@ -68,12 +68,10 @@ fn main() {
             bug: Default::default(),
         });
         let prop = qs.p2.0 as usize;
-        let config = pba::PbaConfig {
-            stability_depth: 10,
-            max_depth: qs.cycle_bound(),
-            wall_limit: Some(timeout),
-            ..pba::PbaConfig::default()
-        };
+        let config = pba::PbaConfig::default()
+            .stability_depth(10)
+            .max_depth(qs.cycle_bound())
+            .wall_limit(Some(timeout));
 
         // --- EMM + PBA (with the refinement loop: PBA only preserves
         // correctness up to the discovery depth, so proofs beyond it may
@@ -115,12 +113,10 @@ fn main() {
 
         // --- Explicit + PBA ---------------------------------------------
         let (expl, _) = explicit_model(&qs.design);
-        let expl_config = pba::PbaConfig {
-            stability_depth: 10,
-            max_depth: qs.cycle_bound(),
-            wall_limit: Some(timeout),
-            ..pba::PbaConfig::default()
-        };
+        let expl_config = pba::PbaConfig::default()
+            .stability_depth(10)
+            .max_depth(qs.cycle_bound())
+            .wall_limit(Some(timeout));
         let expl_disc = pba::discover(&expl, prop, &expl_config).expect("explicit discovery");
         let stable = expl_disc.stable_at.is_some();
         let expl_ff = if stable {

@@ -75,6 +75,19 @@ pub mod bench_json {
         digits.parse().ok()
     }
 
+    /// Extracts the numeric value of `"key": N[.M]` from a record line,
+    /// keeping the decimals `extract_u64` truncates (the throughput
+    /// fields of the `server` section are fractional).
+    pub fn extract_f64(record: &str, key: &str) -> Option<f64> {
+        let needle = format!("\"{key}\": ");
+        let start = record.find(&needle)? + needle.len();
+        let digits: String = record[start..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        digits.parse().ok()
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -91,6 +104,13 @@ pub mod bench_json {
             assert_eq!(extract_u64(RECORD, "seconds"), Some(1));
             assert_eq!(extract_str(RECORD, "missing"), None);
             assert_eq!(extract_u64(RECORD, "missing"), None);
+        }
+
+        #[test]
+        fn extracts_floats() {
+            assert_eq!(extract_f64(RECORD, "seconds"), Some(1.013));
+            assert_eq!(extract_f64(RECORD, "vars"), Some(64761.0));
+            assert_eq!(extract_f64(RECORD, "missing"), None);
         }
     }
 }

@@ -65,10 +65,7 @@ use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
-use emm_aig::{
-    fraig_design_governed, rewrite_design_governed, Design, FraigConfig, FraigStats, RewriteConfig,
-    RewriteStats, Trace,
-};
+use emm_aig::{Design, FraigConfig, FraigStats, RewriteConfig, RewriteStats, Trace};
 use emm_core::{EmmEncoder, EmmOptions, MemoryShape, SelectorGranularity};
 use emm_sat::{
     Budget, CnfSink, ExhaustionReason, FaultSite, Lit, ResourceGovernor, Simplifier,
@@ -76,9 +73,32 @@ use emm_sat::{
 };
 
 use crate::lfp::LfpBuilder;
+use crate::model::ReducedModel;
+use crate::options::VerifyOptions;
 use crate::unroll::{UnrollConfig, Unroller};
 
-/// Engine options.
+/// Engine options — the historical flat form, kept as a thin shim.
+///
+/// # Migration
+///
+/// New code should build a [`VerifyOptions`] instead: the same knobs,
+/// grouped into a shared [`crate::PipelineOptions`] block with chainable
+/// builder methods, accepted everywhere this struct is (the engine, the
+/// PBA drivers, the verification server). Existing call sites keep
+/// working unchanged — [`BmcEngine::new`] takes `impl Into<VerifyOptions>`
+/// and `From<BmcOptions>` provides the conversion — but the struct is
+/// frozen: new pipeline knobs (e.g. the parallel `workers` count) appear
+/// only on [`VerifyOptions`].
+///
+/// ```
+/// use emm_bmc::{BmcOptions, VerifyOptions};
+///
+/// // Old style (still compiles):
+/// let old = BmcOptions { proofs: true, ..BmcOptions::default() };
+/// // New style:
+/// let new = VerifyOptions::default().proofs(true);
+/// assert_eq!(VerifyOptions::from(old).proofs, new.proofs);
+/// ```
 #[derive(Clone, Debug)]
 pub struct BmcOptions {
     /// EMM encoder options (selector granularity, encoding, eq. (6)).
@@ -439,7 +459,7 @@ pub struct BmcEngine<'d> {
     model: Cow<'d, Design>,
     rewrite_stats: Option<RewriteStats>,
     fraig_stats: Option<FraigStats>,
-    options: BmcOptions,
+    options: VerifyOptions,
     anchored: Ctx,
     floating: Option<Ctx>,
     /// Per property: deepest bound whose counterexample check is already
@@ -504,42 +524,66 @@ impl<'d> BmcEngine<'d> {
     ///     other => panic!("expected a counterexample, got {other:?}"),
     /// }
     /// ```
-    pub fn new(design: &'d Design, options: BmcOptions) -> BmcEngine<'d> {
-        let mut options = options;
-        if options.pba_discovery && matches!(options.emm.selectors, SelectorGranularity::None) {
-            options.emm.selectors = SelectorGranularity::PerMemory;
+    pub fn new(design: &'d Design, options: impl Into<VerifyOptions>) -> BmcEngine<'d> {
+        let options = options.into();
+        // Preprocessing pipeline on a private copy: rewrite → fraig (see
+        // [`ReducedModel::reduce`] for the ordering and the parallel
+        // sweep selection).
+        let reduced = ReducedModel::reduce(
+            design,
+            &options.pipeline.rewrite,
+            &options.pipeline.fraig,
+            &options.pipeline.governor,
+            options.workers,
+        );
+        Self::from_reduced(reduced, options)
+    }
+
+    /// Creates an engine over an already-reduced model, skipping the
+    /// in-constructor preprocessing entirely — multi-engine drivers
+    /// ([`crate::pba`], the verification server) reduce once with
+    /// [`ReducedModel::reduce`] and share the handle across engines.
+    /// Traces are still validated against [`ReducedModel::original`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design is malformed or an abstraction mask has the
+    /// wrong length.
+    pub fn with_model(
+        reduced: &'d ReducedModel<'_>,
+        options: impl Into<VerifyOptions>,
+    ) -> BmcEngine<'d> {
+        let shallow = ReducedModel {
+            original: reduced.original,
+            model: Cow::Borrowed(reduced.model()),
+            rewrite_stats: reduced.rewrite_stats,
+            fraig_stats: reduced.fraig_stats,
+            rewrite_seconds: reduced.rewrite_seconds,
+            fraig_seconds: reduced.fraig_seconds,
+        };
+        Self::from_reduced(shallow, options.into())
+    }
+
+    fn from_reduced(reduced: ReducedModel<'d>, mut options: VerifyOptions) -> BmcEngine<'d> {
+        if options.pba_discovery
+            && matches!(options.pipeline.emm.selectors, SelectorGranularity::None)
+        {
+            options.pipeline.emm.selectors = SelectorGranularity::PerMemory;
         }
+        let design = reduced.original;
         if let Some(a) = &options.abstraction {
             assert_eq!(a.kept_latches.len(), design.num_latches());
             assert_eq!(a.kept_memories.len(), design.memories().len());
         }
-        // Preprocessing pipeline on a private copy: rewrite → fraig. The
-        // order matters — rewriting restructures inequivalent logic and
-        // re-strashes the graph, which feeds fraig better candidates.
-        let mut reduced: Option<Design> = None;
-        let mut rewrite_stats = None;
-        let mut fraig_stats = None;
-        let mut rewrite_seconds = 0.0;
-        let mut fraig_seconds = 0.0;
-        let governor = options.governor.clone();
-        if design.num_gates() > 0 {
-            if options.rewrite.enabled {
-                let model = reduced.get_or_insert_with(|| design.clone());
-                let t = Instant::now();
-                rewrite_stats = Some(rewrite_design_governed(model, &options.rewrite, &governor));
-                rewrite_seconds = t.elapsed().as_secs_f64();
-            }
-            if options.fraig.enabled {
-                let model = reduced.get_or_insert_with(|| design.clone());
-                let t = Instant::now();
-                fraig_stats = Some(fraig_design_governed(model, &options.fraig, &governor));
-                fraig_seconds = t.elapsed().as_secs_f64();
-            }
-        }
-        let model = match reduced {
-            Some(m) => Cow::Owned(m),
-            None => Cow::Borrowed(design),
-        };
+        let ReducedModel {
+            original: design,
+            model,
+            rewrite_stats,
+            fraig_stats,
+            rewrite_seconds,
+            fraig_seconds,
+        } = reduced;
+        let governor = options.pipeline.governor.clone();
         let anchored = Self::make_ctx(&model, &options, &governor, true);
         let floating = options
             .proofs
@@ -567,14 +611,14 @@ impl<'d> BmcEngine<'d> {
 
     fn make_ctx(
         design: &Design,
-        options: &BmcOptions,
+        options: &VerifyOptions,
         governor: &ResourceGovernor,
         anchored: bool,
     ) -> Ctx {
         let mut solver = Solver::with_config(SolverConfig::default());
         solver.set_governor(governor.clone());
-        let mut simplify = options.simplify.enabled.then(|| {
-            let mut s = Simplifier::new(options.simplify);
+        let mut simplify = options.pipeline.simplify.enabled.then(|| {
+            let mut s = Simplifier::new(options.pipeline.simplify);
             s.set_governor(governor.clone());
             s
         });
@@ -614,7 +658,7 @@ impl<'d> BmcEngine<'d> {
                 emm_index.push(None);
             }
         }
-        let mut emm = EmmEncoder::new(&shapes, options.emm);
+        let mut emm = EmmEncoder::new(&shapes, options.pipeline.emm);
         emm.set_governor(governor.clone());
         let lfp = options
             .proofs
@@ -694,7 +738,7 @@ impl<'d> BmcEngine<'d> {
     /// re-solved. A cancelled or fault-armed governor stays tripped until
     /// replaced (or [`ResourceGovernor::reset_cancellation`] is called).
     pub fn set_governor(&mut self, governor: ResourceGovernor) {
-        self.options.governor = governor.clone();
+        self.options.pipeline.governor = governor.clone();
         self.governor = governor;
         self.install_governor();
     }
@@ -841,12 +885,12 @@ impl<'d> BmcEngine<'d> {
     /// (an internal bug, surfaced rather than silently returned).
     pub fn check(&mut self, prop: usize, max_depth: usize) -> Result<BmcRun, BmcError> {
         let started = Instant::now();
-        let deadline = self.options.wall_limit.map(|d| started + d);
+        let deadline = self.options.pipeline.wall_limit.map(|d| started + d);
         // The governor in force for this call: the configured one with
         // the wall limit min-combined in (the earlier deadline wins).
         self.governor = match deadline {
-            Some(dl) => self.options.governor.clone().with_deadline(dl),
-            None => self.options.governor.clone(),
+            Some(dl) => self.options.pipeline.governor.clone().with_deadline(dl),
+            None => self.options.pipeline.governor.clone(),
         };
         self.encode_seconds = 0.0;
         self.solve_seconds = 0.0;
@@ -884,7 +928,7 @@ impl<'d> BmcEngine<'d> {
                 let v = self.unknown_verdict(prop, Some(reason));
                 return self.finish(v, i, started, per_bound);
             }
-            if !self.options.incremental && self.anchored.unroller.num_frames() > 0 {
+            if !self.options.pipeline.incremental && self.anchored.unroller.num_frames() > 0 {
                 self.rebuild_contexts();
             }
             let encode_started = Instant::now();
@@ -979,7 +1023,9 @@ impl<'d> BmcEngine<'d> {
         // Counterexample check: SAT(I ∧ ¬P_i ∧ C_i). A bound refuted in an
         // earlier `check` call stays refuted — the anchored formula only
         // grows (retired clauses are redundant) — so it is skipped.
-        if self.options.incremental && self.cleared_depth.get(&prop).is_some_and(|&d| i <= d) {
+        if self.options.pipeline.incremental
+            && self.cleared_depth.get(&prop).is_some_and(|&d| i <= d)
+        {
             return Ok(None);
         }
         let bad_i = self.anchored.unroller.lit(i, bad_bit);
@@ -1101,6 +1147,7 @@ impl<'d> BmcEngine<'d> {
     fn apply_budget(&mut self, deadline: Option<Instant>) {
         let budget = self
             .options
+            .pipeline
             .solve_budget
             .clone()
             .with_earlier_deadline(deadline);

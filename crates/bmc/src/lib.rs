@@ -14,7 +14,17 @@
 //!   extraction with re-simulation, and proof-based-abstraction reason
 //!   collection;
 //! * [`pba`] — stability-based abstraction discovery and iterative
-//!   abstraction (ref. \[10\]).
+//!   abstraction (ref. \[10\]), with a parallel per-property dispatch
+//!   ([`pba::discover_all`]) on the work-stealing pool;
+//! * [`options`] — the builder-style configuration surface:
+//!   [`VerifyOptions`] and the shared [`PipelineOptions`] (the old
+//!   [`BmcOptions`] struct converts losslessly — see its Migration
+//!   rustdoc);
+//! * [`model`] — [`ReducedModel`], the pre-reduced design handle that
+//!   lets many engines share one rewrite + fraig pass;
+//! * [`server`] — [`VerificationServer`], a queueing front-end that runs
+//!   batches of independent verification jobs on the pool with
+//!   bit-identical results at every worker count.
 //!
 //! All encoders emit through [`emm_sat::CnfSink`], and the engine threads
 //! a simplifying sink ([`emm_sat::simplify`]) between them and the solver
@@ -59,11 +69,17 @@
 
 mod engine;
 mod lfp;
+pub mod model;
+pub mod options;
 pub mod pba;
+pub mod server;
 mod unroll;
 
 pub use engine::{
     AbstractionSpec, BmcEngine, BmcError, BmcOptions, BmcRun, BmcVerdict, PhaseSeconds, ProofKind,
 };
 pub use lfp::LfpBuilder;
+pub use model::ReducedModel;
+pub use options::{PipelineOptions, VerifyOptions};
+pub use server::{ServerStats, VerificationServer, VerifyBudget, VerifyRequest, VerifyResponse};
 pub use unroll::{UnrollConfig, Unroller};

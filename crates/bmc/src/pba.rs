@@ -12,16 +12,31 @@
 //! iterative abstraction, which is what lets the quicksort array module be
 //! dropped entirely when checking the stack-only property P2 (Table 2).
 
-use std::borrow::Cow;
 use std::time::Duration;
 
-use emm_aig::{fraig_design, rewrite_design, Design, FraigConfig, RewriteConfig};
-use emm_core::EmmOptions;
-use emm_sat::Budget;
+use emm_aig::{Design, FraigConfig, RewriteConfig};
+use emm_core::{EmmOptions, Job, JobResult, Pool};
+use emm_sat::{Budget, ResourceGovernor};
 
-use crate::engine::{AbstractionSpec, BmcEngine, BmcOptions, BmcVerdict};
+use crate::engine::{AbstractionSpec, BmcEngine, BmcVerdict};
+use crate::model::ReducedModel;
+use crate::options::{PipelineOptions, VerifyOptions};
 
-/// PBA discovery configuration.
+/// PBA discovery configuration: the two discovery knobs plus the shared
+/// [`PipelineOptions`] block every engine the drivers construct inherits
+/// (preprocessing, budgets, the governor). Build it flat (the two
+/// discovery fields are still plain) or through the builder methods:
+///
+/// ```
+/// use emm_bmc::pba::PbaConfig;
+/// use emm_aig::RewriteConfig;
+///
+/// let config = PbaConfig::default()
+///     .stability_depth(5)
+///     .max_depth(50)
+///     .rewrite(RewriteConfig::wide());
+/// assert_eq!(config.stability_depth, 5);
+/// ```
 #[derive(Clone, Debug)]
 pub struct PbaConfig {
     /// Depths the reason set must remain unchanged before stopping (the
@@ -29,32 +44,12 @@ pub struct PbaConfig {
     pub stability_depth: usize,
     /// Hard depth bound for discovery.
     pub max_depth: usize,
-    /// EMM options (selector granularity is forced on internally).
-    pub emm: EmmOptions,
-    /// Per-SAT-call budget.
-    pub solve_budget: Budget,
-    /// Wall-clock limit per discovery run.
-    pub wall_limit: Option<Duration>,
-    /// AIG-level fraig preprocessing. The multi-engine drivers
-    /// ([`iterative_abstraction`], [`discover_and_prove`]) run the pass
-    /// **once** on the input design and hand every engine the reduced
-    /// model with fraiging disabled, instead of letting each
-    /// [`BmcEngine::new`] repeat the identical pass.
-    pub fraig: FraigConfig,
-    /// Cut-based AIG rewriting, run (once, before fraig) by the same
-    /// pre-reduction the multi-engine drivers apply to the fraig pass.
-    /// The cut width and selection policy knobs (`cut_size`,
-    /// `global_select`, [`RewriteConfig::wide`]) pass through unchanged.
-    pub rewrite: RewriteConfig,
-    /// Bound-to-bound incremental solving
-    /// ([`BmcOptions::incremental`], default on). Discovery calls
-    /// `check(prop, depth)` once per depth on one engine so the stability
-    /// criterion can run between depths; with incremental solving the
-    /// engine skips every counterexample check it already refuted, making
-    /// the depth-by-depth loop (and each refinement iteration of
-    /// [`iterative_abstraction`]) linear in solver calls instead of
-    /// quadratic. `false` restores the restart-from-scratch baseline.
-    pub incremental: bool,
+    /// The shared pipeline knobs. EMM selector granularity is forced on
+    /// internally; the rewrite/fraig passes run **once** per multi-engine
+    /// driver (see [`ReducedModel`]) and are disabled on the per-engine
+    /// configs; `incremental` keeps the depth-by-depth discovery loop
+    /// linear in solver calls instead of quadratic.
+    pub pipeline: PipelineOptions,
 }
 
 impl Default for PbaConfig {
@@ -62,12 +57,78 @@ impl Default for PbaConfig {
         PbaConfig {
             stability_depth: 10,
             max_depth: 100,
-            emm: EmmOptions::default(),
-            solve_budget: Budget::unlimited(),
-            wall_limit: None,
-            fraig: FraigConfig::default(),
-            rewrite: RewriteConfig::default(),
-            incremental: true,
+            pipeline: PipelineOptions::default(),
+        }
+    }
+}
+
+impl PbaConfig {
+    /// Sets the stability window.
+    pub fn stability_depth(mut self, depth: usize) -> Self {
+        self.stability_depth = depth;
+        self
+    }
+
+    /// Sets the hard discovery depth bound.
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Replaces the whole pipeline-options block.
+    pub fn pipeline(mut self, pipeline: PipelineOptions) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Sets the EMM encoder options.
+    pub fn emm(mut self, emm: EmmOptions) -> Self {
+        self.pipeline.emm = emm;
+        self
+    }
+
+    /// Sets the per-SAT-call budget.
+    pub fn solve_budget(mut self, budget: Budget) -> Self {
+        self.pipeline.solve_budget = budget;
+        self
+    }
+
+    /// Sets the wall-clock limit per discovery run.
+    pub fn wall_limit(mut self, limit: Option<Duration>) -> Self {
+        self.pipeline.wall_limit = limit;
+        self
+    }
+
+    /// Sets the fraig preprocessing configuration.
+    pub fn fraig(mut self, fraig: FraigConfig) -> Self {
+        self.pipeline.fraig = fraig;
+        self
+    }
+
+    /// Sets the rewrite preprocessing configuration.
+    pub fn rewrite(mut self, rewrite: RewriteConfig) -> Self {
+        self.pipeline.rewrite = rewrite;
+        self
+    }
+
+    /// Enables or disables bound-to-bound incremental solving.
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.pipeline.incremental = incremental;
+        self
+    }
+
+    /// Installs the pipeline governor.
+    pub fn governor(mut self, governor: ResourceGovernor) -> Self {
+        self.pipeline.governor = governor;
+        self
+    }
+}
+
+impl From<PipelineOptions> for PbaConfig {
+    fn from(pipeline: PipelineOptions) -> PbaConfig {
+        PbaConfig {
+            pipeline,
+            ..PbaConfig::default()
         }
     }
 }
@@ -75,21 +136,22 @@ impl Default for PbaConfig {
 /// Applies the configured rewrite and fraig passes once, returning the
 /// model every engine of a multi-engine driver should share (with the
 /// per-engine passes switched off in the returned config).
-fn prereduce<'d>(design: &'d Design, config: &PbaConfig) -> (Cow<'d, Design>, PbaConfig) {
-    if !config.fraig.enabled && !config.rewrite.enabled {
-        return (Cow::Borrowed(design), config.clone());
-    }
-    let mut model = design.clone();
-    if config.rewrite.enabled {
-        rewrite_design(&mut model, &config.rewrite);
-    }
-    if config.fraig.enabled {
-        fraig_design(&mut model, &config.fraig);
-    }
+fn prereduce<'d>(
+    design: &'d Design,
+    config: &PbaConfig,
+    workers: usize,
+) -> (ReducedModel<'d>, PbaConfig) {
+    let reduced = ReducedModel::reduce(
+        design,
+        &config.pipeline.rewrite,
+        &config.pipeline.fraig,
+        &config.pipeline.governor,
+        workers,
+    );
     let mut config = config.clone();
-    config.fraig = FraigConfig::disabled();
-    config.rewrite = RewriteConfig::disabled();
-    (Cow::Owned(model), config)
+    config.pipeline.fraig = FraigConfig::disabled();
+    config.pipeline.rewrite = RewriteConfig::disabled();
+    (reduced, config)
 }
 
 /// Outcome of a discovery run.
@@ -136,19 +198,11 @@ pub fn discover_within(
     let started = std::time::Instant::now();
     let mut engine = BmcEngine::new(
         design,
-        BmcOptions {
-            emm: config.emm,
-            proofs: false,
-            solve_budget: config.solve_budget.clone(),
-            wall_limit: config.wall_limit,
-            validate_traces: false,
-            abstraction: within.cloned(),
-            pba_discovery: true,
-            fraig: config.fraig,
-            rewrite: config.rewrite,
-            incremental: config.incremental,
-            ..BmcOptions::default()
-        },
+        VerifyOptions::default()
+            .pipeline(config.pipeline.clone())
+            .validate_traces(false)
+            .abstraction(within.cloned())
+            .pba_discovery(true),
     );
     let mut last_reasons: (Vec<usize>, Vec<usize>) = (Vec::new(), Vec::new());
     let mut stable_for = 0usize;
@@ -221,8 +275,8 @@ pub fn iterative_abstraction(
     config: &PbaConfig,
     max_iters: usize,
 ) -> Result<PbaDiscovery, crate::BmcError> {
-    let (model, config) = prereduce(design, config);
-    let (design, config) = (&*model, &config);
+    let (reduced, config) = prereduce(design, config, 0);
+    let (design, config) = (reduced.model(), &config);
     let mut current = discover(design, prop, config)?;
     if current.found_counterexample {
         return Ok(current);
@@ -269,24 +323,24 @@ pub fn discover_and_prove(
     proof_depth: usize,
     max_rounds: usize,
 ) -> Result<AbstractProof, crate::BmcError> {
-    let (model, config) = prereduce(design, config);
-    let design = &*model;
+    let (reduced, config) = prereduce(design, config, 0);
+    let design = reduced.model();
     let mut config = config;
     let mut rounds = 0;
     loop {
         rounds += 1;
         let disc = discover(design, prop, &config)?;
         if disc.found_counterexample {
-            // Re-run concretely to hand back a real, validated trace.
+            // Re-run concretely to hand back a real, validated trace —
+            // deliberately without the discovery budgets/wall limit, so
+            // the witness search is not cut short.
             let mut engine = BmcEngine::new(
                 design,
-                BmcOptions {
-                    emm: config.emm,
-                    fraig: config.fraig,
-                    rewrite: config.rewrite,
-                    incremental: config.incremental,
-                    ..BmcOptions::default()
-                },
+                VerifyOptions::default()
+                    .emm(config.pipeline.emm)
+                    .fraig(config.pipeline.fraig)
+                    .rewrite(config.pipeline.rewrite)
+                    .incremental(config.pipeline.incremental),
             );
             let run = engine.check(prop, disc.depth_reached)?;
             return Ok(AbstractProof {
@@ -297,19 +351,11 @@ pub fn discover_and_prove(
         }
         let mut engine = BmcEngine::new(
             design,
-            BmcOptions {
-                proofs: true,
-                emm: config.emm,
-                solve_budget: config.solve_budget.clone(),
-                wall_limit: config.wall_limit,
-                validate_traces: false,
-                abstraction: Some(disc.abstraction.clone()),
-                pba_discovery: false,
-                fraig: config.fraig,
-                rewrite: config.rewrite,
-                incremental: config.incremental,
-                ..BmcOptions::default()
-            },
+            VerifyOptions::default()
+                .pipeline(config.pipeline.clone())
+                .proofs(true)
+                .validate_traces(false)
+                .abstraction(Some(disc.abstraction.clone())),
         );
         let run = engine.check(prop, proof_depth)?;
         match run.verdict {
@@ -331,4 +377,119 @@ pub fn discover_and_prove(
             }
         }
     }
+}
+
+/// The placeholder result of a job the pool drained without running
+/// (its governor was cancelled before the job was picked up): keep
+/// everything — always sound — and report no progress.
+fn cancelled_discovery(design: &Design) -> PbaDiscovery {
+    PbaDiscovery {
+        abstraction: AbstractionSpec::keep_all(design),
+        stable_at: None,
+        depth_reached: 0,
+        found_counterexample: false,
+        elapsed: Duration::ZERO,
+    }
+}
+
+/// The per-job configuration of the parallel drivers: the shared config
+/// with a [forked](ResourceGovernor::fork) governor, so each job counts
+/// its own fault-injection events deterministically (independent of how
+/// jobs interleave across workers) while still observing a cancellation
+/// of the parent governor.
+fn fork_config(config: &PbaConfig) -> PbaConfig {
+    config.clone().governor(config.pipeline.governor.fork())
+}
+
+/// Runs [`discover`] for every property in `props` as one independent job
+/// per property on `pool`, sharing one rewrite/fraig pre-reduction across
+/// all of them. Each job builds its own engine (own solver, own contexts)
+/// over the shared reduced model with a [forked](ResourceGovernor::fork)
+/// governor; results come back merged **by job index** — `result[i]`
+/// belongs to `props[i]` — so the output is identical at every pool
+/// worker count, fault injection included.
+///
+/// The shared pre-reduction runs its fraig sweep on `pool` too
+/// ([`ReducedModel::reduce`] with `pool.workers()` workers), which is
+/// bit-identical at every worker count but schedules checks differently
+/// from the classic sequential sweep the single-property [`discover`]
+/// inherits through [`BmcEngine::new`].
+///
+/// # Errors
+///
+/// Propagates the first engine error in `props` order (spurious traces).
+///
+/// # Panics
+///
+/// Re-panics if a job panicked on its worker.
+pub fn discover_all(
+    design: &Design,
+    props: &[usize],
+    config: &PbaConfig,
+    pool: &Pool,
+) -> Result<Vec<PbaDiscovery>, crate::BmcError> {
+    let (reduced, config) = prereduce(design, config, pool.workers());
+    let model = reduced.model();
+    let jobs: Vec<Job<'_, Result<PbaDiscovery, crate::BmcError>>> = props
+        .iter()
+        .map(|&prop| {
+            let cfg = fork_config(&config);
+            Box::new(move || discover(model, prop, &cfg)) as Job<'_, _>
+        })
+        .collect();
+    pool.run(jobs)
+        .into_iter()
+        .map(|r| match r {
+            JobResult::Done(d) => d,
+            JobResult::Skipped => Ok(cancelled_discovery(model)),
+            JobResult::Panicked(msg) => panic!("pba discovery job panicked: {msg}"),
+        })
+        .collect()
+}
+
+/// Runs [`discover_and_prove`] for every property in `props` as one
+/// independent job per property on `pool`, with the same shared
+/// pre-reduction, per-job forked governors, and by-index result merging
+/// as [`discover_all`].
+///
+/// # Errors
+///
+/// Propagates the first engine error in `props` order.
+///
+/// # Panics
+///
+/// Re-panics if a job panicked on its worker.
+pub fn discover_and_prove_all(
+    design: &Design,
+    props: &[usize],
+    config: &PbaConfig,
+    proof_depth: usize,
+    max_rounds: usize,
+    pool: &Pool,
+) -> Result<Vec<AbstractProof>, crate::BmcError> {
+    let (reduced, config) = prereduce(design, config, pool.workers());
+    let model = reduced.model();
+    let jobs: Vec<Job<'_, Result<AbstractProof, crate::BmcError>>> = props
+        .iter()
+        .map(|&prop| {
+            let cfg = fork_config(&config);
+            Box::new(move || discover_and_prove(model, prop, &cfg, proof_depth, max_rounds))
+                as Job<'_, _>
+        })
+        .collect();
+    pool.run(jobs)
+        .into_iter()
+        .map(|r| match r {
+            JobResult::Done(d) => d,
+            JobResult::Skipped => Ok(AbstractProof {
+                abstraction: AbstractionSpec::keep_all(model),
+                verdict: BmcVerdict::Unknown {
+                    reason: emm_sat::ExhaustionReason::Cancelled,
+                    deepest_clean_bound: None,
+                },
+                rounds: 0,
+            }),
+            JobResult::Panicked(msg) => panic!("pba prove job panicked: {msg}"),
+        })
+        .collect()
 }

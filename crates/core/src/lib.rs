@@ -20,12 +20,17 @@
 //! The encoder is written against [`emm_sat::CnfSink`], so it can target a
 //! live solver, a counting sink, or a CNF dump. The BMC driver that invokes
 //! it after every unrolling lives in the `emm-bmc` crate.
+//!
+//! The crate also hosts [`pool`] — the in-tree work-stealing thread pool
+//! the parallel verification paths (batched fraig sweeps, parallel PBA
+//! dispatch, the `emm-bmc` verification server) schedule their jobs on.
 
 #![warn(missing_docs)]
 
 pub mod emm;
 pub mod explicit;
 pub mod iface;
+pub mod pool;
 pub mod races;
 
 pub use emm::{
@@ -33,6 +38,7 @@ pub use emm::{
 };
 pub use explicit::{explicit_model, ExplicitMap};
 pub use iface::{MemoryFrameLits, MemoryShape, PortLits};
+pub use pool::{Job, JobResult, Pool};
 pub use races::add_race_checkers;
 
 /// Derives the [`MemoryShape`]s of a design's memories (in design order).

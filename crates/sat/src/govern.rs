@@ -18,6 +18,16 @@
 //! [`ResourceGovernor::cancel`]; every pipeline stage holding another
 //! clone observes the flag at its next poll.
 //!
+//! For parallel dispatch, [`ResourceGovernor::fork`] derives a *child*
+//! governor with the same limits but private cancellation and
+//! fault-counter state: each concurrent job gets one fork, so a fault
+//! armed with [`ResourceGovernor::with_fault`] trips at the same event
+//! count inside every job regardless of worker count or scheduling
+//! order — the determinism contract the work-stealing pool relies on.
+//! A fork still *observes* its ancestors' cancellation (cancelling the
+//! parent stops every job), but cancelling a fork never propagates
+//! upward, so one exhausted job cannot take its siblings down.
+//!
 //! The module also hosts the deterministic **fault injector** used by
 //! `crates/bmc/tests/fault_injection.rs`: a governor can be armed to
 //! trip cancellation after the Nth occurrence of a named pipeline event
@@ -121,6 +131,9 @@ pub struct ResourceGovernor {
     memory_limit: Option<usize>,
     fault: Option<(FaultSite, u64)>,
     shared: Arc<Shared>,
+    /// Ancestors' shared state, read-only: a fork observes their
+    /// cancellation but never writes to it. Empty for root governors.
+    upstream: Vec<Arc<Shared>>,
 }
 
 impl ResourceGovernor {
@@ -195,6 +208,40 @@ impl ResourceGovernor {
         self.memory_limit
     }
 
+    /// Derives a child governor for one parallel job: same limits and
+    /// fault arming, but a *fresh* cancellation flag and fault counter.
+    ///
+    /// Unlike [`Clone`], which shares state so all clones trip
+    /// together, a fork trips independently — N forked jobs each see
+    /// the armed fault at the same local event count, which keeps
+    /// fault-injection runs bit-identical across worker counts. The
+    /// fork still observes every ancestor's cancellation through its
+    /// own [`ResourceGovernor::poll`] /
+    /// [`ResourceGovernor::is_cancelled`], so cancelling the parent
+    /// stops all jobs; cancelling the fork affects only the fork.
+    pub fn fork(&self) -> ResourceGovernor {
+        let mut upstream = self.upstream.clone();
+        upstream.push(Arc::clone(&self.shared));
+        ResourceGovernor {
+            deadline: self.deadline,
+            max_conflicts: self.max_conflicts,
+            max_propagations: self.max_propagations,
+            memory_limit: self.memory_limit,
+            fault: self.fault,
+            shared: Arc::new(Shared::default()),
+            upstream,
+        }
+    }
+
+    /// Returns a copy with the fault injector disarmed (limits and
+    /// shared cancellation state are kept). Used where a parallel pass
+    /// replays fault accounting centrally and must keep the per-job
+    /// governors from double-counting the same events.
+    pub fn disarmed(mut self) -> ResourceGovernor {
+        self.fault = None;
+        self
+    }
+
     /// Sets the shared cancellation flag. Every clone of this governor
     /// observes it at its next poll; polling loops return best-so-far
     /// results and the solver returns `Unknown`.
@@ -202,9 +249,14 @@ impl ResourceGovernor {
         self.shared.cancel.store(true, Ordering::Release);
     }
 
-    /// Whether the shared cancellation flag is set.
+    /// Whether the shared cancellation flag is set — the governor's own
+    /// or, for a [`ResourceGovernor::fork`], any ancestor's.
     pub fn is_cancelled(&self) -> bool {
         self.shared.cancel.load(Ordering::Acquire)
+            || self
+                .upstream
+                .iter()
+                .any(|s| s.cancel.load(Ordering::Acquire))
     }
 
     /// Clears the shared cancellation flag (and the fault-injection hit
@@ -351,5 +403,56 @@ mod tests {
         gov.note(FaultSite::SweepCheck);
         clone.note(FaultSite::SweepCheck);
         assert!(gov.is_cancelled());
+    }
+
+    #[test]
+    fn fork_has_independent_fault_counter() {
+        let parent = ResourceGovernor::unlimited().with_fault(FaultSite::FraigCheck, 2);
+        let a = parent.fork();
+        let b = parent.fork();
+        a.note(FaultSite::FraigCheck);
+        b.note(FaultSite::FraigCheck);
+        // One hit each: neither fork reached its own threshold, and the
+        // parent's counter never moved.
+        assert!(!a.is_cancelled());
+        assert!(!b.is_cancelled());
+        assert!(!parent.is_cancelled());
+        a.note(FaultSite::FraigCheck);
+        assert!(a.is_cancelled());
+        assert!(!b.is_cancelled());
+        assert!(!parent.is_cancelled());
+    }
+
+    #[test]
+    fn fork_observes_ancestor_cancellation() {
+        let parent = ResourceGovernor::unlimited();
+        let child = parent.fork();
+        let grandchild = child.fork();
+        assert!(!grandchild.is_cancelled());
+        parent.cancel();
+        assert_eq!(child.poll(), Some(ExhaustionReason::Cancelled));
+        assert_eq!(grandchild.poll(), Some(ExhaustionReason::Cancelled));
+    }
+
+    #[test]
+    fn fork_cancellation_does_not_propagate_upward() {
+        let parent = ResourceGovernor::unlimited();
+        let a = parent.fork();
+        let b = parent.fork();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!parent.is_cancelled());
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn disarmed_drops_fault_but_keeps_sharing() {
+        let gov = ResourceGovernor::unlimited().with_fault(FaultSite::FraigCheck, 1);
+        let quiet = gov.clone().disarmed();
+        quiet.note(FaultSite::FraigCheck);
+        assert!(!quiet.is_cancelled());
+        // Shared state survives the disarm: parent cancellation reaches it.
+        gov.cancel();
+        assert!(quiet.is_cancelled());
     }
 }
