@@ -1569,4 +1569,38 @@ mod tests {
             assert_eq!(r1.map_bit(r), r2.map_bit(r));
         }
     }
+
+    /// The pooled rounds path has no explicit retry pass: a cone refused
+    /// by a full class stays a live representative and is re-bucketed in
+    /// the next round, where the merges just committed have shrunk the
+    /// class. Pin that a bucket-cap-truncated cone still merges — one
+    /// round later.
+    #[test]
+    fn pooled_truncated_cones_merge_in_a_later_round() {
+        let mut g = Aig::new();
+        let a = g.new_input();
+        let b = g.new_input();
+        let x = g.and(a, b);
+        let left = g.and(a, x); // ≡ x, same signature
+        let right = g.and(x, b); // ≡ x, refused by the capped class
+        let config = FraigConfig {
+            max_bucket: 2,
+            ..FraigConfig::default()
+        };
+        let r = fraig_aig_pooled(
+            &g,
+            &[x, left, right],
+            &config,
+            &ResourceGovernor::unlimited(),
+            &SequentialRunner,
+        );
+        assert_eq!(
+            r.stats.buckets_truncated, 1,
+            "round 1 capped x's class at two members"
+        );
+        assert_eq!(r.stats.merges, 2, "the re-offered cone merged in round 2");
+        assert_eq!(r.map_bit(left), r.map_bit(x));
+        assert_eq!(r.map_bit(right), r.map_bit(x));
+        assert_eq!(r.aig.num_ands(), 1);
+    }
 }

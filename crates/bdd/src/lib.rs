@@ -11,7 +11,10 @@
 //! * [`SymbolicChecker`] — forward-reachability model checking of
 //!   memory-free [`emm_aig::Design`]s (expand memories first with
 //!   `emm_core::explicit_model`; the blow-up that entails is precisely what
-//!   the paper observes when its BDD engine fails on the industry designs).
+//!   the paper observes when its BDD engine fails on the industry designs);
+//! * [`check_invariant`] — the differential-oracle entry point: expands
+//!   memories automatically and decides an invariant exhaustively, for
+//!   cross-checking the SAT engines on small designs.
 //!
 //! ## Example
 //!
@@ -40,6 +43,8 @@
 
 mod bdd;
 mod fsm;
+mod oracle;
 
 pub use bdd::{Bdd, Ref};
 pub use fsm::{SymbolicChecker, SymbolicOptions, SymbolicVerdict};
+pub use oracle::{check_invariant, OracleVerdict};

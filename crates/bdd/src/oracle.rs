@@ -1,0 +1,88 @@
+//! Exhaustive-reachability oracle over designs *with* memories.
+//!
+//! The differential suites in `emm-bmc` cross-check SAT-side verdicts
+//! (bounded BMC, k-induction) against BDD-based forward reachability.
+//! [`SymbolicChecker`](crate::SymbolicChecker) only accepts memory-free
+//! designs; [`check_invariant`] closes the gap by expanding every memory
+//! into its explicit latch bank ([`emm_core::explicit_model`] — the
+//! paper's *Explicit Modeling* baseline) before checking, so any small
+//! design (aw ≤ 3 keeps the blow-up tractable) gets an exact answer:
+//! the invariant holds in all reachable states, or a bad state is
+//! reachable at a known depth.
+//!
+//! ```
+//! use emm_aig::{Design, MemInit};
+//! use emm_bdd::{check_invariant, OracleVerdict, SymbolicOptions};
+//!
+//! let mut d = Design::new();
+//! let mem = d.add_memory("m", 2, 2, MemInit::Zero);
+//! let addr = d.new_input_word("addr", 2);
+//! let rd = d.add_read_port(mem, addr, emm_aig::Aig::TRUE);
+//! let bad = d.aig.eq_const(&rd, 3); // never written: memory stays 0
+//! d.add_property("p", bad);
+//! d.check().map_err(std::io::Error::other)?;
+//!
+//! let verdict = check_invariant(&d, 0, SymbolicOptions::default())
+//!     .map_err(std::io::Error::other)?;
+//! assert!(matches!(verdict, OracleVerdict::Holds { .. }));
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use emm_aig::Design;
+use emm_core::explicit_model;
+
+use crate::fsm::{SymbolicChecker, SymbolicOptions, SymbolicVerdict};
+
+/// The oracle's answer for one property.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OracleVerdict {
+    /// The invariant holds in every reachable state.
+    Holds {
+        /// Image steps to the reachability fixpoint.
+        steps: usize,
+    },
+    /// A bad state is reachable.
+    Violated {
+        /// Image steps from the initial states to the first bad state.
+        depth: usize,
+    },
+    /// The BDD node limit was exceeded — no answer.
+    Inconclusive,
+}
+
+impl OracleVerdict {
+    /// `true` for [`OracleVerdict::Holds`].
+    pub fn holds(&self) -> bool {
+        matches!(self, OracleVerdict::Holds { .. })
+    }
+}
+
+/// Decides property `prop` of `design` by exhaustive BDD reachability,
+/// expanding memories into explicit latch banks first when present.
+///
+/// The expansion multiplies the latch count by `2^addr_width ×
+/// data_width` per memory, so this is an oracle for *small* designs —
+/// exactly the role the paper assigns its BDD engine.
+///
+/// # Errors
+///
+/// Returns `Err` when the design is malformed or the node limit is hit
+/// while building the transition relation (checking itself reports
+/// [`OracleVerdict::Inconclusive`] instead).
+pub fn check_invariant(
+    design: &Design,
+    prop: usize,
+    options: SymbolicOptions,
+) -> Result<OracleVerdict, String> {
+    let verdict = if design.memories().is_empty() {
+        SymbolicChecker::new(design, options)?.check(prop)
+    } else {
+        let (expanded, _map) = explicit_model(design);
+        SymbolicChecker::new(&expanded, options)?.check(prop)
+    };
+    Ok(match verdict {
+        SymbolicVerdict::Proof { steps } => OracleVerdict::Holds { steps },
+        SymbolicVerdict::Reachable { depth } => OracleVerdict::Violated { depth },
+        SymbolicVerdict::NodeLimitExceeded => OracleVerdict::Inconclusive,
+    })
+}

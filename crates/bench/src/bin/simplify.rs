@@ -10,13 +10,16 @@
 //! AIG-level fraig pass on top of the default sink, cut-based rewriting
 //! ahead of fraig (the engine default, k = 4 cuts with global
 //! selection), wide-cut rewriting (`RewriteConfig::wide()`: k = 6
-//! cuts, `u64` truth tables) ahead of fraig, and the `incremental`
+//! cuts, `u64` truth tables) ahead of fraig, the `incremental`
 //! solver-lifecycle row (the sweeping sink solved bound-to-bound on one
 //! long-lived solver with clause retirement, against a
-//! restart-from-scratch leg of the same configuration) — recording
-//! solver variable/clause counts at the deepest checked frame, wall
-//! time (per-bound for the incremental pair), retired-clause totals,
-//! and the layers' cache / sweep / fraig / rewrite counters.
+//! restart-from-scratch leg of the same configuration), and the
+//! `kinduction` row (the unbounded engine's interleaved base case and
+//! floating inductive step, recording per-depth seconds, step-query
+//! counts, and step-group retirement totals) — recording solver
+//! variable/clause counts at the deepest checked frame, wall time
+//! (per-bound for the incremental pair and the k loop), retired-clause
+//! totals, and the layers' cache / sweep / fraig / rewrite counters.
 //!
 //! A final `server` section measures `VerificationServer` batch
 //! throughput (jobs/sec) at pool sizes 1, 2, and 4 on the quicksort
@@ -36,7 +39,7 @@ use std::time::{Duration, Instant};
 use emm_aig::{FraigConfig, RewriteConfig};
 use emm_bench::secs;
 use emm_bmc::{
-    BmcEngine, BmcOptions, BmcVerdict, VerificationServer, VerifyBudget, VerifyOptions,
+    BmcEngine, BmcOptions, BmcVerdict, KInduction, VerificationServer, VerifyBudget, VerifyOptions,
     VerifyRequest,
 };
 use emm_designs::quicksort::{QuickSort, QuickSortConfig};
@@ -66,6 +69,31 @@ struct RunRecord {
     fraig: Option<emm_aig::FraigStats>,
     rewrite: Option<emm_aig::RewriteStats>,
     incremental: Option<IncrementalExtras>,
+    kinduction: Option<KinductionExtras>,
+}
+
+/// The `kinduction` mode's extra measurements: the floating step
+/// context's solver footprint and the per-depth lifecycle counters. The
+/// headline `vars`/`clauses` columns stay the *base-case* solver's, so
+/// they remain comparable to the anchored rows; the step side lives
+/// here.
+struct KinductionExtras {
+    /// Depth ceiling handed to the engine (a fixed cap — see the
+    /// dispatch site in `main`).
+    max_k: usize,
+    /// Step queries run to completion (SAT or UNSAT).
+    step_queries: u64,
+    /// Clauses physically retired from per-depth step activation groups
+    /// (the group of depth `k` holds `k + 1` clauses, always retired).
+    step_clauses_retired: u64,
+    /// Deepest depth where induction failed (step query SAT), if any.
+    steps_failed: Option<usize>,
+    /// Variable count of the step solver at exit.
+    step_vars: usize,
+    /// Clause count of the step solver at exit.
+    step_clauses: u64,
+    /// Wall seconds per interleaved base-bound/step-depth iteration.
+    per_k_seconds: Vec<f64>,
 }
 
 /// The `incremental` mode's extra measurements: solver-side clause
@@ -92,6 +120,7 @@ fn verdict_name(v: &BmcVerdict) -> String {
         BmcVerdict::Proof { depth, .. } => format!("proof@{depth}"),
         BmcVerdict::Counterexample(t) => format!("cex@{}", t.depth()),
         BmcVerdict::BoundReached => "bound".into(),
+        BmcVerdict::Proved { k } => format!("proved@{k}"),
         BmcVerdict::Unknown { reason, .. } => format!("unknown:{}", reason.as_str()),
     }
 }
@@ -106,7 +135,7 @@ fn exhaustion_name(v: &BmcVerdict) -> Option<String> {
     }
 }
 
-/// The seven measured encoder configurations.
+/// The eight measured encoder configurations.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
     /// The seed encoding: no sink layer, no comparator cache, no fraig.
@@ -130,10 +159,18 @@ enum Mode {
     /// same configuration (verdicts must agree; per-bound wall clock is
     /// the headline number).
     Incremental,
+    /// The k-induction engine as its own lifecycle row: interleaved
+    /// base case and floating inductive step on the sweeping sink, with
+    /// per-depth step clauses retired through activation groups. The
+    /// quicksort loop counter keeps the recurrence diameter far beyond
+    /// the sort bound, so induction honestly reports `bound` on these
+    /// workloads — the row pins the step context's encoding cost and
+    /// the per-depth retirement totals, not a closure.
+    Kinduction,
 }
 
 impl Mode {
-    const ALL: [Mode; 7] = [
+    const ALL: [Mode; 8] = [
         Mode::Naive,
         Mode::Simplified,
         Mode::SimplifiedSweep,
@@ -141,6 +178,7 @@ impl Mode {
         Mode::RewriteFraig,
         Mode::Rewrite6Fraig,
         Mode::Incremental,
+        Mode::Kinduction,
     ];
 
     fn name(self) -> &'static str {
@@ -152,6 +190,7 @@ impl Mode {
             Mode::RewriteFraig => "rewrite_fraig",
             Mode::Rewrite6Fraig => "rewrite6_fraig",
             Mode::Incremental => "incremental",
+            Mode::Kinduction => "kinduction",
         }
     }
 }
@@ -171,6 +210,7 @@ fn run_one(
         }
         Mode::SimplifiedSweep => SimplifyConfig::sweeping(),
         Mode::Incremental => unreachable!("dispatched to run_incremental"),
+        Mode::Kinduction => unreachable!("dispatched to run_kinduction"),
     };
     // Only the fraig-and-later modes run the AIG-level passes, so the
     // other rows keep their historical meaning as a trajectory.
@@ -226,6 +266,7 @@ fn run_one(
         fraig: engine.fraig_stats().copied(),
         rewrite: engine.rewrite_stats().copied(),
         incremental: None,
+        kinduction: None,
     }
 }
 
@@ -285,6 +326,59 @@ fn run_incremental(
             restart_seconds: restart_elapsed.as_secs_f64(),
             restart_verdict: verdict_name(&restart_run.verdict),
             restart_per_bound_seconds: restart_run.per_bound_seconds,
+        }),
+        kinduction: None,
+    }
+}
+
+/// The `kinduction` mode: the [`KInduction`] engine on the sweeping
+/// configuration, base case and floating inductive step interleaved up
+/// to a fixed depth cap. The headline `vars`/`clauses` come
+/// from the base-case solver (comparable to the anchored rows); the
+/// step solver's footprint and the per-depth lifecycle counters go into
+/// the extras.
+fn run_kinduction(
+    benchmark: &str,
+    design: &emm_aig::Design,
+    prop: usize,
+    max_k: usize,
+    timeout: Duration,
+) -> RunRecord {
+    let started = Instant::now();
+    let mut engine = KInduction::new(
+        design,
+        VerifyOptions::default()
+            .simplify(SimplifyConfig::sweeping())
+            .wall_limit(Some(timeout)),
+    );
+    let run = engine.check(prop, max_k).expect("bench run");
+    let elapsed = started.elapsed();
+    let (vars, solver_stats) = engine.base().solver_stats();
+    let emm = engine.base().emm_stats();
+    let (step_vars, step_stats) = engine.step_solver_stats();
+    RunRecord {
+        benchmark: benchmark.to_string(),
+        mode: Mode::Kinduction.name(),
+        verdict: verdict_name(&run.verdict),
+        exhaustion: exhaustion_name(&run.verdict),
+        depth: run.depth_reached,
+        seconds: elapsed.as_secs_f64(),
+        vars,
+        clauses: solver_stats.original_clauses,
+        emm_clauses: emm.clauses,
+        cmp_cache_hits: emm.cmp_cache_hits,
+        simplify: engine.base().simplify_stats(),
+        fraig: None,
+        rewrite: None,
+        incremental: None,
+        kinduction: Some(KinductionExtras {
+            max_k,
+            step_queries: engine.step_queries(),
+            step_clauses_retired: engine.step_clauses_retired(),
+            steps_failed: engine.steps_failed(),
+            step_vars,
+            step_clauses: step_stats.original_clauses,
+            per_k_seconds: run.per_bound_seconds,
         }),
     }
 }
@@ -420,6 +514,30 @@ fn json_record(r: &RunRecord) -> String {
         )
         .expect("write");
     }
+    if let Some(extra) = &r.kinduction {
+        write!(
+            s,
+            ", \"max_k\": {}, \"step_queries\": {}, \
+             \"step_clauses_retired\": {}, \"steps_failed\": {}, \
+             \"step_vars\": {}, \"step_clauses\": {}, \"per_k_seconds\": [{}]",
+            extra.max_k,
+            extra.step_queries,
+            extra.step_clauses_retired,
+            match extra.steps_failed {
+                Some(k) => k.to_string(),
+                None => "null".to_string(),
+            },
+            extra.step_vars,
+            extra.step_clauses,
+            extra
+                .per_k_seconds
+                .iter()
+                .map(|x| format!("{x:.4}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
+        .expect("write");
+    }
     s.push('}');
     s
 }
@@ -534,10 +652,18 @@ fn main() {
         ] {
             let name = format!("{table}_quicksort_{label}_n{n}");
             for mode in Mode::ALL {
-                let r = if mode == Mode::Incremental {
-                    run_incremental(&name, &qs.design, prop, qs.cycle_bound(), timeout)
-                } else {
-                    run_one(&name, &qs.design, prop, qs.cycle_bound(), timeout, mode)
+                let r = match mode {
+                    Mode::Incremental => {
+                        run_incremental(&name, &qs.design, prop, qs.cycle_bound(), timeout)
+                    }
+                    // The k loop is capped well below the cycle bound:
+                    // quicksort's loop counter keeps induction from
+                    // closing at any depth the suite could afford, so
+                    // deeper k only buys wall time, and a fixed cap
+                    // keeps the row's counts machine-independent
+                    // (deadline trips would not be).
+                    Mode::Kinduction => run_kinduction(&name, &qs.design, prop, 20, timeout),
+                    _ => run_one(&name, &qs.design, prop, qs.cycle_bound(), timeout, mode),
                 };
                 println!(
                     "{:>28} {:>16}: {:>10}  {}s  vars={} clauses={}",
@@ -577,6 +703,19 @@ fn main() {
                         extra.property_clauses_retired,
                     );
                 }
+                if let Some(extra) = &r.kinduction {
+                    println!(
+                        "{:>28} {:>16}  step: {} queries, {} clauses retired, \
+                         failed@{:?}, {} vars / {} clauses",
+                        "",
+                        "",
+                        extra.step_queries,
+                        extra.step_clauses_retired,
+                        extra.steps_failed,
+                        extra.step_vars,
+                        extra.step_clauses,
+                    );
+                }
                 records.push(r);
             }
         }
@@ -604,6 +743,13 @@ fn main() {
     for group in records.chunks(Mode::ALL.len()) {
         let [naive, rest @ ..] = group else { continue };
         for simp in rest {
+            // The kinduction row stops at its own capped k, not the
+            // cycle bound — a clause/var ratio against the naive row
+            // would compare different depths, so it stays out of the
+            // reduction summary (its numbers live in the runs section).
+            if simp.mode == Mode::Kinduction.name() {
+                continue;
+            }
             let clause_red = 100.0 * (1.0 - simp.clauses as f64 / naive.clauses.max(1) as f64);
             let var_red = 100.0 * (1.0 - simp.vars as f64 / naive.vars.max(1) as f64);
             let speedup = naive.seconds / simp.seconds.max(1e-9);

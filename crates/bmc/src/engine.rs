@@ -318,6 +318,16 @@ pub enum BmcVerdict {
     },
     /// A real counterexample (witness) of the given trace.
     Counterexample(Trace),
+    /// The property holds in all reachable states, closed *unboundedly*
+    /// by the [`KInduction`](crate::KInduction) engine: the base case is
+    /// counterexample-free up to `k` and the simple-path inductive step
+    /// at depth `k` is unsatisfiable. Distinct from [`BmcVerdict::Proof`]
+    /// (`proof@k`), which records a bounded termination criterion inside
+    /// the bounded engine's depth budget.
+    Proved {
+        /// The induction depth that closed the property.
+        k: usize,
+    },
     /// No counterexample up to the bound; nothing proved.
     BoundReached,
     /// A resource limit ended the run without an answer. Never a wrong
@@ -337,9 +347,10 @@ pub enum BmcVerdict {
 }
 
 impl BmcVerdict {
-    /// `true` for [`BmcVerdict::Proof`].
+    /// `true` for the positive verdicts: [`BmcVerdict::Proof`] (bounded
+    /// termination) and [`BmcVerdict::Proved`] (k-induction closure).
     pub fn is_proof(&self) -> bool {
-        matches!(self, BmcVerdict::Proof { .. })
+        matches!(self, BmcVerdict::Proof { .. } | BmcVerdict::Proved { .. })
     }
 
     /// `true` for [`BmcVerdict::Counterexample`].
@@ -411,18 +422,20 @@ impl std::fmt::Display for BmcError {
 
 impl std::error::Error for BmcError {}
 
-/// One SAT context (solver + unroller + EMM + LFP + simplifier).
-struct Ctx {
-    solver: Solver,
-    unroller: Unroller,
-    emm: EmmEncoder,
+/// One SAT context (solver + unroller + EMM + LFP + simplifier). Shared
+/// crate-internally with the [`crate::KInduction`] engine, whose step
+/// context is exactly the bounded engine's floating context.
+pub(crate) struct Ctx {
+    pub(crate) solver: Solver,
+    pub(crate) unroller: Unroller,
+    pub(crate) emm: EmmEncoder,
     /// Maps design memory index -> EMM encoder index (kept memories only).
-    emm_index: Vec<Option<usize>>,
-    lfp: Option<LfpBuilder>,
+    pub(crate) emm_index: Vec<Option<usize>>,
+    pub(crate) lfp: Option<LfpBuilder>,
     /// Cross-frame simplification state, when enabled. All clause traffic
     /// from the unroller / EMM / LFP flows through `simplify.attach(solver)`
     /// so gates are interned, swept, and lazily emitted.
-    simplify: Option<Simplifier>,
+    pub(crate) simplify: Option<Simplifier>,
     /// Per-EMM-slot count of init reads whose address cones have already
     /// been materialized (so `ensure_depth` only touches new ones).
     init_reads_materialized: Vec<usize>,
@@ -431,7 +444,7 @@ struct Ctx {
 impl Ctx {
     /// Prepares `lit` for use as a solve assumption: resolves sweep
     /// substitutions and emits any still-lazy defining clauses.
-    fn assumption(&mut self, lit: Lit) -> Lit {
+    pub(crate) fn assumption(&mut self, lit: Lit) -> Lit {
         match &mut self.simplify {
             Some(simp) => simp.attach(&mut self.solver).materialize(lit),
             None => lit,
@@ -609,7 +622,7 @@ impl<'d> BmcEngine<'d> {
         }
     }
 
-    fn make_ctx(
+    pub(crate) fn make_ctx(
         design: &Design,
         options: &VerifyOptions,
         governor: &ResourceGovernor,
@@ -790,56 +803,71 @@ impl<'d> BmcEngine<'d> {
         let model: &Design = &self.model;
         let governor = self.governor.clone();
         for ctx in std::iter::once(&mut self.anchored).chain(self.floating.as_mut()) {
-            let Ctx {
-                solver,
-                unroller,
-                emm,
-                emm_index,
-                lfp,
-                simplify,
-                init_reads_materialized,
-            } = ctx;
-            while unroller.num_frames() <= k {
-                if let Some(reason) = governor.poll() {
-                    return Some(reason);
-                }
-                match simplify {
-                    Some(simp) => {
-                        let mut sink = simp.attach(solver);
-                        Self::extend_one(model, unroller, emm, emm_index, lfp, &mut sink);
-                        // Trace extraction reads literals that may sit
-                        // outside every emitted clause under lazy emission;
-                        // materialize them so the model constrains them:
-                        // initial-state read addresses (they feed the
-                        // counterexample memory seeds) and every read
-                        // port's enable — including those of memories an
-                        // abstraction dropped, whose EMM constraints were
-                        // never emitted.
-                        for slot in emm_index.iter().flatten() {
-                            let done = &mut init_reads_materialized[*slot];
-                            let reads = emm.init_reads(*slot);
-                            for ir in &reads[*done..] {
-                                for &l in &ir.addr {
-                                    sink.materialize(l);
-                                }
+            if let Some(reason) = Self::extend_ctx_to(model, ctx, k, &governor) {
+                return Some(reason);
+            }
+        }
+        None
+    }
+
+    /// Extends one context to include frame `k` (shared with the
+    /// k-induction engine's step context — see [`BmcEngine::ensure_depth`]
+    /// for the governor and poisoning semantics).
+    pub(crate) fn extend_ctx_to(
+        model: &Design,
+        ctx: &mut Ctx,
+        k: usize,
+        governor: &ResourceGovernor,
+    ) -> Option<ExhaustionReason> {
+        let Ctx {
+            solver,
+            unroller,
+            emm,
+            emm_index,
+            lfp,
+            simplify,
+            init_reads_materialized,
+        } = ctx;
+        while unroller.num_frames() <= k {
+            if let Some(reason) = governor.poll() {
+                return Some(reason);
+            }
+            match simplify {
+                Some(simp) => {
+                    let mut sink = simp.attach(solver);
+                    Self::extend_one(model, unroller, emm, emm_index, lfp, &mut sink);
+                    // Trace extraction reads literals that may sit
+                    // outside every emitted clause under lazy emission;
+                    // materialize them so the model constrains them:
+                    // initial-state read addresses (they feed the
+                    // counterexample memory seeds) and every read
+                    // port's enable — including those of memories an
+                    // abstraction dropped, whose EMM constraints were
+                    // never emitted.
+                    for slot in emm_index.iter().flatten() {
+                        let done = &mut init_reads_materialized[*slot];
+                        let reads = emm.init_reads(*slot);
+                        for ir in &reads[*done..] {
+                            for &l in &ir.addr {
+                                sink.materialize(l);
                             }
-                            *done = reads.len();
                         }
-                        let frame = unroller.num_frames() - 1;
-                        for m in model.memories() {
-                            for rp in &m.read_ports {
-                                let en = unroller.lit(frame, rp.en);
-                                sink.materialize(en);
-                            }
+                        *done = reads.len();
+                    }
+                    let frame = unroller.num_frames() - 1;
+                    for m in model.memories() {
+                        for rp in &m.read_ports {
+                            let en = unroller.lit(frame, rp.en);
+                            sink.materialize(en);
                         }
                     }
-                    None => Self::extend_one(model, unroller, emm, emm_index, lfp, solver),
                 }
-                if emm.interrupted() {
-                    return Some(governor.poll().unwrap_or(ExhaustionReason::Cancelled));
-                }
-                governor.note(FaultSite::Frame);
+                None => Self::extend_one(model, unroller, emm, emm_index, lfp, solver),
             }
+            if emm.interrupted() {
+                return Some(governor.poll().unwrap_or(ExhaustionReason::Cancelled));
+            }
+            governor.note(FaultSite::Frame);
         }
         None
     }
@@ -864,13 +892,24 @@ impl<'d> BmcEngine<'d> {
         emm.add_frame(sink, &frames);
         if let Some(lfp) = lfp {
             let lits = unroller.latch_lits(model, frame);
-            lfp.add_frame(sink, &lits);
+            // Write activity of kept memories only: a dropped memory's
+            // reads are unconstrained, so it is not state in the abstract
+            // model and its writes cannot distinguish frames.
+            let mut writes = Vec::new();
+            for (mi, slot) in emm_index.iter().enumerate() {
+                if slot.is_some() {
+                    for wp in &model.memories()[mi].write_ports {
+                        writes.push(unroller.lit(frame, wp.en));
+                    }
+                }
+            }
+            lfp.add_frame(sink, &lits, &writes);
         }
     }
 
     /// Base assumptions activating selectors (EMM memory/port selectors and
     /// PBA latch selectors) in a context.
-    fn base_assumptions(ctx: &Ctx) -> Vec<Lit> {
+    pub(crate) fn base_assumptions(ctx: &Ctx) -> Vec<Lit> {
         let mut a = ctx.emm.all_active_assumptions();
         a.extend_from_slice(ctx.unroller.latch_selectors());
         a

@@ -2,7 +2,7 @@
 //! checks of SAT-based BMC ([19] in the paper; lines 5–7 of Fig. 1 and 6–8
 //! of Fig. 3).
 //!
-//! `LFP_i` states that the latch states at frames `0..=i` are pairwise
+//! `LFP_i` states that the system states at frames `0..=i` are pairwise
 //! distinct. The constraints are cumulative across depths — exactly the
 //! monotone-growth shape the incremental solver lifecycle wants — so they
 //! are added permanently to the solver but *activated* by a single shared
@@ -12,9 +12,29 @@
 //! useful at every later bound, so a single never-retired activation
 //! literal is the right granularity.)
 //!
+//! ## State under EMM
+//!
+//! With EMM the system state is the latches *plus the memory contents*,
+//! but the whole point of the encoding is never to bit-blast the latter —
+//! so frame-equality over memories cannot be compared directly. The sound
+//! under-approximation used here prunes a pair of frames only when the
+//! states are *provably* equal: all kept latches match **and no enabled
+//! write separates the two frames** (memory contents at frame `j` equal
+//! those at frame `i < j` whenever no write fired in frames `i..j-1`).
+//! Each pair clause therefore carries the intervening write-enable
+//! literals as additional "the states may differ" disjuncts. A write that
+//! happens to store the value already present keeps the pair alive — a
+//! completeness loss only, never a soundness one. Without this, a design
+//! whose memory acts as state (say, a cell used as an extra counter) has
+//! counterexamples deeper than its latch diameter, and a latch-only LFP
+//! would prune every long window and "prove" the property.
+//!
 //! With an abstraction in force, only the *kept* latches constitute state;
 //! freed latches are pseudo-primary inputs and must not count toward state
 //! distinctness (otherwise no two frames would ever be provably equal).
+//! Likewise only *kept* memories contribute write activity: a dropped
+//! memory's reads are unconstrained pseudo-inputs, so it is not state in
+//! the abstract model and its writes cannot distinguish frames.
 
 use emm_sat::{CnfSink, Lit};
 
@@ -25,6 +45,9 @@ pub struct LfpBuilder {
     activation: Lit,
     /// Latch literals per recorded frame (already filtered to kept latches).
     frames: Vec<Vec<Lit>>,
+    /// Write-activity literals per recorded frame: an enabled write at
+    /// frame `t` means the memory contents at `t+1` may differ from `t`.
+    write_frames: Vec<Vec<Lit>>,
     /// Positions (into the unfiltered latch vector) that participate.
     kept_positions: Vec<usize>,
     /// Total pair constraints added (for reporting).
@@ -53,6 +76,7 @@ impl LfpBuilder {
         LfpBuilder {
             activation: sink.new_var().positive(),
             frames: Vec::new(),
+            write_frames: Vec::new(),
             kept_positions,
             pairs: 0,
         }
@@ -69,16 +93,26 @@ impl LfpBuilder {
     }
 
     /// Registers frame `k`'s latch literals (the full, unfiltered vector)
-    /// and adds distinctness constraints against every earlier frame.
-    pub fn add_frame<S: CnfSink + ?Sized>(&mut self, sink: &mut S, latch_lits: &[Lit]) {
+    /// and its write-activity literals (the enable of every kept-memory
+    /// write port at frame `k`), then adds distinctness constraints
+    /// against every earlier frame.
+    pub fn add_frame<S: CnfSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        latch_lits: &[Lit],
+        write_lits: &[Lit],
+    ) {
         let state: Vec<Lit> = self.kept_positions.iter().map(|&i| latch_lits[i]).collect();
         for j in 0..self.frames.len() {
             self.add_pair(sink, j, &state);
         }
         self.frames.push(state);
+        self.write_frames.push(write_lits.to_vec());
     }
 
-    /// States at `frames[j]` and `state` must differ in some kept latch.
+    /// States at `frames[j]` and `state` must differ in some kept latch,
+    /// or an enabled write in a frame between them may have changed the
+    /// memory contents.
     fn add_pair<S: CnfSink + ?Sized>(&mut self, sink: &mut S, j: usize, state: &[Lit]) {
         self.pairs += 1;
         let old = self.frames[j].clone();
@@ -99,7 +133,13 @@ impl LfpBuilder {
             sink.add_clause(&[!x, !a, !b]);
             any_diff.push(x);
         }
-        // If no latch can differ, the clause degenerates to !activation:
+        // Writes in frames j..k-1 (k = the frame being added) may leave
+        // the memory contents at k different from those at j, so the
+        // states are not provably equal while any such write is enabled.
+        for ws in &self.write_frames[j..] {
+            any_diff.extend_from_slice(ws);
+        }
+        // If nothing can differ, the clause degenerates to !activation:
         // assuming activation then gives immediate UNSAT, which is exactly
         // the right semantics (two frames are provably equal).
         sink.add_clause(&any_diff);
@@ -147,7 +187,7 @@ mod tests {
         // (6 states) must revisit.
         for k in 0..8usize {
             u.extend(&d, &mut s);
-            lfp.add_frame(&mut s, &u.latch_lits(&d, k));
+            lfp.add_frame(&mut s, &u.latch_lits(&d, k), &[]);
             let result = s.solve_with(&[lfp.activation()]);
             let expect = if (k as u64) < modulo {
                 SolveResult::Sat
@@ -174,7 +214,7 @@ mod tests {
         let mut lfp = LfpBuilder::new(&mut s, d.num_latches(), None);
         for k in 0..6 {
             u.extend(&d, &mut s);
-            lfp.add_frame(&mut s, &u.latch_lits(&d, k));
+            lfp.add_frame(&mut s, &u.latch_lits(&d, k), &[]);
         }
         assert_eq!(s.solve(), SolveResult::Sat, "plain model stays satisfiable");
         assert_eq!(s.solve_with(&[lfp.activation()]), SolveResult::Unsat);
@@ -207,7 +247,7 @@ mod tests {
         let mut lfp = LfpBuilder::new(&mut s, d.num_latches(), Some(&kept));
         for k in 0..4 {
             u.extend(&d, &mut s);
-            lfp.add_frame(&mut s, &u.latch_lits(&d, k));
+            lfp.add_frame(&mut s, &u.latch_lits(&d, k), &[]);
         }
         // The toggle alone has 2 states; 3 frames must repeat.
         assert_eq!(s.solve_with(&[lfp.activation()]), SolveResult::Unsat);

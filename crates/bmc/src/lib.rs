@@ -8,11 +8,18 @@
 //!   latch selectors (PBA reason discovery) and frozen abstractions
 //!   (reduced models);
 //! * [`LfpBuilder`] — loop-free-path constraints for the induction-style
-//!   termination checks of ref. \[19\];
+//!   termination checks of ref. \[19\], derived from the EMM state
+//!   encoding: a pair of frames is pruned as "same state" only when the
+//!   kept latches match *and* no enabled memory write separates them;
 //! * [`BmcEngine`] — the paper's BMC-1 / BMC-2 / BMC-3 loops: witness
 //!   search, forward-diameter and backward-induction proofs, counterexample
 //!   extraction with re-simulation, and proof-based-abstraction reason
 //!   collection;
+//! * [`KInduction`] — unbounded proving by k-induction: the bounded
+//!   engine as the base case, interleaved with initial-state-free
+//!   inductive steps whose per-depth clauses live in their own solver
+//!   activation groups (select with
+//!   [`options::ProofEngine`] on the options surface);
 //! * [`pba`] — stability-based abstraction discovery and iterative
 //!   abstraction (ref. \[10\]), with a parallel per-property dispatch
 //!   ([`pba::discover_all`]) on the work-stealing pool;
@@ -68,6 +75,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod kinduction;
 mod lfp;
 pub mod model;
 pub mod options;
@@ -78,8 +86,9 @@ mod unroll;
 pub use engine::{
     AbstractionSpec, BmcEngine, BmcError, BmcOptions, BmcRun, BmcVerdict, PhaseSeconds, ProofKind,
 };
+pub use kinduction::KInduction;
 pub use lfp::LfpBuilder;
 pub use model::ReducedModel;
-pub use options::{PipelineOptions, VerifyOptions};
+pub use options::{PipelineOptions, ProofEngine, VerifyOptions};
 pub use server::{ServerStats, VerificationServer, VerifyBudget, VerifyRequest, VerifyResponse};
 pub use unroll::{UnrollConfig, Unroller};

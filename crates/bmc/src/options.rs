@@ -36,6 +36,25 @@ use emm_sat::{Budget, ResourceGovernor, SimplifyConfig};
 
 use crate::engine::{AbstractionSpec, BmcOptions};
 
+/// Which proving engine a driver dispatches to when proofs are requested.
+///
+/// The default, [`ProofEngine::Bounded`], is the paper's BMC loop in
+/// [`crate::BmcEngine`]: bound-exact termination checks that report
+/// `proof@k` ([`crate::BmcVerdict::Proof`]) — a proof *up to the
+/// completeness threshold reached within the depth budget*.
+/// [`ProofEngine::KInduction`] selects [`crate::KInduction`], which
+/// interleaves the same base-case loop with an initial-state-free
+/// inductive step and can close a property outright as
+/// [`crate::BmcVerdict::Proved`], independent of any depth budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProofEngine {
+    /// The bounded engine's BMC-1/BMC-3 termination checks (`proof@k`).
+    #[default]
+    Bounded,
+    /// Interleaved base case + inductive step (`Proved { k }`).
+    KInduction,
+}
+
 /// Knobs shared by every stage of the verification pipeline, embedded in
 /// [`VerifyOptions`] and [`crate::pba::PbaConfig`]. Field semantics are
 /// documented on [`BmcOptions`], whose flat layout this struct replaces.
@@ -58,6 +77,9 @@ pub struct PipelineOptions {
     pub wall_limit: Option<Duration>,
     /// Pipeline-wide resource governor ([`BmcOptions::governor`]).
     pub governor: ResourceGovernor,
+    /// Which proving engine drivers dispatch to when proofs are
+    /// requested (see [`ProofEngine`]).
+    pub proof_engine: ProofEngine,
 }
 
 impl Default for PipelineOptions {
@@ -71,6 +93,7 @@ impl Default for PipelineOptions {
             solve_budget: Budget::unlimited(),
             wall_limit: None,
             governor: ResourceGovernor::unlimited(),
+            proof_engine: ProofEngine::default(),
         }
     }
 }
@@ -121,6 +144,12 @@ impl PipelineOptions {
     /// Installs the pipeline governor.
     pub fn governor(mut self, governor: ResourceGovernor) -> Self {
         self.governor = governor;
+        self
+    }
+
+    /// Selects the proving engine drivers dispatch to.
+    pub fn proof_engine(mut self, engine: ProofEngine) -> Self {
+        self.proof_engine = engine;
         self
     }
 }
@@ -236,6 +265,12 @@ impl VerifyOptions {
         self
     }
 
+    /// Selects the proving engine drivers dispatch to.
+    pub fn proof_engine(mut self, engine: ProofEngine) -> Self {
+        self.pipeline.proof_engine = engine;
+        self
+    }
+
     /// Enables or disables the termination (proof) checks.
     pub fn proofs(mut self, proofs: bool) -> Self {
         self.proofs = proofs;
@@ -289,6 +324,7 @@ impl From<BmcOptions> for VerifyOptions {
                 solve_budget: o.solve_budget,
                 wall_limit: o.wall_limit,
                 governor: o.governor,
+                proof_engine: ProofEngine::Bounded,
             },
             proofs: o.proofs,
             validate_traces: o.validate_traces,

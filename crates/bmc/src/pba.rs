@@ -122,6 +122,13 @@ impl PbaConfig {
         self.pipeline.governor = governor;
         self
     }
+
+    /// Selects the proving engine [`discover_and_prove`] dispatches to
+    /// for its proof attempts.
+    pub fn proof_engine(mut self, engine: crate::options::ProofEngine) -> Self {
+        self.pipeline.proof_engine = engine;
+        self
+    }
 }
 
 impl From<PipelineOptions> for PbaConfig {
@@ -349,15 +356,22 @@ pub fn discover_and_prove(
                 rounds,
             });
         }
-        let mut engine = BmcEngine::new(
-            design,
-            VerifyOptions::default()
-                .pipeline(config.pipeline.clone())
-                .proofs(true)
-                .validate_traces(false)
-                .abstraction(Some(disc.abstraction.clone())),
-        );
-        let run = engine.check(prop, proof_depth)?;
+        let proof_options = VerifyOptions::default()
+            .pipeline(config.pipeline.clone())
+            .proofs(true)
+            .validate_traces(false)
+            .abstraction(Some(disc.abstraction.clone()));
+        // The proof attempt honors the configured proving engine: the
+        // bounded termination checks, or the k-induction closure (which
+        // supports frozen abstractions through the same masks).
+        let run = match config.pipeline.proof_engine {
+            crate::options::ProofEngine::Bounded => {
+                BmcEngine::new(design, proof_options).check(prop, proof_depth)?
+            }
+            crate::options::ProofEngine::KInduction => {
+                crate::KInduction::new(design, proof_options).check(prop, proof_depth)?
+            }
+        };
         match run.verdict {
             crate::BmcVerdict::Counterexample(ref trace)
                 if rounds < max_rounds && trace.depth() > disc.depth_reached =>

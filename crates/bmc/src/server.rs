@@ -50,8 +50,9 @@ use emm_core::{Job, JobResult, Pool};
 use emm_sat::{Budget, ExhaustionReason};
 
 use crate::engine::{BmcEngine, BmcVerdict};
+use crate::kinduction::KInduction;
 use crate::model::ReducedModel;
-use crate::options::VerifyOptions;
+use crate::options::{ProofEngine, VerifyOptions};
 
 /// What one verification job may spend: the depth bound of the `check`
 /// call, the per-SAT-call budget, and an overall wall-clock limit.
@@ -265,9 +266,17 @@ impl VerificationServer {
             .governor(req.options.pipeline.governor.fork())
             .solve_budget(req.budget.solve.clone())
             .wall_limit(req.budget.wall_limit);
-        let mut engine = BmcEngine::with_model(reduced, options);
         let started = Instant::now();
-        match engine.check(req.property, req.budget.max_depth) {
+        // Dispatch on the configured proving engine: the bounded BMC
+        // loop, or the unbounded k-induction closure.
+        let checked =
+            match options.pipeline.proof_engine {
+                ProofEngine::Bounded => BmcEngine::with_model(reduced, options)
+                    .check(req.property, req.budget.max_depth),
+                ProofEngine::KInduction => KInduction::with_model(reduced, options)
+                    .check(req.property, req.budget.max_depth),
+            };
+        match checked {
             Ok(run) => (
                 run.verdict,
                 run.depth_reached,

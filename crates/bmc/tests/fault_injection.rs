@@ -11,11 +11,18 @@
 //!
 //! The sweep is seeded and budget-free, so each (site, N) pair replays
 //! identically: a failure here is a deterministic repro, not a flake.
+//!
+//! The k-induction engine shares the governance contract: its sweeps at
+//! the bottom of this file assert the same no-flip/resume guarantees,
+//! plus the step-side resumability pin (cleanly failed step depths are
+//! skipped on resume, witnessed by the step-group retirement counts).
 
 use std::time::{Duration, Instant};
 
 use emm_aig::{Design, LatchInit, MemInit};
-use emm_bmc::{BmcEngine, BmcOptions, BmcVerdict};
+use emm_bmc::{BmcEngine, BmcOptions, BmcVerdict, KInduction, VerifyOptions};
+use emm_designs::fifo::{Fifo, FifoConfig};
+use emm_designs::industry2::{Industry2, Industry2Config};
 use emm_designs::quicksort::{Bug, QuickSort, QuickSortConfig};
 use emm_sat::{ExhaustionReason, FaultSite, ResourceGovernor, SimplifyConfig};
 use rand::rngs::StdRng;
@@ -36,6 +43,7 @@ fn verdict_shape(v: &BmcVerdict) -> (u8, usize) {
     match v {
         BmcVerdict::Proof { depth, .. } => (0, *depth),
         BmcVerdict::Counterexample(t) => (1, t.depth()),
+        BmcVerdict::Proved { k } => (4, *k),
         BmcVerdict::BoundReached => (2, usize::MAX),
         BmcVerdict::Unknown { .. } => (3, usize::MAX),
     }
@@ -323,6 +331,129 @@ fn pre_cancelled_run_returns_immediately_and_resets() {
     assert!(
         !resumed.is_unknown(),
         "reset_cancellation must restore the pipeline: {resumed:?}"
+    );
+}
+
+/// [`VerifyOptions`] twin of [`opts`] for the k-induction engine.
+fn ki_opts(governor: ResourceGovernor) -> VerifyOptions {
+    VerifyOptions::default()
+        .governor(governor)
+        .simplify(SimplifyConfig::sweeping())
+}
+
+/// Like [`inject_and_resume`], for the k-induction engine: the degraded
+/// run must stay sound and the same engine must resume to the reference
+/// verdict under an unlimited governor.
+fn ki_inject_and_resume(
+    design: &Design,
+    prop: usize,
+    max_k: usize,
+    reference: &BmcVerdict,
+    site: FaultSite,
+    n: u64,
+) {
+    let context = format!("kinduction fault ({site:?}, {n})");
+    let governor = ResourceGovernor::unlimited().with_fault(site, n);
+    let mut engine = KInduction::new(design, ki_opts(governor));
+    let degraded = engine.check(prop, max_k).expect("no spurious traces");
+    assert_sound(&context, reference, &degraded.verdict);
+    engine.set_governor(ResourceGovernor::unlimited());
+    let resumed = engine.check(prop, max_k).expect("no spurious traces");
+    assert_eq!(
+        verdict_shape(reference),
+        verdict_shape(&resumed.verdict),
+        "{context}: resume with unlimited budget must reach the reference \
+         verdict, got {:?} (reference {reference:?})",
+        resumed.verdict
+    );
+}
+
+/// Full (site, N) sweep over the k-induction engine: the random design
+/// family (counterexamples and open bounds) and a workload it proves.
+/// No panic, no verdict flip, and every degraded engine resumes to the
+/// reference verdict.
+#[test]
+fn fault_sweep_on_kinduction_never_flips_verdicts() {
+    let sites = [
+        FaultSite::Conflict,
+        FaultSite::RetiredClause,
+        FaultSite::SweepCheck,
+        FaultSite::EmmComparator,
+        FaultSite::Frame,
+    ];
+    let mut rng = StdRng::seed_from_u64(0xFA19);
+    let d = random_mem_design(&mut rng);
+    let reference = {
+        let mut engine = KInduction::new(&d, ki_opts(ResourceGovernor::unlimited()));
+        engine.check(0, 6).expect("reference").verdict
+    };
+    for site in sites {
+        for n in [1, 7] {
+            ki_inject_and_resume(&d, 0, 6, &reference, site, n);
+        }
+    }
+    // A proving workload: the verdict at stake is `Proved { k }` itself.
+    let fifo = Fifo::new(FifoConfig {
+        addr_width: 2,
+        data_width: 2,
+    });
+    let prop = fifo.no_overflow.0 as usize;
+    let reference = {
+        let mut engine = KInduction::new(&fifo.design, ki_opts(ResourceGovernor::unlimited()));
+        engine.check(prop, 6).expect("reference").verdict
+    };
+    assert!(
+        matches!(reference, BmcVerdict::Proved { k: 1 }),
+        "fifo no_overflow is 1-inductive: {reference:?}"
+    );
+    for site in sites {
+        for n in [1, 4] {
+            ki_inject_and_resume(&fifo.design, prop, 6, &reference, site, n);
+        }
+    }
+}
+
+/// Step-side resumability regression (white-box): a frame-site fault
+/// interrupts the k-induction loop after some inductive steps failed
+/// cleanly; the resumed check must skip those step depths. The pin: the
+/// step group at depth `k` holds `k + 1` clauses and is always retired,
+/// so a clean close at `k = 2` with every depth queried exactly once
+/// retires `1 + 2 + 3 = 6` clauses over `3` queries — across the
+/// degrade/resume cycle combined. Re-running a skipped depth would
+/// inflate both counts.
+#[test]
+fn kinduction_resume_skips_completed_step_depths() {
+    let ind2 = Industry2::new(Industry2Config::small());
+    let prop = ind2.invariant;
+    // Reference: closes at k = 2 (see the differential suite).
+    let governor = ResourceGovernor::unlimited().with_fault(FaultSite::Frame, 5);
+    let mut engine = KInduction::new(&ind2.design, ki_opts(governor));
+    let degraded = engine.check(prop, 10).expect("run").verdict;
+    let BmcVerdict::Unknown { reason, .. } = degraded else {
+        panic!("the 5th frame event must interrupt the loop, got {degraded:?}");
+    };
+    assert_eq!(reason, ExhaustionReason::Cancelled);
+    let failed_before = engine
+        .steps_failed()
+        .expect("at least one step depth completed before the trip");
+    engine.set_governor(ResourceGovernor::unlimited());
+    let resumed = engine.check(prop, 10).expect("resume").verdict;
+    assert!(
+        matches!(resumed, BmcVerdict::Proved { k: 2 }),
+        "the invariant is 2-inductive: {resumed:?}"
+    );
+    assert!(failed_before < 2, "the trip preceded the closing depth");
+    assert_eq!(
+        engine.step_queries(),
+        3,
+        "each step depth 0..=2 must be queried exactly once across the \
+         degrade/resume cycle"
+    );
+    assert_eq!(
+        engine.step_clauses_retired(),
+        6,
+        "step groups must retire 1 + 2 + 3 clauses; more means a skipped \
+         depth was re-solved"
     );
 }
 

@@ -109,6 +109,7 @@ fn verdict_shape(v: &BmcVerdict) -> (u8, usize) {
     match v {
         BmcVerdict::Proof { depth, .. } => (0, *depth),
         BmcVerdict::Counterexample(t) => (1, t.depth()),
+        BmcVerdict::Proved { k } => (4, *k),
         BmcVerdict::BoundReached => (2, usize::MAX),
         BmcVerdict::Unknown { .. } => (3, usize::MAX),
     }
