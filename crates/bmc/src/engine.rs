@@ -69,7 +69,7 @@ use emm_aig::{Design, FraigConfig, FraigStats, RewriteConfig, RewriteStats, Trac
 use emm_core::{EmmEncoder, EmmOptions, MemoryShape, SelectorGranularity};
 use emm_sat::{
     Budget, CnfSink, ExhaustionReason, FaultSite, Lit, ResourceGovernor, Simplifier,
-    SimplifyConfig, SimplifyStats, SolveResult, Solver, SolverConfig,
+    SimplifyConfig, SimplifyStats, SolveResult, Solver,
 };
 
 use crate::lfp::LfpBuilder;
@@ -378,6 +378,9 @@ pub struct PhaseSeconds {
     pub encode: f64,
     /// SAT solving (all termination and counterexample queries).
     pub solve: f64,
+    /// Between-bounds solver inprocessing ([`emm_sat::Solver::inprocess`]):
+    /// vivification, subsumption, probing amortized across the bound loop.
+    pub inprocess: f64,
 }
 
 /// Result of [`BmcEngine::check`].
@@ -503,6 +506,7 @@ pub struct BmcEngine<'d> {
     /// Encode/solve wall time accumulated over the current `check` call.
     encode_seconds: f64,
     solve_seconds: f64,
+    inprocess_seconds: f64,
 }
 
 impl<'d> BmcEngine<'d> {
@@ -619,6 +623,7 @@ impl<'d> BmcEngine<'d> {
             fraig_seconds,
             encode_seconds: 0.0,
             solve_seconds: 0.0,
+            inprocess_seconds: 0.0,
         }
     }
 
@@ -628,7 +633,7 @@ impl<'d> BmcEngine<'d> {
         governor: &ResourceGovernor,
         anchored: bool,
     ) -> Ctx {
-        let mut solver = Solver::with_config(SolverConfig::default());
+        let mut solver = Solver::with_config(options.pipeline.solver.clone());
         solver.set_governor(governor.clone());
         let mut simplify = options.pipeline.simplify.enabled.then(|| {
             let mut s = Simplifier::new(options.pipeline.simplify);
@@ -933,6 +938,7 @@ impl<'d> BmcEngine<'d> {
         };
         self.encode_seconds = 0.0;
         self.solve_seconds = 0.0;
+        self.inprocess_seconds = 0.0;
         // A context whose EMM encoder aborted mid-frame is under-
         // constrained (its SAT answers could be spurious); rebuild it
         // before trusting anything. Otherwise just re-install the
@@ -978,6 +984,7 @@ impl<'d> BmcEngine<'d> {
                 return self.finish(v, i, started, per_bound);
             }
             self.apply_budget(deadline);
+            self.inprocess_between_bounds(i);
             let outcome = self.process_bound(prop, bad_bit, i)?;
             per_bound.push(bound_started.elapsed().as_secs_f64());
             if let Some(verdict) = outcome {
@@ -985,6 +992,26 @@ impl<'d> BmcEngine<'d> {
             }
         }
         self.finish(BmcVerdict::BoundReached, max_depth, started, per_bound)
+    }
+
+    /// Runs the solver inprocessing loop between bounds, where its cost
+    /// is amortized across every later query on the same contexts. Only
+    /// meaningful on the incremental lifecycle (a rebuilt context has
+    /// nothing to carry forward) and skipped for bound 0 (nothing solved
+    /// yet). A governor/budget stop here is deliberately ignored: the
+    /// pass leaves the solver usable, and the loop-top poll plus the
+    /// solve calls of this very bound report exhaustion through the
+    /// existing verdict paths.
+    fn inprocess_between_bounds(&mut self, bound: usize) {
+        if bound == 0 || !self.options.pipeline.incremental {
+            return;
+        }
+        let started = Instant::now();
+        let _ = self.anchored.solver.inprocess();
+        if let Some(f) = &mut self.floating {
+            let _ = f.solver.inprocess();
+        }
+        self.inprocess_seconds += started.elapsed().as_secs_f64();
     }
 
     /// Runs every solver query of bound `i`; `Some(verdict)` ends the run.
@@ -1148,6 +1175,7 @@ impl<'d> BmcEngine<'d> {
                 fraig: self.fraig_seconds,
                 encode: self.encode_seconds,
                 solve: self.solve_seconds,
+                inprocess: self.inprocess_seconds,
             },
         })
     }

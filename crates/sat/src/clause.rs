@@ -178,19 +178,12 @@ impl ClauseDb {
         self.arena[off] = flags | (lbd.min(u32::MAX >> LBD_SHIFT) << LBD_SHIFT);
     }
 
-    /// Shrinks the clause to its first `new_len` literals.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `new_len` is zero or larger than the current length.
-    #[allow(dead_code)]
-    pub fn shrink(&mut self, cref: ClauseRef, new_len: usize) {
-        let off = cref.offset();
-        let len = self.arena[off] as usize;
-        assert!(new_len >= 1 && new_len <= len);
-        self.wasted += len - new_len;
-        self.arena[off] = new_len as u32;
-    }
+    // NOTE: there is deliberately no in-place `shrink`: reducing the
+    // stored length word would desynchronize the linear arena walk that
+    // `collect_garbage`/`ClauseIter` use to advance from clause to
+    // clause. Strengthening (inprocess.rs) reallocates instead: alloc
+    // the shorter clause under the same id, delete the old allocation,
+    // and let GC compact.
 
     /// Marks a clause deleted; the space is reclaimed by the next GC.
     pub fn delete(&mut self, cref: ClauseRef) {
@@ -324,14 +317,5 @@ mod tests {
         assert_eq!(db.id(survivors[1]), ClauseId(3));
         let _ = c;
         assert_eq!(db.wasted(), 0);
-    }
-
-    #[test]
-    fn shrink_reduces_length() {
-        let mut db = ClauseDb::new();
-        let a = db.alloc(&lits(&[1, 2, 3, 4]), true, ClauseId::UNTRACKED);
-        db.shrink(a, 2);
-        assert_eq!(db.len(a), 2);
-        assert_eq!(db.lits(a), &lits(&[1, 2])[..]);
     }
 }

@@ -63,6 +63,7 @@ pub mod dimacs;
 mod equiv;
 pub mod govern;
 mod heap;
+mod inprocess;
 mod lit;
 pub mod naive;
 pub mod simplify;
@@ -72,7 +73,8 @@ mod solver;
 pub use clause::ClauseId;
 pub use equiv::EquivOracle;
 pub use govern::{ExhaustionReason, FaultSite, ResourceGovernor};
+pub use inprocess::InprocessConfig;
 pub use lit::{LBool, Lit, Var};
 pub use simplify::{Simplifier, SimplifyConfig, SimplifySink, SimplifyStats};
 pub use sink::{CnfSink, CountingSink, VecSink};
-pub use solver::{Budget, SolveResult, Solver, SolverConfig, SolverStats};
+pub use solver::{Budget, RestartPolicy, SolveResult, Solver, SolverConfig, SolverStats};

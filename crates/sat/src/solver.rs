@@ -33,9 +33,62 @@ use std::time::Instant;
 use crate::clause::{ClauseDb, ClauseId, ClauseRef};
 use crate::govern::{ExhaustionReason, FaultSite, ResourceGovernor};
 use crate::heap::VarHeap;
+use crate::inprocess::InprocessConfig;
 use crate::lit::{LBool, Lit, Var};
 
+/// The restart strategy the search loop runs under.
+///
+/// [`RestartPolicy::Luby`] is the classic fixed schedule (reluctant
+/// doubling scaled by [`SolverConfig::restart_base`]).
+/// [`RestartPolicy::Ema`] is the Glucose-style adaptive policy
+/// (Audemard & Simon): the solver tracks a fast and a slow exponential
+/// moving average of learned-clause LBD and restarts when the recent
+/// average exceeds the long-run average by a margin — search is
+/// abandoned exactly when the clauses being learned get worse than the
+/// run's norm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RestartPolicy {
+    /// Fixed Luby schedule (the historical default).
+    #[default]
+    Luby,
+    /// Glucose-style adaptive restarts from LBD moving averages.
+    Ema,
+}
+
 /// Tunable solver parameters.
+///
+/// Every field stays public, so struct-literal construction with
+/// `..SolverConfig::default()` keeps working; new code should prefer
+/// the chainable builder methods, which read the same at every call
+/// site and keep compiling as knobs are added.
+///
+/// # Migration
+///
+/// Until the inprocessing kernel landed, drivers could not reach the
+/// solver's heuristics at all — `BmcEngine` hardcoded
+/// `SolverConfig::default()`. The configuration now travels on the
+/// options surface: set it once on `PipelineOptions::solver` (crate
+/// `emm-bmc`, mirrored by `VerifyOptions::solver`) and every solver
+/// the pipeline creates — anchored, floating, k-induction step —
+/// inherits it. Existing struct-literal call sites keep working
+/// unchanged; the two new knob groups ([`RestartPolicy`] and
+/// [`InprocessConfig`]) default to the previous behaviour
+/// (Luby restarts) and to inprocessing-on with conservative caps.
+///
+/// ```
+/// use emm_sat::{InprocessConfig, RestartPolicy, SolverConfig};
+///
+/// // Old style (still compiles):
+/// let old = SolverConfig { restart_base: 50, ..SolverConfig::default() };
+/// // New style:
+/// let new = SolverConfig::default()
+///     .restart_base(50)
+///     .restart_policy(RestartPolicy::Ema)
+///     .chrono_backtrack(Some(64))
+///     .inprocess(InprocessConfig::default().probe(false));
+/// assert_eq!(old.restart_base, new.restart_base);
+/// assert_eq!(old.restart_policy, RestartPolicy::Luby);
+/// ```
 #[derive(Clone, Debug)]
 pub struct SolverConfig {
     /// Multiplicative VSIDS decay applied per conflict (0 < d < 1).
@@ -51,6 +104,18 @@ pub struct SolverConfig {
     /// Record antecedents of learned clauses so an unsat core of original
     /// clauses can be extracted after an UNSAT answer.
     pub proof_tracing: bool,
+    /// Restart strategy (Luby schedule or Glucose-style EMA).
+    pub restart_policy: RestartPolicy,
+    /// Chronological backtracking: `Some(t)` keeps the trail and backs
+    /// up a single level instead of backjumping whenever conflict
+    /// analysis asks to unwind more than `t` levels (the learned clause
+    /// is asserting one level below the conflict, so the assignment
+    /// work of the skipped levels is preserved). `None` (the default)
+    /// always backjumps to the asserting level.
+    pub chrono_backtrack: Option<u32>,
+    /// The inprocessing loop's knobs (see [`Solver::inprocess`]);
+    /// enabled by default with conservative per-call effort caps.
+    pub inprocess: InprocessConfig,
 }
 
 impl Default for SolverConfig {
@@ -62,7 +127,67 @@ impl Default for SolverConfig {
             first_reduce: 4000,
             reduce_increment: 1500,
             proof_tracing: false,
+            restart_policy: RestartPolicy::Luby,
+            chrono_backtrack: None,
+            inprocess: InprocessConfig::default(),
         }
+    }
+}
+
+impl SolverConfig {
+    /// Sets the multiplicative VSIDS decay applied per conflict.
+    pub fn var_decay(mut self, d: f64) -> SolverConfig {
+        self.var_decay = d;
+        self
+    }
+
+    /// Sets the multiplicative clause-activity decay per conflict.
+    pub fn clause_decay(mut self, d: f64) -> SolverConfig {
+        self.clause_decay = d;
+        self
+    }
+
+    /// Sets the conflict count of the first Luby restart interval.
+    pub fn restart_base(mut self, n: u64) -> SolverConfig {
+        self.restart_base = n;
+        self
+    }
+
+    /// Sets the learned-clause count before the first DB reduction.
+    pub fn first_reduce(mut self, n: u64) -> SolverConfig {
+        self.first_reduce = n;
+        self
+    }
+
+    /// Sets the learned-clause allowance added after each reduction.
+    pub fn reduce_increment(mut self, n: u64) -> SolverConfig {
+        self.reduce_increment = n;
+        self
+    }
+
+    /// Enables or disables refutation tracing.
+    pub fn proof_tracing(mut self, on: bool) -> SolverConfig {
+        self.proof_tracing = on;
+        self
+    }
+
+    /// Selects the restart strategy.
+    pub fn restart_policy(mut self, policy: RestartPolicy) -> SolverConfig {
+        self.restart_policy = policy;
+        self
+    }
+
+    /// Enables chronological backtracking with the given level-gap
+    /// threshold (`None` disables it).
+    pub fn chrono_backtrack(mut self, threshold: Option<u32>) -> SolverConfig {
+        self.chrono_backtrack = threshold;
+        self
+    }
+
+    /// Replaces the inprocessing configuration.
+    pub fn inprocess(mut self, config: InprocessConfig) -> SolverConfig {
+        self.inprocess = config;
+        self
     }
 }
 
@@ -165,6 +290,27 @@ pub struct SolverStats {
     /// Original clauses retired by [`Solver::retire_clause`] /
     /// [`Solver::retire_group`].
     pub retired_clauses: u64,
+    /// Conflicts resolved by chronological (single-level) backtracking
+    /// instead of a full backjump.
+    pub chrono_backtracks: u64,
+    /// Clauses strengthened by inprocessing vivification.
+    pub vivified_clauses: u64,
+    /// Literals removed by inprocessing vivification.
+    pub vivified_literals: u64,
+    /// Learnt clauses deleted by inprocessing because another clause
+    /// subsumes them.
+    pub subsumed_clauses: u64,
+    /// Literals removed by inprocessing subsumption machinery: the
+    /// literals of deleted subsumed clauses plus one per
+    /// self-subsuming-resolution strengthening.
+    pub subsumed_literals: u64,
+    /// Failed-literal probes run by inprocessing.
+    pub probed_literals: u64,
+    /// Level-0 units derived from failed probes.
+    pub failed_literals: u64,
+    /// Inprocessing passes that ran to completion (an early stop by the
+    /// governor or the budget deadline does not count).
+    pub inprocess_rounds: u64,
 }
 
 /// One entry of a watch list. `blocker` is a cached literal of the clause
@@ -181,7 +327,7 @@ struct Watcher {
 
 /// Proof-tracing state: a DAG from derived clause ids to antecedent ids.
 #[derive(Debug, Default)]
-struct Tracer {
+pub(crate) struct Tracer {
     /// `antecedents[id]` for derived (learned / level-0 unit) ids.
     antecedents: HashMap<u32, Box<[u32]>>,
     /// Ids corresponding to user-added clauses.
@@ -224,25 +370,25 @@ impl Tracer {
 /// ```
 #[derive(Debug)]
 pub struct Solver {
-    config: SolverConfig,
-    db: ClauseDb,
+    pub(crate) config: SolverConfig,
+    pub(crate) db: ClauseDb,
     /// `watches[p.code()]`: clauses that must be inspected when `p` becomes true
     /// (i.e. clauses in which `!p` is one of the two watched literals).
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<LBool>,
     level: Vec<u32>,
     reason: Vec<ClauseRef>,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
     qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
     cla_inc: f64,
     order: VarHeap,
     polarity: Vec<bool>,
-    learnts: Vec<ClauseRef>,
+    pub(crate) learnts: Vec<ClauseRef>,
     /// Permanently unsatisfiable (an empty clause was derived at level 0).
-    ok: bool,
+    pub(crate) ok: bool,
     /// Analysis scratch.
     seen: Vec<u8>,
     analyze_stack: Vec<Lit>,
@@ -251,13 +397,13 @@ pub struct Solver {
     model: Vec<LBool>,
     /// Failed assumptions from the last UNSAT-under-assumptions answer.
     conflict_set: Vec<Lit>,
-    stats: SolverStats,
+    pub(crate) stats: SolverStats,
     next_clause_id: u32,
-    tracer: Option<Tracer>,
+    pub(crate) tracer: Option<Tracer>,
     /// Core (original clause ids) from the last UNSAT answer, when tracing.
     last_core: Option<Vec<ClauseId>>,
-    budget: Budget,
-    governor: ResourceGovernor,
+    pub(crate) budget: Budget,
+    pub(crate) governor: ResourceGovernor,
     /// Why the last solve call answered `Unknown` (cleared per call).
     exhaustion: Option<ExhaustionReason>,
     reduce_limit: u64,
@@ -265,10 +411,23 @@ pub struct Solver {
     /// id (INVALID for learnt/derived ids and clauses never allocated or
     /// already retired). This is what makes [`Solver::retire_clause`] O(1):
     /// ids are stable across garbage collection, arena offsets are not.
-    id_refs: Vec<ClauseRef>,
+    pub(crate) id_refs: Vec<ClauseRef>,
     /// Activation groups: group variable -> ids of the clauses guarded by
     /// it (see [`Solver::new_activation_group`]).
-    groups: HashMap<Var, Vec<ClauseId>>,
+    pub(crate) groups: HashMap<Var, Vec<ClauseId>>,
+    /// Fast/slow exponential moving averages of learned-clause LBD,
+    /// driving [`RestartPolicy::Ema`].
+    ema_fast: f64,
+    ema_slow: f64,
+    /// Rotating inprocessing cursors so successive calls spread their
+    /// bounded effort across the whole database (clause-id index and
+    /// variable index respectively).
+    pub(crate) vivify_cursor: usize,
+    pub(crate) probe_cursor: usize,
+    /// Lifetime conflict count at the end of the previous
+    /// `inprocess()` call — the base of the conflict-credit effort
+    /// scaling (`InprocessConfig::scale_to_conflicts`).
+    pub(crate) last_inprocess_conflicts: u64,
 }
 
 impl Default for Solver {
@@ -319,6 +478,11 @@ impl Solver {
             reduce_limit: first_reduce,
             id_refs: Vec::new(),
             groups: HashMap::new(),
+            ema_fast: 0.0,
+            ema_slow: 0.0,
+            vivify_cursor: 0,
+            probe_cursor: 0,
+            last_inprocess_conflicts: 0,
         }
     }
 
@@ -348,13 +512,13 @@ impl Solver {
 
     /// Current decision level.
     #[inline]
-    fn decision_level(&self) -> u32 {
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
     /// Current value of a literal.
     #[inline]
-    fn lit_value(&self, lit: Lit) -> LBool {
+    pub(crate) fn lit_value(&self, lit: Lit) -> LBool {
         self.assigns[lit.var().index()].xor_sign(lit.is_negative())
     }
 
@@ -453,7 +617,7 @@ impl Solver {
 
     /// Records the arena location of an original clause so it can later be
     /// retired by id.
-    fn register_ref(&mut self, id: ClauseId, cref: ClauseRef) {
+    pub(crate) fn register_ref(&mut self, id: ClauseId, cref: ClauseRef) {
         let idx = id.0 as usize;
         if self.id_refs.len() <= idx {
             self.id_refs.resize(idx + 1, ClauseRef::INVALID);
@@ -599,7 +763,12 @@ impl Solver {
         let conflicts_at_start = self.stats.conflicts;
         let mut restart_count = 0u64;
         let result = loop {
-            let max_conflicts = luby(restart_count) * self.config.restart_base;
+            // Under the EMA policy the restart decision is taken inside
+            // `search` from the LBD averages; the schedule cap is moot.
+            let max_conflicts = match self.config.restart_policy {
+                RestartPolicy::Luby => luby(restart_count) * self.config.restart_base,
+                RestartPolicy::Ema => u64::MAX,
+            };
             restart_count += 1;
             match self.search(max_conflicts, assumptions, conflicts_at_start) {
                 SearchOutcome::Sat => break SolveResult::Sat,
@@ -862,7 +1031,24 @@ impl Solver {
                     self.analyze_final_conflict(confl);
                     return SearchOutcome::Unsat;
                 }
-                let (learnt, backtrack) = self.analyze(confl);
+                let (learnt, mut backtrack) = self.analyze(confl);
+                // Chronological backtracking: when analysis asks to
+                // unwind far, step back a single level instead. The
+                // learnt clause is still asserting there — every
+                // non-UIP literal sits at a level at or below the
+                // computed backjump level, which is below the current
+                // one — so the usual learn/enqueue path applies and the
+                // trail stays level-ordered; the skipped levels'
+                // assignments survive to be reused. Unit learnts must
+                // take the full backjump to level 0 (`learn` asserts
+                // them there).
+                if let Some(threshold) = self.config.chrono_backtrack {
+                    let dl = self.decision_level();
+                    if learnt.len() > 1 && dl - backtrack > threshold && dl - backtrack > 1 {
+                        backtrack = dl - 1;
+                        self.stats.chrono_backtracks += 1;
+                    }
+                }
                 self.cancel_until(backtrack);
                 self.learn(learnt);
                 self.decay_activities();
@@ -905,9 +1091,18 @@ impl Solver {
                         return SearchOutcome::BudgetExhausted;
                     }
                 }
-                if conflicts_here >= max_restart_conflicts
-                    && self.decision_level() > assumptions.len() as u32
-                {
+                let restart_due = match self.config.restart_policy {
+                    RestartPolicy::Luby => conflicts_here >= max_restart_conflicts,
+                    // Glucose-style trigger: the recent learnt-LBD
+                    // average drifted above the long-run average by the
+                    // margin, after a minimum number of conflicts since
+                    // the last restart so the fast EMA has signal.
+                    RestartPolicy::Ema => {
+                        conflicts_here >= EMA_MIN_CONFLICTS
+                            && self.ema_fast > self.ema_slow * EMA_MARGIN
+                    }
+                };
+                if restart_due && self.decision_level() > assumptions.len() as u32 {
                     return SearchOutcome::Restart;
                 }
             } else {
@@ -952,7 +1147,7 @@ impl Solver {
         }
     }
 
-    fn attach(&mut self, cref: ClauseRef) {
+    pub(crate) fn attach(&mut self, cref: ClauseRef) {
         let lits = self.db.lits(cref);
         debug_assert!(lits.len() >= 2);
         let (l0, l1) = (lits[0], lits[1]);
@@ -960,7 +1155,7 @@ impl Solver {
         self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
     }
 
-    fn enqueue(&mut self, lit: Lit, reason: ClauseRef) {
+    pub(crate) fn enqueue(&mut self, lit: Lit, reason: ClauseRef) {
         debug_assert!(self.lit_value(lit).is_undef());
         let v = lit.var().index();
         self.assigns[v] = LBool::from_bool(lit.is_positive());
@@ -995,7 +1190,7 @@ impl Solver {
         }
     }
 
-    fn propagate(&mut self) -> Option<ClauseRef> {
+    pub(crate) fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -1228,18 +1423,30 @@ impl Solver {
         };
         if learnt.len() == 1 {
             debug_assert_eq!(self.decision_level(), 0);
+            self.update_lbd_emas(1);
             let cref = self.db.alloc(&learnt, true, id);
             self.enqueue(learnt[0], cref);
             return;
         }
         let cref = self.db.alloc(&learnt, true, id);
         let lbd = self.compute_lbd(&learnt);
+        self.update_lbd_emas(lbd);
         self.db.set_lbd(cref, lbd);
         self.bump_clause(cref);
         self.attach(cref);
         self.learnts.push(cref);
         self.stats.learned_clauses += 1;
         self.enqueue(learnt[0], cref);
+    }
+
+    /// Feeds one learnt clause's LBD into the restart EMAs. Both
+    /// averages start at zero and warm up at their own rates; the
+    /// [`EMA_MIN_CONFLICTS`] floor in the restart trigger covers the
+    /// bias window after each restart.
+    fn update_lbd_emas(&mut self, lbd: u32) {
+        let lbd = lbd as f64;
+        self.ema_fast += EMA_FAST_ALPHA * (lbd - self.ema_fast);
+        self.ema_slow += EMA_SLOW_ALPHA * (lbd - self.ema_slow);
     }
 
     fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
@@ -1249,7 +1456,7 @@ impl Solver {
         levels.len() as u32
     }
 
-    fn cancel_until(&mut self, target: u32) {
+    pub(crate) fn cancel_until(&mut self, target: u32) {
         if self.decision_level() <= target {
             return;
         }
@@ -1337,14 +1544,14 @@ impl Solver {
         self.lit_value(first).is_true() && self.reason[first.var().index()] == cref
     }
 
-    fn detach(&mut self, cref: ClauseRef) {
+    pub(crate) fn detach(&mut self, cref: ClauseRef) {
         let lits = self.db.lits(cref);
         let (l0, l1) = (lits[0], lits[1]);
         self.watches[(!l0).code()].retain(|w| w.cref != cref);
         self.watches[(!l1).code()].retain(|w| w.cref != cref);
     }
 
-    fn collect_garbage(&mut self) {
+    pub(crate) fn collect_garbage(&mut self) {
         self.stats.gc_runs += 1;
         let mut map: HashMap<ClauseRef, ClauseRef> = HashMap::new();
         self.db.collect_garbage(|old, new| {
@@ -1518,6 +1725,15 @@ impl Solver {
         out
     }
 }
+
+/// [`RestartPolicy::Ema`] tuning (Audemard & Simon's Glucose family):
+/// the fast average tracks the last ~32 learnt clauses, the slow one
+/// the last ~4096; a restart fires when fast exceeds slow by 25%, but
+/// never within the first 50 conflicts after the previous restart.
+const EMA_FAST_ALPHA: f64 = 1.0 / 32.0;
+const EMA_SLOW_ALPHA: f64 = 1.0 / 4096.0;
+const EMA_MARGIN: f64 = 1.25;
+const EMA_MIN_CONFLICTS: u64 = 50;
 
 #[derive(Debug, PartialEq, Eq)]
 enum SearchOutcome {
