@@ -1,0 +1,1024 @@
+//! AIGER reader and writer (ASCII `aag` and binary `aig`, format 1.9).
+//!
+//! AIGER is the interchange format of the hardware model-checking
+//! competitions: a sequential And-Inverter Graph of numbered variables,
+//! where literal `2v` is variable `v` and `2v+1` its negation, literals
+//! `0`/`1` are the constants, and the file lists inputs, latches (with
+//! optional reset values), outputs, bad-state properties, invariant
+//! constraints and 2-input AND gates. This module maps AIGER onto
+//! [`Design`]:
+//!
+//! * inputs → [`Design::new_input`] (named from the symbol table, or
+//!   `i<pos>`);
+//! * latches → [`Design::new_latch`] with the 1.9 reset convention:
+//!   reset `0` → [`LatchInit::Zero`], `1` → [`LatchInit::One`], the
+//!   latch's own literal → [`LatchInit::Free`];
+//! * outputs and `B` bad-state literals → [`Design::add_property`] (an
+//!   AIGER output is the classic monitor encoding of a bad state);
+//! * `C` invariant constraints → [`Design::add_constraint`];
+//! * AND gates → [`Aig::and`](crate::Aig::and), which structurally hashes and
+//!   constant-folds, so a parsed graph is always strashed.
+//!
+//! AIGER has no notion of embedded memories, so [`write_aiger_ascii`] /
+//! [`write_aiger_binary`] refuse designs with memory modules
+//! ([`WriteAigerError::Memories`]) — serialize those as BTOR2
+//! ([`crate::btor2`]), or write out their explicit expansion. For
+//! memory-free designs the writers and [`read_aiger`] round-trip:
+//! `write(parse(write(d)))` is byte-identical to `write(d)`.
+//!
+//! Both parsers return structured [`ParseAigerError`]s — truncated
+//! files, malformed delta codes, out-of-range literals and duplicate
+//! symbol entries are all clean `Err`s, never panics.
+//!
+//! ```
+//! use emm_aig::{Design, LatchInit};
+//! use emm_aig::aiger::{read_aiger, write_aiger_ascii};
+//!
+//! let mut d = Design::new();
+//! let (_, c) = d.new_latch("c", LatchInit::Zero);
+//! let n = !c;
+//! d.set_next(c, n);
+//! d.add_property("bad", c);
+//! let text = write_aiger_ascii(&d).unwrap();
+//! let parsed = read_aiger(text.as_bytes()).unwrap();
+//! assert_eq!(parsed.num_latches(), 1);
+//! assert_eq!(write_aiger_ascii(&parsed).unwrap(), text);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::aig::{Bit, Node};
+use crate::design::{Design, LatchInit};
+
+/// Hard cap on every header count (`M`, `I`, `L`, `O`, `A`, `B`, `C`).
+///
+/// A fuzzed header claiming 10^18 variables must fail as a parse error,
+/// not as an out-of-memory abort while pre-allocating tables.
+const MAX_COUNT: u64 = 1 << 24;
+
+/// Error from the AIGER parsers, with the 1-based line it was detected
+/// on (`line == 0` for errors inside the binary AND-gate section, which
+/// is not line-addressable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAigerError {
+    /// 1-based source line, or 0 inside the binary section.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "aiger: {}", self.message)
+        } else {
+            write!(f, "aiger line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseAigerError {}
+
+/// Error from the AIGER writers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteAigerError {
+    /// The design has embedded memory modules, which AIGER cannot
+    /// express — use [`crate::btor2::write_btor2`] instead.
+    Memories,
+    /// The design failed [`Design::check`] (e.g. a dangling latch).
+    Invalid(String),
+    /// A name contains a newline, which the flat symbol table cannot
+    /// carry.
+    UnwritableName(String),
+}
+
+impl fmt::Display for WriteAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteAigerError::Memories => {
+                write!(
+                    f,
+                    "aiger: designs with memories cannot be expressed in AIGER"
+                )
+            }
+            WriteAigerError::Invalid(m) => write!(f, "aiger: invalid design: {m}"),
+            WriteAigerError::UnwritableName(n) => {
+                write!(f, "aiger: name contains a newline: {n:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WriteAigerError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseAigerError {
+    ParseAigerError {
+        line,
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Intermediate representation shared by the ASCII and binary parsers
+// ---------------------------------------------------------------------
+
+/// One fully parsed AIGER file, before Design construction. Literals are
+/// raw AIGER literals; the `line` of every record is kept for error
+/// reporting during the build step.
+#[derive(Default)]
+struct AigerFile {
+    /// Input literals with their source line.
+    inputs: Vec<(usize, usize)>,
+    /// `(latch literal, next literal, reset literal, line)`.
+    latches: Vec<(usize, usize, usize, usize)>,
+    /// Output literals (monitor-style bad states) with source line.
+    outputs: Vec<(usize, usize)>,
+    /// 1.9 bad-state literals with source line.
+    bads: Vec<(usize, usize)>,
+    /// 1.9 invariant-constraint literals with source line.
+    constraints: Vec<(usize, usize)>,
+    /// `(lhs, rhs0, rhs1, line)` AND gates (`line == 0` for binary).
+    ands: Vec<(usize, usize, usize, usize)>,
+    /// Symbol table: `(section char, position) → name`.
+    symbols: HashMap<(char, usize), String>,
+}
+
+/// Counts from an `aag`/`aig` header line.
+#[derive(Clone, Copy)]
+struct Header {
+    binary: bool,
+    m: usize,
+    i: usize,
+    l: usize,
+    o: usize,
+    a: usize,
+    b: usize,
+    c: usize,
+}
+
+fn parse_count(token: &str, line: usize, what: &str) -> Result<usize, ParseAigerError> {
+    let v: u64 = token
+        .parse()
+        .map_err(|_| err(line, format!("malformed {what} {token:?}")))?;
+    if v > MAX_COUNT {
+        return Err(err(
+            line,
+            format!("{what} {v} exceeds the supported maximum {MAX_COUNT}"),
+        ));
+    }
+    Ok(v as usize)
+}
+
+fn parse_header(line_text: &str, line: usize) -> Result<Header, ParseAigerError> {
+    let mut toks = line_text.split_ascii_whitespace();
+    let magic = toks.next().ok_or_else(|| err(line, "empty header"))?;
+    let binary = match magic {
+        "aag" => false,
+        "aig" => true,
+        other => return Err(err(line, format!("unknown magic {other:?}"))),
+    };
+    let names = ["M", "I", "L", "O", "A", "B", "C"];
+    let mut counts = [0usize; 7];
+    let mut given = 0;
+    for (slot, name) in names.iter().enumerate() {
+        match toks.next() {
+            Some(t) => {
+                counts[slot] = parse_count(t, line, &format!("header count {name}"))?;
+                given = slot + 1;
+            }
+            None => break,
+        }
+    }
+    if given < 5 {
+        return Err(err(line, "header needs at least the M I L O A counts"));
+    }
+    if toks.next().is_some() {
+        return Err(err(line, "trailing tokens after header counts"));
+    }
+    let h = Header {
+        binary,
+        m: counts[0],
+        i: counts[1],
+        l: counts[2],
+        o: counts[3],
+        a: counts[4],
+        b: counts[5],
+        c: counts[6],
+    };
+    if h.i + h.l + h.a > h.m {
+        return Err(err(
+            line,
+            format!(
+                "header claims {} inputs + {} latches + {} ands with only M = {}",
+                h.i, h.l, h.a, h.m
+            ),
+        ));
+    }
+    if h.binary && h.i + h.l + h.a != h.m {
+        return Err(err(
+            line,
+            format!(
+                "binary AIGER requires M = I + L + A ({} != {} + {} + {})",
+                h.m, h.i, h.l, h.a
+            ),
+        ));
+    }
+    Ok(h)
+}
+
+// ---------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------
+
+/// Parses an AIGER file, auto-detecting the ASCII (`aag`) or binary
+/// (`aig`) variant from the magic word.
+///
+/// # Errors
+///
+/// A [`ParseAigerError`] naming the offending line for any malformed
+/// input: bad counts, out-of-range or odd literals, truncated binary
+/// sections, invalid delta codes, duplicate definitions or symbols, and
+/// combinational cycles.
+pub fn read_aiger(bytes: &[u8]) -> Result<Design, ParseAigerError> {
+    let first = bytes.split(|&b| b == b'\n').next().unwrap_or(&[]);
+    let first = std::str::from_utf8(first).map_err(|_| err(1, "header is not valid UTF-8"))?;
+    let header = parse_header(first.trim_end_matches('\r'), 1)?;
+    if header.binary {
+        read_binary(bytes, header)
+    } else {
+        let text = std::str::from_utf8(bytes).map_err(|_| err(1, "file is not valid UTF-8"))?;
+        read_ascii(text, header)
+    }
+}
+
+/// Parses the ASCII (`aag`) variant. See [`read_aiger`] for errors.
+pub fn read_aiger_ascii(text: &str) -> Result<Design, ParseAigerError> {
+    let first = text.lines().next().unwrap_or("");
+    let header = parse_header(first, 1)?;
+    if header.binary {
+        return Err(err(1, "binary file passed to the ASCII parser"));
+    }
+    read_ascii(text, header)
+}
+
+fn parse_literal(
+    token: &str,
+    max_var: usize,
+    line: usize,
+    what: &str,
+) -> Result<usize, ParseAigerError> {
+    let v: u64 = token
+        .parse()
+        .map_err(|_| err(line, format!("malformed {what} literal {token:?}")))?;
+    if v > 2 * max_var as u64 + 1 {
+        return Err(err(
+            line,
+            format!("{what} literal {v} out of range (max variable {max_var})"),
+        ));
+    }
+    Ok(v as usize)
+}
+
+fn read_ascii(text: &str, header: Header) -> Result<Design, ParseAigerError> {
+    let mut file = AigerFile {
+        ..AigerFile::default()
+    };
+    let mut lines = text.lines().enumerate().skip(1);
+    let mut next_line = |what: &str| -> Result<(usize, &str), ParseAigerError> {
+        lines
+            .next()
+            .map(|(i, l)| (i + 1, l))
+            .ok_or_else(|| err(0, format!("file truncated: missing {what}")))
+    };
+    for pos in 0..header.i {
+        let (line, t) = next_line(&format!("input {pos}"))?;
+        let lit = parse_literal(t.trim(), header.m, line, "input")?;
+        file.inputs.push((lit, line));
+    }
+    for pos in 0..header.l {
+        let (line, t) = next_line(&format!("latch {pos}"))?;
+        let toks: Vec<&str> = t.split_ascii_whitespace().collect();
+        if toks.len() < 2 || toks.len() > 3 {
+            return Err(err(line, "latch line needs `lit next [reset]`"));
+        }
+        let lit = parse_literal(toks[0], header.m, line, "latch")?;
+        let next = parse_literal(toks[1], header.m, line, "latch next")?;
+        let reset = if toks.len() == 3 {
+            parse_literal(toks[2], header.m, line, "latch reset")?
+        } else {
+            0
+        };
+        file.latches.push((lit, next, reset, line));
+    }
+    for pos in 0..header.o {
+        let (line, t) = next_line(&format!("output {pos}"))?;
+        let lit = parse_literal(t.trim(), header.m, line, "output")?;
+        file.outputs.push((lit, line));
+    }
+    for pos in 0..header.b {
+        let (line, t) = next_line(&format!("bad state {pos}"))?;
+        let lit = parse_literal(t.trim(), header.m, line, "bad state")?;
+        file.bads.push((lit, line));
+    }
+    for pos in 0..header.c {
+        let (line, t) = next_line(&format!("constraint {pos}"))?;
+        let lit = parse_literal(t.trim(), header.m, line, "constraint")?;
+        file.constraints.push((lit, line));
+    }
+    for pos in 0..header.a {
+        let (line, t) = next_line(&format!("and gate {pos}"))?;
+        let toks: Vec<&str> = t.split_ascii_whitespace().collect();
+        if toks.len() != 3 {
+            return Err(err(line, "and line needs `lhs rhs0 rhs1`"));
+        }
+        let lhs = parse_literal(toks[0], header.m, line, "and lhs")?;
+        let rhs0 = parse_literal(toks[1], header.m, line, "and rhs0")?;
+        let rhs1 = parse_literal(toks[2], header.m, line, "and rhs1")?;
+        file.ands.push((lhs, rhs0, rhs1, line));
+    }
+    read_symbols(&mut file, header, lines.map(|(i, l)| (i + 1, l)))?;
+    build(file, header)
+}
+
+/// Parses the symbol table and comment section shared by both variants.
+fn read_symbols<'a>(
+    file: &mut AigerFile,
+    header: Header,
+    lines: impl Iterator<Item = (usize, &'a str)>,
+) -> Result<(), ParseAigerError> {
+    for (line, text) in lines {
+        let text = text.trim_end_matches('\r');
+        if text == "c" {
+            // Comment section: everything after is free-form.
+            return Ok(());
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let kind = text.chars().next().expect("non-empty");
+        let count = match kind {
+            'i' => header.i,
+            'l' => header.l,
+            'o' => header.o,
+            'b' => header.b,
+            'c' => header.c,
+            _ => return Err(err(line, format!("unknown symbol section {kind:?}"))),
+        };
+        let rest = &text[1..];
+        let space = rest
+            .find(' ')
+            .ok_or_else(|| err(line, "symbol entry needs `<kind><pos> <name>`"))?;
+        let pos: usize = rest[..space].parse().map_err(|_| {
+            err(
+                line,
+                format!("malformed symbol position {:?}", &rest[..space]),
+            )
+        })?;
+        if pos >= count {
+            return Err(err(
+                line,
+                format!("symbol {kind}{pos} out of range (section has {count} entries)"),
+            ));
+        }
+        let name = rest[space + 1..].to_string();
+        if name.is_empty() {
+            return Err(err(line, format!("symbol {kind}{pos} has an empty name")));
+        }
+        if file.symbols.insert((kind, pos), name).is_some() {
+            return Err(err(line, format!("duplicate symbol entry {kind}{pos}")));
+        }
+    }
+    Ok(())
+}
+
+/// Byte cursor over the binary variant, tracking the text-line count for
+/// error reporting in the header sections.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take_line(&mut self, what: &str) -> Result<&'a str, ParseAigerError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        if self.pos == self.bytes.len() {
+            return Err(err(0, format!("file truncated: missing {what}")));
+        }
+        let text = &self.bytes[start..self.pos];
+        self.pos += 1; // consume '\n'
+        self.line += 1;
+        std::str::from_utf8(text)
+            .map(|t| t.trim_end_matches('\r'))
+            .map_err(|_| err(self.line, format!("{what} is not valid UTF-8")))
+    }
+
+    /// Decodes one unsigned LEB128-style delta (7 bits per byte, high
+    /// bit = continuation), as used by the binary AND-gate section.
+    fn take_delta(&mut self) -> Result<u64, ParseAigerError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let Some(&byte) = self.bytes.get(self.pos) else {
+                return Err(err(0, "binary and section truncated mid-delta"));
+            };
+            self.pos += 1;
+            if shift >= 63 {
+                return Err(err(0, "binary delta code overflows 63 bits"));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Parses the binary (`aig`) variant. See [`read_aiger`] for errors.
+pub fn read_aiger_binary(bytes: &[u8]) -> Result<Design, ParseAigerError> {
+    let mut cur = Cursor {
+        bytes,
+        pos: 0,
+        line: 0,
+    };
+    let first = cur.take_line("header")?;
+    let header = parse_header(first, 1)?;
+    if !header.binary {
+        return Err(err(1, "ASCII file passed to the binary parser"));
+    }
+    read_binary_body(cur, header)
+}
+
+fn read_binary(bytes: &[u8], header: Header) -> Result<Design, ParseAigerError> {
+    let mut cur = Cursor {
+        bytes,
+        pos: 0,
+        line: 0,
+    };
+    cur.take_line("header")?;
+    read_binary_body(cur, header)
+}
+
+fn read_binary_body(mut cur: Cursor<'_>, header: Header) -> Result<Design, ParseAigerError> {
+    let mut file = AigerFile {
+        ..AigerFile::default()
+    };
+    // Inputs are implicit: variables 1..=I.
+    for pos in 0..header.i {
+        file.inputs.push((2 * (pos + 1), 0));
+    }
+    for pos in 0..header.l {
+        let line_text = cur.take_line(&format!("latch {pos}"))?;
+        let line = cur.line;
+        let toks: Vec<&str> = line_text.split_ascii_whitespace().collect();
+        if toks.is_empty() || toks.len() > 2 {
+            return Err(err(line, "binary latch line needs `next [reset]`"));
+        }
+        let lit = 2 * (header.i + pos + 1);
+        let next = parse_literal(toks[0], header.m, line, "latch next")?;
+        let reset = if toks.len() == 2 {
+            parse_literal(toks[1], header.m, line, "latch reset")?
+        } else {
+            0
+        };
+        file.latches.push((lit, next, reset, line));
+    }
+    for (count, what, dest) in [
+        (header.o, "output", 0usize),
+        (header.b, "bad state", 1),
+        (header.c, "constraint", 2),
+    ] {
+        for pos in 0..count {
+            let line_text = cur.take_line(&format!("{what} {pos}"))?;
+            let line = cur.line;
+            let lit = parse_literal(line_text.trim(), header.m, line, what)?;
+            match dest {
+                0 => file.outputs.push((lit, line)),
+                1 => file.bads.push((lit, line)),
+                _ => file.constraints.push((lit, line)),
+            }
+        }
+    }
+    // Delta-coded AND gates: lhs is implicit and strictly increasing.
+    for j in 0..header.a {
+        let lhs = 2 * (header.i + header.l + j + 1);
+        let delta0 = cur.take_delta()?;
+        if delta0 == 0 || delta0 > lhs as u64 {
+            return Err(err(
+                0,
+                format!("and gate {j}: delta0 {delta0} out of range for lhs {lhs}"),
+            ));
+        }
+        let rhs0 = lhs - delta0 as usize;
+        let delta1 = cur.take_delta()?;
+        if delta1 > rhs0 as u64 {
+            return Err(err(
+                0,
+                format!("and gate {j}: delta1 {delta1} out of range for rhs0 {rhs0}"),
+            ));
+        }
+        let rhs1 = rhs0 - delta1 as usize;
+        file.ands.push((lhs, rhs0, rhs1, 0));
+    }
+    // Symbol table and comments are plain text again.
+    let rest = std::str::from_utf8(&cur.bytes[cur.pos..])
+        .map_err(|_| err(cur.line + 1, "symbol table is not valid UTF-8"))?;
+    let base = cur.line;
+    read_symbols(
+        &mut file,
+        header,
+        rest.lines().enumerate().map(|(i, l)| (base + i + 1, l)),
+    )?;
+    build(file, header)
+}
+
+// ---------------------------------------------------------------------
+// Design construction
+// ---------------------------------------------------------------------
+
+fn build(file: AigerFile, header: Header) -> Result<Design, ParseAigerError> {
+    let mut d = Design::new();
+    // `bit_of[v]` is the Design edge of AIGER variable `v` once defined.
+    let mut bit_of: Vec<Option<Bit>> = vec![None; header.m + 1];
+    bit_of[0] = Some(Bit::new(crate::aig::NodeId::FALSE, false));
+
+    let define = |bit_of: &mut Vec<Option<Bit>>,
+                  lit: usize,
+                  line: usize,
+                  what: &str,
+                  bit: Bit|
+     -> Result<(), ParseAigerError> {
+        if !lit.is_multiple_of(2) {
+            return Err(err(line, format!("{what} literal {lit} must be even")));
+        }
+        if lit == 0 {
+            return Err(err(line, format!("{what} cannot define the constant")));
+        }
+        let slot = &mut bit_of[lit / 2];
+        if slot.is_some() {
+            return Err(err(
+                line,
+                format!("variable {} defined more than once", lit / 2),
+            ));
+        }
+        *slot = Some(bit);
+        Ok(())
+    };
+
+    for (pos, &(lit, line)) in file.inputs.iter().enumerate() {
+        let name = match file.symbols.get(&('i', pos)) {
+            Some(n) => n.clone(),
+            None => format!("i{pos}"),
+        };
+        let bit = d.new_input(&name);
+        define(&mut bit_of, lit, line, "input", bit)?;
+    }
+    for (pos, &(lit, _next, reset, line)) in file.latches.iter().enumerate() {
+        let init = if reset == 0 {
+            LatchInit::Zero
+        } else if reset == 1 {
+            LatchInit::One
+        } else if reset == lit {
+            LatchInit::Free
+        } else {
+            return Err(err(
+                line,
+                format!("latch reset {reset} must be 0, 1, or the latch literal {lit}"),
+            ));
+        };
+        let name = match file.symbols.get(&('l', pos)) {
+            Some(n) => n.clone(),
+            None => format!("l{pos}"),
+        };
+        let (_, output) = d.new_latch(&name, init);
+        define(&mut bit_of, lit, line, "latch", output)?;
+    }
+
+    // AND gates may appear in any order in the ASCII variant; resolve
+    // them to a fixed point and reject anything cyclic or undefined.
+    let mut remaining: Vec<(usize, usize, usize, usize)> = file.ands;
+    for &(lhs, _, _, line) in &remaining {
+        if !lhs.is_multiple_of(2) {
+            return Err(err(line, format!("and lhs literal {lhs} must be even")));
+        }
+    }
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        let mut deferred = Vec::with_capacity(remaining.len());
+        for (lhs, rhs0, rhs1, line) in remaining {
+            let (a, b) = (bit_of[rhs0 / 2], bit_of[rhs1 / 2]);
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    let a = if rhs0 % 2 == 1 { !a } else { a };
+                    let b = if rhs1 % 2 == 1 { !b } else { b };
+                    let out = d.aig.and(a, b);
+                    define(&mut bit_of, lhs, line, "and", out)?;
+                    progressed = true;
+                }
+                _ => deferred.push((lhs, rhs0, rhs1, line)),
+            }
+        }
+        if !progressed {
+            let (lhs, _, _, line) = deferred[0];
+            return Err(err(
+                line,
+                format!("and gate {lhs} depends on an undefined or cyclic literal"),
+            ));
+        }
+        remaining = deferred;
+    }
+
+    let resolve =
+        |bit_of: &[Option<Bit>], lit: usize, line: usize, what: &str| match bit_of[lit / 2] {
+            Some(b) => Ok(if lit % 2 == 1 { !b } else { b }),
+            None => Err(err(
+                line,
+                format!("{what} references undefined variable {}", lit / 2),
+            )),
+        };
+
+    for (pos, &(_, next, _, line)) in file.latches.iter().enumerate() {
+        let next = resolve(&bit_of, next, line, "latch next")?;
+        let output = d.latches()[pos].output;
+        d.set_next(output, next);
+    }
+    for (pos, &(lit, line)) in file.outputs.iter().enumerate() {
+        let bad = resolve(&bit_of, lit, line, "output")?;
+        let name = match file.symbols.get(&('o', pos)) {
+            Some(n) => n.clone(),
+            None => format!("o{pos}"),
+        };
+        d.add_property(&name, bad);
+    }
+    for (pos, &(lit, line)) in file.bads.iter().enumerate() {
+        let bad = resolve(&bit_of, lit, line, "bad state")?;
+        let name = match file.symbols.get(&('b', pos)) {
+            Some(n) => n.clone(),
+            None => format!("b{pos}"),
+        };
+        d.add_property(&name, bad);
+    }
+    for &(lit, line) in &file.constraints {
+        let c = resolve(&bit_of, lit, line, "constraint")?;
+        d.add_constraint(c);
+    }
+    d.check().map_err(|m| err(0, m))?;
+    Ok(d)
+}
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+/// Variable numbering shared by the two writers: free inputs first (in
+/// dense free-input order), then latches, then AND gates in topological
+/// node order — exactly the contiguous layout the binary format
+/// requires.
+struct Layout {
+    /// AIGER variable of every AIG node (`usize::MAX` = dead input slot,
+    /// which cannot occur on a memory-free checked design).
+    var_of: Vec<usize>,
+    /// `(a, b)` operand edges of each AND gate, in emission order.
+    ands: Vec<(Bit, Bit)>,
+    /// Resolved free-input names, in dense free-input order.
+    input_names: Vec<String>,
+}
+
+impl Layout {
+    fn lit(&self, bit: Bit) -> usize {
+        2 * self.var_of[bit.node().index()] + usize::from(bit.is_inverted())
+    }
+}
+
+fn checked_name(name: &str) -> Result<&str, WriteAigerError> {
+    if name.contains('\n') || name.contains('\r') {
+        return Err(WriteAigerError::UnwritableName(name.to_string()));
+    }
+    Ok(name)
+}
+
+fn layout(design: &Design) -> Result<Layout, WriteAigerError> {
+    if !design.memories().is_empty() {
+        return Err(WriteAigerError::Memories);
+    }
+    design.check().map_err(WriteAigerError::Invalid)?;
+    // Reverse name lookup for free inputs; pick the lexicographically
+    // smallest alias so the choice is deterministic.
+    let mut name_of: HashMap<usize, &str> = HashMap::new();
+    for (name, bit) in design.names() {
+        if bit.is_inverted() {
+            continue;
+        }
+        let slot = name_of.entry(bit.code()).or_insert(name);
+        if name < *slot {
+            *slot = name;
+        }
+    }
+    let free = design.free_inputs();
+    let mut var_of = vec![usize::MAX; design.aig.num_nodes()];
+    var_of[0] = 0;
+    let mut input_names = Vec::with_capacity(free.len());
+    for (pos, &idx) in free.iter().enumerate() {
+        let bit = design.input_bit(idx as usize);
+        var_of[bit.node().index()] = 1 + pos;
+        let name = name_of
+            .get(&bit.code())
+            .map_or_else(|| format!("i{pos}"), |n| n.to_string());
+        input_names.push(name);
+    }
+    for (pos, latch) in design.latches().iter().enumerate() {
+        var_of[latch.output.node().index()] = 1 + free.len() + pos;
+    }
+    let mut next_var = 1 + free.len() + design.num_latches();
+    let mut ands = Vec::with_capacity(design.aig.num_ands());
+    for (id, node) in design.aig.iter() {
+        if let Node::And(a, b) = node {
+            var_of[id.index()] = next_var;
+            next_var += 1;
+            ands.push((a, b));
+        }
+    }
+    Ok(Layout {
+        var_of,
+        ands,
+        input_names,
+    })
+}
+
+/// Header + latch/property/constraint sections shared by both writers;
+/// `lit_of_latch` yields the latch's own literal for Free resets.
+fn push_common(
+    out: &mut String,
+    design: &Design,
+    lay: &Layout,
+    binary: bool,
+) -> Result<(), WriteAigerError> {
+    use std::fmt::Write as _;
+    let i = design.free_inputs().len();
+    let l = design.num_latches();
+    let a = lay.ands.len();
+    let m = i + l + a;
+    let b = design.properties().len();
+    let c = design.constraints().len();
+    let magic = if binary { "aig" } else { "aag" };
+    if b == 0 && c == 0 {
+        let _ = writeln!(out, "{magic} {m} {i} {l} 0 {a}");
+    } else if c == 0 {
+        let _ = writeln!(out, "{magic} {m} {i} {l} 0 {a} {b}");
+    } else {
+        let _ = writeln!(out, "{magic} {m} {i} {l} 0 {a} {b} {c}");
+    }
+    if !binary {
+        for pos in 0..i {
+            let _ = writeln!(out, "{}", 2 * (pos + 1));
+        }
+    }
+    for (pos, latch) in design.latches().iter().enumerate() {
+        let own = 2 * (1 + i + pos);
+        let next = lay.lit(latch.next.expect("checked design"));
+        if !binary {
+            let _ = write!(out, "{own} ");
+        }
+        match latch.init {
+            LatchInit::Zero => {
+                let _ = writeln!(out, "{next}");
+            }
+            LatchInit::One => {
+                let _ = writeln!(out, "{next} 1");
+            }
+            LatchInit::Free => {
+                let _ = writeln!(out, "{next} {own}");
+            }
+        }
+    }
+    for p in design.properties() {
+        let _ = writeln!(out, "{}", lay.lit(p.bad));
+    }
+    for &cst in design.constraints() {
+        let _ = writeln!(out, "{}", lay.lit(cst));
+    }
+    Ok(())
+}
+
+fn push_symbols(out: &mut String, design: &Design, lay: &Layout) -> Result<(), WriteAigerError> {
+    use std::fmt::Write as _;
+    for (pos, name) in lay.input_names.iter().enumerate() {
+        let _ = writeln!(out, "i{pos} {}", checked_name(name)?);
+    }
+    for (pos, latch) in design.latches().iter().enumerate() {
+        if !latch.name.is_empty() {
+            let _ = writeln!(out, "l{pos} {}", checked_name(&latch.name)?);
+        }
+    }
+    for (pos, p) in design.properties().iter().enumerate() {
+        if !p.name.is_empty() {
+            let _ = writeln!(out, "b{pos} {}", checked_name(&p.name)?);
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a memory-free design as ASCII AIGER (`aag`, format 1.9):
+/// properties become bad-state (`B`) literals, constraints become `C`
+/// literals, and latch resets encode [`LatchInit`].
+///
+/// # Errors
+///
+/// [`WriteAigerError::Memories`] for designs with memory modules,
+/// [`WriteAigerError::Invalid`] when [`Design::check`] fails.
+pub fn write_aiger_ascii(design: &Design) -> Result<String, WriteAigerError> {
+    use std::fmt::Write as _;
+    let lay = layout(design)?;
+    let mut out = String::new();
+    push_common(&mut out, design, &lay, false)?;
+    let i = design.free_inputs().len();
+    let l = design.num_latches();
+    for (pos, &(a, b)) in lay.ands.iter().enumerate() {
+        let lhs = 2 * (1 + i + l + pos);
+        let (la, lb) = (lay.lit(a), lay.lit(b));
+        let (hi, lo) = if la >= lb { (la, lb) } else { (lb, la) };
+        let _ = writeln!(out, "{lhs} {hi} {lo}");
+    }
+    push_symbols(&mut out, design, &lay)?;
+    Ok(out)
+}
+
+/// Serializes a memory-free design as binary AIGER (`aig`, format 1.9)
+/// with delta-coded AND gates. Same mapping and errors as
+/// [`write_aiger_ascii`].
+pub fn write_aiger_binary(design: &Design) -> Result<Vec<u8>, WriteAigerError> {
+    let lay = layout(design)?;
+    let mut text = String::new();
+    push_common(&mut text, design, &lay, true)?;
+    let mut out = text.into_bytes();
+    let i = design.free_inputs().len();
+    let l = design.num_latches();
+    for (pos, &(a, b)) in lay.ands.iter().enumerate() {
+        let lhs = 2 * (1 + i + l + pos);
+        let (la, lb) = (lay.lit(a), lay.lit(b));
+        let (hi, lo) = if la >= lb { (la, lb) } else { (lb, la) };
+        debug_assert!(lhs > hi, "topological numbering violated");
+        push_delta(&mut out, (lhs - hi) as u64);
+        push_delta(&mut out, (hi - lo) as u64);
+    }
+    let mut symbols = String::new();
+    push_symbols(&mut symbols, design, &lay)?;
+    out.extend_from_slice(symbols.as_bytes());
+    Ok(out)
+}
+
+fn push_delta(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::MemInit;
+    use crate::sim::Simulator;
+
+    /// A 3-bit counter with an unreachable and a reachable property, one
+    /// free input gating the increment, and a mixed latch init.
+    fn counter() -> Design {
+        let mut d = Design::new();
+        let en = d.new_input("en");
+        let count = d.new_latch_word("count", 3, LatchInit::Zero);
+        let inc = d.aig.inc(&count);
+        let next = d.aig.mux_word(en, &inc, &count);
+        d.set_next_word(&count, &next);
+        let (_, sticky) = d.new_latch("sticky", LatchInit::One);
+        d.set_next(sticky, sticky);
+        let hit5 = d.aig.eq_const(&count, 5);
+        let bad = d.aig.and(hit5, sticky);
+        d.add_property("hits5", bad);
+        d.add_constraint(sticky);
+        d.check().unwrap();
+        d
+    }
+
+    #[test]
+    fn ascii_roundtrip_is_byte_identical() {
+        let d = counter();
+        let text = write_aiger_ascii(&d).unwrap();
+        let parsed = read_aiger(text.as_bytes()).unwrap();
+        assert_eq!(parsed.num_latches(), d.num_latches());
+        assert_eq!(parsed.free_inputs().len(), d.free_inputs().len());
+        assert_eq!(parsed.properties().len(), d.properties().len());
+        assert_eq!(parsed.constraints().len(), d.constraints().len());
+        assert_eq!(write_aiger_ascii(&parsed).unwrap(), text);
+    }
+
+    #[test]
+    fn binary_roundtrip_is_byte_identical() {
+        let d = counter();
+        let bytes = write_aiger_binary(&d).unwrap();
+        let parsed = read_aiger(&bytes).unwrap();
+        assert_eq!(write_aiger_binary(&parsed).unwrap(), bytes);
+        // And the two variants describe the same design.
+        let via_ascii = read_aiger(write_aiger_ascii(&d).unwrap().as_bytes()).unwrap();
+        assert_eq!(
+            write_aiger_binary(&via_ascii).unwrap(),
+            write_aiger_binary(&parsed).unwrap()
+        );
+    }
+
+    #[test]
+    fn parsed_design_simulates_identically() {
+        let d = counter();
+        let parsed = read_aiger(write_aiger_ascii(&d).unwrap().as_bytes()).unwrap();
+        let mut a = Simulator::new(&d);
+        let mut b = Simulator::new(&parsed);
+        for step in 0..12 {
+            let inputs = [step % 3 != 0];
+            let ra = a.step(&inputs);
+            let rb = b.step(&inputs);
+            assert_eq!(ra.property_bad, rb.property_bad, "step {step}");
+        }
+    }
+
+    #[test]
+    fn reset_values_map_to_latch_init() {
+        let text = "aag 3 0 3 0 0 1\n2 1\n4 3 1\n6 5 6\n6\n";
+        let d = read_aiger(text.as_bytes()).unwrap();
+        assert_eq!(d.latches()[0].init, LatchInit::Zero);
+        assert_eq!(d.latches()[1].init, LatchInit::One);
+        assert_eq!(d.latches()[2].init, LatchInit::Free);
+    }
+
+    #[test]
+    fn latch_names_survive_roundtrip() {
+        let d = counter();
+        let parsed = read_aiger(write_aiger_ascii(&d).unwrap().as_bytes()).unwrap();
+        assert_eq!(parsed.latches()[0].name, "count[0]");
+        assert_eq!(parsed.properties()[0].name, "hits5");
+        assert!(parsed.named("en").is_some());
+    }
+
+    #[test]
+    fn outputs_become_properties() {
+        let text = "aag 1 1 0 1 0\n2\n2\no0 watch_me\n";
+        let d = read_aiger(text.as_bytes()).unwrap();
+        assert_eq!(d.properties().len(), 1);
+        assert_eq!(d.properties()[0].name, "watch_me");
+    }
+
+    #[test]
+    fn memory_designs_are_rejected_by_the_writer() {
+        let mut d = Design::new();
+        d.add_memory("m", 2, 2, MemInit::Zero);
+        assert_eq!(write_aiger_ascii(&d), Err(WriteAigerError::Memories));
+        assert_eq!(write_aiger_binary(&d), Err(WriteAigerError::Memories));
+    }
+
+    #[test]
+    fn malformed_inputs_err_cleanly() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"aag",
+            b"nonsense 1 2 3",
+            b"aag 1 1 1 1",                      // too few counts
+            b"aag 1 2 0 0 0\n2\n4\n",            // I+L+A > M
+            b"aag 99999999999999999 0 0 0 0\n",  // count overflow
+            b"aag 1 1 0 0 0\n3\n",               // odd input literal
+            b"aag 1 1 0 1 0\n2\n9\n",            // literal out of range
+            b"aag 2 2 0 0 0\n2\n2\n",            // duplicate definition
+            b"aag 2 1 1 0 0\n2\n",               // truncated latch section
+            b"aag 2 1 1 0 0\n2\n4 2 5\n",        // bad reset literal
+            b"aag 3 1 0 0 2\n2\n4 6 2\n6 4 2\n", // cyclic ands
+            b"aag 1 1 0 0 0\n2\ni0 a\ni0 b\n",   // duplicate symbol
+            b"aag 1 1 0 0 0\n2\ni7 a\n",         // symbol position out of range
+            b"aag 1 1 0 0 0\n2\nz0 a\n",         // unknown symbol section
+            b"aig 2 1 0 0 1\n",                  // truncated binary ands
+            b"aig 2 1 0 0 1\n\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff", // delta overflow
+            b"aig 3 1 1 0 1\n4\n\x07\x01",       // delta0 out of range
+        ];
+        for (i, bytes) in cases.iter().enumerate() {
+            assert!(read_aiger(bytes).is_err(), "case {i} should fail");
+        }
+    }
+
+    #[test]
+    fn binary_requires_exact_variable_budget() {
+        // M != I + L + A is legal ASCII (gaps allowed) but not binary.
+        assert!(read_aiger(b"aig 5 1 0 0 1\n\x02\x01").is_err());
+    }
+
+    #[test]
+    fn comment_section_is_ignored() {
+        let text = "aag 1 1 0 1 0\n2\n2\nc\nanything at all\n1234\n";
+        assert!(read_aiger(text.as_bytes()).is_ok());
+    }
+}

@@ -1,0 +1,1544 @@
+//! BTOR2 reader and writer, with `sort array` mapped onto EMM memories.
+//!
+//! BTOR2 is the word-level model-checking format of the HWMCC family:
+//! every line defines a numbered node (`<id> <op> <args…>`), ids are
+//! strictly increasing, and operands must be defined before use. This
+//! module maps BTOR2 onto [`Design`]:
+//!
+//! * `sort bitvec W` / `sort array A D` — bit-vector and array sorts
+//!   (array index/element sorts must themselves be bit-vectors);
+//! * `input` — [`Design::new_input`] / [`Design::new_input_word`];
+//! * `state` of bit-vector sort — one latch per bit, default
+//!   [`LatchInit::Free`] until an `init` line says otherwise;
+//! * `state` of array sort — [`Design::add_memory`], the paper's EMM
+//!   array model: default [`MemInit::Arbitrary`], `init` with the
+//!   all-zero element constant → [`MemInit::Zero`];
+//! * `read` — [`Design::add_read_port`] with a constant-true enable
+//!   (BTOR2 has no read-enable concept);
+//! * array `next` — a chain of `write(…)` and `ite(c, write(base,…),
+//!   base)` nodes over the array state, each contributing one
+//!   [`Design::add_write_port`] (the `ite` condition becomes the
+//!   port's write enable);
+//! * `bad` → [`Design::add_property`], `constraint` →
+//!   [`Design::add_constraint`]; `output` lines are validated and
+//!   ignored ([`Design`] has no observable concept).
+//!
+//! [`write_btor2`] serializes any checked design, memories included.
+//! Read ports with non-constant enables are wrapped as
+//! `ite(en, read(mem, addr), oracle)` with a fresh *oracle* input word
+//! per port — a disabled EMM read yields an unconstrained value, which
+//! is exactly a free input. For designs whose read enables are all
+//! constant-true the writer emits plain `read` nodes and
+//! `write_btor2(read_btor2(write_btor2(d)))` is byte-identical; with
+//! oracle wrapping the fixed point is reached one round later.
+//!
+//! The parser returns structured [`ParseBtor2Error`]s — truncated
+//! lines, unknown operators, width mismatches, out-of-order ids and
+//! unsupported array patterns are all clean `Err`s, never panics.
+//!
+//! ```
+//! use emm_aig::btor2::{read_btor2, write_btor2};
+//!
+//! let src = "\
+//! 1 sort bitvec 1
+//! 2 state 1 flip
+//! 3 not 1 2
+//! 4 next 1 2 3
+//! 5 init 1 2 -6
+//! 6 one 1
+//! ";
+//! // ids must increase, so the init constant comes via negation:
+//! let src = src.replace("5 init 1 2 -6\n6 one 1\n", "5 zero 1\n6 init 1 2 5\n7 bad 2\n");
+//! let d = read_btor2(&src).unwrap();
+//! assert_eq!(d.num_latches(), 1);
+//! let text = write_btor2(&d).unwrap();
+//! assert_eq!(write_btor2(&read_btor2(&text).unwrap()).unwrap(), text);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::aig::{Aig, Bit, Node};
+use crate::design::{Design, InputKind, LatchId, LatchInit, MemInit, MemoryId};
+use crate::word::Word;
+
+/// Hard cap on node ids, keeping fuzzed files from ballooning tables.
+const MAX_ID: usize = 1 << 24;
+/// Hard cap on bit-vector widths (constants are parsed through `u64`).
+const MAX_WIDTH: usize = 64;
+/// Hard cap on array address widths.
+const MAX_ADDR_WIDTH: usize = 32;
+
+/// Error from the BTOR2 parser, with the 1-based line it was detected
+/// on (`line == 0` for whole-file errors such as a failing
+/// [`Design::check`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBtor2Error {
+    /// 1-based source line, or 0 for whole-file errors.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBtor2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "btor2: {}", self.message)
+        } else {
+            write!(f, "btor2 line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseBtor2Error {}
+
+/// Error from [`write_btor2`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteBtor2Error {
+    /// The design failed [`Design::check`].
+    Invalid(String),
+    /// A read port's address or enable depends (combinationally) on its
+    /// own read data, which has no BTOR2 expression.
+    CyclicReadPort(String),
+}
+
+impl fmt::Display for WriteBtor2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteBtor2Error::Invalid(m) => write!(f, "btor2: invalid design: {m}"),
+            WriteBtor2Error::CyclicReadPort(m) => {
+                write!(f, "btor2: cyclic read port: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WriteBtor2Error {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseBtor2Error {
+    ParseBtor2Error {
+        line,
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SortVal {
+    Bv(usize),
+    Arr { aw: usize, dw: usize },
+}
+
+/// An array-typed expression, kept symbolic until the `next` line of
+/// the underlying state resolves it into write ports.
+enum ArrKind {
+    State,
+    Write {
+        base: usize,
+        addr: Word,
+        data: Word,
+    },
+    Ite {
+        cond: Bit,
+        then_id: usize,
+        else_id: usize,
+    },
+}
+
+enum NodeVal {
+    Sort(SortVal),
+    Bv {
+        word: Word,
+        /// `Some` iff this node is a bit-vector `state` line.
+        state: Option<Vec<LatchId>>,
+    },
+    Arr {
+        kind: ArrKind,
+        mem: MemoryId,
+    },
+}
+
+struct Parser {
+    d: Design,
+    nodes: HashMap<usize, NodeVal>,
+    last_id: usize,
+    /// State node ids whose `init` line has been seen.
+    inited: Vec<usize>,
+    /// State node ids whose `next` line has been seen.
+    nexted: Vec<usize>,
+    num_bads: usize,
+}
+
+impl Parser {
+    fn node(&self, tok: &str, line: usize) -> Result<(usize, bool), ParseBtor2Error> {
+        let (neg, body) = match tok.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, tok),
+        };
+        let id: usize = body
+            .parse()
+            .map_err(|_| err(line, format!("malformed node id {tok:?}")))?;
+        if id == 0 || id > MAX_ID {
+            return Err(err(line, format!("node id {id} out of range")));
+        }
+        if !self.nodes.contains_key(&id) {
+            return Err(err(line, format!("node {id} used before definition")));
+        }
+        Ok((id, neg))
+    }
+
+    fn sort(&self, tok: &str, line: usize) -> Result<SortVal, ParseBtor2Error> {
+        let (id, neg) = self.node(tok, line)?;
+        match (neg, &self.nodes[&id]) {
+            (false, NodeVal::Sort(s)) => Ok(*s),
+            _ => Err(err(line, format!("node {id} is not a sort"))),
+        }
+    }
+
+    fn bv_sort(&self, tok: &str, line: usize) -> Result<usize, ParseBtor2Error> {
+        match self.sort(tok, line)? {
+            SortVal::Bv(w) => Ok(w),
+            SortVal::Arr { .. } => Err(err(line, "expected a bitvec sort, found an array sort")),
+        }
+    }
+
+    /// Resolves a bit-vector operand of the given width; a leading `-`
+    /// is BTOR2's inline bitwise negation.
+    fn bv(&mut self, tok: &str, width: usize, line: usize) -> Result<Word, ParseBtor2Error> {
+        let (id, neg) = self.node(tok, line)?;
+        let word = match &self.nodes[&id] {
+            NodeVal::Bv { word, .. } => word.clone(),
+            _ => return Err(err(line, format!("node {id} is not a bitvec"))),
+        };
+        if word.width() != width {
+            return Err(err(
+                line,
+                format!(
+                    "width mismatch: node {id} has width {}, expected {width}",
+                    word.width()
+                ),
+            ));
+        }
+        Ok(if neg {
+            self.d.aig.word_not(&word)
+        } else {
+            word
+        })
+    }
+
+    fn bit(&mut self, tok: &str, line: usize) -> Result<Bit, ParseBtor2Error> {
+        Ok(self.bv(tok, 1, line)?.bit(0))
+    }
+
+    fn arr(&self, tok: &str, line: usize) -> Result<(usize, MemoryId), ParseBtor2Error> {
+        let (id, neg) = self.node(tok, line)?;
+        match (neg, &self.nodes[&id]) {
+            (false, NodeVal::Arr { mem, .. }) => Ok((id, *mem)),
+            _ => Err(err(line, format!("node {id} is not an array"))),
+        }
+    }
+
+    fn define(&mut self, id: usize, val: NodeVal) {
+        self.nodes.insert(id, val);
+        self.last_id = id;
+    }
+
+    /// Turns the array `next` expression rooted at `id` into write
+    /// ports on `mem`. `en` accumulates the `ite` conditions guarding
+    /// the current branch.
+    fn collect_write_ports(
+        &mut self,
+        mem: MemoryId,
+        id: usize,
+        en: Bit,
+        line: usize,
+    ) -> Result<(), ParseBtor2Error> {
+        match &self.nodes[&id] {
+            NodeVal::Arr {
+                kind: ArrKind::State,
+                mem: m,
+            } => {
+                if *m != mem {
+                    return Err(err(line, "array next refers to a different array state"));
+                }
+                Ok(())
+            }
+            NodeVal::Arr {
+                kind: ArrKind::Write { base, addr, data },
+                mem: m,
+            } => {
+                if *m != mem {
+                    return Err(err(line, "array next refers to a different array state"));
+                }
+                let (base, addr, data) = (*base, addr.clone(), data.clone());
+                self.collect_write_ports(mem, base, en, line)?;
+                self.d.add_write_port(mem, addr, en, data);
+                Ok(())
+            }
+            NodeVal::Arr {
+                kind:
+                    ArrKind::Ite {
+                        cond,
+                        then_id,
+                        else_id,
+                    },
+                ..
+            } => {
+                let (cond, then_id, else_id) = (*cond, *then_id, *else_id);
+                // The supported shapes are `ite(c, write(base, …), base)`
+                // and its mirror — a conditional write over a shared
+                // base, which is exactly a guarded write port.
+                if let NodeVal::Arr {
+                    kind: ArrKind::Write { base, addr, data },
+                    ..
+                } = &self.nodes[&then_id]
+                {
+                    if *base == else_id {
+                        let (addr, data) = (addr.clone(), data.clone());
+                        self.collect_write_ports(mem, else_id, en, line)?;
+                        let guarded = self.d.aig.and(en, cond);
+                        self.d.add_write_port(mem, addr, guarded, data);
+                        return Ok(());
+                    }
+                }
+                if let NodeVal::Arr {
+                    kind: ArrKind::Write { base, addr, data },
+                    ..
+                } = &self.nodes[&else_id]
+                {
+                    if *base == then_id {
+                        let (addr, data) = (addr.clone(), data.clone());
+                        self.collect_write_ports(mem, then_id, en, line)?;
+                        let guarded = self.d.aig.and(en, !cond);
+                        self.d.add_write_port(mem, addr, guarded, data);
+                        return Ok(());
+                    }
+                }
+                Err(err(
+                    line,
+                    "unsupported array next pattern: ite branches must be \
+                     `write(base, …)` vs that same base",
+                ))
+            }
+            _ => Err(err(line, format!("node {id} is not an array expression"))),
+        }
+    }
+}
+
+fn const_bits(aig_true: bool) -> Bit {
+    if aig_true {
+        Aig::TRUE
+    } else {
+        Aig::FALSE
+    }
+}
+
+fn parse_width(tok: &str, line: usize, what: &str, max: usize) -> Result<usize, ParseBtor2Error> {
+    let w: usize = tok
+        .parse()
+        .map_err(|_| err(line, format!("malformed {what} {tok:?}")))?;
+    if w == 0 || w > max {
+        return Err(err(line, format!("{what} {w} out of range (1..={max})")));
+    }
+    Ok(w)
+}
+
+fn const_word_of(value: u64, width: usize) -> Word {
+    Word(
+        (0..width)
+            .map(|i| const_bits((value >> i) & 1 == 1))
+            .collect(),
+    )
+}
+
+/// Parses a BTOR2 file into a [`Design`]. See the [module docs]
+/// (self) for the supported operator subset and the array → EMM
+/// mapping.
+///
+/// # Errors
+///
+/// A [`ParseBtor2Error`] naming the offending line for malformed ids,
+/// unknown or mis-arity operators, sort/width mismatches, duplicate
+/// `init`/`next` lines, unsupported array patterns, and designs that
+/// fail [`Design::check`] (e.g. a state with no `next`).
+pub fn read_btor2(text: &str) -> Result<Design, ParseBtor2Error> {
+    let mut p = Parser {
+        d: Design::new(),
+        nodes: HashMap::new(),
+        last_id: 0,
+        inited: Vec::new(),
+        nexted: Vec::new(),
+        num_bads: 0,
+    };
+    for (line0, raw) in text.lines().enumerate() {
+        let line = line0 + 1;
+        let body = match raw.find(';') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let toks: Vec<&str> = body.split_ascii_whitespace().collect();
+        if toks.is_empty() {
+            continue;
+        }
+        let id: usize = toks[0]
+            .parse()
+            .map_err(|_| err(line, format!("malformed line id {:?}", toks[0])))?;
+        if id <= p.last_id || id > MAX_ID {
+            return Err(err(
+                line,
+                format!(
+                    "line id {id} must be strictly increasing (last was {})",
+                    p.last_id
+                ),
+            ));
+        }
+        let op = *toks
+            .get(1)
+            .ok_or_else(|| err(line, "line needs an operator"))?;
+        let args = &toks[2..];
+        let need = |n: usize| -> Result<(), ParseBtor2Error> {
+            if args.len() < n {
+                Err(err(line, format!("`{op}` needs {n} arguments")))
+            } else {
+                Ok(())
+            }
+        };
+        match op {
+            "sort" => {
+                need(1)?;
+                match args[0] {
+                    "bitvec" => {
+                        need(2)?;
+                        let w = parse_width(args[1], line, "bitvec width", MAX_WIDTH)?;
+                        p.define(id, NodeVal::Sort(SortVal::Bv(w)));
+                    }
+                    "array" => {
+                        need(3)?;
+                        let aw = p.bv_sort(args[1], line)?;
+                        let dw = p.bv_sort(args[2], line)?;
+                        if aw > MAX_ADDR_WIDTH {
+                            return Err(err(
+                                line,
+                                format!(
+                                    "array index width {aw} out of range (1..={MAX_ADDR_WIDTH})"
+                                ),
+                            ));
+                        }
+                        p.define(id, NodeVal::Sort(SortVal::Arr { aw, dw }));
+                    }
+                    other => return Err(err(line, format!("unknown sort kind {other:?}"))),
+                }
+            }
+            "input" => {
+                need(1)?;
+                let w = p.bv_sort(args[0], line)?;
+                let name = args
+                    .get(1)
+                    .map_or_else(|| format!("n{id}"), |s| s.to_string());
+                let word = if w == 1 {
+                    Word::from_bit(p.d.new_input(&name))
+                } else {
+                    p.d.new_input_word(&name, w)
+                };
+                p.define(id, NodeVal::Bv { word, state: None });
+            }
+            "state" => {
+                need(1)?;
+                let name = args
+                    .get(1)
+                    .map_or_else(|| format!("n{id}"), |s| s.to_string());
+                match p.sort(args[0], line)? {
+                    SortVal::Bv(w) => {
+                        let mut lids = Vec::with_capacity(w);
+                        let mut bits = Vec::with_capacity(w);
+                        for i in 0..w {
+                            let bn = if w == 1 {
+                                name.clone()
+                            } else {
+                                format!("{name}[{i}]")
+                            };
+                            let (lid, bit) = p.d.new_latch(&bn, LatchInit::Free);
+                            lids.push(lid);
+                            bits.push(bit);
+                        }
+                        p.define(
+                            id,
+                            NodeVal::Bv {
+                                word: Word(bits),
+                                state: Some(lids),
+                            },
+                        );
+                    }
+                    SortVal::Arr { aw, dw } => {
+                        let mem = p.d.add_memory(&name, aw, dw, MemInit::Arbitrary);
+                        p.define(
+                            id,
+                            NodeVal::Arr {
+                                kind: ArrKind::State,
+                                mem,
+                            },
+                        );
+                    }
+                }
+            }
+            "init" => {
+                need(3)?;
+                let sort = p.sort(args[0], line)?;
+                let (state_id, neg) = p.node(args[1], line)?;
+                if neg {
+                    return Err(err(line, "init state operand cannot be negated"));
+                }
+                if p.inited.contains(&state_id) {
+                    return Err(err(line, format!("duplicate init for state {state_id}")));
+                }
+                match sort {
+                    SortVal::Bv(w) => {
+                        let lids = match &p.nodes[&state_id] {
+                            NodeVal::Bv {
+                                state: Some(lids), ..
+                            } => lids.clone(),
+                            _ => {
+                                return Err(err(
+                                    line,
+                                    format!("init target {state_id} is not a bitvec state"),
+                                ))
+                            }
+                        };
+                        if lids.len() != w {
+                            return Err(err(line, "init sort does not match the state sort"));
+                        }
+                        let value = p.bv(args[2], w, line)?;
+                        for (i, &lid) in lids.iter().enumerate() {
+                            let init = match value.bit(i) {
+                                b if b == Aig::FALSE => LatchInit::Zero,
+                                b if b == Aig::TRUE => LatchInit::One,
+                                _ => {
+                                    return Err(err(
+                                        line,
+                                        "only constant bitvec init values are supported",
+                                    ))
+                                }
+                            };
+                            p.d.set_latch_init(lid, init);
+                        }
+                    }
+                    SortVal::Arr { dw, .. } => {
+                        let (sid, mem) = p.arr(args[1], line)?;
+                        debug_assert_eq!(sid, state_id);
+                        if !matches!(
+                            p.nodes[&state_id],
+                            NodeVal::Arr {
+                                kind: ArrKind::State,
+                                ..
+                            }
+                        ) {
+                            return Err(err(line, "array init target must be a state"));
+                        }
+                        let value = p.bv(args[2], dw, line)?;
+                        if value.bits().iter().any(|&b| b != Aig::FALSE) {
+                            return Err(err(
+                                line,
+                                "only the all-zero array init is supported (MemInit::Zero)",
+                            ));
+                        }
+                        p.d.set_memory_init(mem, MemInit::Zero);
+                    }
+                }
+                p.inited.push(state_id);
+                p.last_id = id;
+            }
+            "next" => {
+                need(3)?;
+                let sort = p.sort(args[0], line)?;
+                let (state_id, neg) = p.node(args[1], line)?;
+                if neg {
+                    return Err(err(line, "next state operand cannot be negated"));
+                }
+                if p.nexted.contains(&state_id) {
+                    return Err(err(line, format!("duplicate next for state {state_id}")));
+                }
+                match sort {
+                    SortVal::Bv(w) => {
+                        let (word, lids) = match &p.nodes[&state_id] {
+                            NodeVal::Bv {
+                                word,
+                                state: Some(lids),
+                            } => (word.clone(), lids.clone()),
+                            _ => {
+                                return Err(err(
+                                    line,
+                                    format!("next target {state_id} is not a bitvec state"),
+                                ))
+                            }
+                        };
+                        if lids.len() != w {
+                            return Err(err(line, "next sort does not match the state sort"));
+                        }
+                        let value = p.bv(args[2], w, line)?;
+                        for i in 0..w {
+                            p.d.set_next(word.bit(i), value.bit(i));
+                        }
+                    }
+                    SortVal::Arr { .. } => {
+                        let (_, mem) = p.arr(args[1], line)?;
+                        if !matches!(
+                            p.nodes[&state_id],
+                            NodeVal::Arr {
+                                kind: ArrKind::State,
+                                ..
+                            }
+                        ) {
+                            return Err(err(line, "array next target must be a state"));
+                        }
+                        let (next_id, nneg) = p.node(args[2], line)?;
+                        if nneg {
+                            return Err(err(line, "array next value cannot be negated"));
+                        }
+                        p.collect_write_ports(mem, next_id, Aig::TRUE, line)?;
+                    }
+                }
+                p.nexted.push(state_id);
+                p.last_id = id;
+            }
+            "bad" => {
+                need(1)?;
+                let bit = p.bit(args[0], line)?;
+                let name = args
+                    .get(1)
+                    .map_or_else(|| format!("b{}", p.num_bads), |s| s.to_string());
+                p.d.add_property(&name, bit);
+                p.num_bads += 1;
+                p.last_id = id;
+            }
+            "constraint" => {
+                need(1)?;
+                let bit = p.bit(args[0], line)?;
+                p.d.add_constraint(bit);
+                p.last_id = id;
+            }
+            "output" => {
+                need(1)?;
+                // Validated but ignored: Design has no observable concept.
+                let _ = p.node(args[0], line)?;
+                p.last_id = id;
+            }
+            "zero" | "one" | "ones" => {
+                need(1)?;
+                let w = p.bv_sort(args[0], line)?;
+                let value = match op {
+                    "zero" => 0,
+                    "one" => 1,
+                    _ => u64::MAX >> (64 - w),
+                };
+                p.define(
+                    id,
+                    NodeVal::Bv {
+                        word: const_word_of(value, w),
+                        state: None,
+                    },
+                );
+            }
+            "const" | "constd" | "consth" => {
+                need(2)?;
+                let w = p.bv_sort(args[0], line)?;
+                let value = match op {
+                    "const" => {
+                        if args[1].len() != w {
+                            return Err(err(
+                                line,
+                                format!("binary constant {:?} is not {w} bits", args[1]),
+                            ));
+                        }
+                        u64::from_str_radix(args[1], 2)
+                    }
+                    "constd" => args[1].parse::<u64>(),
+                    _ => u64::from_str_radix(args[1].trim_start_matches("0x"), 16),
+                }
+                .map_err(|_| err(line, format!("malformed constant {:?}", args[1])))?;
+                if w < 64 && value >> w != 0 {
+                    return Err(err(
+                        line,
+                        format!("constant {value} does not fit in {w} bits"),
+                    ));
+                }
+                p.define(
+                    id,
+                    NodeVal::Bv {
+                        word: const_word_of(value, w),
+                        state: None,
+                    },
+                );
+            }
+            "not" => {
+                need(2)?;
+                let w = p.bv_sort(args[0], line)?;
+                let a = p.bv(args[1], w, line)?;
+                let word = p.d.aig.word_not(&a);
+                p.define(id, NodeVal::Bv { word, state: None });
+            }
+            "and" | "or" | "xor" | "nand" | "nor" | "xnor" | "implies" | "iff" => {
+                need(3)?;
+                let w = p.bv_sort(args[0], line)?;
+                if matches!(op, "implies" | "iff") && w != 1 {
+                    return Err(err(line, format!("`{op}` requires a 1-bit sort")));
+                }
+                let a = p.bv(args[1], w, line)?;
+                let b = p.bv(args[2], w, line)?;
+                let aig = &mut p.d.aig;
+                let word = match op {
+                    "and" => aig.word_and(&a, &b),
+                    "or" => aig.word_or(&a, &b),
+                    "xor" => aig.word_xor(&a, &b),
+                    "nand" => {
+                        let t = aig.word_and(&a, &b);
+                        aig.word_not(&t)
+                    }
+                    "nor" => {
+                        let t = aig.word_or(&a, &b);
+                        aig.word_not(&t)
+                    }
+                    "xnor" | "iff" => {
+                        let t = aig.word_xor(&a, &b);
+                        aig.word_not(&t)
+                    }
+                    _ => {
+                        let na = aig.word_not(&a);
+                        aig.word_or(&na, &b)
+                    }
+                };
+                p.define(id, NodeVal::Bv { word, state: None });
+            }
+            "eq" | "neq" => {
+                need(3)?;
+                let w = p.bv_sort(args[0], line)?;
+                if w != 1 {
+                    return Err(err(line, format!("`{op}` produces a 1-bit result")));
+                }
+                // Operand width is taken from the first operand.
+                let (aid, _) = p.node(args[1], line)?;
+                let ow = match &p.nodes[&aid] {
+                    NodeVal::Bv { word, .. } => word.width(),
+                    _ => return Err(err(line, format!("node {aid} is not a bitvec"))),
+                };
+                let a = p.bv(args[1], ow, line)?;
+                let b = p.bv(args[2], ow, line)?;
+                let mut bit = p.d.aig.eq_word(&a, &b);
+                if op == "neq" {
+                    bit = !bit;
+                }
+                p.define(
+                    id,
+                    NodeVal::Bv {
+                        word: Word::from_bit(bit),
+                        state: None,
+                    },
+                );
+            }
+            "ult" | "ulte" | "ugt" | "ugte" => {
+                need(3)?;
+                let w = p.bv_sort(args[0], line)?;
+                if w != 1 {
+                    return Err(err(line, format!("`{op}` produces a 1-bit result")));
+                }
+                let (aid, _) = p.node(args[1], line)?;
+                let ow = match &p.nodes[&aid] {
+                    NodeVal::Bv { word, .. } => word.width(),
+                    _ => return Err(err(line, format!("node {aid} is not a bitvec"))),
+                };
+                let a = p.bv(args[1], ow, line)?;
+                let b = p.bv(args[2], ow, line)?;
+                let aig = &mut p.d.aig;
+                let bit = match op {
+                    "ult" => aig.ult(&a, &b),
+                    "ulte" => aig.ule(&a, &b),
+                    "ugt" => aig.ugt(&a, &b),
+                    _ => aig.ule(&b, &a),
+                };
+                p.define(
+                    id,
+                    NodeVal::Bv {
+                        word: Word::from_bit(bit),
+                        state: None,
+                    },
+                );
+            }
+            "ite" => {
+                need(4)?;
+                match p.sort(args[0], line)? {
+                    SortVal::Bv(w) => {
+                        let cond = p.bit(args[1], line)?;
+                        let t = p.bv(args[2], w, line)?;
+                        let e = p.bv(args[3], w, line)?;
+                        let word = p.d.aig.mux_word(cond, &t, &e);
+                        p.define(id, NodeVal::Bv { word, state: None });
+                    }
+                    SortVal::Arr { .. } => {
+                        let cond = p.bit(args[1], line)?;
+                        let (then_id, tm) = p.arr(args[2], line)?;
+                        let (else_id, em) = p.arr(args[3], line)?;
+                        if tm != em {
+                            return Err(err(line, "array ite branches mix different arrays"));
+                        }
+                        p.define(
+                            id,
+                            NodeVal::Arr {
+                                kind: ArrKind::Ite {
+                                    cond,
+                                    then_id,
+                                    else_id,
+                                },
+                                mem: tm,
+                            },
+                        );
+                    }
+                }
+            }
+            "add" | "sub" => {
+                need(3)?;
+                let w = p.bv_sort(args[0], line)?;
+                let a = p.bv(args[1], w, line)?;
+                let b = p.bv(args[2], w, line)?;
+                let aig = &mut p.d.aig;
+                let word = if op == "add" {
+                    aig.add(&a, &b)
+                } else {
+                    aig.sub(&a, &b)
+                };
+                p.define(id, NodeVal::Bv { word, state: None });
+            }
+            "inc" | "dec" => {
+                need(2)?;
+                let w = p.bv_sort(args[0], line)?;
+                let a = p.bv(args[1], w, line)?;
+                let aig = &mut p.d.aig;
+                let word = if op == "inc" {
+                    aig.inc(&a)
+                } else {
+                    aig.dec(&a)
+                };
+                p.define(id, NodeVal::Bv { word, state: None });
+            }
+            "redor" | "redand" => {
+                need(2)?;
+                let w = p.bv_sort(args[0], line)?;
+                if w != 1 {
+                    return Err(err(line, format!("`{op}` produces a 1-bit result")));
+                }
+                let (aid, _) = p.node(args[1], line)?;
+                let ow = match &p.nodes[&aid] {
+                    NodeVal::Bv { word, .. } => word.width(),
+                    _ => return Err(err(line, format!("node {aid} is not a bitvec"))),
+                };
+                let a = p.bv(args[1], ow, line)?;
+                let aig = &mut p.d.aig;
+                let bit = if op == "redor" {
+                    aig.redor(&a)
+                } else {
+                    aig.redand(&a)
+                };
+                p.define(
+                    id,
+                    NodeVal::Bv {
+                        word: Word::from_bit(bit),
+                        state: None,
+                    },
+                );
+            }
+            "concat" => {
+                need(3)?;
+                let w = p.bv_sort(args[0], line)?;
+                let (hid, _) = p.node(args[1], line)?;
+                let hw = match &p.nodes[&hid] {
+                    NodeVal::Bv { word, .. } => word.width(),
+                    _ => return Err(err(line, format!("node {hid} is not a bitvec"))),
+                };
+                if hw >= w {
+                    return Err(err(line, "concat high operand as wide as the result"));
+                }
+                let hi = p.bv(args[1], hw, line)?;
+                let lo = p.bv(args[2], w - hw, line)?;
+                let mut bits = lo.bits().to_vec();
+                bits.extend_from_slice(hi.bits());
+                p.define(
+                    id,
+                    NodeVal::Bv {
+                        word: Word(bits),
+                        state: None,
+                    },
+                );
+            }
+            "slice" => {
+                need(4)?;
+                let w = p.bv_sort(args[0], line)?;
+                let (aid, _) = p.node(args[1], line)?;
+                let ow = match &p.nodes[&aid] {
+                    NodeVal::Bv { word, .. } => word.width(),
+                    _ => return Err(err(line, format!("node {aid} is not a bitvec"))),
+                };
+                let upper: usize = args[2]
+                    .parse()
+                    .map_err(|_| err(line, format!("malformed slice bound {:?}", args[2])))?;
+                let lower: usize = args[3]
+                    .parse()
+                    .map_err(|_| err(line, format!("malformed slice bound {:?}", args[3])))?;
+                if lower > upper || upper >= ow {
+                    return Err(err(
+                        line,
+                        format!("slice [{upper}:{lower}] out of range for width {ow}"),
+                    ));
+                }
+                if upper - lower + 1 != w {
+                    return Err(err(line, "slice sort does not match the bound width"));
+                }
+                let a = p.bv(args[1], ow, line)?;
+                p.define(
+                    id,
+                    NodeVal::Bv {
+                        word: Word(a.bits()[lower..=upper].to_vec()),
+                        state: None,
+                    },
+                );
+            }
+            "uext" | "sext" => {
+                need(3)?;
+                let w = p.bv_sort(args[0], line)?;
+                let pad: usize = args[2]
+                    .parse()
+                    .map_err(|_| err(line, format!("malformed extension width {:?}", args[2])))?;
+                if pad >= w {
+                    return Err(err(line, "extension width as wide as the result"));
+                }
+                let a = p.bv(args[1], w - pad, line)?;
+                let fill = if op == "uext" {
+                    Aig::FALSE
+                } else {
+                    a.bit(a.width() - 1)
+                };
+                let mut bits = a.bits().to_vec();
+                bits.resize(w, fill);
+                p.define(
+                    id,
+                    NodeVal::Bv {
+                        word: Word(bits),
+                        state: None,
+                    },
+                );
+            }
+            "read" => {
+                need(3)?;
+                let w = p.bv_sort(args[0], line)?;
+                let (arr_id, mem) = p.arr(args[1], line)?;
+                if !matches!(
+                    p.nodes[&arr_id],
+                    NodeVal::Arr {
+                        kind: ArrKind::State,
+                        ..
+                    }
+                ) {
+                    return Err(err(
+                        line,
+                        "reads of intermediate writes are not supported; read the state",
+                    ));
+                }
+                let (aw, dw) = {
+                    let m = p.d.memory(mem);
+                    (m.addr_width, m.data_width)
+                };
+                if w != dw {
+                    return Err(err(line, "read sort does not match the array element sort"));
+                }
+                let addr = p.bv(args[2], aw, line)?;
+                let word = p.d.add_read_port(mem, addr, Aig::TRUE);
+                p.define(id, NodeVal::Bv { word, state: None });
+            }
+            "write" => {
+                need(4)?;
+                let (aw, dw) = match p.sort(args[0], line)? {
+                    SortVal::Arr { aw, dw } => (aw, dw),
+                    SortVal::Bv(_) => return Err(err(line, "`write` requires an array sort")),
+                };
+                let (base, mem) = p.arr(args[1], line)?;
+                let m = p.d.memory(mem);
+                if m.addr_width != aw || m.data_width != dw {
+                    return Err(err(line, "write sort does not match the array sort"));
+                }
+                let addr = p.bv(args[2], aw, line)?;
+                let data = p.bv(args[3], dw, line)?;
+                p.define(
+                    id,
+                    NodeVal::Arr {
+                        kind: ArrKind::Write { base, addr, data },
+                        mem,
+                    },
+                );
+            }
+            other => return Err(err(line, format!("unsupported operator {other:?}"))),
+        }
+    }
+    p.d.check().map_err(|m| err(0, m))?;
+    Ok(p.d)
+}
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+enum SortKey {
+    Bv(usize),
+    Arr(usize, usize),
+}
+
+struct Writer<'a> {
+    d: &'a Design,
+    out: String,
+    next_id: usize,
+    sorts: HashMap<SortKey, usize>,
+    /// `Bit::code() → node id` for every lowered edge.
+    bit_id: HashMap<usize, usize>,
+    /// `MemoryId index → state node id`.
+    mem_state: Vec<usize>,
+    /// Read ports already emitted, per memory.
+    read_done: Vec<Vec<bool>>,
+    /// Read ports currently being emitted (cycle guard).
+    read_busy: Vec<Vec<bool>>,
+}
+
+impl<'a> Writer<'a> {
+    fn fresh(&mut self) -> usize {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn line(&mut self, id: usize, body: &str) {
+        use std::fmt::Write as _;
+        let _ = writeln!(self.out, "{id} {body}");
+    }
+
+    fn sort_id(&mut self, key: SortKey) -> usize {
+        if let Some(&id) = self.sorts.get(&key) {
+            return id;
+        }
+        let body = match key {
+            SortKey::Bv(w) => format!("sort bitvec {w}"),
+            SortKey::Arr(aw, dw) => {
+                let a = self.sort_id(SortKey::Bv(aw));
+                let d = self.sort_id(SortKey::Bv(dw));
+                format!("sort array {a} {d}")
+            }
+        };
+        let id = self.fresh();
+        self.line(id, &body);
+        self.sorts.insert(key, id);
+        id
+    }
+
+    /// Appends the optional symbol for a name; names that would break
+    /// tokenization (empty or containing whitespace) are dropped.
+    fn symbol(name: &str) -> String {
+        if !name.is_empty() && !name.contains(char::is_whitespace) {
+            format!(" {name}")
+        } else {
+            String::new()
+        }
+    }
+
+    fn lower_bit(&mut self, bit: Bit) -> Result<usize, WriteBtor2Error> {
+        if let Some(&id) = self.bit_id.get(&bit.code()) {
+            return Ok(id);
+        }
+        let id = if bit == Aig::FALSE {
+            let s = self.sort_id(SortKey::Bv(1));
+            let id = self.fresh();
+            self.line(id, &format!("zero {s}"));
+            id
+        } else if bit == Aig::TRUE {
+            let s = self.sort_id(SortKey::Bv(1));
+            let id = self.fresh();
+            self.line(id, &format!("one {s}"));
+            id
+        } else if bit.is_inverted() {
+            let inner = self.lower_bit(!bit)?;
+            let s = self.sort_id(SortKey::Bv(1));
+            let id = self.fresh();
+            self.line(id, &format!("not {s} {inner}"));
+            id
+        } else {
+            match self.d.aig.node(bit.node()) {
+                Node::And(a, b) => {
+                    // The AIG stores operands sorted by Bit code, which
+                    // is a function of node *creation* order — not stable
+                    // across a parse. Order everything by emitted ids
+                    // instead (`not` wrappers included, via the already
+                    // emitted base nodes), so the output is a pure
+                    // function of the graph and round trips byte-stably.
+                    let base = |w: &Writer<'a>, bit: Bit| {
+                        w.bit_id.get(&Bit::new(bit.node(), false).code()).copied()
+                    };
+                    let (first, second) = match (base(self, a), base(self, b)) {
+                        (Some(x), Some(y)) if y < x => (b, a),
+                        _ => (a, b),
+                    };
+                    let i1 = self.lower_bit(first)?;
+                    let i2 = self.lower_bit(second)?;
+                    let s = self.sort_id(SortKey::Bv(1));
+                    let id = self.fresh();
+                    let (lo, hi) = if i1 <= i2 { (i1, i2) } else { (i2, i1) };
+                    self.line(id, &format!("and {s} {lo} {hi}"));
+                    id
+                }
+                Node::Input(idx) => match self.d.input_kind(idx as usize) {
+                    InputKind::ReadData(mem, port, _) => {
+                        self.emit_read_port(mem.0 as usize, port as usize)?;
+                        *self
+                            .bit_id
+                            .get(&bit.code())
+                            .expect("emit_read_port registers all data bits")
+                    }
+                    // Free inputs and latch outputs are all emitted up
+                    // front, so a miss here is unreachable on a checked
+                    // design; fail closed regardless.
+                    _ => {
+                        return Err(WriteBtor2Error::Invalid(format!(
+                            "input {idx} reached the lowerer before being declared"
+                        )))
+                    }
+                },
+                Node::Const => unreachable!("constants handled above"),
+            }
+        };
+        self.bit_id.insert(bit.code(), id);
+        Ok(id)
+    }
+
+    /// Lowers a word and packs it into one `width(word)`-wide node via
+    /// a concat chain (bit 0 is least significant).
+    fn pack_word(&mut self, word: &Word) -> Result<usize, WriteBtor2Error> {
+        let mut acc = self.lower_bit(word.bit(0))?;
+        for i in 1..word.width() {
+            let hi = self.lower_bit(word.bit(i))?;
+            let s = self.sort_id(SortKey::Bv(i + 1));
+            let id = self.fresh();
+            self.line(id, &format!("concat {s} {hi} {acc}"));
+            acc = id;
+        }
+        Ok(acc)
+    }
+
+    fn emit_read_port(&mut self, mi: usize, pi: usize) -> Result<(), WriteBtor2Error> {
+        if self.read_done[mi][pi] {
+            return Ok(());
+        }
+        if self.read_busy[mi][pi] {
+            return Err(WriteBtor2Error::CyclicReadPort(format!(
+                "memory {mi} read port {pi} feeds its own address or enable"
+            )));
+        }
+        self.read_busy[mi][pi] = true;
+        let mem = &self.d.memories()[mi];
+        let port = mem.read_ports[pi].clone();
+        let addr = self.pack_word(&port.addr)?;
+        let dsort = self.sort_id(SortKey::Bv(mem.data_width));
+        let state = self.mem_state[mi];
+        let read = self.fresh();
+        self.line(read, &format!("read {dsort} {state} {addr}"));
+        let result = if port.en == Aig::TRUE {
+            read
+        } else {
+            // A disabled EMM read is unconstrained: model it as a fresh
+            // oracle input selected when the enable is low.
+            let en = self.lower_bit(port.en)?;
+            let oracle = self.fresh();
+            let name = format!("{}_r{}_oracle", mem.name, pi);
+            self.line(oracle, &format!("input {dsort}{}", Self::symbol(&name)));
+            let id = self.fresh();
+            self.line(id, &format!("ite {dsort} {en} {read} {oracle}"));
+            id
+        };
+        for b in 0..mem.data_width {
+            let bit_node = if mem.data_width == 1 {
+                result
+            } else {
+                let s1 = self.sort_id(SortKey::Bv(1));
+                let id = self.fresh();
+                self.line(id, &format!("slice {s1} {result} {b} {b}"));
+                id
+            };
+            self.bit_id.insert(port.data.bit(b).code(), bit_node);
+        }
+        self.read_busy[mi][pi] = false;
+        self.read_done[mi][pi] = true;
+        Ok(())
+    }
+}
+
+/// Serializes a checked design (memories included) as BTOR2. See the
+/// [module docs](self) for the mapping and the oracle-input treatment
+/// of non-constant read enables.
+///
+/// # Errors
+///
+/// [`WriteBtor2Error::Invalid`] when [`Design::check`] fails, and
+/// [`WriteBtor2Error::CyclicReadPort`] when a read port's address or
+/// enable combinationally depends on that port's own data.
+pub fn write_btor2(design: &Design) -> Result<String, WriteBtor2Error> {
+    design.check().map_err(WriteBtor2Error::Invalid)?;
+    let mut w = Writer {
+        d: design,
+        out: String::new(),
+        next_id: 1,
+        sorts: HashMap::new(),
+        bit_id: HashMap::new(),
+        mem_state: vec![0; design.memories().len()],
+        read_done: design
+            .memories()
+            .iter()
+            .map(|m| vec![false; m.read_ports.len()])
+            .collect(),
+        read_busy: design
+            .memories()
+            .iter()
+            .map(|m| vec![false; m.read_ports.len()])
+            .collect(),
+    };
+    // Resolve free-input names: lexicographically smallest alias wins,
+    // so the choice is deterministic.
+    let mut name_of: HashMap<usize, &str> = HashMap::new();
+    for (name, bit) in design.names() {
+        if bit.is_inverted() {
+            continue;
+        }
+        let slot = name_of.entry(bit.code()).or_insert(name);
+        if name < *slot {
+            *slot = name;
+        }
+    }
+    // Inputs, in dense free-input order.
+    for (pos, &idx) in design.free_inputs().iter().enumerate() {
+        let bit = design.input_bit(idx as usize);
+        let s = w.sort_id(SortKey::Bv(1));
+        let id = w.fresh();
+        let name = name_of
+            .get(&bit.code())
+            .map_or_else(|| format!("i{pos}"), |n| n.to_string());
+        w.line(id, &format!("input {s}{}", Writer::symbol(&name)));
+        w.bit_id.insert(bit.code(), id);
+    }
+    // Latches, with init lines where the value is pinned.
+    for latch in design.latches() {
+        let s = w.sort_id(SortKey::Bv(1));
+        let id = w.fresh();
+        w.line(id, &format!("state {s}{}", Writer::symbol(&latch.name)));
+        w.bit_id.insert(latch.output.code(), id);
+        match latch.init {
+            LatchInit::Zero => {
+                let z = w.lower_bit(Aig::FALSE)?;
+                let init = w.fresh();
+                w.line(init, &format!("init {s} {id} {z}"));
+            }
+            LatchInit::One => {
+                let o = w.lower_bit(Aig::TRUE)?;
+                let init = w.fresh();
+                w.line(init, &format!("init {s} {id} {o}"));
+            }
+            LatchInit::Free => {}
+        }
+    }
+    // Memories.
+    for (mi, mem) in design.memories().iter().enumerate() {
+        let asort = w.sort_id(SortKey::Arr(mem.addr_width, mem.data_width));
+        let id = w.fresh();
+        w.line(id, &format!("state {asort}{}", Writer::symbol(&mem.name)));
+        w.mem_state[mi] = id;
+        if mem.init == MemInit::Zero {
+            let dsort = w.sort_id(SortKey::Bv(mem.data_width));
+            let z = w.fresh();
+            w.line(z, &format!("zero {dsort}"));
+            let init = w.fresh();
+            w.line(init, &format!("init {asort} {id} {z}"));
+        }
+    }
+    // The combinational graph, in AIG node order. Walking node ids
+    // (instead of recursive descent from the roots) keeps the emission
+    // order a pure function of the graph: the reader recreates nodes in
+    // file order, so a re-write walks them in the same order and the
+    // round trip is byte-stable. Read ports are expanded at their first
+    // data-input node; `lower_bit`'s recursion covers the rare AIG
+    // whose port address logic was renumbered above the data inputs.
+    for (node_id, node) in design.aig.iter() {
+        match node {
+            Node::Const => {}
+            Node::Input(idx) => {
+                if let InputKind::ReadData(mem, port, _) = design.input_kind(idx as usize) {
+                    w.emit_read_port(mem.0 as usize, port as usize)?;
+                }
+            }
+            Node::And(_, _) => {
+                w.lower_bit(Bit::new(node_id, false))?;
+            }
+        }
+    }
+    // Latch next-state functions.
+    for latch in design.latches() {
+        let next = latch.next.expect("checked design");
+        let val = w.lower_bit(next)?;
+        let s = w.sort_id(SortKey::Bv(1));
+        let state = w.bit_id[&latch.output.code()];
+        let id = w.fresh();
+        w.line(id, &format!("next {s} {state} {val}"));
+    }
+    // Memory next-state: a write chain, guarded per port.
+    for (mi, mem) in design.memories().iter().enumerate() {
+        let asort = w.sort_id(SortKey::Arr(mem.addr_width, mem.data_width));
+        let state = w.mem_state[mi];
+        let mut cur = state;
+        for port in mem.write_ports.clone() {
+            let addr = w.pack_word(&port.addr)?;
+            let data = w.pack_word(&port.data)?;
+            let wid = w.fresh();
+            w.line(wid, &format!("write {asort} {cur} {addr} {data}"));
+            cur = if port.en == Aig::TRUE {
+                wid
+            } else {
+                let en = w.lower_bit(port.en)?;
+                let id = w.fresh();
+                w.line(id, &format!("ite {asort} {en} {wid} {cur}"));
+                id
+            };
+        }
+        let id = w.fresh();
+        w.line(id, &format!("next {asort} {state} {cur}"));
+    }
+    // Properties and constraints.
+    for p in design.properties() {
+        let bad = w.lower_bit(p.bad)?;
+        let id = w.fresh();
+        w.line(id, &format!("bad {bad}{}", Writer::symbol(&p.name)));
+    }
+    for &c in design.constraints() {
+        let lit = w.lower_bit(c)?;
+        let id = w.fresh();
+        w.line(id, &format!("constraint {lit}"));
+    }
+    Ok(w.out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    /// A memory-backed ring buffer: writes cycle through addresses, a
+    /// read port watches address 0, and the property fires if it ever
+    /// reads 0xF.
+    fn ring() -> Design {
+        let mut d = Design::new();
+        let mem = d.add_memory("buf", 2, 4, MemInit::Zero);
+        let ptr = d.new_latch_word("ptr", 2, LatchInit::Zero);
+        let next = d.aig.inc(&ptr);
+        d.set_next_word(&ptr, &next);
+        let data = d.new_input_word("data", 4);
+        d.add_write_port(mem, ptr.clone(), Aig::TRUE, data);
+        let zero = d.aig.const_word(0, 2);
+        let rd = d.add_read_port(mem, zero, Aig::TRUE);
+        let bad = d.aig.eq_const(&rd, 0xF);
+        d.add_property("sees_f", bad);
+        d.check().unwrap();
+        d
+    }
+
+    /// Like `ring` but with a guarded write port and a guarded read
+    /// port (exercises the ite-write and oracle-input paths).
+    fn guarded_ring() -> Design {
+        let mut d = Design::new();
+        let mem = d.add_memory("buf", 2, 4, MemInit::Zero);
+        let ptr = d.new_latch_word("ptr", 2, LatchInit::Zero);
+        let next = d.aig.inc(&ptr);
+        d.set_next_word(&ptr, &next);
+        let wen = d.new_input("wen");
+        let ren = d.new_input("ren");
+        let data = d.new_input_word("data", 4);
+        d.add_write_port(mem, ptr.clone(), wen, data);
+        let zero = d.aig.const_word(0, 2);
+        let rd = d.add_read_port(mem, zero, ren);
+        let bad = d.aig.eq_const(&rd, 0xF);
+        d.add_property("sees_f", bad);
+        d.check().unwrap();
+        d
+    }
+
+    #[test]
+    fn const_true_ring_roundtrips_byte_identically() {
+        let d = ring();
+        let text = write_btor2(&d).unwrap();
+        let parsed = read_btor2(&text).unwrap();
+        assert_eq!(parsed.num_latches(), d.num_latches());
+        assert_eq!(parsed.memories().len(), 1);
+        assert_eq!(parsed.memories()[0].init, MemInit::Zero);
+        assert_eq!(parsed.memories()[0].read_ports.len(), 1);
+        assert_eq!(parsed.memories()[0].write_ports.len(), 1);
+        assert_eq!(write_btor2(&parsed).unwrap(), text);
+    }
+
+    #[test]
+    fn guarded_ring_reaches_a_roundtrip_fixed_point() {
+        let d = guarded_ring();
+        let w1 = write_btor2(&d).unwrap();
+        let p1 = read_btor2(&w1).unwrap();
+        // The oracle inputs make the first re-write differ; the second
+        // round must be the fixed point.
+        let w2 = write_btor2(&p1).unwrap();
+        let p2 = read_btor2(&w2).unwrap();
+        assert_eq!(write_btor2(&p2).unwrap(), w2);
+        // One write port with the guard folded into its enable.
+        assert_eq!(p1.memories()[0].write_ports.len(), 1);
+        assert!(p1.memories()[0].write_ports[0].en != Aig::TRUE);
+    }
+
+    #[test]
+    fn guarded_ring_simulates_identically_with_zero_oracles() {
+        let d = guarded_ring();
+        let parsed = read_btor2(&write_btor2(&d).unwrap()).unwrap();
+        // parsed has 4 extra oracle inputs; driving them 0 matches the
+        // default disabled_read_value of the original.
+        let extra = parsed.free_inputs().len() - d.free_inputs().len();
+        assert_eq!(extra, 4);
+        let mut a = Simulator::new(&d);
+        let mut b = Simulator::new(&parsed);
+        for step in 0..16u64 {
+            let mut inputs = vec![
+                step % 2 == 0, // wen
+                step % 3 == 0, // ren
+                step & 1 == 1, // data[0]
+                step & 2 == 2, // data[1]
+                step & 4 == 4, // data[2]
+                step & 8 == 8, // data[3]
+            ];
+            let ra = a.step(&inputs);
+            inputs.extend(std::iter::repeat_n(false, extra));
+            let rb = b.step(&inputs);
+            assert_eq!(ra.property_bad, rb.property_bad, "step {step}");
+        }
+    }
+
+    #[test]
+    fn init_lines_set_latch_and_memory_inits() {
+        let src = "\
+1 sort bitvec 1
+2 state 1 a
+3 one 1
+4 init 1 2 3
+5 not 1 2
+6 next 1 2 5
+7 sort bitvec 2
+8 sort array 7 1
+9 state 8 m
+10 zero 1
+11 init 8 9 10
+12 bad 2
+";
+        let d = read_btor2(src).unwrap();
+        assert_eq!(d.latches()[0].init, LatchInit::One);
+        assert_eq!(d.memories()[0].init, MemInit::Zero);
+        assert!(d.memories()[0].write_ports.is_empty());
+    }
+
+    #[test]
+    fn guarded_write_patterns_become_enabled_ports() {
+        let src = "\
+1 sort bitvec 1
+2 sort bitvec 2
+3 sort array 2 2
+4 state 3 m
+5 input 1 en
+6 input 2 addr
+7 input 2 data
+8 write 3 4 6 7
+9 ite 3 5 8 4
+10 next 3 4 9
+11 read 2 4 6
+12 redand 1 11
+13 bad 12
+";
+        let d = read_btor2(src).unwrap();
+        let m = &d.memories()[0];
+        assert_eq!(m.write_ports.len(), 1);
+        assert!(m.write_ports[0].en != Aig::TRUE);
+        assert_eq!(m.read_ports.len(), 1);
+    }
+
+    #[test]
+    fn wide_states_and_arithmetic_parse() {
+        let src = "\
+1 sort bitvec 4
+2 state 1 count
+3 one 1
+4 add 1 2 3
+5 next 1 2 4
+6 constd 1 9
+7 eq 1 2 6
+";
+        // `eq` must produce a 1-bit result: sort 1 is 4 bits wide.
+        assert!(read_btor2(src).is_err());
+        let src = src.replace("7 eq 1 2 6\n", "7 sort bitvec 1\n8 eq 7 2 6\n9 bad 8\n");
+        let d = read_btor2(&src).unwrap();
+        assert_eq!(d.num_latches(), 4);
+        assert_eq!(d.properties().len(), 1);
+    }
+
+    #[test]
+    fn malformed_inputs_err_cleanly() {
+        let cases: &[&str] = &[
+            "1 sort bitvec 0\n",                       // zero width
+            "1 sort bitvec 65\n",                      // width cap
+            "1 sort bitvec 1\n1 sort bitvec 1\n",      // non-increasing id
+            "1 sort bitvec 1\n2 input 99\n",           // undefined sort
+            "1 sort bitvec 1\n2 input 1\n3 and 1 2\n", // missing operand
+            "1 sort bitvec 1\n2 sort bitvec 2\n3 input 1\n4 input 2\n5 and 1 3 4\n", // width mix
+            "1 sort bitvec 1\n2 state 1\n3 next 1 2 2\n4 next 1 2 2\n", // duplicate next
+            "1 sort bitvec 1\n2 input 1\n3 frobnicate 1 2\n", // unknown op
+            "1 sort bitvec 1\n2 input 1\n3 bad 1\n",   // bad references a sort
+            "1 sort bitvec 1\n2 sort array 1 1\n3 sort array 2 1\n", // array index sort is an array
+            "1 sort bitvec 1\n2 state 1\n3 init 1 2 2\n", // non-constant init
+            "1 sort bitvec 1\n2 const 1 01\n",         // binary constant width
+            "x sort bitvec 1\n",                       // malformed id
+            "1 sort bitvec 1\n2 state 1\n",            // state with no next (check fails)
+        ];
+        for (i, src) in cases.iter().enumerate() {
+            assert!(read_btor2(src).is_err(), "case {i} should fail");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let src = "\
+; a comment
+1 sort bitvec 1   ; trailing comment
+
+2 state 1 flip
+3 not 1 2
+4 next 1 2 3
+5 bad 2
+";
+        assert!(read_btor2(src).is_ok());
+    }
+
+    #[test]
+    fn latchless_combinational_properties_parse() {
+        let src = "\
+1 sort bitvec 1
+2 input 1 a
+3 input 1 b
+4 and 1 2 3
+5 constraint 4
+6 bad 2
+";
+        let d = read_btor2(src).unwrap();
+        assert_eq!(d.constraints().len(), 1);
+        assert_eq!(d.properties().len(), 1);
+    }
+}

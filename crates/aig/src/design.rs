@@ -428,6 +428,28 @@ impl Design {
         self.names.get(name).copied()
     }
 
+    /// Iterates over every registered `(name, bit)` pair, in unspecified
+    /// order. Frontend writers ([`crate::aiger`], [`crate::btor2`]) use
+    /// this to recover the names of free primary inputs, which — unlike
+    /// latches, memories, and properties — are not stored anywhere else.
+    pub fn names(&self) -> impl Iterator<Item = (&str, Bit)> + '_ {
+        self.names.iter().map(|(n, &b)| (n.as_str(), b))
+    }
+
+    /// Overwrites the initial contents of a memory. The BTOR2 reader
+    /// needs this because the format declares a memory (`state` of array
+    /// sort) before its `init` line arrives.
+    pub(crate) fn set_memory_init(&mut self, mem: MemoryId, init: MemInit) {
+        self.memories[mem.0 as usize].init = init;
+    }
+
+    /// Overwrites the initial value of a latch, for the same reason as
+    /// [`Design::set_memory_init`]: BTOR2 `init` lines arrive after the
+    /// `state` declaration that created the latch.
+    pub(crate) fn set_latch_init(&mut self, latch: LatchId, init: LatchInit) {
+        self.latches[latch.0 as usize].init = init;
+    }
+
     /// Validates structural invariants; call after construction.
     ///
     /// # Errors

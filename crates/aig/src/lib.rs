@@ -61,6 +61,8 @@
 #![warn(missing_docs)]
 
 mod aig;
+pub mod aiger;
+pub mod btor2;
 pub mod coi;
 pub mod cuts;
 pub mod design;

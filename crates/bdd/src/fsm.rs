@@ -168,7 +168,13 @@ impl<'d> SymbolicChecker<'d> {
     /// Checks property `prop` by forward reachability.
     pub fn check(&mut self, prop: usize) -> SymbolicVerdict {
         let bad_bit = self.design.properties()[prop].bad;
-        let bad = lookup(&mut self.bdd, &self.node_funcs, bad_bit);
+        let mut bad = lookup(&mut self.bdd, &self.node_funcs, bad_bit);
+        // Constraints hold at every frame of a valid trace, the one where
+        // bad is observed included — same input valuation for both.
+        for &c in self.design.constraints() {
+            let fc = lookup(&mut self.bdd, &self.node_funcs, c);
+            bad = self.bdd.and(bad, fc);
+        }
         let nl = self.num_latches;
         // `bad` ranges over current-state and input vars; a state is bad if
         // some input makes the property fire.

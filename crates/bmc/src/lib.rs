@@ -74,7 +74,9 @@
 
 #![warn(missing_docs)]
 
+pub mod dimacs;
 mod engine;
+pub mod frontend;
 mod kinduction;
 mod lfp;
 pub mod model;
@@ -83,9 +85,11 @@ pub mod pba;
 pub mod server;
 mod unroll;
 
+pub use dimacs::{dump_bmc_cnf, BmcCnf, DumpDimacsError};
 pub use engine::{
     AbstractionSpec, BmcEngine, BmcError, BmcOptions, BmcRun, BmcVerdict, PhaseSeconds, ProofKind,
 };
+pub use frontend::{FrontendError, ModelFormat, ModelSource};
 pub use kinduction::KInduction;
 pub use lfp::LfpBuilder;
 pub use model::ReducedModel;

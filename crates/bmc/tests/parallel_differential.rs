@@ -230,6 +230,54 @@ fn server_matches_a_direct_engine() {
 }
 
 #[test]
+fn server_kinduction_matches_direct_engine_across_worker_counts() {
+    // The server dispatches on ProofEngine like ModelSource::verify does;
+    // k-induction jobs must be bit-identical at every worker count and
+    // must agree with a direct KInduction run job-for-job.
+    let counter = Arc::new(redundant_counter());
+    let memory = Arc::new(memory_design());
+    let options = VerifyOptions::default().proof_engine(emm_bmc::ProofEngine::KInduction);
+    let jobs: Vec<(Arc<Design>, usize, usize)> = vec![
+        (Arc::clone(&counter), 0, 16),
+        (Arc::clone(&counter), 1, 8),
+        (Arc::clone(&memory), 0, 10),
+        (Arc::clone(&memory), 1, 10),
+    ];
+    let mut outcomes = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let mut server = VerificationServer::new(workers);
+        for (design, property, max_depth) in &jobs {
+            server.submit(VerifyRequest {
+                design: Arc::clone(design),
+                property: *property,
+                budget: VerifyBudget {
+                    max_depth: *max_depth,
+                    ..VerifyBudget::default()
+                },
+                options: options.clone(),
+            });
+        }
+        outcomes.push(response_keys(&server.run()));
+    }
+    assert_eq!(outcomes[0], outcomes[1], "1 vs 2 workers diverged");
+    assert_eq!(outcomes[0], outcomes[2], "1 vs 4 workers diverged");
+    for (i, (design, property, max_depth)) in jobs.iter().enumerate() {
+        let direct = emm_bmc::KInduction::new(design.as_ref(), options.clone())
+            .check(*property, *max_depth)
+            .expect("direct k-induction");
+        assert_eq!(
+            outcomes[0][i].1,
+            format!("{:?}", direct.verdict),
+            "job {i}: server k-induction verdict diverged from the direct engine"
+        );
+        assert_eq!(
+            outcomes[0][i].2, direct.depth_reached,
+            "job {i}: depth reached diverged"
+        );
+    }
+}
+
+#[test]
 fn env_sized_pool_matches_explicit_pools() {
     // Under the CI matrix EMM_WORKERS is 1 or 4; either must agree with
     // an explicit single-worker pool on the fraig result.

@@ -34,6 +34,7 @@
 
 pub mod cpu;
 pub mod fifo;
+pub mod gen;
 pub mod image_filter;
 pub mod industry2;
 pub mod lifo;

@@ -1,0 +1,171 @@
+//! Malformed-input fuzz sweep for the AIGER and BTOR2 parsers.
+//!
+//! The parsers' contract is *clean errors, never panics*: every byte
+//! string must produce `Ok` or a structured `Err`. This sweep feeds
+//! them three hostile families, all derived deterministically from
+//! generated designs:
+//!
+//! * **truncations** — every prefix of a valid file (a truncated file
+//!   may still be valid when only symbols were cut; the property is
+//!   only that parsing terminates without panicking);
+//! * **point mutations** — seeded random byte substitutions in valid
+//!   files, again asserting no panic;
+//! * **guaranteed-invalid edits** — bad deltas, duplicate symbols,
+//!   out-of-range ids and friends, asserting a clean `Err`.
+//!
+//! Any input that ever panics a parser belongs in
+//! `tests/regression_seeds.rs` with the seed that produced it.
+
+use emm_aig::aiger::{read_aiger, write_aiger_ascii, write_aiger_binary};
+use emm_aig::btor2::{read_btor2, write_btor2};
+use emm_designs::gen::{random_design, GenConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn aiger_corpus() -> Vec<Vec<u8>> {
+    (0..8u64)
+        .flat_map(|seed| {
+            let d = random_design(&GenConfig::aiger(), seed);
+            [
+                write_aiger_ascii(&d).unwrap().into_bytes(),
+                write_aiger_binary(&d).unwrap(),
+            ]
+        })
+        .collect()
+}
+
+fn btor2_corpus() -> Vec<String> {
+    (0..8u64)
+        .map(|seed| write_btor2(&random_design(&GenConfig::btor2_guarded(), seed)).unwrap())
+        .collect()
+}
+
+#[test]
+fn aiger_truncations_never_panic() {
+    for file in aiger_corpus() {
+        for len in 0..file.len() {
+            // Ok or Err are both acceptable; a panic fails the test.
+            let _ = read_aiger(&file[..len]);
+        }
+    }
+}
+
+#[test]
+fn btor2_truncations_never_panic() {
+    for file in btor2_corpus() {
+        // Writer output is pure ASCII, so every byte prefix is valid UTF-8.
+        for len in 0..file.len() {
+            let truncated = std::str::from_utf8(&file.as_bytes()[..len]).unwrap();
+            let _ = read_btor2(truncated);
+        }
+    }
+}
+
+#[test]
+fn aiger_point_mutations_never_panic() {
+    let corpus = aiger_corpus();
+    let mut rng = StdRng::seed_from_u64(0xA16E_2005);
+    for file in &corpus {
+        for _ in 0..64 {
+            let mut mutated = file.clone();
+            let at = rng.random_range(0..mutated.len());
+            mutated[at] = rng.random_range(0..=255u64) as u8;
+            let _ = read_aiger(&mutated);
+        }
+    }
+}
+
+#[test]
+fn btor2_point_mutations_never_panic() {
+    let corpus = btor2_corpus();
+    let mut rng = StdRng::seed_from_u64(0xB702_2005);
+    for file in &corpus {
+        let bytes = file.as_bytes();
+        for _ in 0..64 {
+            let mut mutated = bytes.to_vec();
+            let at = rng.random_range(0..mutated.len());
+            // Printable ASCII keeps the mutation in the parsed region
+            // (the BTOR2 parser rejects non-UTF-8 by construction).
+            mutated[at] = rng.random_range(0x20..0x7f_u64) as u8;
+            if let Ok(text) = std::str::from_utf8(&mutated) {
+                let _ = read_btor2(text);
+            }
+        }
+    }
+}
+
+#[test]
+fn aiger_guaranteed_invalid_edits_err() {
+    // Structured mutations whose invalidity is guaranteed by the
+    // format, applied to every generated ASCII file: header count
+    // inflation (truncates the body), and a duplicated symbol line.
+    for seed in 0..8u64 {
+        let d = random_design(&GenConfig::aiger(), seed);
+        let text = write_aiger_ascii(&d).unwrap();
+
+        // Inflate A by editing the header's 5th field: body now short.
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut header: Vec<String> = lines[0].split(' ').map(str::to_string).collect();
+        let ands: usize = header[5].parse().unwrap();
+        header[5] = format!("{}", ands + 7);
+        header[1] = format!(
+            "{}",
+            ands + 7 + header[2].parse::<usize>().unwrap() + header[3].parse::<usize>().unwrap()
+        );
+        let inflated = {
+            let mut l = lines.clone();
+            l[0] = header.join(" ");
+            l.join("\n") + "\n"
+        };
+        assert!(
+            read_aiger(inflated.as_bytes()).is_err(),
+            "seed {seed}: inflated AND count must not parse"
+        );
+
+        // Duplicate the first symbol entry (there is always an input).
+        let sym = lines.iter().position(|l| l.starts_with("i0 ")).unwrap();
+        lines.insert(sym, lines[sym].clone());
+        let duplicated = lines.join("\n") + "\n";
+        assert!(
+            read_aiger(duplicated.as_bytes()).is_err(),
+            "seed {seed}: duplicate symbol must not parse"
+        );
+    }
+}
+
+#[test]
+fn btor2_guaranteed_invalid_edits_err() {
+    for seed in 0..8u64 {
+        let d = random_design(&GenConfig::btor2(), seed);
+        let text = write_btor2(&d).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+
+        // Duplicate the last line: its id is no longer increasing.
+        let duplicated = format!("{text}{}\n", lines[lines.len() - 1]);
+        assert!(
+            read_btor2(&duplicated).is_err(),
+            "seed {seed}: non-increasing id must not parse"
+        );
+
+        // Reference an undefined id from a fresh bad line.
+        let dangling = format!("{text}1000000 bad 999999\n");
+        assert!(
+            read_btor2(&dangling).is_err(),
+            "seed {seed}: dangling operand must not parse"
+        );
+
+        // Drop the first next line: Design::check must reject the
+        // now-dangling latch.
+        let next = lines.iter().position(|l| l.contains(" next ")).unwrap();
+        let missing: String = lines
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != next)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        assert!(
+            read_btor2(&missing).is_err(),
+            "seed {seed}: missing next must not parse"
+        );
+    }
+}

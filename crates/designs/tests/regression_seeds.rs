@@ -1,0 +1,45 @@
+//! Pinned regression seeds for the frontend fuzz/round-trip layer.
+//!
+//! ## Convention
+//!
+//! Whenever a seed from `tests/frontend_roundtrip.rs` or an input from
+//! `tests/frontend_fuzz.rs` ever produces a parser panic, a round-trip
+//! mismatch, or a verification divergence, it gets **pinned here as a
+//! named unit test** — one test per incident, named
+//! `seed_<value>_<one_word_symptom>`, with a comment linking the fix.
+//! The generated sweeps keep running with fresh coverage; this file
+//! guarantees the specific inputs that once failed never regress
+//! silently, even if the generator's sampling drifts.
+//!
+//! A template:
+//!
+//! ```text
+//! /// <date>: write→parse dropped the Free reset on latch 3.
+//! /// Fixed in <module> by <one-line summary>.
+//! #[test]
+//! fn seed_1234567890_free_reset_lost() {
+//!     let d = random_design(&GenConfig::aiger(), 1234567890);
+//!     let text = write_aiger_ascii(&d).unwrap();
+//!     let parsed = read_aiger(text.as_bytes()).unwrap();
+//!     assert_eq!(write_aiger_ascii(&parsed).unwrap(), text);
+//! }
+//! ```
+//!
+//! No incidents have been recorded yet; the imports below keep the
+//! template compiling the moment the first one lands.
+
+#[allow(unused_imports)]
+use emm_aig::aiger::{read_aiger, write_aiger_ascii, write_aiger_binary};
+#[allow(unused_imports)]
+use emm_aig::btor2::{read_btor2, write_btor2};
+#[allow(unused_imports)]
+use emm_designs::gen::{random_design, GenConfig};
+
+/// The convention above is load-bearing documentation, not dead code:
+/// this marker test keeps the file in the harness so a typo'd future
+/// addition fails loudly instead of being skipped.
+#[test]
+fn regression_seed_file_is_wired_into_the_harness() {
+    let d = random_design(&GenConfig::aiger(), 0);
+    assert!(!d.properties().is_empty());
+}

@@ -208,7 +208,7 @@ impl Solver {
     /// `Some(reason)` when the governor or the budget deadline stopped
     /// it early; either way the solver is left at decision level 0 and
     /// fully usable, with all work already done kept (it is all sound).
-    /// See the [module docs](self) for the soundness contract.
+    /// See the module docs in `inprocess.rs` for the soundness contract.
     ///
     /// The pass is a no-op under [`SolverConfig::proof_tracing`](crate::SolverConfig::proof_tracing):
     /// strengthened clauses would need tracer derivations the rewrite
@@ -908,6 +908,41 @@ mod tests {
         assert_eq!(s.stats().inprocess_rounds, 0);
         s.set_budget(Budget::unlimited());
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn expired_deadline_with_nonzero_budgets_is_a_strict_noop() {
+        // Nonzero per-technique budgets must not buy even one unit of
+        // work once the deadline is behind us: the deadline is checked
+        // before the first clause/probe is touched, so every
+        // inprocessing counter stays at zero.
+        let mut s = Solver::with_config(
+            SolverConfig::default().inprocess(
+                InprocessConfig::default()
+                    .vivify_clause_budget(64)
+                    .subsume_clause_budget(64)
+                    .probe_var_budget(64)
+                    .scale_to_conflicts(false),
+            ),
+        );
+        let v = vars(&mut s, 4);
+        s.add_clause(&[v[0], v[1]]);
+        s.add_clause(&[v[0], v[1], v[2]]);
+        s.add_clause(&[v[1], v[2], v[3]]);
+        s.set_budget(Budget::unlimited().with_earlier_deadline(Some(Instant::now())));
+        assert_eq!(s.inprocess(), Some(ExhaustionReason::Deadline));
+        let stats = s.stats();
+        assert_eq!(stats.vivified_clauses, 0);
+        assert_eq!(stats.vivified_literals, 0);
+        assert_eq!(stats.subsumed_clauses, 0);
+        assert_eq!(stats.subsumed_literals, 0);
+        assert_eq!(stats.probed_literals, 0);
+        assert_eq!(stats.failed_literals, 0);
+        assert_eq!(stats.inprocess_rounds, 0);
+        // And the solver is immediately usable once the budget allows.
+        s.set_budget(Budget::unlimited());
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve_with(&[!v[0], !v[1]]), SolveResult::Unsat);
     }
 
     #[test]

@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         BmcVerdict::Proof { kind, depth } => {
             println!("result_correct proved by {kind:?} at depth {depth}");
         }
-        other => println!("unexpected verdict: {other:?}"),
+        other => panic!("unexpected verdict: {other:?}"),
     }
 
     // Any-program mode: halt is sticky for every program.
@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         BmcVerdict::Proof { kind, depth } => {
             println!("halt_sticky proved over ALL programs by {kind:?} at depth {depth}");
         }
-        other => println!("unexpected verdict: {other:?}"),
+        other => panic!("unexpected verdict: {other:?}"),
     }
     Ok(())
 }

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 found += 1;
                 max_depth = max_depth.max(trace.depth() - 1);
             }
-            other => println!("property {p}: no witness ({other:?})"),
+            other => panic!("property {p}: no witness ({other:?})"),
         }
     }
     println!(
@@ -42,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         filter.reachable.len(),
         started.elapsed()
     );
+    assert_eq!(found, filter.reachable.len(), "every witness must be found");
 
     // Induction proofs for the invariant properties (BMC-3).
     let started = std::time::Instant::now();
@@ -60,13 +61,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 proved += 1;
                 println!("property {p}: proved by {kind:?} at depth {depth}");
             }
-            other => println!("property {p}: not proved ({other:?})"),
+            other => panic!("property {p}: not proved ({other:?})"),
         }
     }
     println!(
         "induction proofs: {proved}/{} in {:?}",
         filter.unreachable.len(),
         started.elapsed()
+    );
+    assert_eq!(
+        proved,
+        filter.unreachable.len(),
+        "every invariant must close"
     );
     Ok(())
 }

@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "memory abstracted: SPURIOUS witness at depth {} (paper: depth 7)",
             t.depth() - 1
         ),
-        other => println!("memory abstracted: unexpected {other:?}"),
+        other => panic!("memory abstracted: unexpected {other:?}"),
     }
 
     // --- Step 2: EMM keeps the semantics -> no witnesses ---------------
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         BmcVerdict::BoundReached => {
             println!("with EMM: no witness up to depth 30 (paper: none up to 200)")
         }
-        other => println!("with EMM: unexpected {other:?}"),
+        other => panic!("with EMM: unexpected {other:?}"),
     }
 
     // --- Step 3: the invariant proof by backward induction -------------
@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("G(WE=0 or WD=0) proved by {kind:?} at depth {depth} (paper: depth 2)");
             assert_eq!(kind, ProofKind::BackwardInduction);
         }
-        other => println!("invariant: unexpected {other:?}"),
+        other => panic!("invariant: unexpected {other:?}"),
     }
 
     // --- Step 4: invariant as RD constraint + abstracted memory --------
@@ -99,6 +99,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "reduced model with the invariant applied: {proved}/{} lookup properties proved",
         constrained.lookups.len()
+    );
+    assert_eq!(
+        proved,
+        constrained.lookups.len(),
+        "every lookup property must close on the reduced model"
     );
     Ok(())
 }

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     run.elapsed
                 );
             }
-            other => println!("{name}: unexpected verdict {other:?}"),
+            other => panic!("{name}: unexpected verdict {other:?}"),
         }
     }
 
@@ -74,19 +74,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         started.elapsed(),
     );
     let array_kept = result.abstraction.kept_memories[qs.array.0 as usize];
-    println!(
-        "array memory {}",
-        if array_kept {
-            "KEPT (unexpected)"
-        } else {
-            "abstracted away, as in Table 2"
-        }
-    );
+    assert!(!array_kept, "PBA must abstract the array away (Table 2)");
+    println!("array memory abstracted away, as in Table 2");
     match result.verdict {
         BmcVerdict::Proof { kind, depth } => {
             println!("P2 on reduced model: proved by {kind:?} at D={depth}");
         }
-        other => println!("P2 on reduced model: unexpected verdict {other:?}"),
+        other => panic!("P2 on reduced model: unexpected verdict {other:?}"),
     }
     Ok(())
 }

@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("trace re-simulates correctly (memory never expanded)");
             println!("{}", emm_verif::aig::report::format_trace(&d, trace));
         }
-        other => println!("unexpected verdict: {other:?}"),
+        other => panic!("unexpected verdict: {other:?}"),
     }
 
     // --- Proof by induction (the paper's BMC-3, Fig. 3) ----------------
@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         BmcVerdict::Proof { kind, depth } => {
             println!("`first_cycle_reads_zero` proved by {kind:?} at depth {depth}");
         }
-        other => println!("unexpected verdict: {other:?}"),
+        other => panic!("unexpected verdict: {other:?}"),
     }
     Ok(())
 }
